@@ -1,0 +1,52 @@
+// Command lasthop-broker runs a standalone topic-based pub/sub broker over
+// TCP. Publishers, subscribers, and last-hop proxies connect with the wire
+// protocol (see internal/wire).
+//
+// Example:
+//
+//	lasthop-broker -listen :7470
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"lasthop/internal/pubsub"
+	"lasthop/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lasthop-broker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen = flag.String("listen", ":7470", "address to listen on")
+		name   = flag.String("name", "broker", "broker node name")
+		peer   = flag.String("peer", "", "federate with the broker at this address (keep the overlay acyclic)")
+	)
+	flag.Parse()
+
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	broker := pubsub.NewBroker(*name)
+	if *peer != "" {
+		fed, err := wire.FederateBroker(broker, *peer, *name, log.Printf)
+		if err != nil {
+			return err
+		}
+		defer fed.Close()
+		log.Printf("broker %q federated with %s", *name, *peer)
+	}
+	log.Printf("broker %q listening on %s", *name, lis.Addr())
+	srv := wire.NewBrokerServer(broker, log.Printf)
+	return srv.Serve(lis)
+}

@@ -1,0 +1,73 @@
+// Command lasthop-device emulates a mobile device: it connects to a proxy,
+// subscribes to a topic with volume-limiting options, and periodically
+// performs user reads, printing what the user would see.
+//
+// Example:
+//
+//	lasthop-device -proxy localhost:7471 -topic weather/tromsø -max 8 -threshold 2 -interval 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"lasthop/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lasthop-device:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		proxy     = flag.String("proxy", "localhost:7471", "proxy address")
+		name      = flag.String("name", "device", "device name")
+		topic     = flag.String("topic", "demo", "topic to subscribe to")
+		policy    = flag.String("policy", "", "forwarding policy (empty = unified)")
+		maxRead   = flag.Int("max", 8, "Max: messages per read (0 = unlimited)")
+		threshold = flag.Float64("threshold", 0, "Threshold: minimum acceptable rank")
+		limit     = flag.Int("prefetch-limit", 0, "fixed prefetch limit (0 = auto)")
+		interval  = flag.Duration("interval", 10*time.Second, "how often the user checks messages")
+		reads     = flag.Int("reads", 0, "stop after this many reads (0 = forever)")
+	)
+	flag.Parse()
+
+	dev, err := wire.DialProxy(*proxy, *name)
+	if err != nil {
+		return err
+	}
+	defer dev.Close()
+
+	pol := wire.TopicPolicy{
+		Policy:        *policy,
+		Max:           *maxRead,
+		Threshold:     *threshold,
+		PrefetchLimit: *limit,
+	}
+	if err := dev.Subscribe(*topic, pol); err != nil {
+		return err
+	}
+	log.Printf("device %q subscribed to %q (max=%d threshold=%g)", *name, *topic, *maxRead, *threshold)
+
+	for i := 0; *reads == 0 || i < *reads; i++ {
+		time.Sleep(*interval)
+		batch, err := dev.Read(*topic, *maxRead)
+		if err != nil {
+			return err
+		}
+		if len(batch) == 0 {
+			log.Printf("read: nothing new (queue=%d)", dev.QueueLen(*topic))
+			continue
+		}
+		for _, n := range batch {
+			log.Printf("read: [%.1f] %s %s", n.Rank, n.ID, string(n.Payload))
+		}
+	}
+	return nil
+}

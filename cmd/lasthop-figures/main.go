@@ -1,0 +1,196 @@
+// Command lasthop-figures regenerates the paper's evaluation figures
+// (Figures 1–6) and the repository's ablation experiments, printing each
+// as a text table or CSV.
+//
+// Examples:
+//
+//	lasthop-figures -fig 1
+//	lasthop-figures -fig all -days 90 -format csv -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"lasthop/internal/dist"
+	"lasthop/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lasthop-figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig    = flag.String("fig", "all", "which figure: 1..6, ablations, extensions, or all")
+		days   = flag.Int("days", 365, "simulated days per run")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		reps   = flag.Int("reps", 1, "replications per point")
+		format = flag.String("format", "text", "output format: text, csv, or json")
+		outDir = flag.String("out", "", "write one file per figure into this directory instead of stdout")
+		verify = flag.Bool("verify", false, "check the paper's headline claims instead of printing figures")
+	)
+	flag.Parse()
+
+	opts := experiment.Options{
+		Seed:         *seed,
+		Horizon:      time.Duration(*days) * dist.Day,
+		Replications: *reps,
+	}
+
+	if *verify {
+		claims, err := experiment.VerifyClaims(opts)
+		if err != nil {
+			return err
+		}
+		if err := experiment.RenderClaims(os.Stdout, claims); err != nil {
+			return err
+		}
+		for _, c := range claims {
+			if !c.Pass {
+				return fmt.Errorf("%s not reproduced", c.ID)
+			}
+		}
+		return nil
+	}
+
+	figures, err := collect(*fig, opts)
+	if err != nil {
+		return err
+	}
+	for _, f := range figures {
+		if err := emit(f, *format, *outDir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collect runs the requested experiments. Selector "all" runs everything.
+func collect(selector string, opts experiment.Options) ([]experiment.Figure, error) {
+	var out []experiment.Figure
+	want := func(name string) bool {
+		return selector == "all" || selector == name ||
+			(selector == "ablations" && strings.HasPrefix(name, "ablation"))
+	}
+	if want("1") {
+		f, err := experiment.Figure1(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	if want("2") {
+		f, err := experiment.Figure2(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	if want("3") {
+		loss, waste, err := experiment.Figure3(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, loss, waste)
+	}
+	if want("4") {
+		f, err := experiment.Figure4(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	if want("5") {
+		f, err := experiment.Figure5(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	if want("6") {
+		waste, loss, err := experiment.Figure6(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, waste, loss)
+	}
+	if want("ablation-rate-vs-buffer") {
+		loss, waste, err := experiment.AblationRateVsBuffer(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, loss, waste)
+	}
+	if want("ablation-delay") {
+		f, err := experiment.AblationDelay(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	if want("ablation-auto-limit") {
+		f, err := experiment.AblationAutoLimit(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	if selector == "all" || selector == "extensions" || selector == "extension-multi-device" {
+		f, err := experiment.ExtensionMultiDevice(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("unknown figure selector %q", selector)
+	}
+	return out, nil
+}
+
+func emit(f experiment.Figure, format, outDir string) error {
+	var w io.Writer = os.Stdout
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		ext := ".txt"
+		switch format {
+		case "csv":
+			ext = ".csv"
+		case "json":
+			ext = ".json"
+		}
+		file, err := os.Create(filepath.Join(outDir, f.ID+ext))
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+	switch format {
+	case "text":
+		if err := f.RenderText(w); err != nil {
+			return err
+		}
+		if outDir == "" {
+			fmt.Fprintln(w)
+		}
+		return nil
+	case "csv":
+		return f.RenderCSV(w)
+	case "json":
+		return f.RenderJSON(w)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}

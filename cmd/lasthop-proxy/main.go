@@ -1,0 +1,54 @@
+// Command lasthop-proxy runs the last-hop proxy as a network service: it
+// subscribes upstream to a broker on behalf of one mobile device and
+// accepts the device's connection downstream. While the device is
+// disconnected the proxy spools notifications exactly as during a
+// simulated network outage.
+//
+// Example:
+//
+//	lasthop-proxy -broker localhost:7470 -listen :7471 -name alice-proxy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"lasthop/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lasthop-proxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		broker      = flag.String("broker", "localhost:7470", "upstream broker address")
+		listen      = flag.String("listen", ":7471", "device-facing listen address")
+		name        = flag.String("name", "proxy", "proxy (subscriber) name at the broker")
+		journalPath = flag.String("journal", "", "journal file for durable proxy state (empty = volatile)")
+	)
+	flag.Parse()
+
+	srv, err := wire.NewProxyServerOpts(wire.ProxyOptions{
+		BrokerAddr:  *broker,
+		Name:        *name,
+		JournalPath: *journalPath,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("proxy %q connected to broker %s, listening for devices on %s", *name, *broker, lis.Addr())
+	return srv.Serve(lis)
+}

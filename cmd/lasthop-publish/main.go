@@ -1,0 +1,83 @@
+// Command lasthop-publish publishes notifications to a broker, either a
+// single message from the command line or a synthetic ranked stream for
+// demos.
+//
+// Examples:
+//
+//	lasthop-publish -broker localhost:7470 -topic demo -rank 4.5 -payload "storm warning"
+//	lasthop-publish -broker localhost:7470 -topic demo -stream 2s -count 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+	"time"
+
+	"lasthop/internal/msg"
+	"lasthop/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lasthop-publish:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		broker  = flag.String("broker", "localhost:7470", "broker address")
+		name    = flag.String("name", "publisher", "publisher name")
+		topic   = flag.String("topic", "demo", "topic to publish on")
+		rank    = flag.Float64("rank", 1, "notification rank")
+		life    = flag.Duration("expires", 0, "lifetime (0 = never expires)")
+		payload = flag.String("payload", "", "notification payload")
+		stream  = flag.Duration("stream", 0, "publish a synthetic stream at this interval")
+		count   = flag.Int("count", 0, "number of stream messages (0 = forever)")
+	)
+	flag.Parse()
+
+	pub, err := wire.DialBroker(*broker, *name)
+	if err != nil {
+		return err
+	}
+	defer pub.Close()
+	if err := pub.Advertise(*topic, ""); err != nil {
+		return err
+	}
+
+	build := func(id msg.ID, r float64, body string) *msg.Notification {
+		n := &msg.Notification{
+			ID: id, Topic: *topic, Publisher: *name,
+			Rank: r, Published: time.Now(), Payload: []byte(body),
+		}
+		if *life > 0 {
+			n.Expires = n.Published.Add(*life)
+		}
+		return n
+	}
+
+	if *stream <= 0 {
+		id := msg.ID(fmt.Sprintf("%s-%d", *name, time.Now().UnixNano()))
+		if err := pub.Publish(build(id, *rank, *payload)); err != nil {
+			return err
+		}
+		log.Printf("published %s rank=%g on %q", id, *rank, *topic)
+		return nil
+	}
+
+	for i := 0; *count == 0 || i < *count; i++ {
+		r := rand.Float64() * 5
+		id := msg.ID(fmt.Sprintf("%s-%d", *name, time.Now().UnixNano()))
+		body := fmt.Sprintf("synthetic message %d", i)
+		if err := pub.Publish(build(id, r, body)); err != nil {
+			return err
+		}
+		log.Printf("published %s rank=%.2f", id, r)
+		time.Sleep(*stream)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module lasthop
+
+go 1.22

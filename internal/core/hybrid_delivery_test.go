@@ -1,0 +1,143 @@
+package core
+
+// Tests for the §2.2 hybrid-delivery refinements: quiet windows, daily
+// on-line caps, and on-demand interrupts.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lasthop/internal/msg"
+)
+
+func TestInterruptRankPushesOnDemandContent(t *testing.T) {
+	cfg := OnDemandConfig("t", 8)
+	cfg.InterruptRank = 4.5
+	f := newFixture(t, cfg)
+
+	f.proxy.Notify(f.note("routine", 3, 0))
+	if len(f.dev.received) != 0 {
+		t.Fatal("routine on-demand content was pushed")
+	}
+	f.proxy.Notify(f.note("tornado", 4.9, 0))
+	if got := f.dev.ids(); len(got) != 1 || got[0] != "tornado" {
+		t.Fatalf("urgent content not pushed: %v", got)
+	}
+	// The routine message still waits for a read.
+	if s := f.snapshot(t); s.Prefetch != 1 {
+		t.Errorf("Prefetch = %d", s.Prefetch)
+	}
+}
+
+func TestQuietWindowDefersDelivery(t *testing.T) {
+	cfg := OnlineConfig("t")
+	// Quiet between 09:00 and 10:00; t0 is midnight.
+	cfg.Quiet = []QuietWindow{{Start: 9 * time.Hour, End: 10 * time.Hour}}
+	f := newFixture(t, cfg)
+
+	// 08:30: delivered immediately.
+	f.sched.Advance(8*time.Hour + 30*time.Minute)
+	f.proxy.Notify(f.note("before", 1, 0))
+	if len(f.dev.received) != 1 {
+		t.Fatal("delivery outside the window blocked")
+	}
+	// 09:15: held.
+	f.sched.Advance(45 * time.Minute)
+	f.proxy.Notify(f.note("during", 2, 0))
+	if len(f.dev.received) != 1 {
+		t.Fatal("delivered during the quiet window")
+	}
+	if s := f.snapshot(t); s.Delayed != 1 {
+		t.Errorf("Delayed = %d", s.Delayed)
+	}
+	// 10:00: the window ends and the held message flows.
+	f.sched.Advance(45 * time.Minute)
+	if got := f.dev.ids(); len(got) != 2 || got[1] != "during" {
+		t.Errorf("after window: %v", got)
+	}
+}
+
+func TestQuietWindowExpiredWhileHeld(t *testing.T) {
+	cfg := OnlineConfig("t")
+	cfg.Quiet = []QuietWindow{{Start: 0, End: 2 * time.Hour}}
+	f := newFixture(t, cfg)
+	f.proxy.Notify(f.note("ephemeral", 5, 30*time.Minute))
+	f.sched.Advance(3 * time.Hour)
+	if len(f.dev.received) != 0 {
+		t.Errorf("expired held message delivered: %v", f.dev.ids())
+	}
+}
+
+func TestDailyOnlineCap(t *testing.T) {
+	cfg := OnlineConfig("t")
+	cfg.DailyOnlineCap = 2
+	f := newFixture(t, cfg)
+
+	for i := 0; i < 4; i++ {
+		f.proxy.Notify(f.note(msg.ID(fmt.Sprintf("d0-%d", i)), float64(i), 0))
+	}
+	if len(f.dev.received) != 2 {
+		t.Fatalf("day 0 pushed %d, want cap 2", len(f.dev.received))
+	}
+	// The overflow is readable on demand.
+	if err := f.proxy.Read(msg.ReadRequest{Topic: "t", N: 8, QueueSize: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.dev.received) != 4 {
+		t.Errorf("overflow not served on read: %d", len(f.dev.received))
+	}
+	// A new day resets the budget.
+	f.sched.Advance(24 * time.Hour)
+	f.proxy.Notify(f.note("d1-0", 1, 0))
+	if len(f.dev.received) != 5 {
+		t.Errorf("day 1 budget not reset: %d", len(f.dev.received))
+	}
+}
+
+func TestQuietWindowValidation(t *testing.T) {
+	bad := []QuietWindow{
+		{Start: -time.Hour, End: time.Hour},
+		{Start: 2 * time.Hour, End: time.Hour},
+		{Start: time.Hour, End: 25 * time.Hour},
+		{Start: time.Hour, End: time.Hour},
+	}
+	for _, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("window %+v accepted", w)
+		}
+	}
+	cfg := OnlineConfig("t")
+	cfg.Quiet = []QuietWindow{{Start: 2 * time.Hour, End: time.Hour}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("config with bad window accepted")
+	}
+	cfg2 := OnDemandConfig("t", 8)
+	cfg2.InterruptRank = -1
+	if err := cfg2.Validate(); err == nil {
+		t.Error("negative interrupt rank accepted")
+	}
+	cfg3 := OnlineConfig("t")
+	cfg3.DailyOnlineCap = -1
+	if err := cfg3.Validate(); err == nil {
+		t.Error("negative daily cap accepted")
+	}
+}
+
+func TestInterruptDuringQuietWindowStillHeld(t *testing.T) {
+	// Quiet windows apply to interrupts too: the §2.2 hybrid keeps a
+	// meeting undisturbed; the urgent message arrives the moment the
+	// window ends.
+	cfg := OnDemandConfig("t", 8)
+	cfg.InterruptRank = 4
+	cfg.Quiet = []QuietWindow{{Start: 0, End: time.Hour}}
+	f := newFixture(t, cfg)
+	f.proxy.Notify(f.note("urgent", 5, 0))
+	if len(f.dev.received) != 0 {
+		t.Fatal("interrupt broke the quiet window")
+	}
+	f.sched.Advance(time.Hour)
+	if got := f.dev.ids(); len(got) != 1 || got[0] != "urgent" {
+		t.Errorf("after window: %v", got)
+	}
+}

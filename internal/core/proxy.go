@@ -1,0 +1,791 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"lasthop/internal/msg"
+	"lasthop/internal/rankedq"
+	"lasthop/internal/simtime"
+	"lasthop/internal/stats"
+)
+
+// Forwarder is the proxy's downstream: it pushes one notification across
+// the last hop to the device. A notification may be forwarded again for
+// the same ID when its rank was revised; devices deduplicate by ID and
+// adopt the new rank (dropping the message if it fell below their
+// threshold).
+type Forwarder interface {
+	Forward(n *msg.Notification) error
+}
+
+// Stats is the proxy's cumulative accounting.
+type Stats struct {
+	// Notifications counts arrivals from the routing substrate,
+	// including rank revisions.
+	Notifications int
+	// Forwards counts messages pushed to the device, including rank-drop
+	// signals.
+	Forwards int
+	// RankDropSignals counts forwards that only communicate a rank
+	// revision of an already-forwarded notification.
+	RankDropSignals int
+	// Expirations counts notifications that expired while queued on the
+	// proxy.
+	Expirations int
+	// Reads counts read requests from the device.
+	Reads int
+	// Rejected counts arrivals dropped at the edge: below the rank
+	// threshold or already expired.
+	Rejected int
+}
+
+// Proxy is the last-hop proxy. It is single-threaded: every entry point
+// must be invoked through the owning simtime.Scheduler (the Subscriber
+// adapter and the wire server do this; the simulator is single-threaded by
+// construction).
+type Proxy struct {
+	sched     simtime.Scheduler
+	fwd       Forwarder
+	networkUp bool
+	topics    map[string]*topicState
+	stats     Stats
+}
+
+// topicState carries Figure 7's per-topic variables.
+type topicState struct {
+	cfg TopicConfig
+
+	outgoing *rankedq.Queue // must be forwarded as soon as possible
+	prefetch *rankedq.Queue // passed expiration checks and the delay stage
+	holding  *rankedq.Queue // expires too soon to prefetch; read-only access
+
+	delayed     map[msg.ID]simtime.Timer // delay stage (§3.4)
+	expiryTimer map[msg.ID]simtime.Timer
+
+	history   *rankedq.History             // topic.history with GC
+	known     map[msg.ID]*msg.Notification // latest content for IDs in history
+	forwarded msg.IDSet                    // topic.forwarded
+
+	queueSize     int // proxy's view of the client device queue
+	prefetchLimit int
+	expThreshold  time.Duration
+	delay         time.Duration
+
+	readSizes *stats.MovingAverage   // topic.old_reads
+	readTimes *stats.IntervalAverage // topic.old_times
+	expTimes  *stats.MovingAverage   // topic.exp_times (seconds)
+	dropLags  *stats.MovingAverage   // rank-retraction lags (seconds), for AutoDelay
+
+	arrivalTimes *stats.IntervalAverage // for the Rate policy
+	rateTokens   float64
+
+	// Daily on-line delivery cap accounting (§2.2 refinement).
+	onlineDay  int
+	onlineSent int
+}
+
+// quietRemaining reports whether the topic is inside a quiet window at the
+// instant, and how long until the window ends.
+func (ts *topicState) quietRemaining(now time.Time) (bool, time.Duration) {
+	for _, w := range ts.cfg.Quiet {
+		if in, rem := w.contains(now); in {
+			return true, rem
+		}
+	}
+	return false, 0
+}
+
+// dayIndex identifies the calendar day of an instant for cap accounting.
+func dayIndex(t time.Time) int {
+	y, m, d := t.Date()
+	return y*10000 + int(m)*100 + d
+}
+
+// New returns a proxy bound to a scheduler and a forwarder. The network is
+// initially considered up.
+func New(sched simtime.Scheduler, fwd Forwarder) *Proxy {
+	return &Proxy{
+		sched:     sched,
+		fwd:       fwd,
+		networkUp: true,
+		topics:    make(map[string]*topicState),
+	}
+}
+
+// AddTopic registers a subscribed topic with its volume-limiting
+// configuration.
+func (p *Proxy) AddTopic(cfg TopicConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("add topic: %w", err)
+	}
+	if _, dup := p.topics[cfg.Name]; dup {
+		return fmt.Errorf("add topic: %q already registered", cfg.Name)
+	}
+	cfg = cfg.withDefaults()
+	ts := &topicState{
+		cfg:          cfg,
+		outgoing:     rankedq.NewQueue(),
+		prefetch:     rankedq.NewQueue(),
+		holding:      rankedq.NewQueue(),
+		delayed:      make(map[msg.ID]simtime.Timer),
+		expiryTimer:  make(map[msg.ID]simtime.Timer),
+		history:      rankedq.NewHistory(cfg.HistoryLimit),
+		known:        make(map[msg.ID]*msg.Notification),
+		forwarded:    make(msg.IDSet),
+		expThreshold: cfg.ExpirationThreshold,
+		delay:        cfg.Delay,
+		readSizes:    stats.NewMovingAverage(cfg.StatsWindow),
+		readTimes:    stats.NewIntervalAverage(cfg.StatsWindow),
+		expTimes:     stats.NewMovingAverage(cfg.StatsWindow),
+		dropLags:     stats.NewMovingAverage(cfg.StatsWindow),
+		arrivalTimes: stats.NewIntervalAverage(cfg.StatsWindow),
+	}
+	ts.prefetchLimit = ts.initialPrefetchLimit()
+	p.topics[cfg.Name] = ts
+	return nil
+}
+
+func (ts *topicState) initialPrefetchLimit() int {
+	switch {
+	case ts.cfg.PrefetchLimit > 0:
+		return ts.cfg.PrefetchLimit
+	case ts.cfg.AutoPrefetchLimit && ts.cfg.ReadSize > 0:
+		return PrefetchLimitFactor * ts.cfg.ReadSize
+	case ts.cfg.Policy == Buffer:
+		return DefaultPrefetchLimit
+	default:
+		return 0
+	}
+}
+
+// RemoveTopic unregisters a topic and cancels its timers.
+func (p *Proxy) RemoveTopic(name string) error {
+	ts, ok := p.topics[name]
+	if !ok {
+		return fmt.Errorf("remove topic: %q not registered", name)
+	}
+	for _, t := range ts.delayed {
+		t.Cancel()
+	}
+	for _, t := range ts.expiryTimer {
+		t.Cancel()
+	}
+	delete(p.topics, name)
+	return nil
+}
+
+// Topics returns the registered topic names, sorted.
+func (p *Proxy) Topics() []string {
+	out := make([]string, 0, len(p.topics))
+	for name := range p.topics {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NetworkUp reports the proxy's view of the last hop.
+func (p *Proxy) NetworkUp() bool { return p.networkUp }
+
+// SetNetwork is Figure 7's NETWORK handler: record the status and, on
+// reconnection, resume forwarding.
+func (p *Proxy) SetNetwork(up bool) {
+	p.networkUp = up
+	if up {
+		for _, ts := range p.topics {
+			p.tryForwarding(ts)
+		}
+	}
+}
+
+// Stats returns a copy of the cumulative accounting.
+func (p *Proxy) Stats() Stats { return p.stats }
+
+// Notify is Figure 7's NOTIFICATION handler: a new event (or a rank
+// revision re-arriving under a known ID) enters the proxy.
+func (p *Proxy) Notify(n *msg.Notification) {
+	ts, ok := p.topics[n.Topic]
+	if !ok {
+		return // not subscribed here
+	}
+	p.stats.Notifications++
+	now := p.sched.Now()
+
+	if _, seen := ts.known[n.ID]; seen {
+		// Re-arrival of a known ID is a rank revision.
+		p.applyRank(ts, n.ID, n.Rank)
+		return
+	}
+	if n.Expired(now) {
+		p.stats.Rejected++
+		return
+	}
+
+	ts.arrivalTimes.Observe(now)
+	if ts.cfg.Policy == Rate {
+		ts.rateTokens += ts.rateRatio()
+		if burst := float64(max(1, ts.cfg.ReadSize)); ts.rateTokens > burst {
+			ts.rateTokens = burst
+		}
+	}
+
+	// Record every arrival in the history so rank revisions can refer to
+	// it, even when the rank is currently below the threshold.
+	p.remember(ts, n)
+
+	if n.Rank < ts.cfg.RankThreshold {
+		p.stats.Rejected++
+		p.recomputeDelay(ts)
+		return
+	}
+
+	if !n.NeverExpires() {
+		ts.expTimes.Add(n.RemainingLife(now).Seconds())
+		p.scheduleExpiry(ts, n)
+	}
+	p.enqueue(ts, n, now)
+	p.recomputeDelay(ts)
+	p.tryForwarding(ts)
+}
+
+// enqueue places an acceptable, unexpired notification into the right
+// stage: outgoing for on-line delivery (on-line topics, the Online policy,
+// and on-demand interrupts), holding when it expires before the expiration
+// threshold, the delay stage when the topic delays, and the prefetch queue
+// otherwise. The §2.2 refinements apply on the on-line path: quiet windows
+// defer delivery to the window's end, and a daily cap overflows onto the
+// on-demand staging path.
+func (p *Proxy) enqueue(ts *topicState, n *msg.Notification, now time.Time) {
+	online := ts.cfg.Mode == msg.OnLine || ts.cfg.Policy == Online
+	if !online && ts.cfg.InterruptRank > 0 && n.Rank >= ts.cfg.InterruptRank {
+		// An on-demand topic interrupts for urgent content ("a tornado
+		// warning on a weather topic").
+		online = true
+	}
+	if online && ts.cfg.DailyOnlineCap > 0 {
+		if day := dayIndex(now); day != ts.onlineDay {
+			ts.onlineDay, ts.onlineSent = day, 0
+		}
+		if ts.onlineSent >= ts.cfg.DailyOnlineCap {
+			online = false // the day's budget is spent
+		} else {
+			ts.onlineSent++
+		}
+	}
+	if online {
+		if quiet, rem := ts.quietRemaining(now); quiet {
+			id := n.ID
+			ts.delayed[id] = p.sched.Schedule(rem, func() { p.quietTimeout(ts, id) })
+			return
+		}
+		p.mustPush(ts.outgoing, n)
+		return
+	}
+	if thr := ts.effectiveExpThreshold(); thr > 0 && !n.NeverExpires() && n.RemainingLife(now) < thr {
+		p.mustPush(ts.holding, n)
+		return
+	}
+	if d := ts.effectiveDelay(); d > 0 {
+		id := n.ID
+		ts.delayed[id] = p.sched.Schedule(d, func() { p.delayTimeout(ts, id) })
+		return
+	}
+	p.mustPush(ts.prefetch, n)
+}
+
+// quietTimeout releases an event held through a quiet window. If another
+// window has already begun, the event is re-deferred.
+func (p *Proxy) quietTimeout(ts *topicState, id msg.ID) {
+	if _, ok := ts.delayed[id]; !ok {
+		return
+	}
+	delete(ts.delayed, id)
+	n, ok := ts.known[id]
+	if !ok || n.Expired(p.sched.Now()) || n.Rank < ts.cfg.RankThreshold {
+		return
+	}
+	if quiet, rem := ts.quietRemaining(p.sched.Now()); quiet {
+		ts.delayed[id] = p.sched.Schedule(rem, func() { p.quietTimeout(ts, id) })
+		return
+	}
+	p.mustPush(ts.outgoing, n)
+	p.tryForwarding(ts)
+}
+
+// mustPush inserts into a queue; duplicate pushes indicate a proxy bug and
+// are surfaced loudly in tests via the queue's error (ignored at runtime —
+// the event is already queued, which is a safe state).
+func (p *Proxy) mustPush(q *rankedq.Queue, n *msg.Notification) {
+	_ = q.Push(n)
+}
+
+// remember records an event in the topic history, evicting (and fully
+// forgetting) the oldest events beyond the history bound.
+func (p *Proxy) remember(ts *topicState, n *msg.Notification) {
+	ts.known[n.ID] = n
+	evicted, _ := ts.history.Add(n.ID)
+	for _, id := range evicted {
+		p.forget(ts, id)
+	}
+}
+
+// forget removes every trace of an event: queues, timers, bookkeeping.
+func (p *Proxy) forget(ts *topicState, id msg.ID) {
+	ts.outgoing.Remove(id)
+	ts.prefetch.Remove(id)
+	ts.holding.Remove(id)
+	if t, ok := ts.delayed[id]; ok {
+		t.Cancel()
+		delete(ts.delayed, id)
+	}
+	if t, ok := ts.expiryTimer[id]; ok {
+		t.Cancel()
+		delete(ts.expiryTimer, id)
+	}
+	delete(ts.known, id)
+	ts.forwarded.Remove(id)
+}
+
+// scheduleExpiry arms Figure 7's expiration_timeout for the event.
+func (p *Proxy) scheduleExpiry(ts *topicState, n *msg.Notification) {
+	id := n.ID
+	d := n.Expires.Sub(p.sched.Now())
+	ts.expiryTimer[id] = p.sched.Schedule(d, func() { p.expirationTimeout(ts, id) })
+}
+
+// expirationTimeout removes an expired event from all queues (Figure 7).
+func (p *Proxy) expirationTimeout(ts *topicState, id msg.ID) {
+	delete(ts.expiryTimer, id)
+	removed := false
+	if _, ok := ts.outgoing.Remove(id); ok {
+		removed = true
+	}
+	if _, ok := ts.prefetch.Remove(id); ok {
+		removed = true
+	}
+	if _, ok := ts.holding.Remove(id); ok {
+		removed = true
+	}
+	if t, ok := ts.delayed[id]; ok {
+		t.Cancel()
+		delete(ts.delayed, id)
+		removed = true
+	}
+	if removed {
+		p.stats.Expirations++
+	}
+}
+
+// delayTimeout moves a delayed event into the prefetch queue (Figure 7).
+func (p *Proxy) delayTimeout(ts *topicState, id msg.ID) {
+	if _, ok := ts.delayed[id]; !ok {
+		return
+	}
+	delete(ts.delayed, id)
+	n, ok := ts.known[id]
+	if !ok || n.Expired(p.sched.Now()) || n.Rank < ts.cfg.RankThreshold {
+		return
+	}
+	p.mustPush(ts.prefetch, n)
+	p.tryForwarding(ts)
+}
+
+// ApplyRankUpdate revises the rank of a previously published notification
+// (§3.4).
+func (p *Proxy) ApplyRankUpdate(u msg.RankUpdate) {
+	ts, ok := p.topics[u.Topic]
+	if !ok {
+		return
+	}
+	p.stats.Notifications++
+	p.applyRank(ts, u.ID, u.NewRank)
+}
+
+// applyRank implements Figure 7's rank-revision branch.
+func (p *Proxy) applyRank(ts *topicState, id msg.ID, rank float64) {
+	n, ok := ts.known[id]
+	if !ok {
+		return // never heard of it (or already garbage-collected)
+	}
+	oldRank := n.Rank
+	n.Rank = rank
+
+	if rank < ts.cfg.RankThreshold {
+		// Rank dropped below the threshold: purge it from the staging
+		// queues.
+		ts.holding.Remove(id)
+		ts.prefetch.Remove(id)
+		if t, ok := ts.delayed[id]; ok {
+			t.Cancel()
+			delete(ts.delayed, id)
+		}
+		if ts.cfg.AutoDelay && oldRank >= ts.cfg.RankThreshold {
+			ts.dropLags.Add(p.sched.Now().Sub(n.Published).Seconds())
+			p.recomputeDelay(ts)
+		}
+		if ts.forwarded.Contains(id) && !n.Expired(p.sched.Now()) {
+			// Tell the client of the rank drop so it can discard its
+			// copy. (An expired message needs no signal: the device
+			// purges expired content on its own, and its expiry timer
+			// here is already gone.)
+			if !ts.outgoing.UpdateRank(id, rank) {
+				p.mustPush(ts.outgoing, n)
+			}
+		} else {
+			// Don't bother the client.
+			ts.outgoing.Remove(id)
+		}
+		p.tryForwarding(ts)
+		return
+	}
+
+	// Rank is (still or again) acceptable: revise in place wherever the
+	// event lives.
+	switch {
+	case ts.outgoing.UpdateRank(id, rank):
+	case ts.prefetch.UpdateRank(id, rank):
+	case ts.holding.UpdateRank(id, rank):
+	default:
+		if _, inDelay := ts.delayed[id]; inDelay {
+			break // rank recorded in known; used when the delay elapses
+		}
+		if n.Expired(p.sched.Now()) {
+			break
+		}
+		if ts.forwarded.Contains(id) {
+			// The client holds a stale rank; push the revision.
+			p.mustPush(ts.outgoing, n)
+			break
+		}
+		if oldRank < ts.cfg.RankThreshold {
+			// Previously unacceptable, now boosted above the
+			// threshold: (re-)enter the normal staging path.
+			if !n.NeverExpires() {
+				if _, armed := ts.expiryTimer[id]; !armed {
+					ts.expTimes.Add(n.RemainingLife(p.sched.Now()).Seconds())
+					p.scheduleExpiry(ts, n)
+				}
+			}
+			p.enqueue(ts, n, p.sched.Now())
+		}
+	}
+	p.tryForwarding(ts)
+}
+
+// Read is Figure 7's READ handler: the device relays a user read with the
+// number of wanted items, its current queue size, and the IDs of its
+// highest-ranked local events. A read is not a request for more data but a
+// request for better data if it exists; the proxy pushes only the
+// difference.
+func (p *Proxy) Read(req msg.ReadRequest) error {
+	if err := req.Validate(); err != nil {
+		return fmt.Errorf("read: %w", err)
+	}
+	ts, ok := p.topics[req.Topic]
+	if !ok {
+		return fmt.Errorf("read: topic %q not registered", req.Topic)
+	}
+	p.stats.Reads++
+	now := p.sched.Now()
+
+	queued := ts.outgoing.Len() + ts.prefetch.Len() + ts.holding.Len()
+	n := req.N
+	unlimited := n == 0
+	if unlimited {
+		n = queued + len(req.ClientEvents)
+	}
+
+	// Figure 7: remember N and the read instant; retune the prefetch
+	// limit and the expiration threshold. Peek requests are cache
+	// refills, not user reads, and leave the statistics alone.
+	if !req.Peek {
+		ts.readTimes.Observe(now)
+		if ts.cfg.AutoExpirationThreshold {
+			ts.expThreshold = ts.readTimes.MeanOr(ts.cfg.ExpirationThreshold)
+		}
+	}
+
+	// best ← get_highest_ranked(N, outgoing ∪ prefetch ∪ holding)
+	best := ts.bestAcross(n)
+
+	// difference ← get_highest_ranked(N, best ∪ client_events) \ client_events
+	clientSet := msg.NewIDSet(req.ClientEvents...)
+	type candidate struct {
+		n        *msg.Notification
+		onClient bool
+	}
+	combined := make([]candidate, 0, len(best)+len(req.ClientEvents))
+	for _, b := range best {
+		if !clientSet.Contains(b.ID) {
+			combined = append(combined, candidate{n: b})
+		}
+	}
+	for _, id := range req.ClientEvents {
+		if kn, ok := ts.known[id]; ok {
+			combined = append(combined, candidate{n: kn, onClient: true})
+		} else {
+			// The proxy no longer remembers this event; it cannot be
+			// displaced by anything it would send, so it occupies a
+			// slot unconditionally.
+			n--
+		}
+	}
+	sort.Slice(combined, func(i, j int) bool { return combined[i].n.Before(combined[j].n) })
+	if n < 0 {
+		n = 0
+	}
+	if n > len(combined) {
+		n = len(combined)
+	}
+	// Under pure on-demand, only explicitly requested messages are ever
+	// transferred (§3.2): a read arriving during an outage transfers
+	// nothing, rather than deferring the selection to reconnection. The
+	// prefetching policies keep Figure 7's deferral through the outgoing
+	// queue.
+	promote := ts.cfg.Policy != OnDemand || p.networkUp
+	sent := 0
+	if promote {
+		for _, c := range combined[:n] {
+			if c.onClient {
+				continue
+			}
+			// Promote from whichever staging queue holds it; events
+			// already in outgoing stay there.
+			if _, ok := ts.prefetch.Remove(c.n.ID); !ok {
+				ts.holding.Remove(c.n.ID)
+			}
+			if !ts.outgoing.Contains(c.n.ID) {
+				p.mustPush(ts.outgoing, c.n)
+			}
+			sent++
+		}
+	}
+	if !req.Peek {
+		if unlimited {
+			ts.readSizes.Add(float64(sent + len(req.ClientEvents)))
+		} else {
+			ts.readSizes.Add(float64(req.N))
+		}
+	}
+
+	// Update the proxy's view of the client queue: the device reported
+	// its size including the N it is requesting (Figure 7); a user read
+	// is about to consume up to N of what is available, and whatever this
+	// request promotes into the outgoing queue is counted back in by
+	// do_forward on transfer. A peek consumes nothing.
+	switch {
+	case req.Peek:
+		ts.queueSize = req.QueueSize
+	case unlimited:
+		ts.queueSize = 0
+	default:
+		consumed := req.N
+		if avail := req.QueueSize + sent; consumed > avail {
+			consumed = avail
+		}
+		ts.queueSize = req.QueueSize - consumed
+		if ts.queueSize < 0 {
+			ts.queueSize = 0
+		}
+	}
+	if ts.cfg.AutoPrefetchLimit && !req.Peek {
+		ts.retunePrefetchLimit()
+	}
+	p.tryForwarding(ts)
+	return nil
+}
+
+// bestAcross returns the up-to-n best notifications across the three
+// queues without removing them.
+func (ts *topicState) bestAcross(n int) []*msg.Notification {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]*msg.Notification, 0, 3*n)
+	out = append(out, ts.outgoing.BestN(n)...)
+	out = append(out, ts.prefetch.BestN(n)...)
+	out = append(out, ts.holding.BestN(n)...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// tryForwarding is Figure 7's try_forwarding: drain the outgoing queue,
+// then prefetch according to the policy while there is room.
+func (p *Proxy) tryForwarding(ts *topicState) {
+	if !p.networkUp {
+		return
+	}
+	for {
+		ev, ok := ts.outgoing.PopBest()
+		if !ok {
+			break
+		}
+		if !p.doForward(ts, ev) {
+			return
+		}
+	}
+	switch ts.cfg.Policy {
+	case Buffer:
+		for ts.queueSize < ts.prefetchLimit {
+			ev, ok := ts.prefetch.PopBest()
+			if !ok {
+				break
+			}
+			if !p.doForward(ts, ev) {
+				return
+			}
+		}
+	case Rate:
+		for ts.rateTokens >= 1 {
+			ev, ok := ts.prefetch.PopBest()
+			if !ok {
+				break
+			}
+			if !p.doForward(ts, ev) {
+				return
+			}
+			ts.rateTokens--
+		}
+	case Online, OnDemand:
+		// Online routes everything through outgoing; OnDemand never
+		// prefetches.
+	}
+}
+
+// doForward pushes one event to the device, updating the proxy's view of
+// the client queue. On failure the event returns to the outgoing queue and
+// the network is considered down until the next status change.
+func (p *Proxy) doForward(ts *topicState, ev *msg.Notification) bool {
+	if err := p.fwd.Forward(ev); err != nil {
+		if !ts.outgoing.Contains(ev.ID) {
+			p.mustPush(ts.outgoing, ev)
+		}
+		p.networkUp = false
+		return false
+	}
+	p.stats.Forwards++
+	if ts.forwarded.Contains(ev.ID) {
+		// A re-forward only revises the client's copy; it does not grow
+		// the client queue.
+		p.stats.RankDropSignals++
+		return true
+	}
+	ts.forwarded.Add(ev.ID)
+	ts.queueSize++
+	return true
+}
+
+// rateRatio estimates reads-per-arrival for the Rate policy: the ratio of
+// the user's consumption rate (ReadSize per read interval) to the event
+// arrival rate.
+func (ts *topicState) rateRatio() float64 {
+	interRead, ok := ts.readTimes.Mean()
+	if !ok || interRead <= 0 {
+		return 1 // no estimate yet: forward freely
+	}
+	interArrival, ok := ts.arrivalTimes.Mean()
+	if !ok || interArrival <= 0 {
+		return 1
+	}
+	readSize := ts.cfg.ReadSize
+	if readSize == 0 {
+		return 1
+	}
+	ratio := (float64(readSize) / interRead.Seconds()) * interArrival.Seconds()
+	if ratio > 1 {
+		ratio = 1
+	}
+	return ratio
+}
+
+// retunePrefetchLimit sets the prefetch limit to PrefetchLimitFactor times
+// the user's average daily read volume (§3.2: the sweet spot's "low end
+// corresponds to the average number of messages a user reads per day", and
+// "it is safe to set the prefetch limit to twice that amount"). The daily
+// volume is the moving average of read sizes scaled by the estimated reads
+// per day; before an interval estimate exists, one read per day is
+// assumed.
+func (ts *topicState) retunePrefetchLimit() {
+	mean, ok := ts.readSizes.Mean()
+	if !ok {
+		return
+	}
+	perDay := 1.0
+	if interRead, ok := ts.readTimes.Mean(); ok && interRead > 0 {
+		perDay = float64(24*time.Hour) / float64(interRead)
+	}
+	limit := int(mean*perDay*PrefetchLimitFactor + 0.5)
+	if limit < 1 {
+		limit = 1
+	}
+	ts.prefetchLimit = limit
+}
+
+func (ts *topicState) effectiveExpThreshold() time.Duration {
+	return ts.expThreshold
+}
+
+func (ts *topicState) effectiveDelay() time.Duration {
+	return ts.delay
+}
+
+// recomputeDelay is Figure 7's delay_function(topic.history): with
+// AutoDelay the delay tracks 1.5 times the average observed lag between
+// publication and rank retraction (zero until a retraction is seen).
+func (p *Proxy) recomputeDelay(ts *topicState) {
+	if !ts.cfg.AutoDelay {
+		return
+	}
+	mean, ok := ts.dropLags.Mean()
+	if !ok {
+		ts.delay = ts.cfg.Delay
+		return
+	}
+	ts.delay = time.Duration(mean * 1.5 * float64(time.Second))
+}
+
+// TopicSnapshot is a read-only view of a topic's state for inspection,
+// tests, and the CLI tools.
+type TopicSnapshot struct {
+	Name                string
+	Policy              PolicyKind
+	Mode                msg.DeliveryMode
+	Outgoing            int
+	Prefetch            int
+	Holding             int
+	Delayed             int
+	Forwarded           int
+	History             int
+	QueueSizeView       int
+	PrefetchLimit       int
+	ExpirationThreshold time.Duration
+	Delay               time.Duration
+}
+
+// Snapshot returns the current state of a topic.
+func (p *Proxy) Snapshot(topic string) (TopicSnapshot, bool) {
+	ts, ok := p.topics[topic]
+	if !ok {
+		return TopicSnapshot{}, false
+	}
+	return TopicSnapshot{
+		Name:                ts.cfg.Name,
+		Policy:              ts.cfg.Policy,
+		Mode:                ts.cfg.Mode,
+		Outgoing:            ts.outgoing.Len(),
+		Prefetch:            ts.prefetch.Len(),
+		Holding:             ts.holding.Len(),
+		Delayed:             len(ts.delayed),
+		Forwarded:           ts.forwarded.Len(),
+		History:             ts.history.Len(),
+		QueueSizeView:       ts.queueSize,
+		PrefetchLimit:       ts.prefetchLimit,
+		ExpirationThreshold: ts.expThreshold,
+		Delay:               ts.delay,
+	}, true
+}

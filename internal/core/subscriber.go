@@ -1,0 +1,30 @@
+package core
+
+import (
+	"lasthop/internal/msg"
+	"lasthop/internal/pubsub"
+)
+
+// proxySubscriber adapts the proxy to the pubsub.Subscriber interface,
+// funneling broker deliveries through the proxy's scheduler so they are
+// serialized with timer callbacks and device requests.
+type proxySubscriber struct {
+	p *Proxy
+}
+
+var _ pubsub.Subscriber = proxySubscriber{}
+
+// Deliver routes a broker delivery into the NOTIFICATION handler.
+func (s proxySubscriber) Deliver(n *msg.Notification) {
+	s.p.sched.Run(func() { s.p.Notify(n) })
+}
+
+// DeliverRankUpdate routes a rank revision into the rank-change handler.
+func (s proxySubscriber) DeliverRankUpdate(u msg.RankUpdate) {
+	s.p.sched.Run(func() { s.p.ApplyRankUpdate(u) })
+}
+
+// Subscriber returns the pubsub-facing adapter for this proxy. Register it
+// with a broker via Subscribe to start collecting notifications on the
+// device's behalf.
+func (p *Proxy) Subscriber() pubsub.Subscriber { return proxySubscriber{p: p} }

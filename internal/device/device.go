@@ -1,0 +1,417 @@
+// Package device models the mobile device at the end of the last hop
+// (paper §2.3): a bounded notification store with low-rank eviction under
+// storage pressure, a battery budget that every transfer draws from, and
+// the client side of the READ protocol (§3.5) — a read offers the proxy the
+// device's best local events so only better data is transferred.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lasthop/internal/link"
+	"lasthop/internal/msg"
+	"lasthop/internal/rankedq"
+	"lasthop/internal/simtime"
+)
+
+// ErrBatteryDead is returned once the battery budget is exhausted; a dead
+// device can neither receive nor read.
+var ErrBatteryDead = errors.New("device battery exhausted")
+
+// ReadBackend relays a read request to the proxy. In simulation it is the
+// proxy itself; in deployment it is the wire client.
+type ReadBackend interface {
+	Read(req msg.ReadRequest) error
+}
+
+// Config parameterizes a device.
+type Config struct {
+	// Capacity bounds the number of stored notifications; zero means
+	// unbounded. When full, the lowest-ranked unread notification is
+	// evicted — such evictions mean the message was forwarded in vain
+	// (§2.3).
+	Capacity int
+	// BatteryCapacity is the energy budget in abstract units; zero means
+	// unbounded. Every received message and every upstream request draws
+	// from it.
+	BatteryCapacity float64
+	// ReceiveCost is the energy drawn per received message; zero
+	// defaults to 1.
+	ReceiveCost float64
+	// RequestCost is the energy drawn per upstream read request; zero
+	// defaults to 0.5.
+	RequestCost float64
+	// RankThreshold mirrors the subscription's qualitative limit: the
+	// user does not read notifications ranked below it.
+	RankThreshold float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReceiveCost == 0 {
+		c.ReceiveCost = 1
+	}
+	if c.RequestCost == 0 {
+		c.RequestCost = 0.5
+	}
+	return c
+}
+
+// Stats is the device's cumulative accounting.
+type Stats struct {
+	// Received counts distinct notifications accepted from the link.
+	Received int
+	// Updates counts re-forwards that only revised a known
+	// notification's rank.
+	Updates int
+	// RankDropsApplied counts notifications discarded after a rank-drop
+	// signal.
+	RankDropsApplied int
+	// ReadCount counts notifications the user consumed.
+	ReadCount int
+	// EvictedStorage counts unread notifications dropped under storage
+	// pressure.
+	EvictedStorage int
+	// ExpiredUnread counts notifications that expired on the device
+	// before the user saw them.
+	ExpiredUnread int
+	// RequestsSent counts upstream read requests.
+	RequestsSent int
+	// BatteryUsed is the consumed energy.
+	BatteryUsed float64
+	// PeerImports counts notifications borrowed from sibling devices
+	// over the ad-hoc network.
+	PeerImports int
+	// PeerReleases counts local unread copies dropped because a sibling
+	// device's user already read them.
+	PeerReleases int
+}
+
+// Device is the mobile client. Like the proxy it is single-threaded:
+// callers serialize through the owning scheduler.
+type Device struct {
+	sched   simtime.Scheduler
+	lnk     *link.Link
+	backend ReadBackend
+	cfg     Config
+
+	queues  map[string]*rankedq.Queue
+	expiry  map[string]*rankedq.ExpiryIndex
+	readIDs map[string]msg.IDSet // per-topic set of consumed notifications
+
+	stats Stats
+}
+
+// New returns a device reading through the given link and backend.
+func New(sched simtime.Scheduler, lnk *link.Link, backend ReadBackend, cfg Config) *Device {
+	return &Device{
+		sched:   sched,
+		lnk:     lnk,
+		backend: backend,
+		cfg:     cfg.withDefaults(),
+		queues:  make(map[string]*rankedq.Queue),
+		expiry:  make(map[string]*rankedq.ExpiryIndex),
+		readIDs: make(map[string]msg.IDSet),
+	}
+}
+
+// Stats returns a copy of the cumulative accounting.
+func (d *Device) Stats() Stats { return d.stats }
+
+// BatteryRemaining returns the remaining energy budget; ok is false when
+// the budget is unbounded.
+func (d *Device) BatteryRemaining() (float64, bool) {
+	if d.cfg.BatteryCapacity == 0 {
+		return 0, false
+	}
+	rem := d.cfg.BatteryCapacity - d.stats.BatteryUsed
+	if rem < 0 {
+		rem = 0
+	}
+	return rem, true
+}
+
+func (d *Device) batteryDead() bool {
+	return d.cfg.BatteryCapacity > 0 && d.stats.BatteryUsed >= d.cfg.BatteryCapacity
+}
+
+func (d *Device) drain(cost float64) error {
+	if d.batteryDead() {
+		return ErrBatteryDead
+	}
+	d.stats.BatteryUsed += cost
+	return nil
+}
+
+func (d *Device) topicQueue(topic string) (*rankedq.Queue, *rankedq.ExpiryIndex, msg.IDSet) {
+	q, ok := d.queues[topic]
+	if !ok {
+		q = rankedq.NewQueue()
+		d.queues[topic] = q
+		d.expiry[topic] = rankedq.NewExpiryIndex()
+		d.readIDs[topic] = make(msg.IDSet)
+	}
+	return q, d.expiry[topic], d.readIDs[topic]
+}
+
+// QueueLen returns the number of stored notifications on a topic.
+func (d *Device) QueueLen(topic string) int {
+	q, ok := d.queues[topic]
+	if !ok {
+		return 0
+	}
+	return q.Len()
+}
+
+// ReadSet returns a copy of the IDs the user has consumed on a topic.
+func (d *Device) ReadSet(topic string) msg.IDSet {
+	ids, ok := d.readIDs[topic]
+	if !ok {
+		return make(msg.IDSet)
+	}
+	return ids.Clone()
+}
+
+// Receive implements core.Forwarder: the proxy pushes one notification (or
+// a rank revision under a known ID) across the link.
+func (d *Device) Receive(n *msg.Notification) error {
+	if err := d.drain(d.cfg.ReceiveCost); err != nil {
+		return err
+	}
+	if err := d.lnk.Transfer(link.ProxyToDevice, transferSize(n)); err != nil {
+		return fmt.Errorf("receive: %w", err)
+	}
+	q, exp, read := d.topicQueue(n.Topic)
+	if read.Contains(n.ID) {
+		// Already consumed; a revision of it is meaningless to the user.
+		d.stats.Updates++
+		return nil
+	}
+	if q.Contains(n.ID) {
+		d.stats.Updates++
+		if n.Rank < d.cfg.RankThreshold {
+			// Rank-drop signal: discard the local copy.
+			q.Remove(n.ID)
+			exp.Remove(n.ID)
+			d.stats.RankDropsApplied++
+			return nil
+		}
+		q.UpdateRank(n.ID, n.Rank)
+		return nil
+	}
+	if n.Rank < d.cfg.RankThreshold || n.Expired(d.sched.Now()) {
+		// Unacceptable content still costs the transfer; it simply never
+		// becomes readable (pure waste).
+		d.stats.Received++
+		d.stats.ExpiredUnread++
+		return nil
+	}
+	d.stats.Received++
+	if err := q.Push(n); err != nil {
+		return fmt.Errorf("receive: %w", err)
+	}
+	if err := exp.Add(n); err != nil {
+		return fmt.Errorf("receive: %w", err)
+	}
+	if d.cfg.Capacity > 0 {
+		for q.Len() > d.cfg.Capacity {
+			if victim, ok := q.PopWorst(); ok {
+				exp.Remove(victim.ID)
+				d.stats.EvictedStorage++
+			}
+		}
+	}
+	return nil
+}
+
+// purgeExpired lazily drops expired unread notifications on a topic.
+func (d *Device) purgeExpired(topic string) {
+	q, ok := d.queues[topic]
+	if !ok {
+		return
+	}
+	exp := d.expiry[topic]
+	for _, id := range exp.PopExpired(d.sched.Now()) {
+		if _, removed := q.Remove(id); removed {
+			d.stats.ExpiredUnread++
+		}
+	}
+}
+
+// Read performs a user read on a topic: at most n highest-ranked unexpired
+// notifications are returned and consumed (n == 0 means everything, the
+// paper's Max = ∞). When the link is up, the device first offers the proxy
+// its best local IDs so the proxy transfers only better data (§3.5); when
+// the link is down, the read is served purely from the local queue.
+func (d *Device) Read(topic string, n int) ([]*msg.Notification, error) {
+	if d.batteryDead() {
+		return nil, ErrBatteryDead
+	}
+	d.purgeExpired(topic)
+	q, exp, read := d.topicQueue(topic)
+
+	// The read is always relayed to the proxy's READ handler — Figure 7's
+	// READ does not check network status; only try_forwarding does. When
+	// the link is down the request rides along at reconnection (modeled
+	// as free), the proxy updates its view of the client queue, and any
+	// "better data" it selects waits in the outgoing queue until the
+	// link returns. When the link is up the request costs one upstream
+	// transfer and the response arrives before the read completes.
+	//
+	// An unlimited read (n == 0, the paper's Max = ∞) asks the proxy for
+	// everything by sending N = 0 and offering the whole local queue.
+	haveN := n
+	if haveN == 0 || haveN > q.Len() {
+		haveN = q.Len()
+	}
+	have := q.BestN(haveN)
+	clientEvents := make([]msg.ID, 0, len(have))
+	for _, h := range have {
+		clientEvents = append(clientEvents, h.ID)
+	}
+	req := msg.ReadRequest{
+		Topic:        topic,
+		N:            n,
+		QueueSize:    q.Len(),
+		ClientEvents: clientEvents,
+	}
+	relay := true
+	if d.lnk.Up() {
+		if err := d.drain(d.cfg.RequestCost); err != nil {
+			relay = false
+		} else if err := d.lnk.Transfer(link.DeviceToProxy, requestSize(&req)); err != nil {
+			relay = false
+		} else {
+			d.stats.RequestsSent++
+		}
+	}
+	if relay {
+		// The proxy forwards the difference synchronously through
+		// Receive before Read returns (when the link allows).
+		if err := d.backend.Read(req); err != nil {
+			return nil, fmt.Errorf("read relay: %w", err)
+		}
+	}
+
+	var batch []*msg.Notification
+	if n == 0 {
+		batch = q.TakeBestN(q.Len())
+	} else {
+		batch = q.TakeBestN(n)
+	}
+	for _, b := range batch {
+		exp.Remove(b.ID)
+		read.Add(b.ID)
+	}
+	d.stats.ReadCount += len(batch)
+	sort.Slice(batch, func(i, j int) bool { return batch[i].Before(batch[j]) })
+	return batch, nil
+}
+
+// Peek returns copies of the up-to-n highest-ranked unexpired unread
+// notifications without consuming them. Peer devices use it to offer their
+// cache over an ad-hoc network (§4 future work).
+func (d *Device) Peek(topic string, n int) []*msg.Notification {
+	d.purgeExpired(topic)
+	q, ok := d.queues[topic]
+	if !ok {
+		return nil
+	}
+	if n <= 0 || n > q.Len() {
+		n = q.Len()
+	}
+	best := q.BestN(n)
+	out := make([]*msg.Notification, 0, len(best))
+	for _, b := range best {
+		out = append(out, b.Clone())
+	}
+	return out
+}
+
+// ImportPeer stores a notification borrowed from a peer device's cache
+// over the ad-hoc network. It bypasses the last hop (no link transfer, no
+// battery charge for the cellular radio) and reports whether the
+// notification was new here.
+func (d *Device) ImportPeer(n *msg.Notification) bool {
+	q, exp, read := d.topicQueue(n.Topic)
+	if read.Contains(n.ID) || q.Contains(n.ID) {
+		return false
+	}
+	if n.Expired(d.sched.Now()) || n.Rank < d.cfg.RankThreshold {
+		return false
+	}
+	if err := q.Push(n); err != nil {
+		return false
+	}
+	_ = exp.Add(n)
+	d.stats.PeerImports++
+	return true
+}
+
+// MarkRead records that the user consumed the given notifications on a
+// sibling device: local unread copies are dropped (they would otherwise
+// become waste) and the IDs join the consumed set so re-forwards are
+// ignored. It returns how many local copies were released.
+func (d *Device) MarkRead(topic string, ids []msg.ID) int {
+	q, exp, read := d.topicQueue(topic)
+	released := 0
+	for _, id := range ids {
+		read.Add(id)
+		if _, ok := q.Remove(id); ok {
+			exp.Remove(id)
+			released++
+		}
+	}
+	d.stats.PeerReleases += released
+	return released
+}
+
+// Refill asks the proxy to top the local cache up by `slots` messages
+// without counting as a user read (a Peek request). Sibling-device
+// cooperation calls it after gossip releases local copies, so the proxy's
+// view of the queue stays accurate and prefetching does not stall. It is a
+// no-op while the link is down.
+func (d *Device) Refill(topic string, slots int) error {
+	if slots <= 0 || !d.lnk.Up() {
+		return nil
+	}
+	if d.batteryDead() {
+		return ErrBatteryDead
+	}
+	d.purgeExpired(topic)
+	q, _, _ := d.topicQueue(topic)
+	have := q.BestN(q.Len())
+	clientEvents := make([]msg.ID, 0, len(have))
+	for _, h := range have {
+		clientEvents = append(clientEvents, h.ID)
+	}
+	req := msg.ReadRequest{
+		Topic:        topic,
+		N:            q.Len() + slots,
+		QueueSize:    q.Len(),
+		ClientEvents: clientEvents,
+		Peek:         true,
+	}
+	if err := d.drain(d.cfg.RequestCost); err != nil {
+		return err
+	}
+	if err := d.lnk.Transfer(link.DeviceToProxy, requestSize(&req)); err != nil {
+		return fmt.Errorf("refill: %w", err)
+	}
+	d.stats.RequestsSent++
+	if err := d.backend.Read(req); err != nil {
+		return fmt.Errorf("refill relay: %w", err)
+	}
+	return nil
+}
+
+// transferSize approximates a notification's size on the wire.
+func transferSize(n *msg.Notification) int {
+	return 64 + len(n.Payload)
+}
+
+// requestSize approximates a read request's size on the wire.
+func requestSize(r *msg.ReadRequest) int {
+	return 32 + 8*len(r.ClientEvents)
+}

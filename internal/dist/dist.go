@@ -1,0 +1,379 @@
+// Package dist provides the seeded random processes that drive the
+// discrete-event simulator of the last hop (§3 of the paper): Poisson
+// notification arrivals, expiration-time samplers (exponential, uniform,
+// normal), the user read schedule spread over a 16–17 hour awake window,
+// and the network outage alternating-renewal process tuned to a target
+// cumulative downtime.
+//
+// Everything is deterministic given a seed, which is what makes paired
+// baseline-vs-policy simulation runs possible.
+package dist
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+	"slices"
+	"time"
+)
+
+// Day is the simulator's day length.
+const Day = 24 * time.Hour
+
+// RNG is a seeded random source with the distribution samplers the
+// simulator needs. Independent streams for different purposes are derived
+// with Split, so adding draws to one process never perturbs another.
+type RNG struct {
+	r *rand.Rand
+}
+
+// New returns an RNG seeded with the given seed.
+func New(seed uint64) *RNG {
+	return &RNG{r: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Split derives an independent, deterministic RNG for the given label.
+func (g *RNG) Split(label string) *RNG {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	s1 := g.r.Uint64()
+	s2 := h.Sum64()
+	return &RNG{r: rand.New(rand.NewPCG(s1^s2, s2^0xd1b54a32d192ed03))}
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// IntN returns a uniform sample in [0, n).
+func (g *RNG) IntN(n int) int { return g.r.IntN(n) }
+
+// Uniform returns a uniform sample in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 { return lo + (hi-lo)*g.r.Float64() }
+
+// Exp returns an exponential sample with the given mean.
+func (g *RNG) Exp(mean float64) float64 { return g.r.ExpFloat64() * mean }
+
+// Normal returns a normal sample with the given mean and stddev.
+func (g *RNG) Normal(mean, sd float64) float64 { return g.r.NormFloat64()*sd + mean }
+
+// NormalTrunc returns a normal sample truncated below at lo (by resampling,
+// falling back to lo after a bounded number of attempts so pathological
+// parameters cannot loop forever).
+func (g *RNG) NormalTrunc(mean, sd, lo float64) float64 {
+	for i := 0; i < 64; i++ {
+		if v := g.Normal(mean, sd); v >= lo {
+			return v
+		}
+	}
+	return lo
+}
+
+// Poisson returns a Poisson-distributed count with the given mean, using
+// Knuth's method for small means and a normal approximation for large ones.
+func (g *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		v := g.Normal(mean, math.Sqrt(mean))
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	limit := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= g.r.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}
+
+// Hyperexp returns a sample from a balanced two-phase hyperexponential
+// distribution with the given mean and coefficient of variation cv >= 1.
+// With cv == 1 it degenerates to the exponential distribution. The paper
+// calls for outage durations drawn from a high-variance distribution; this
+// is the standard H2 fit.
+func (g *RNG) Hyperexp(mean, cv float64) float64 {
+	if cv <= 1 {
+		return g.Exp(mean)
+	}
+	cv2 := cv * cv
+	p := 0.5 * (1 - math.Sqrt((cv2-1)/(cv2+1)))
+	if g.r.Float64() < p {
+		return g.Exp(mean / (2 * p))
+	}
+	return g.Exp(mean / (2 * (1 - p)))
+}
+
+// PoissonProcess returns the sorted offsets of a homogeneous Poisson
+// process with the given daily rate over the horizon.
+func PoissonProcess(g *RNG, perDay float64, horizon time.Duration) []time.Duration {
+	if perDay <= 0 || horizon <= 0 {
+		return nil
+	}
+	meanGap := float64(Day) / perDay
+	var out []time.Duration
+	t := time.Duration(g.Exp(meanGap))
+	for t < horizon {
+		out = append(out, t)
+		t += time.Duration(g.Exp(meanGap))
+	}
+	return out
+}
+
+// ExpirationKind selects the distribution of notification lifetimes.
+type ExpirationKind int
+
+const (
+	// NoExpiration means notifications never expire.
+	NoExpiration ExpirationKind = iota + 1
+	// ExpExpiration draws lifetimes from an exponential distribution.
+	ExpExpiration
+	// UniformExpiration draws lifetimes uniformly from (0, 2*mean).
+	UniformExpiration
+	// NormalExpiration draws lifetimes from a normal distribution with
+	// stddev mean/4, truncated at one second.
+	NormalExpiration
+)
+
+// String names the kind for configuration output.
+func (k ExpirationKind) String() string {
+	switch k {
+	case NoExpiration:
+		return "none"
+	case ExpExpiration:
+		return "exponential"
+	case UniformExpiration:
+		return "uniform"
+	case NormalExpiration:
+		return "normal"
+	default:
+		return fmt.Sprintf("expiration(%d)", int(k))
+	}
+}
+
+// ExpirationConfig describes how notification lifetimes are generated
+// (§3: "a portion of the events can be configured to expire within
+// expiration time, according to a desired distribution").
+type ExpirationConfig struct {
+	// Kind selects the lifetime distribution; zero means NoExpiration.
+	Kind ExpirationKind
+	// Mean is the mean lifetime for expiring notifications.
+	Mean time.Duration
+	// Portion is the fraction of notifications that expire at all;
+	// zero means every notification expires (when Kind is set).
+	Portion float64
+}
+
+// Sample draws one lifetime; zero means the notification never expires.
+func (c ExpirationConfig) Sample(g *RNG) time.Duration {
+	if c.Kind == 0 || c.Kind == NoExpiration || c.Mean <= 0 {
+		return 0
+	}
+	portion := c.Portion
+	if portion <= 0 || portion > 1 {
+		portion = 1
+	}
+	if portion < 1 && g.Float64() >= portion {
+		return 0
+	}
+	mean := float64(c.Mean)
+	var life float64
+	switch c.Kind {
+	case ExpExpiration:
+		life = g.Exp(mean)
+	case UniformExpiration:
+		life = g.Uniform(0, 2*mean)
+	case NormalExpiration:
+		life = g.NormalTrunc(mean, mean/4, float64(time.Second))
+	default:
+		return 0
+	}
+	if life < float64(time.Second) {
+		life = float64(time.Second)
+	}
+	return time.Duration(life)
+}
+
+// ReadScheduleConfig describes the user's reading habit: a number of reads
+// per day drawn from a normal distribution around PerDay, placed uniformly
+// inside a randomized 16–17 hour awake window.
+type ReadScheduleConfig struct {
+	// PerDay is the user frequency: mean number of reads per day. It may
+	// be fractional (the paper sweeps down to 0.25/day).
+	PerDay float64
+	// PerDaySD is the standard deviation of the per-day read count;
+	// zero defaults to PerDay/4.
+	PerDaySD float64
+	// WakeStart is the nominal time of day the user wakes up; zero
+	// defaults to 07:00.
+	WakeStart time.Duration
+	// WakeJitter randomizes the wake instant by ±WakeJitter; zero
+	// defaults to 30 minutes.
+	WakeJitter time.Duration
+	// AwakeMin and AwakeMax bound the awake period; zero defaults to the
+	// paper's 16 and 17 hours.
+	AwakeMin, AwakeMax time.Duration
+}
+
+func (c ReadScheduleConfig) withDefaults() ReadScheduleConfig {
+	if c.PerDaySD == 0 {
+		c.PerDaySD = c.PerDay / 4
+	}
+	if c.WakeStart == 0 {
+		c.WakeStart = 7 * time.Hour
+	}
+	if c.WakeJitter == 0 {
+		c.WakeJitter = 30 * time.Minute
+	}
+	if c.AwakeMin == 0 {
+		c.AwakeMin = 16 * time.Hour
+	}
+	if c.AwakeMax == 0 {
+		c.AwakeMax = 17 * time.Hour
+	}
+	return c
+}
+
+// ReadSchedule returns the sorted offsets of user reads over the horizon.
+// Fractional frequencies are honored in expectation by carrying the
+// fractional part across days.
+func ReadSchedule(g *RNG, cfg ReadScheduleConfig, horizon time.Duration) []time.Duration {
+	if cfg.PerDay <= 0 || horizon <= 0 {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	days := int(horizon / Day)
+	if horizon%Day != 0 {
+		days++
+	}
+	var out []time.Duration
+	carry := 0.0
+	for d := 0; d < days; d++ {
+		carry += math.Max(0, g.Normal(cfg.PerDay, cfg.PerDaySD))
+		count := int(carry)
+		carry -= float64(count)
+		if count == 0 {
+			continue
+		}
+		dayStart := time.Duration(d) * Day
+		wake := cfg.WakeStart + time.Duration(g.Uniform(-float64(cfg.WakeJitter), float64(cfg.WakeJitter)))
+		awake := time.Duration(g.Uniform(float64(cfg.AwakeMin), float64(cfg.AwakeMax)))
+		for i := 0; i < count; i++ {
+			t := dayStart + wake + time.Duration(g.Uniform(0, float64(awake)))
+			if t < horizon {
+				out = append(out, t)
+			}
+		}
+	}
+	sortDurations(out)
+	return out
+}
+
+// Interval is a half-open time range [Start, End) of simulated offsets.
+type Interval struct {
+	Start, End time.Duration
+}
+
+// Duration returns the interval length.
+func (iv Interval) Duration() time.Duration { return iv.End - iv.Start }
+
+// Contains reports whether the offset falls inside the interval.
+func (iv Interval) Contains(t time.Duration) bool { return t >= iv.Start && t < iv.End }
+
+// OutageConfig describes the last-hop outage process: an alternating
+// renewal process whose outage durations have a fixed mean (hours, not
+// days — the paper's high outage fractions model users who are "mainly on
+// a slow but functioning link", i.e. many outages with brief usable
+// windows, not outages that last weeks), while the mean connected period
+// shrinks as the target downtime fraction grows.
+type OutageConfig struct {
+	// Fraction is the target cumulative downtime in [0, 1]. The paper
+	// notes that periods of unacceptably slow connectivity count as
+	// outages, so high fractions model users on slow links.
+	Fraction float64
+	// MeanDown is the mean outage duration; zero defaults to 2 hours.
+	// The mean connected period is derived as
+	// MeanDown*(1-Fraction)/Fraction.
+	MeanDown time.Duration
+	// DownCV is the coefficient of variation of outage durations; values
+	// above 1 yield the high-variance outages the paper simulates. Zero
+	// defaults to 2.
+	DownCV float64
+}
+
+func (c OutageConfig) withDefaults() OutageConfig {
+	if c.MeanDown == 0 {
+		c.MeanDown = 2 * time.Hour
+	}
+	if c.DownCV == 0 {
+		c.DownCV = 2
+	}
+	return c
+}
+
+// OutageSchedule returns sorted, disjoint outage intervals over the horizon
+// whose expected cumulative length is Fraction of the horizon.
+func OutageSchedule(g *RNG, cfg OutageConfig, horizon time.Duration) []Interval {
+	if cfg.Fraction <= 0 || horizon <= 0 {
+		return nil
+	}
+	if cfg.Fraction >= 1 {
+		return []Interval{{Start: 0, End: horizon}}
+	}
+	cfg = cfg.withDefaults()
+	meanDown := float64(cfg.MeanDown)
+	meanUp := meanDown * (1 - cfg.Fraction) / cfg.Fraction
+	var out []Interval
+	t := time.Duration(g.Exp(meanUp))
+	for t < horizon {
+		down := time.Duration(g.Hyperexp(meanDown, cfg.DownCV))
+		if down < time.Second {
+			down = time.Second
+		}
+		end := t + down
+		if end > horizon {
+			end = horizon
+		}
+		out = append(out, Interval{Start: t, End: end})
+		t = end + time.Duration(g.Exp(meanUp))
+	}
+	return out
+}
+
+// TotalDown returns the cumulative length of the given intervals.
+func TotalDown(intervals []Interval) time.Duration {
+	var sum time.Duration
+	for _, iv := range intervals {
+		sum += iv.Duration()
+	}
+	return sum
+}
+
+// DownAt reports whether the offset falls inside any of the sorted
+// intervals.
+func DownAt(intervals []Interval, t time.Duration) bool {
+	lo, hi := 0, len(intervals)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case t < intervals[mid].Start:
+			hi = mid
+		case t >= intervals[mid].End:
+			lo = mid + 1
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+func sortDurations(ds []time.Duration) {
+	slices.Sort(ds)
+}

@@ -1,0 +1,334 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const year = 365 * Day
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if New(1).Float64() == New(2).Float64() {
+		t.Error("different seeds produced identical first draw")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	g := New(7)
+	a := g.Split("arrivals")
+	g2 := New(7)
+	b := g2.Split("arrivals")
+	for i := 0; i < 50; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("Split with same label and parent seed diverged")
+		}
+	}
+	c := New(7).Split("reads")
+	d := New(7).Split("arrivals")
+	same := true
+	for i := 0; i < 10; i++ {
+		if c.Float64() != d.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different labels produced identical streams")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := New(1)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += g.Exp(10)
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.2 {
+		t.Errorf("exponential mean = %v, want ~10", mean)
+	}
+}
+
+func TestNormalTrunc(t *testing.T) {
+	g := New(2)
+	for i := 0; i < 10000; i++ {
+		if v := g.NormalTrunc(1, 5, 0); v < 0 {
+			t.Fatalf("truncated normal produced %v < 0", v)
+		}
+	}
+	// Pathological parameters must terminate and return the floor.
+	if v := g.NormalTrunc(-1e12, 1, 0); v != 0 {
+		t.Errorf("pathological truncation = %v, want 0", v)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	g := New(3)
+	for _, mean := range []float64{0.5, 4, 100} {
+		sum, sumSq := 0.0, 0.0
+		const n = 50000
+		for i := 0; i < n; i++ {
+			v := float64(g.Poisson(mean))
+			sum += v
+			sumSq += v * v
+		}
+		m := sum / n
+		variance := sumSq/n - m*m
+		if math.Abs(m-mean) > 0.05*mean+0.05 {
+			t.Errorf("Poisson(%v) mean = %v", mean, m)
+		}
+		if math.Abs(variance-mean) > 0.1*mean+0.1 {
+			t.Errorf("Poisson(%v) variance = %v", mean, variance)
+		}
+	}
+	if g.Poisson(0) != 0 || g.Poisson(-1) != 0 {
+		t.Error("non-positive mean must give 0")
+	}
+}
+
+func TestHyperexpMoments(t *testing.T) {
+	g := New(4)
+	const n = 300000
+	for _, cv := range []float64{1, 2, 4} {
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := g.Hyperexp(10, cv)
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		gotCV := math.Sqrt(variance) / mean
+		if math.Abs(mean-10) > 0.5 {
+			t.Errorf("Hyperexp cv=%v mean = %v, want ~10", cv, mean)
+		}
+		if math.Abs(gotCV-cv) > 0.15*cv {
+			t.Errorf("Hyperexp cv=%v measured cv = %v", cv, gotCV)
+		}
+	}
+}
+
+func TestPoissonProcess(t *testing.T) {
+	g := New(5)
+	events := PoissonProcess(g, 32, year)
+	perDay := float64(len(events)) / 365
+	if math.Abs(perDay-32) > 1.5 {
+		t.Errorf("rate = %v/day, want ~32", perDay)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i] < events[i-1] {
+			t.Fatal("events not sorted")
+		}
+	}
+	for _, e := range events {
+		if e < 0 || e >= year {
+			t.Fatalf("event %v outside horizon", e)
+		}
+	}
+	if PoissonProcess(g, 0, year) != nil {
+		t.Error("zero rate must give no events")
+	}
+	if PoissonProcess(g, 5, 0) != nil {
+		t.Error("zero horizon must give no events")
+	}
+}
+
+func TestExpirationConfigSample(t *testing.T) {
+	g := New(6)
+	if (ExpirationConfig{}).Sample(g) != 0 {
+		t.Error("zero config must not expire")
+	}
+	if (ExpirationConfig{Kind: NoExpiration, Mean: time.Hour}).Sample(g) != 0 {
+		t.Error("NoExpiration must not expire")
+	}
+	if (ExpirationConfig{Kind: ExpExpiration}).Sample(g) != 0 {
+		t.Error("zero mean must not expire")
+	}
+
+	for _, kind := range []ExpirationKind{ExpExpiration, UniformExpiration, NormalExpiration} {
+		cfg := ExpirationConfig{Kind: kind, Mean: time.Hour}
+		sum := 0.0
+		const n = 100000
+		for i := 0; i < n; i++ {
+			life := cfg.Sample(g)
+			if life <= 0 {
+				t.Fatalf("%v produced non-positive lifetime", kind)
+			}
+			sum += float64(life)
+		}
+		mean := time.Duration(sum / n)
+		if mean < 50*time.Minute || mean > 70*time.Minute {
+			t.Errorf("%v mean lifetime = %v, want ~1h", kind, mean)
+		}
+	}
+
+	// Portion: roughly half the notifications should never expire.
+	cfg := ExpirationConfig{Kind: ExpExpiration, Mean: time.Hour, Portion: 0.5}
+	never := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if cfg.Sample(g) == 0 {
+			never++
+		}
+	}
+	frac := float64(never) / n
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Errorf("never-expiring fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestExpirationKindString(t *testing.T) {
+	tests := []struct {
+		k    ExpirationKind
+		want string
+	}{
+		{NoExpiration, "none"},
+		{ExpExpiration, "exponential"},
+		{UniformExpiration, "uniform"},
+		{NormalExpiration, "normal"},
+		{ExpirationKind(42), "expiration(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.k), got, tt.want)
+		}
+	}
+}
+
+func TestReadScheduleRate(t *testing.T) {
+	for _, uf := range []float64{0.25, 2, 32} {
+		g := New(11)
+		reads := ReadSchedule(g, ReadScheduleConfig{PerDay: uf}, year)
+		perDay := float64(len(reads)) / 365
+		if math.Abs(perDay-uf) > 0.15*uf+0.05 {
+			t.Errorf("uf=%v: rate = %v/day", uf, perDay)
+		}
+		for i := 1; i < len(reads); i++ {
+			if reads[i] < reads[i-1] {
+				t.Fatalf("uf=%v: reads not sorted", uf)
+			}
+		}
+	}
+	if ReadSchedule(New(1), ReadScheduleConfig{PerDay: 0}, year) != nil {
+		t.Error("zero frequency must give no reads")
+	}
+}
+
+func TestReadScheduleAwakeWindow(t *testing.T) {
+	g := New(12)
+	reads := ReadSchedule(g, ReadScheduleConfig{PerDay: 8}, 200*Day)
+	for _, r := range reads {
+		tod := r % Day
+		// Earliest possible: wake 06:30. Latest: 07:30 + 17h = 24:30,
+		// which wraps into the next day, so time-of-day outside
+		// [00:30, 06:30) is impossible.
+		if tod >= 30*time.Minute && tod < 6*time.Hour+30*time.Minute {
+			t.Fatalf("read at %v is outside any feasible awake window", tod)
+		}
+	}
+}
+
+func TestOutageScheduleFraction(t *testing.T) {
+	for _, frac := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+		g := New(13)
+		outages := OutageSchedule(g, OutageConfig{Fraction: frac}, year)
+		got := float64(TotalDown(outages)) / float64(year)
+		if math.Abs(got-frac) > 0.05+0.1*frac {
+			t.Errorf("fraction %v: measured downtime %v", frac, got)
+		}
+		var prev Interval
+		for i, iv := range outages {
+			if iv.End <= iv.Start {
+				t.Fatalf("empty interval %v", iv)
+			}
+			if i > 0 && iv.Start < prev.End {
+				t.Fatalf("overlapping outages %v, %v", prev, iv)
+			}
+			if iv.End > year {
+				t.Fatalf("outage %v exceeds horizon", iv)
+			}
+			prev = iv
+		}
+	}
+}
+
+func TestOutageScheduleEdges(t *testing.T) {
+	g := New(14)
+	if OutageSchedule(g, OutageConfig{Fraction: 0}, year) != nil {
+		t.Error("zero fraction must give no outages")
+	}
+	full := OutageSchedule(g, OutageConfig{Fraction: 1}, year)
+	if len(full) != 1 || full[0].Start != 0 || full[0].End != year {
+		t.Errorf("full outage = %v", full)
+	}
+}
+
+func TestDownAt(t *testing.T) {
+	ivs := []Interval{{Start: 10, End: 20}, {Start: 30, End: 40}}
+	tests := []struct {
+		t    time.Duration
+		want bool
+	}{
+		{5, false}, {10, true}, {19, true}, {20, false}, {25, false},
+		{30, true}, {39, true}, {40, false}, {100, false},
+	}
+	for _, tt := range tests {
+		if got := DownAt(ivs, tt.t); got != tt.want {
+			t.Errorf("DownAt(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+	if DownAt(nil, 5) {
+		t.Error("DownAt(nil) = true")
+	}
+}
+
+// TestDownAtMatchesLinear cross-checks the binary search against a linear
+// scan over randomly generated disjoint intervals.
+func TestDownAtMatchesLinear(t *testing.T) {
+	f := func(gaps []uint8, probes []uint16) bool {
+		var ivs []Interval
+		t0 := time.Duration(0)
+		for i, gp := range gaps {
+			start := t0 + time.Duration(gp%50+1)
+			end := start + time.Duration(gaps[(i+1)%len(gaps)]%20+1)
+			ivs = append(ivs, Interval{Start: start, End: end})
+			t0 = end
+		}
+		for _, p := range probes {
+			probe := time.Duration(p % 4096)
+			want := false
+			for _, iv := range ivs {
+				if iv.Contains(probe) {
+					want = true
+					break
+				}
+			}
+			if DownAt(ivs, probe) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Start: time.Hour, End: 3 * time.Hour}
+	if iv.Duration() != 2*time.Hour {
+		t.Errorf("Duration = %v", iv.Duration())
+	}
+	if !iv.Contains(time.Hour) || !iv.Contains(2*time.Hour) || iv.Contains(3*time.Hour) {
+		t.Error("Contains half-open semantics wrong")
+	}
+}

@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// RenderText writes the figure as an aligned text table: one row per x
+// value, one column per series. This is the form EXPERIMENTS.md embeds.
+func (f Figure) RenderText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# y: %s\n", f.YLabel); err != nil {
+		return err
+	}
+	xs := f.xValues()
+	header := make([]string, 0, len(f.Series)+1)
+	header = append(header, f.XLabel)
+	for _, s := range f.Series {
+		header = append(header, s.Label)
+	}
+	rows := make([][]string, 0, len(xs)+1)
+	rows = append(rows, header)
+	for _, x := range xs {
+		row := make([]string, 0, len(f.Series)+1)
+		row = append(row, trimFloat(x))
+		for _, s := range f.Series {
+			if y, ok := s.at(x); ok {
+				row = append(row, fmt.Sprintf("%.1f", y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderJSON writes the figure as indented JSON for plotting tools.
+func (f Figure) RenderJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// RenderCSV writes the figure as CSV with an x column and one column per
+// series.
+func (f Figure) RenderCSV(w io.Writer) error {
+	cols := make([]string, 0, len(f.Series)+1)
+	cols = append(cols, csvEscape(f.XLabel))
+	for _, s := range f.Series {
+		cols = append(cols, csvEscape(s.Label))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, x := range f.xValues() {
+		row := make([]string, 0, len(f.Series)+1)
+		row = append(row, trimFloat(x))
+		for _, s := range f.Series {
+			if y, ok := s.at(x); ok {
+				row = append(row, strconv.FormatFloat(y, 'f', 3, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// xValues collects the union of x coordinates across series, ascending.
+func (f Figure) xValues() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return xs
+}
+
+func (s Series) at(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+func trimFloat(x float64) string {
+	return strconv.FormatFloat(x, 'f', -1, 64)
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,332 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"lasthop/internal/core"
+	"lasthop/internal/dist"
+	"lasthop/internal/sim"
+)
+
+// Claim is one of the paper's headline claims together with this
+// reproduction's measurement and verdict.
+type Claim struct {
+	// ID names the claim ("fig1-formula", ...).
+	ID string `json:"id"`
+	// Statement is the paper's claim.
+	Statement string `json:"statement"`
+	// Measured summarizes what this reproduction observed.
+	Measured string `json:"measured"`
+	// Pass reports whether the measurement supports the claim.
+	Pass bool `json:"pass"`
+}
+
+// VerifyClaims measures every headline claim of the paper's evaluation
+// with targeted runs (much cheaper than regenerating the full figures) and
+// returns the verdicts. All claims pass at the paper's full horizon; at
+// very short horizons the percentages get noisy.
+func VerifyClaims(opts Options) ([]Claim, error) {
+	opts = opts.withDefaults()
+	var claims []Claim
+	add := func(c Claim, err error) error {
+		if err != nil {
+			return err
+		}
+		claims = append(claims, c)
+		return nil
+	}
+	checks := []func(Options) (Claim, error){
+		claimOverflowFormula,
+		claimOnDemandLossExtremes,
+		claimBufferSweetSpot,
+		claimExpirationWaste,
+		claimExpirationLossHump,
+		claimExpirationThresholdGap,
+		claimBufferBeatsRate,
+		claimDelayShields,
+		claimMultiDeviceCooperation,
+	}
+	for _, check := range checks {
+		c, err := check(opts)
+		if err := add(c, err); err != nil {
+			return nil, err
+		}
+	}
+	return claims, nil
+}
+
+// wasteLoss runs one averaged comparison.
+func wasteLoss(opts Options, mut func(*sim.Config), policy core.TopicConfig) (waste, loss float64, err error) {
+	cfg := opts.baseConfig()
+	cfg.ReadsPerDay = 2
+	cfg.Max = 8
+	if mut != nil {
+		mut(&cfg)
+	}
+	waste, loss, _, err = sim.CompareAveraged(cfg, policy, opts.Replications)
+	return waste, loss, err
+}
+
+// claimOverflowFormula: §3.2 "Waste % = 1 − uf·Max/ef".
+func claimOverflowFormula(opts Options) (Claim, error) {
+	c := Claim{
+		ID:        "fig1-formula",
+		Statement: "Overflow waste under on-line forwarding follows 1 − uf·Max/ef (e.g. 88% at uf=1, Max=4, ef=32).",
+	}
+	points := []struct {
+		uf   float64
+		max  int
+		want float64
+	}{
+		{1, 4, 87.5},
+		{2, 8, 50},
+		{1, 32, 0},
+	}
+	worst := 0.0
+	for _, pt := range points {
+		waste, _, err := wasteLoss(opts, func(cfg *sim.Config) {
+			cfg.ReadsPerDay = pt.uf
+			cfg.Max = pt.max
+		}, core.OnlineConfig(sim.TopicName))
+		if err != nil {
+			return Claim{}, err
+		}
+		if d := math.Abs(waste - pt.want); d > worst {
+			worst = d
+		}
+	}
+	c.Measured = fmt.Sprintf("max deviation from the formula %.1f points across 3 grid points", worst)
+	c.Pass = worst <= 6
+	return c, nil
+}
+
+// claimOnDemandLossExtremes: Fig. 2's endpoints.
+func claimOnDemandLossExtremes(opts Options) (Claim, error) {
+	c := Claim{
+		ID:        "fig2-extremes",
+		Statement: "Pure on-demand loss grows to just below 100% at 99% outage and drops to 0 at total outage.",
+	}
+	_, lossHigh, err := wasteLoss(opts, func(cfg *sim.Config) {
+		cfg.ReadsPerDay = 1
+		cfg.Outage.Fraction = 0.99
+	}, core.OnDemandConfig(sim.TopicName, 8))
+	if err != nil {
+		return Claim{}, err
+	}
+	_, lossTotal, err := wasteLoss(opts, func(cfg *sim.Config) {
+		cfg.ReadsPerDay = 1
+		cfg.Outage.Fraction = 1
+	}, core.OnDemandConfig(sim.TopicName, 8))
+	if err != nil {
+		return Claim{}, err
+	}
+	c.Measured = fmt.Sprintf("loss %.1f%% at 99%% outage, %.1f%% at total outage", lossHigh, lossTotal)
+	c.Pass = lossHigh >= 80 && lossTotal == 0
+	return c, nil
+}
+
+// claimBufferSweetSpot: Fig. 3's knee and cap.
+func claimBufferSweetSpot(opts Options) (Claim, error) {
+	c := Claim{
+		ID:        "fig3-sweet-spot",
+		Statement: "Buffer prefetching at limits 16–64 keeps waste and loss at a few percent even at 90% outage; tiny limits lose heavily; huge limits waste toward the 50% overflow cap.",
+	}
+	mut := func(cfg *sim.Config) { cfg.Outage.Fraction = 0.9 }
+	wasteMid, lossMid, err := wasteLoss(opts, mut, core.BufferConfig(sim.TopicName, 8, 32))
+	if err != nil {
+		return Claim{}, err
+	}
+	_, lossTiny, err := wasteLoss(opts, mut, core.BufferConfig(sim.TopicName, 8, 1))
+	if err != nil {
+		return Claim{}, err
+	}
+	wasteHuge, _, err := wasteLoss(opts, mut, core.BufferConfig(sim.TopicName, 8, 65536))
+	if err != nil {
+		return Claim{}, err
+	}
+	c.Measured = fmt.Sprintf("limit 32: waste %.1f%%, loss %.1f%%; limit 1: loss %.1f%%; limit 65536: waste %.1f%%",
+		wasteMid, lossMid, lossTiny, wasteHuge)
+	c.Pass = wasteMid <= 6 && lossMid <= 6 && lossTiny >= 25 && wasteHuge >= 40
+	return c, nil
+}
+
+// claimExpirationWaste: Fig. 4's ends.
+func claimExpirationWaste(opts Options) (Claim, error) {
+	c := Claim{
+		ID:        "fig4-expiration-waste",
+		Statement: "Short-lived notifications mostly expire unread (waste ≈ 100% at 16 s lifetimes); waste disappears when the read interval is below the lifetime.",
+	}
+	short, _, err := wasteLoss(opts, func(cfg *sim.Config) {
+		cfg.Max = 0
+		cfg.Expiration = dist.ExpirationConfig{Kind: dist.ExpExpiration, Mean: 16 * time.Second}
+	}, core.OnlineConfig(sim.TopicName))
+	if err != nil {
+		return Claim{}, err
+	}
+	long, _, err := wasteLoss(opts, func(cfg *sim.Config) {
+		cfg.Max = 0
+		cfg.ReadsPerDay = 16
+		cfg.Expiration = dist.ExpirationConfig{Kind: dist.ExpExpiration, Mean: 3 * dist.Day}
+	}, core.OnlineConfig(sim.TopicName))
+	if err != nil {
+		return Claim{}, err
+	}
+	c.Measured = fmt.Sprintf("waste %.1f%% at 16s lifetimes; %.1f%% at 3-day lifetimes with frequent reads", short, long)
+	c.Pass = short >= 90 && long <= 15
+	return c, nil
+}
+
+// claimExpirationLossHump: Fig. 5's non-monotone shape.
+func claimExpirationLossHump(opts Options) (Claim, error) {
+	c := Claim{
+		ID:        "fig5-loss-hump",
+		Statement: "Under heavy outage, on-demand loss due to expirations is low for very short lifetimes, peaks in between, and drops back for long lifetimes.",
+	}
+	loss := func(mean time.Duration) (float64, error) {
+		_, l, err := wasteLoss(opts, func(cfg *sim.Config) {
+			cfg.Max = 0
+			cfg.ReadsPerDay = 4
+			cfg.Outage.Fraction = 0.95
+			cfg.Expiration = dist.ExpirationConfig{Kind: dist.ExpExpiration, Mean: mean}
+		}, core.OnDemandConfig(sim.TopicName, 0))
+		return l, err
+	}
+	short, err := loss(30 * time.Second)
+	if err != nil {
+		return Claim{}, err
+	}
+	mid, err := loss(4 * time.Hour)
+	if err != nil {
+		return Claim{}, err
+	}
+	long, err := loss(60 * dist.Day)
+	if err != nil {
+		return Claim{}, err
+	}
+	c.Measured = fmt.Sprintf("loss %.1f%% (30s) -> %.1f%% (4h) -> %.1f%% (60d)", short, mid, long)
+	c.Pass = mid > short+10 && mid > long+5
+	return c, nil
+}
+
+// claimExpirationThresholdGap: Fig. 6's automatic-threshold rule.
+func claimExpirationThresholdGap(opts Options) (Claim, error) {
+	c := Claim{
+		ID:        "fig6-threshold-gap",
+		Statement: "When lifetimes exceed the read interval by an order of magnitude, setting the expiration threshold to the inter-read interval keeps both waste and loss low; too high a threshold is as bad as no prefetching.",
+	}
+	run := func(thr time.Duration) (float64, float64, error) {
+		policy := core.BufferConfig(sim.TopicName, 8, 32)
+		policy.ExpirationThreshold = thr
+		return wasteLoss(opts, func(cfg *sim.Config) {
+			cfg.Outage.Fraction = 0.9
+			cfg.Expiration = dist.ExpirationConfig{Kind: dist.ExpExpiration, Mean: 45 * dist.Day}
+		}, policy)
+	}
+	wasteGap, lossGap, err := run(8 * time.Hour)
+	if err != nil {
+		return Claim{}, err
+	}
+	_, lossHuge, err := run(90 * dist.Day)
+	if err != nil {
+		return Claim{}, err
+	}
+	c.Measured = fmt.Sprintf("8h threshold: waste %.1f%%, loss %.1f%%; 90-day threshold: loss %.1f%%",
+		wasteGap, lossGap, lossHuge)
+	c.Pass = wasteGap <= 10 && lossGap <= 10 && lossHuge > lossGap+10
+	return c, nil
+}
+
+// claimBufferBeatsRate: §3.2's comparison of the two approaches.
+func claimBufferBeatsRate(opts Options) (Claim, error) {
+	c := Claim{
+		ID:        "buffer-vs-rate",
+		Statement: "Both prefetching approaches reduce waste and loss to a few percentage points, with buffer-based more effective.",
+	}
+	mut := func(cfg *sim.Config) { cfg.Outage.Fraction = 0.5 }
+	wasteBuf, lossBuf, err := wasteLoss(opts, mut, core.BufferConfig(sim.TopicName, 8, 32))
+	if err != nil {
+		return Claim{}, err
+	}
+	wasteRate, lossRate, err := wasteLoss(opts, mut, core.RateConfig(sim.TopicName, 8))
+	if err != nil {
+		return Claim{}, err
+	}
+	c.Measured = fmt.Sprintf("buffer: waste %.1f%%, loss %.1f%%; rate: waste %.1f%%, loss %.1f%%",
+		wasteBuf, lossBuf, wasteRate, lossRate)
+	c.Pass = lossBuf <= 6 && lossRate <= 6 && wasteBuf < wasteRate && wasteRate <= 15
+	return c, nil
+}
+
+// claimDelayShields: §3.4's delay stage.
+func claimDelayShields(opts Options) (Claim, error) {
+	c := Claim{
+		ID:        "delay-shields-retractions",
+		Statement: "Delaying events long enough to separate the wheat from the chaff keeps retracted notifications off the device.",
+	}
+	vain := func(delay time.Duration) (float64, error) {
+		cfg := opts.baseConfig()
+		cfg.ReadsPerDay = 2
+		cfg.Max = 8
+		cfg.RankThreshold = 2.5
+		cfg.Churn = sim.ChurnConfig{Portion: 0.3, MeanLag: 10 * time.Minute, RetractTo: 0}
+		policy := core.BufferConfig(sim.TopicName, 8, 32)
+		policy.Delay = delay
+		return vainRetractionPct(cfg, policy, opts)
+	}
+	without, err := vain(0)
+	if err != nil {
+		return Claim{}, err
+	}
+	with, err := vain(time.Hour)
+	if err != nil {
+		return Claim{}, err
+	}
+	c.Measured = fmt.Sprintf("retractions reaching the device: %.1f%% without delay, %.1f%% with a 1h delay", without, with)
+	c.Pass = without >= 30 && with <= without/3
+	return c, nil
+}
+
+// claimMultiDeviceCooperation: §4's future-work conjecture.
+func claimMultiDeviceCooperation(opts Options) (Claim, error) {
+	c := Claim{
+		ID:        "multi-device-cooperation",
+		Statement: "One device using the cache of another reduces loss (paper §4 conjecture).",
+	}
+	cfg := opts.baseConfig()
+	cfg.ReadsPerDay = 2
+	cfg.Max = 8
+	cfg.Outage.Fraction = 0.5
+	cfg.Expiration = dist.ExpirationConfig{Kind: dist.ExpExpiration, Mean: 8 * time.Hour}
+	alone, err := multiDeviceLoss(cfg, 1)
+	if err != nil {
+		return Claim{}, err
+	}
+	group, err := multiDeviceLoss(cfg, 3)
+	if err != nil {
+		return Claim{}, err
+	}
+	c.Measured = fmt.Sprintf("loss vs a perfect network: %.1f%% alone, %.1f%% with two companions", alone, group)
+	c.Pass = group < alone*0.6
+	return c, nil
+}
+
+// RenderClaims writes the verdicts as an aligned report.
+func RenderClaims(w io.Writer, claims []Claim) error {
+	passed := 0
+	for _, c := range claims {
+		verdict := "FAIL"
+		if c.Pass {
+			verdict = "PASS"
+			passed++
+		}
+		if _, err := fmt.Fprintf(w, "[%s] %s\n        claim:    %s\n        measured: %s\n",
+			verdict, c.ID, c.Statement, c.Measured); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%d/%d claims reproduced\n", passed, len(claims))
+	return err
+}

@@ -1,0 +1,33 @@
+package journal
+
+// Fuzz target: ReadAll must never panic on arbitrary file contents, and
+// must either produce entries or a clean error.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func FuzzReadAll(f *testing.F) {
+	f.Add([]byte(`{"at":"2026-01-01T00:00:00Z","kind":"network","networkUp":true}` + "\n"))
+	f.Add([]byte(`{"at":"2026-01-01T00:00:00Z","kind":"notify","notification":{"id":"a","topic":"t","rank":1}}` + "\n"))
+	f.Add([]byte("garbage\n"))
+	f.Add([]byte("{\n"))
+	f.Add([]byte(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.journal")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		count := 0
+		err := ReadAll(path, func(e Entry) error {
+			count++
+			if verr := e.Validate(); verr != nil {
+				t.Fatalf("ReadAll surfaced an invalid entry: %v", verr)
+			}
+			return nil
+		})
+		_ = err // garbage may error; panics are the failure mode
+	})
+}

@@ -1,0 +1,244 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"lasthop/internal/core"
+	"lasthop/internal/msg"
+	"lasthop/internal/simtime"
+)
+
+// Recorder wraps a proxy so every input is journaled before it is applied
+// (write-ahead). Like the proxy, it is single-threaded under the owning
+// scheduler.
+type Recorder struct {
+	proxy *core.Proxy
+	sched simtime.Scheduler
+	j     *Journal
+}
+
+// NewRecorder wraps an existing proxy with a journal.
+func NewRecorder(sched simtime.Scheduler, proxy *core.Proxy, j *Journal) *Recorder {
+	return &Recorder{proxy: proxy, sched: sched, j: j}
+}
+
+// Proxy exposes the wrapped proxy for read-only inspection.
+func (r *Recorder) Proxy() *core.Proxy { return r.proxy }
+
+// Close closes the underlying journal.
+func (r *Recorder) Close() error { return r.j.Close() }
+
+func (r *Recorder) log(e Entry) error {
+	e.At = r.sched.Now()
+	return r.j.Append(e)
+}
+
+// AddTopic journals and applies a topic registration.
+func (r *Recorder) AddTopic(cfg core.TopicConfig) error {
+	if err := r.log(Entry{Kind: KindAddTopic, TopicConfig: &cfg}); err != nil {
+		return err
+	}
+	return r.proxy.AddTopic(cfg)
+}
+
+// RemoveTopic journals and applies a topic removal.
+func (r *Recorder) RemoveTopic(name string) error {
+	if err := r.log(Entry{Kind: KindRemoveTopic, TopicName: name}); err != nil {
+		return err
+	}
+	return r.proxy.RemoveTopic(name)
+}
+
+// Notify journals and applies a notification arrival.
+func (r *Recorder) Notify(n *msg.Notification) error {
+	if err := r.log(Entry{Kind: KindNotify, Notification: n}); err != nil {
+		return err
+	}
+	r.proxy.Notify(n)
+	return nil
+}
+
+// ApplyRankUpdate journals and applies a rank revision.
+func (r *Recorder) ApplyRankUpdate(u msg.RankUpdate) error {
+	if err := r.log(Entry{Kind: KindRankUpdate, Update: &u}); err != nil {
+		return err
+	}
+	r.proxy.ApplyRankUpdate(u)
+	return nil
+}
+
+// Read journals and applies a device read.
+func (r *Recorder) Read(req msg.ReadRequest) error {
+	if err := r.log(Entry{Kind: KindRead, Read: &req}); err != nil {
+		return err
+	}
+	return r.proxy.Read(req)
+}
+
+// SetNetwork journals and applies a last-hop status change.
+func (r *Recorder) SetNetwork(up bool) error {
+	if err := r.log(Entry{Kind: KindNetwork, NetworkUp: &up}); err != nil {
+		return err
+	}
+	r.proxy.SetNetwork(up)
+	return nil
+}
+
+// mutedForwarder suppresses forwarding during replay while preserving the
+// proxy's decision sequence.
+type mutedForwarder struct {
+	out   core.Forwarder
+	muted bool
+}
+
+var _ core.Forwarder = (*mutedForwarder)(nil)
+
+func (m *mutedForwarder) Forward(n *msg.Notification) error {
+	if m.muted {
+		return nil
+	}
+	return m.out.Forward(n)
+}
+
+// Recover rebuilds a proxy from the journal at path, replaying each entry
+// at its recorded instant on the hybrid scheduler, then appends new inputs
+// to the same journal. The caller drives sched (an *simtime.Hybrid in
+// deployment, any scheduler in tests whose clock can be advanced to the
+// entries' timestamps via the advance callback) and must call GoLive-style
+// switching itself after Recover returns.
+func Recover(sched simtime.Scheduler, advance func(time.Time), out core.Forwarder, path string) (*Recorder, error) {
+	muted := &mutedForwarder{out: out, muted: true}
+	proxy := core.New(sched, muted)
+	proxy.SetNetwork(false)
+	err := ReadAll(path, func(e Entry) error {
+		if advance != nil && !e.At.IsZero() {
+			advance(e.At)
+		}
+		switch e.Kind {
+		case KindAddTopic:
+			return proxy.AddTopic(*e.TopicConfig)
+		case KindRemoveTopic:
+			return proxy.RemoveTopic(e.TopicName)
+		case KindNotify:
+			proxy.Notify(e.Notification)
+		case KindRankUpdate:
+			proxy.ApplyRankUpdate(*e.Update)
+		case KindRead:
+			// Read errors during replay (for example a read for a topic
+			// removed later in the journal) are not fatal.
+			_ = proxy.Read(*e.Read)
+		case KindNetwork:
+			proxy.SetNetwork(*e.NetworkUp)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("recover: %w", err)
+	}
+	// Replay is done: un-mute and consider the device unreachable until
+	// the deployment reports otherwise.
+	muted.muted = false
+	proxy.SetNetwork(false)
+	j, err := Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("recover: %w", err)
+	}
+	return NewRecorder(sched, proxy, j), nil
+}
+
+// Compact rewrites the journal at path to the entries that still
+// determine proxy state as of now, preserving their original order:
+// registrations of topics that were not later removed, unexpired
+// notifications, rank updates that target them, and the reads and network
+// changes on surviving topics. Entries for expired notifications are
+// dropped; because their transfers influenced the proxy's view of the
+// client queue, a recovered proxy's split between "already forwarded" and
+// "still queued" can differ for the live messages — the READ protocol
+// reconciles that at the device's next read, exactly as it does after a
+// crash with an in-flight transfer. The live message set, topic
+// configuration, and tuning state are preserved exactly.
+//
+// Compact returns the number of entries kept. It must not run concurrently
+// with an appender on the same path.
+func Compact(path string, now time.Time) (int, error) {
+	var entries []Entry
+	if err := ReadAll(path, func(e Entry) error {
+		entries = append(entries, e)
+		return nil
+	}); err != nil {
+		return 0, fmt.Errorf("compact: %w", err)
+	}
+
+	// Pass 1: which topics survive, and which notifications are live.
+	topicAdds := make(map[string]int) // topic -> index of last add
+	liveNotes := make(map[msg.ID]bool)
+	for i, e := range entries {
+		switch e.Kind {
+		case KindAddTopic:
+			topicAdds[e.TopicConfig.Name] = i
+		case KindRemoveTopic:
+			delete(topicAdds, e.TopicName)
+		case KindNotify:
+			if !e.Notification.Expired(now) {
+				liveNotes[e.Notification.ID] = true
+			}
+		}
+	}
+	surviving := func(topic string) bool {
+		_, ok := topicAdds[topic]
+		return ok
+	}
+
+	// Pass 2: order-preserving filter.
+	out := make([]Entry, 0, len(entries))
+	for i, e := range entries {
+		keep := false
+		switch e.Kind {
+		case KindAddTopic:
+			idx, ok := topicAdds[e.TopicConfig.Name]
+			keep = ok && idx == i
+		case KindRemoveTopic:
+			// Removals are resolved into the surviving add set.
+		case KindNotify:
+			keep = liveNotes[e.Notification.ID] && surviving(e.Notification.Topic)
+		case KindRankUpdate:
+			keep = liveNotes[e.Update.ID] && surviving(e.Update.Topic)
+		case KindRead:
+			keep = surviving(e.Read.Topic)
+		case KindNetwork:
+			keep = true
+		}
+		if keep {
+			out = append(out, e)
+		}
+	}
+
+	tmp := path + ".compact"
+	j, err := Open(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("compact: %w", err)
+	}
+	for _, e := range out {
+		if err := j.Append(e); err != nil {
+			_ = j.Close()
+			return 0, fmt.Errorf("compact: %w", err)
+		}
+	}
+	if err := j.Sync(); err != nil {
+		_ = j.Close()
+		return 0, fmt.Errorf("compact: %w", err)
+	}
+	if err := j.Close(); err != nil {
+		return 0, fmt.Errorf("compact: %w", err)
+	}
+	if err := replaceFile(tmp, path); err != nil {
+		return 0, fmt.Errorf("compact: %w", err)
+	}
+	return len(out), nil
+}
+
+func replaceFile(from, to string) error {
+	return os.Rename(from, to)
+}

@@ -1,0 +1,141 @@
+// Package link models the "last hop" — the wireless link between the fixed
+// proxy and the mobile device. The model is deliberately binary (up/down),
+// following the paper's observation that periods of unacceptably slow
+// connectivity can be treated as outages; it also accounts every transfer
+// so experiments can report traffic and devices can charge battery cost.
+package link
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lasthop/internal/dist"
+	"lasthop/internal/simtime"
+)
+
+// ErrDown is returned for transfers attempted while the link is down.
+var ErrDown = errors.New("last-hop link is down")
+
+// Direction labels which way a transfer crossed the link.
+type Direction int
+
+const (
+	// ProxyToDevice is the downstream direction (notifications).
+	ProxyToDevice Direction = iota + 1
+	// DeviceToProxy is the upstream direction (read requests, context
+	// updates).
+	DeviceToProxy
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	switch d {
+	case ProxyToDevice:
+		return "down"
+	case DeviceToProxy:
+		return "up"
+	default:
+		return fmt.Sprintf("direction(%d)", int(d))
+	}
+}
+
+// Stats is the cumulative transfer accounting of a link.
+type Stats struct {
+	// MessagesDown and MessagesUp count transfers per direction.
+	MessagesDown, MessagesUp int
+	// BytesDown and BytesUp total the transfer sizes per direction.
+	BytesDown, BytesUp int64
+	// Transitions counts up/down state changes.
+	Transitions int
+	// Downtime is the cumulative time spent down.
+	Downtime time.Duration
+}
+
+// Link is the last-hop state machine. Like the rest of the proxy machinery
+// it is single-threaded: all calls must be serialized through the owning
+// scheduler.
+type Link struct {
+	sched     simtime.Scheduler
+	up        bool
+	downSince time.Time
+	listeners []func(up bool)
+	stats     Stats
+}
+
+// New returns a link in the given initial state.
+func New(sched simtime.Scheduler, up bool) *Link {
+	l := &Link{sched: sched, up: up}
+	if !up {
+		l.downSince = sched.Now()
+	}
+	return l
+}
+
+// Up reports whether the link is currently connected.
+func (l *Link) Up() bool { return l.up }
+
+// OnChange registers a callback invoked after every state change. The
+// proxy registers its NETWORK handler here.
+func (l *Link) OnChange(fn func(up bool)) {
+	l.listeners = append(l.listeners, fn)
+}
+
+// SetUp changes the link state, notifying listeners on a real transition.
+func (l *Link) SetUp(up bool) {
+	if up == l.up {
+		return
+	}
+	now := l.sched.Now()
+	if up {
+		l.stats.Downtime += now.Sub(l.downSince)
+	} else {
+		l.downSince = now
+	}
+	l.up = up
+	l.stats.Transitions++
+	for _, fn := range l.listeners {
+		fn(up)
+	}
+}
+
+// Transfer accounts one message crossing the link. It fails with ErrDown
+// while the link is down.
+func (l *Link) Transfer(dir Direction, bytes int) error {
+	if !l.up {
+		return ErrDown
+	}
+	switch dir {
+	case ProxyToDevice:
+		l.stats.MessagesDown++
+		l.stats.BytesDown += int64(bytes)
+	case DeviceToProxy:
+		l.stats.MessagesUp++
+		l.stats.BytesUp += int64(bytes)
+	default:
+		return fmt.Errorf("invalid transfer direction %d", int(dir))
+	}
+	return nil
+}
+
+// Stats returns a copy of the cumulative accounting. Downtime includes the
+// current outage up to Now.
+func (l *Link) Stats() Stats {
+	s := l.stats
+	if !l.up {
+		s.Downtime += l.sched.Now().Sub(l.downSince)
+	}
+	return s
+}
+
+// Drive schedules the given outage intervals (offsets relative to start)
+// onto the link: the link goes down at each interval's Start and comes back
+// up at its End. The caller is responsible for the intervals being sorted
+// and disjoint, as dist.OutageSchedule produces them.
+func Drive(sched simtime.Scheduler, l *Link, outages []dist.Interval) {
+	for _, iv := range outages {
+		iv := iv
+		sched.Schedule(iv.Start, func() { l.SetUp(false) })
+		sched.Schedule(iv.End, func() { l.SetUp(true) })
+	}
+}

@@ -1,0 +1,125 @@
+package link
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lasthop/internal/dist"
+	"lasthop/internal/simtime"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestTransferAccounting(t *testing.T) {
+	v := simtime.NewVirtual(t0)
+	l := New(v, true)
+	if !l.Up() {
+		t.Fatal("link should start up")
+	}
+	if err := l.Transfer(ProxyToDevice, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Transfer(DeviceToProxy, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Transfer(Direction(9), 1); err == nil {
+		t.Error("invalid direction accepted")
+	}
+	s := l.Stats()
+	if s.MessagesDown != 1 || s.MessagesUp != 1 || s.BytesDown != 100 || s.BytesUp != 40 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestTransferWhileDown(t *testing.T) {
+	v := simtime.NewVirtual(t0)
+	l := New(v, false)
+	err := l.Transfer(ProxyToDevice, 10)
+	if !errors.Is(err, ErrDown) {
+		t.Errorf("err = %v, want ErrDown", err)
+	}
+	if s := l.Stats(); s.MessagesDown != 0 {
+		t.Error("failed transfer was accounted")
+	}
+}
+
+func TestStateChangeNotifications(t *testing.T) {
+	v := simtime.NewVirtual(t0)
+	l := New(v, true)
+	var changes []bool
+	l.OnChange(func(up bool) { changes = append(changes, up) })
+	l.SetUp(true) // no-op
+	l.SetUp(false)
+	l.SetUp(false) // no-op
+	l.SetUp(true)
+	if len(changes) != 2 || changes[0] != false || changes[1] != true {
+		t.Errorf("changes = %v", changes)
+	}
+	if l.Stats().Transitions != 2 {
+		t.Errorf("Transitions = %d", l.Stats().Transitions)
+	}
+}
+
+func TestDowntimeAccounting(t *testing.T) {
+	v := simtime.NewVirtual(t0)
+	l := New(v, true)
+	v.Advance(time.Hour)
+	l.SetUp(false)
+	v.Advance(30 * time.Minute)
+	if got := l.Stats().Downtime; got != 30*time.Minute {
+		t.Errorf("Downtime mid-outage = %v", got)
+	}
+	v.Advance(30 * time.Minute)
+	l.SetUp(true)
+	v.Advance(5 * time.Hour)
+	if got := l.Stats().Downtime; got != time.Hour {
+		t.Errorf("Downtime = %v, want 1h", got)
+	}
+}
+
+func TestDowntimeStartingDown(t *testing.T) {
+	v := simtime.NewVirtual(t0)
+	l := New(v, false)
+	v.Advance(time.Minute)
+	if got := l.Stats().Downtime; got != time.Minute {
+		t.Errorf("Downtime = %v, want 1m", got)
+	}
+}
+
+func TestDrive(t *testing.T) {
+	v := simtime.NewVirtual(t0)
+	l := New(v, true)
+	outages := []dist.Interval{
+		{Start: time.Hour, End: 2 * time.Hour},
+		{Start: 3 * time.Hour, End: 3*time.Hour + 30*time.Minute},
+	}
+	Drive(v, l, outages)
+
+	probe := func(at time.Duration, wantUp bool) {
+		v.RunUntil(t0.Add(at))
+		if l.Up() != wantUp {
+			t.Errorf("at %v: Up = %v, want %v", at, l.Up(), wantUp)
+		}
+	}
+	probe(30*time.Minute, true)
+	probe(90*time.Minute, false)
+	probe(150*time.Minute, true)
+	probe(3*time.Hour+10*time.Minute, false)
+	probe(4*time.Hour, true)
+	if got := l.Stats().Downtime; got != 90*time.Minute {
+		t.Errorf("Downtime = %v, want 90m", got)
+	}
+	if got := l.Stats().Transitions; got != 4 {
+		t.Errorf("Transitions = %d, want 4", got)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if ProxyToDevice.String() != "down" || DeviceToProxy.String() != "up" {
+		t.Error("direction names wrong")
+	}
+	if Direction(5).String() != "direction(5)" {
+		t.Error("unknown direction name wrong")
+	}
+}

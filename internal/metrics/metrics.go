@@ -1,0 +1,87 @@
+// Package metrics defines the paper's two inefficiency metrics (§3.1) and
+// the accounting identities the simulator's results must satisfy.
+//
+//   - Wasted messages were sent to the device but never read by the user.
+//   - Lost messages would have been read under an on-line forwarding policy
+//     (the best possible service) but never reached the user under the
+//     policy in effect.
+package metrics
+
+import (
+	"fmt"
+
+	"lasthop/internal/msg"
+)
+
+// WastePct returns the percentage of forwarded messages that were never
+// read. With nothing forwarded there is no waste.
+func WastePct(forwarded, read int) float64 {
+	if forwarded <= 0 {
+		return 0
+	}
+	if read > forwarded {
+		read = forwarded
+	}
+	return 100 * float64(forwarded-read) / float64(forwarded)
+}
+
+// LossPct returns the percentage of baseline-read messages the policy
+// failed to deliver. With an empty baseline there is no loss.
+func LossPct(baseline, policy msg.IDSet) float64 {
+	if baseline.Len() == 0 {
+		return 0
+	}
+	lost := baseline.Diff(policy).Len()
+	return 100 * float64(lost) / float64(baseline.Len())
+}
+
+// Lost returns the set of baseline-read messages the policy never
+// delivered to the user.
+func Lost(baseline, policy msg.IDSet) msg.IDSet {
+	return baseline.Diff(policy)
+}
+
+// Accounting ties together the per-run counters whose identities the
+// simulator asserts after every run.
+type Accounting struct {
+	// Published counts notifications injected by the publisher.
+	Published int
+	// Forwarded counts distinct notifications transferred to the device.
+	Forwarded int
+	// Read counts distinct notifications the user consumed.
+	Read int
+	// ExpiredUnread counts notifications that expired on the device
+	// before being read.
+	ExpiredUnread int
+	// EvictedStorage counts notifications evicted under storage
+	// pressure.
+	EvictedStorage int
+	// RankDropped counts notifications discarded on the device after a
+	// rank-drop signal.
+	RankDropped int
+	// ResidualQueue counts notifications still stored unread at the end
+	// of the run.
+	ResidualQueue int
+}
+
+// Check verifies the conservation identities:
+//
+//	Read <= Forwarded <= Published
+//	Forwarded = Read + ExpiredUnread + EvictedStorage + RankDropped + ResidualQueue
+//
+// (every forwarded message is eventually read, expired, evicted, retracted,
+// or still queued).
+func (a Accounting) Check() error {
+	if a.Read > a.Forwarded {
+		return fmt.Errorf("read %d exceeds forwarded %d", a.Read, a.Forwarded)
+	}
+	if a.Forwarded > a.Published {
+		return fmt.Errorf("forwarded %d exceeds published %d", a.Forwarded, a.Published)
+	}
+	sum := a.Read + a.ExpiredUnread + a.EvictedStorage + a.RankDropped + a.ResidualQueue
+	if sum != a.Forwarded {
+		return fmt.Errorf("forwarded %d != read %d + expired %d + evicted %d + dropped %d + residual %d",
+			a.Forwarded, a.Read, a.ExpiredUnread, a.EvictedStorage, a.RankDropped, a.ResidualQueue)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lasthop/internal/msg"
+)
+
+func TestWastePct(t *testing.T) {
+	tests := []struct {
+		forwarded, read int
+		want            float64
+	}{
+		{0, 0, 0},
+		{100, 100, 0},
+		{100, 0, 100},
+		{100, 12, 88},
+		{8, 4, 50},
+		{10, 15, 0}, // read clamped to forwarded
+		{-5, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := WastePct(tt.forwarded, tt.read); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("WastePct(%d, %d) = %v, want %v", tt.forwarded, tt.read, got, tt.want)
+		}
+	}
+}
+
+func TestLossPct(t *testing.T) {
+	base := msg.NewIDSet("a", "b", "c", "d")
+	if got := LossPct(base, base.Clone()); got != 0 {
+		t.Errorf("loss against itself = %v", got)
+	}
+	if got := LossPct(base, msg.NewIDSet()); got != 100 {
+		t.Errorf("loss against empty = %v", got)
+	}
+	if got := LossPct(base, msg.NewIDSet("a", "c")); got != 50 {
+		t.Errorf("loss = %v, want 50", got)
+	}
+	if got := LossPct(msg.NewIDSet(), msg.NewIDSet("x")); got != 0 {
+		t.Errorf("loss with empty baseline = %v", got)
+	}
+	lost := Lost(base, msg.NewIDSet("a", "c", "x"))
+	if lost.Len() != 2 || !lost.Contains("b") || !lost.Contains("d") {
+		t.Errorf("Lost = %v", lost)
+	}
+}
+
+func TestLossPctBounds(t *testing.T) {
+	mk := func(bits uint16) msg.IDSet {
+		s := msg.NewIDSet()
+		for i := 0; i < 16; i++ {
+			if bits&(1<<i) != 0 {
+				s.Add(msg.ID(rune('a' + i)))
+			}
+		}
+		return s
+	}
+	f := func(x, y uint16) bool {
+		l := LossPct(mk(x), mk(y))
+		return l >= 0 && l <= 100
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccountingCheck(t *testing.T) {
+	good := Accounting{Published: 10, Forwarded: 8, Read: 4, ExpiredUnread: 1, EvictedStorage: 1, RankDropped: 1, ResidualQueue: 1}
+	if err := good.Check(); err != nil {
+		t.Errorf("valid accounting rejected: %v", err)
+	}
+	for name, a := range map[string]Accounting{
+		"read exceeds forwarded":      {Published: 10, Forwarded: 3, Read: 5},
+		"forwarded exceeds published": {Published: 2, Forwarded: 5, Read: 1},
+		"leak":                        {Published: 10, Forwarded: 8, Read: 4, ResidualQueue: 2},
+	} {
+		if err := a.Check(); err == nil {
+			t.Errorf("%s: invalid accounting accepted", name)
+		}
+	}
+	var zero Accounting
+	if err := zero.Check(); err != nil {
+		t.Errorf("zero accounting rejected: %v", err)
+	}
+}

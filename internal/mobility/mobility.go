@@ -1,0 +1,212 @@
+// Package mobility implements the paper's context-update handling (§2.3):
+// location- or context-parameterized subscriptions ("traffic updates for
+// whatever city the user happens to be in") are mapped into plain
+// subscribe()/unsubscribe() operations whenever the device reports a
+// context change.
+package mobility
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"lasthop/internal/msg"
+)
+
+// Context is the device-reported attribute set (location, activity, ...).
+type Context map[string]string
+
+// Clone returns an independent copy.
+func (c Context) Clone() Context {
+	out := make(Context, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// SubscriptionManager is the subscribe/unsubscribe surface the tracker
+// drives — a broker client, a proxy, or a test fake.
+type SubscriptionManager interface {
+	Subscribe(s msg.Subscription) error
+	Unsubscribe(topic, subscriber string) error
+}
+
+// Rule declares one parameterized subscription. The topic template may
+// reference context attributes as ${attr}; when the rendered topic changes
+// the tracker resubscribes, and when a referenced attribute is missing the
+// rule is suspended (unsubscribed).
+type Rule struct {
+	// Name identifies the rule.
+	Name string
+	// TopicTemplate is the parameterized topic, e.g. "traffic/${city}".
+	TopicTemplate string
+	// Options carries the subscription's volume limits and mode.
+	Options msg.SubscriptionOptions
+}
+
+// Validate checks the rule invariants.
+func (r Rule) Validate() error {
+	if r.Name == "" {
+		return errors.New("rule has no name")
+	}
+	if r.TopicTemplate == "" {
+		return errors.New("rule has no topic template")
+	}
+	if _, err := Render(r.TopicTemplate, Context{}); err == nil && !strings.Contains(r.TopicTemplate, "${") {
+		// Static topics are fine too; nothing further to check.
+		return r.Options.Validate()
+	}
+	return r.Options.Validate()
+}
+
+// ErrUnresolved reports a template referencing an attribute absent from
+// the context.
+var ErrUnresolved = errors.New("unresolved context attribute")
+
+// Render expands ${attr} placeholders from the context. A reference to a
+// missing attribute returns ErrUnresolved.
+func Render(template string, ctx Context) (string, error) {
+	var b strings.Builder
+	rest := template
+	for {
+		i := strings.Index(rest, "${")
+		if i < 0 {
+			b.WriteString(rest)
+			return b.String(), nil
+		}
+		b.WriteString(rest[:i])
+		rest = rest[i+2:]
+		j := strings.Index(rest, "}")
+		if j < 0 {
+			return "", fmt.Errorf("unterminated placeholder in %q", template)
+		}
+		attr := rest[:j]
+		rest = rest[j+1:]
+		v, ok := ctx[attr]
+		if !ok || v == "" {
+			return "", fmt.Errorf("%w: %q", ErrUnresolved, attr)
+		}
+		b.WriteString(v)
+	}
+}
+
+// Tracker owns a device's parameterized subscriptions and keeps them
+// aligned with the latest context.
+type Tracker struct {
+	mgr        SubscriptionManager
+	subscriber string
+
+	mu     sync.Mutex
+	rules  map[string]Rule
+	active map[string]string // rule name -> currently subscribed topic
+	ctx    Context
+}
+
+// NewTracker returns a tracker subscribing on behalf of the named
+// subscriber.
+func NewTracker(mgr SubscriptionManager, subscriber string) *Tracker {
+	return &Tracker{
+		mgr:        mgr,
+		subscriber: subscriber,
+		rules:      make(map[string]Rule),
+		active:     make(map[string]string),
+		ctx:        make(Context),
+	}
+}
+
+// AddRule installs a rule and immediately applies it against the current
+// context.
+func (t *Tracker) AddRule(r Rule) error {
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("add rule: %w", err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.rules[r.Name]; dup {
+		return fmt.Errorf("add rule: %q already installed", r.Name)
+	}
+	t.rules[r.Name] = r
+	return t.applyLocked(r)
+}
+
+// RemoveRule uninstalls a rule, unsubscribing its active topic.
+func (t *Tracker) RemoveRule(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.rules[name]; !ok {
+		return fmt.Errorf("remove rule: %q not installed", name)
+	}
+	delete(t.rules, name)
+	if topic, ok := t.active[name]; ok {
+		delete(t.active, name)
+		return t.mgr.Unsubscribe(topic, t.subscriber)
+	}
+	return nil
+}
+
+// UpdateContext replaces the context and realigns every rule. It returns
+// the first error encountered while still attempting the remaining rules.
+func (t *Tracker) UpdateContext(ctx Context) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ctx = ctx.Clone()
+	names := make([]string, 0, len(t.rules))
+	for name := range t.rules {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var firstErr error
+	for _, name := range names {
+		if err := t.applyLocked(t.rules[name]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// applyLocked aligns one rule with the current context. Caller holds mu.
+func (t *Tracker) applyLocked(r Rule) error {
+	want, err := Render(r.TopicTemplate, t.ctx)
+	suspended := errors.Is(err, ErrUnresolved)
+	if err != nil && !suspended {
+		return err
+	}
+	current, isActive := t.active[r.Name]
+	if suspended {
+		if !isActive {
+			return nil
+		}
+		delete(t.active, r.Name)
+		return t.mgr.Unsubscribe(current, t.subscriber)
+	}
+	if isActive && current == want {
+		return nil
+	}
+	if isActive {
+		if err := t.mgr.Unsubscribe(current, t.subscriber); err != nil {
+			return err
+		}
+		delete(t.active, r.Name)
+	}
+	sub := msg.Subscription{Topic: want, Subscriber: t.subscriber, Options: r.Options}
+	if err := t.mgr.Subscribe(sub); err != nil {
+		return err
+	}
+	t.active[r.Name] = want
+	return nil
+}
+
+// ActiveTopics returns the currently subscribed topics, sorted.
+func (t *Tracker) ActiveTopics() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.active))
+	for _, topic := range t.active {
+		out = append(out, topic)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,206 @@
+package mobility
+
+import (
+	"errors"
+	"testing"
+
+	"lasthop/internal/msg"
+)
+
+// fakeManager records subscription traffic.
+type fakeManager struct {
+	subs   []msg.Subscription
+	unsubs []string
+	err    error
+}
+
+var _ SubscriptionManager = (*fakeManager)(nil)
+
+func (m *fakeManager) Subscribe(s msg.Subscription) error {
+	if m.err != nil {
+		return m.err
+	}
+	m.subs = append(m.subs, s)
+	return nil
+}
+
+func (m *fakeManager) Unsubscribe(topic, subscriber string) error {
+	if m.err != nil {
+		return m.err
+	}
+	m.unsubs = append(m.unsubs, topic)
+	return nil
+}
+
+func TestRender(t *testing.T) {
+	ctx := Context{"city": "tromsø", "road": "e8"}
+	tests := []struct {
+		template string
+		want     string
+		wantErr  bool
+	}{
+		{"traffic/${city}", "traffic/tromsø", false},
+		{"roads/${city}/${road}", "roads/tromsø/e8", false},
+		{"static/topic", "static/topic", false},
+		{"x/${missing}", "", true},
+		{"x/${unterminated", "", true},
+		{"", "", false},
+	}
+	for _, tt := range tests {
+		got, err := Render(tt.template, ctx)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("Render(%q) error = %v", tt.template, err)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("Render(%q) = %q, want %q", tt.template, got, tt.want)
+		}
+	}
+}
+
+func TestRenderMissingIsUnresolved(t *testing.T) {
+	_, err := Render("t/${nope}", Context{})
+	if !errors.Is(err, ErrUnresolved) {
+		t.Errorf("err = %v, want ErrUnresolved", err)
+	}
+}
+
+func TestTrackerResubscribesOnContextChange(t *testing.T) {
+	m := &fakeManager{}
+	tr := NewTracker(m, "phone")
+	rule := Rule{
+		Name:          "traffic",
+		TopicTemplate: "traffic/${city}",
+		Options:       msg.SubscriptionOptions{Max: 8, Threshold: 2},
+	}
+	if err := tr.AddRule(rule); err != nil {
+		t.Fatal(err)
+	}
+	// No city yet: rule suspended.
+	if len(m.subs) != 0 || len(tr.ActiveTopics()) != 0 {
+		t.Fatal("rule active without context")
+	}
+	if err := tr.UpdateContext(Context{"city": "oslo"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.subs) != 1 || m.subs[0].Topic != "traffic/oslo" || m.subs[0].Subscriber != "phone" {
+		t.Fatalf("subs = %+v", m.subs)
+	}
+	if m.subs[0].Options.Max != 8 {
+		t.Error("options not carried through")
+	}
+	// Moving resubscribes: unsubscribe old, subscribe new.
+	if err := tr.UpdateContext(Context{"city": "tromsø"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.unsubs) != 1 || m.unsubs[0] != "traffic/oslo" {
+		t.Fatalf("unsubs = %v", m.unsubs)
+	}
+	if len(m.subs) != 2 || m.subs[1].Topic != "traffic/tromsø" {
+		t.Fatalf("subs = %+v", m.subs)
+	}
+	// Same context again: no churn.
+	if err := tr.UpdateContext(Context{"city": "tromsø"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.subs) != 2 || len(m.unsubs) != 1 {
+		t.Error("redundant resubscription on unchanged context")
+	}
+	got := tr.ActiveTopics()
+	if len(got) != 1 || got[0] != "traffic/tromsø" {
+		t.Errorf("ActiveTopics = %v", got)
+	}
+}
+
+func TestTrackerSuspendsOnMissingAttribute(t *testing.T) {
+	m := &fakeManager{}
+	tr := NewTracker(m, "phone")
+	if err := tr.AddRule(Rule{Name: "traffic", TopicTemplate: "traffic/${city}"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.UpdateContext(Context{"city": "oslo"}); err != nil {
+		t.Fatal(err)
+	}
+	// GPS lost: attribute disappears, subscription is dropped.
+	if err := tr.UpdateContext(Context{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.unsubs) != 1 || m.unsubs[0] != "traffic/oslo" {
+		t.Fatalf("unsubs = %v", m.unsubs)
+	}
+	if len(tr.ActiveTopics()) != 0 {
+		t.Error("suspended rule still active")
+	}
+}
+
+func TestTrackerStaticRule(t *testing.T) {
+	m := &fakeManager{}
+	tr := NewTracker(m, "phone")
+	if err := tr.AddRule(Rule{Name: "news", TopicTemplate: "world/news"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.subs) != 1 || m.subs[0].Topic != "world/news" {
+		t.Fatalf("static rule not applied immediately: %+v", m.subs)
+	}
+	// Context churn leaves static rules alone.
+	if err := tr.UpdateContext(Context{"city": "oslo"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.subs) != 1 || len(m.unsubs) != 0 {
+		t.Error("static rule churned")
+	}
+}
+
+func TestTrackerRemoveRule(t *testing.T) {
+	m := &fakeManager{}
+	tr := NewTracker(m, "phone")
+	if err := tr.AddRule(Rule{Name: "news", TopicTemplate: "world/news"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.RemoveRule("news"); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.unsubs) != 1 || m.unsubs[0] != "world/news" {
+		t.Fatalf("unsubs = %v", m.unsubs)
+	}
+	if err := tr.RemoveRule("news"); err == nil {
+		t.Error("double remove succeeded")
+	}
+}
+
+func TestTrackerValidation(t *testing.T) {
+	m := &fakeManager{}
+	tr := NewTracker(m, "phone")
+	if err := tr.AddRule(Rule{Name: "", TopicTemplate: "x"}); err == nil {
+		t.Error("unnamed rule accepted")
+	}
+	if err := tr.AddRule(Rule{Name: "a", TopicTemplate: ""}); err == nil {
+		t.Error("empty template accepted")
+	}
+	if err := tr.AddRule(Rule{Name: "a", TopicTemplate: "x", Options: msg.SubscriptionOptions{Max: -1}}); err == nil {
+		t.Error("bad options accepted")
+	}
+	if err := tr.AddRule(Rule{Name: "ok", TopicTemplate: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddRule(Rule{Name: "ok", TopicTemplate: "y"}); err == nil {
+		t.Error("duplicate rule accepted")
+	}
+}
+
+func TestTrackerManagerErrorsSurface(t *testing.T) {
+	m := &fakeManager{err: errors.New("broker down")}
+	tr := NewTracker(m, "phone")
+	if err := tr.AddRule(Rule{Name: "news", TopicTemplate: "world/news"}); err == nil {
+		t.Error("manager error swallowed")
+	}
+}
+
+func TestContextClone(t *testing.T) {
+	a := Context{"k": "v"}
+	b := a.Clone()
+	b["k"] = "w"
+	if a["k"] != "v" {
+		t.Error("Clone shares storage")
+	}
+}

@@ -1,0 +1,511 @@
+// Package pubsub implements the topic-based publish/subscribe routing
+// substrate that the paper treats as a black box: advertising and
+// withdrawing topics, publishing notifications, subscribing and
+// unsubscribing, and propagating rank updates. Notifications and
+// subscription notices carry the volume-limiting attribute pairs
+// (Rank/Expiration and Max/Threshold) end to end.
+//
+// A Broker is a single routing node. Brokers can be federated into an
+// acyclic overlay — in-process with Connect, or across machines through
+// any transport implementing Peer (see internal/wire's broker federation).
+// Subscriptions propagate through the overlay and notifications are routed
+// only toward brokers with matching subscribers, the standard
+// subscription-flooding design of topic-based systems.
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lasthop/internal/msg"
+)
+
+// Well-known errors callers can match with errors.Is.
+var (
+	ErrNotAdvertised     = errors.New("topic not advertised")
+	ErrAlreadyAdvertised = errors.New("topic already advertised")
+	ErrNotSubscribed     = errors.New("not subscribed")
+	ErrDuplicateID       = errors.New("duplicate notification ID")
+)
+
+// Subscriber receives notifications and rank updates for its subscriptions.
+// Implementations must not call back into the broker from inside the
+// callback; the proxy's handlers satisfy this by scheduling follow-up work.
+type Subscriber interface {
+	// Deliver hands over a notification on a subscribed topic.
+	Deliver(n *msg.Notification)
+	// DeliverRankUpdate hands over a rank revision for a notification
+	// previously published on a subscribed topic.
+	DeliverRankUpdate(u msg.RankUpdate)
+}
+
+type subscription struct {
+	name string
+	sub  Subscriber
+	opts msg.SubscriptionOptions
+}
+
+// Peer is a neighboring broker in the federation overlay, local or remote.
+// The overlay must be acyclic: routing excludes only the edge a message
+// arrived on.
+type Peer interface {
+	// SubscribeRemote expresses interest in a topic's traffic on behalf
+	// of from.
+	SubscribeRemote(topic string, from Peer)
+	// UnsubscribeRemote withdraws that interest.
+	UnsubscribeRemote(topic string, from Peer)
+	// Route forwards a notification arriving over the from edge.
+	Route(n *msg.Notification, from Peer)
+	// RouteUpdate forwards a rank revision arriving over the from edge.
+	RouteUpdate(u msg.RankUpdate, from Peer)
+}
+
+type topicState struct {
+	publisher string
+	subs      map[string]*subscription
+	seen      msg.IDSet // IDs published on this topic (duplicate suppression)
+	// peers holds the neighbors that expressed interest in this topic
+	// (i.e. want its notifications forwarded to them).
+	peers map[Peer]struct{}
+	// sent tracks the neighbors this broker has expressed interest to,
+	// so interest changes propagate as deltas.
+	sent map[Peer]bool
+}
+
+// Broker is one topic-based pub/sub routing node. All methods are safe for
+// concurrent use.
+type Broker struct {
+	name string
+
+	mu     sync.Mutex
+	topics map[string]*topicState
+	peers  []Peer
+}
+
+var _ Peer = (*Broker)(nil)
+
+// NewBroker returns an empty broker with the given node name.
+func NewBroker(name string) *Broker {
+	return &Broker{name: name, topics: make(map[string]*topicState)}
+}
+
+// Name returns the broker's node name.
+func (b *Broker) Name() string { return b.name }
+
+// Connect links two in-process brokers as overlay peers. The overlay must
+// remain acyclic (a tree); Connect does not verify global acyclicity but
+// rejects self-links and duplicate links.
+func (b *Broker) Connect(other *Broker) error {
+	if other == nil || other == b {
+		return errors.New("invalid peer")
+	}
+	// Lock in address order to avoid lock inversion with concurrent
+	// Connect calls in the opposite direction.
+	first, second := b, other
+	if fmt.Sprintf("%p", first) > fmt.Sprintf("%p", second) {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	second.mu.Lock()
+	for _, p := range b.peers {
+		if p == Peer(other) {
+			second.mu.Unlock()
+			first.mu.Unlock()
+			return fmt.Errorf("brokers %s and %s already connected", b.name, other.name)
+		}
+	}
+	b.peers = append(b.peers, other)
+	other.peers = append(other.peers, b)
+	// Recompute interest toward the new neighbor on both sides; the
+	// deltas are exchanged after the locks drop so notifications start
+	// routing across the new edge.
+	type delta struct {
+		src         *Broker
+		topic       string
+		adds, drops []Peer
+	}
+	var deltas []delta
+	for _, side := range []*Broker{b, other} {
+		for topic, st := range side.topics {
+			adds, drops := side.interestDeltas(st)
+			if len(adds)+len(drops) > 0 {
+				deltas = append(deltas, delta{src: side, topic: topic, adds: adds, drops: drops})
+			}
+		}
+	}
+	second.mu.Unlock()
+	first.mu.Unlock()
+
+	for _, d := range deltas {
+		d.src.sendInterest(d.topic, d.adds, d.drops)
+	}
+	return nil
+}
+
+// AttachPeer adds a one-sided overlay edge toward a (possibly remote)
+// peer; the other side attaches its own representation of this broker.
+// Existing local interest is expressed to the new neighbor immediately.
+func (b *Broker) AttachPeer(p Peer) error {
+	if p == nil || p == Peer(b) {
+		return errors.New("invalid peer")
+	}
+	b.mu.Lock()
+	for _, existing := range b.peers {
+		if existing == p {
+			b.mu.Unlock()
+			return errors.New("peer already attached")
+		}
+	}
+	b.peers = append(b.peers, p)
+	type delta struct {
+		topic       string
+		adds, drops []Peer
+	}
+	var deltas []delta
+	for topic, st := range b.topics {
+		adds, drops := b.interestDeltas(st)
+		if len(adds)+len(drops) > 0 {
+			deltas = append(deltas, delta{topic: topic, adds: adds, drops: drops})
+		}
+	}
+	b.mu.Unlock()
+	for _, d := range deltas {
+		b.sendInterest(d.topic, d.adds, d.drops)
+	}
+	return nil
+}
+
+// DetachPeer removes an overlay edge (for example when a federation
+// connection drops) and withdraws the interest it carried.
+func (b *Broker) DetachPeer(p Peer) {
+	b.mu.Lock()
+	kept := b.peers[:0]
+	for _, existing := range b.peers {
+		if existing != p {
+			kept = append(kept, existing)
+		}
+	}
+	b.peers = kept
+	type delta struct {
+		topic       string
+		adds, drops []Peer
+	}
+	var deltas []delta
+	for topic, st := range b.topics {
+		delete(st.peers, p)
+		delete(st.sent, p)
+		adds, drops := b.interestDeltas(st)
+		if len(adds)+len(drops) > 0 {
+			deltas = append(deltas, delta{topic: topic, adds: adds, drops: drops})
+		}
+	}
+	b.mu.Unlock()
+	for _, d := range deltas {
+		b.sendInterest(d.topic, d.adds, d.drops)
+	}
+}
+
+func (b *Broker) topic(name string) *topicState {
+	st, ok := b.topics[name]
+	if !ok {
+		st = &topicState{
+			subs:  make(map[string]*subscription),
+			seen:  make(msg.IDSet),
+			peers: make(map[Peer]struct{}),
+			sent:  make(map[Peer]bool),
+		}
+		b.topics[name] = st
+	}
+	return st
+}
+
+// Advertise announces that publisher will publish on the topic. A topic
+// may have one publisher at a time; re-advertising by the same publisher is
+// idempotent.
+func (b *Broker) Advertise(topic, publisher string) error {
+	if topic == "" || publisher == "" {
+		return errors.New("advertise needs a topic and a publisher")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.topic(topic)
+	if st.publisher != "" && st.publisher != publisher {
+		return fmt.Errorf("%w: topic %q held by %q", ErrAlreadyAdvertised, topic, st.publisher)
+	}
+	st.publisher = publisher
+	return nil
+}
+
+// Withdraw removes the publisher's claim on the topic. Existing
+// subscriptions stay; they simply stop receiving events.
+func (b *Broker) Withdraw(topic, publisher string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.topics[topic]
+	if !ok || st.publisher != publisher {
+		return fmt.Errorf("%w: %q", ErrNotAdvertised, topic)
+	}
+	st.publisher = ""
+	return nil
+}
+
+// Subscribe registers a subscriber on a topic with its volume-limiting
+// options. Re-subscribing with the same subscriber name replaces the
+// options (used by context updates, §2.3).
+func (b *Broker) Subscribe(s msg.Subscription, sub Subscriber) error {
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("subscribe: %w", err)
+	}
+	if sub == nil {
+		return errors.New("subscribe: nil subscriber")
+	}
+	b.mu.Lock()
+	st := b.topic(s.Topic)
+	st.subs[s.Subscriber] = &subscription{name: s.Subscriber, sub: sub, opts: s.Options}
+	adds, drops := b.interestDeltas(st)
+	b.mu.Unlock()
+	b.sendInterest(s.Topic, adds, drops)
+	return nil
+}
+
+// interestDeltas recomputes, for every neighbor, whether this broker should
+// express interest in the topic (it should when it has local subscribers or
+// interest from any *other* neighbor), and returns the neighbors whose view
+// must change. The caller holds b.mu.
+func (b *Broker) interestDeltas(st *topicState) (adds, drops []Peer) {
+	for _, p := range b.peers {
+		want := len(st.subs) > 0
+		if !want {
+			for q := range st.peers {
+				if q != p {
+					want = true
+					break
+				}
+			}
+		}
+		switch {
+		case want && !st.sent[p]:
+			st.sent[p] = true
+			adds = append(adds, p)
+		case !want && st.sent[p]:
+			delete(st.sent, p)
+			drops = append(drops, p)
+		}
+	}
+	return adds, drops
+}
+
+// sendInterest delivers interest deltas; it must run without holding b.mu.
+func (b *Broker) sendInterest(topic string, adds, drops []Peer) {
+	for _, p := range adds {
+		p.SubscribeRemote(topic, b)
+	}
+	for _, p := range drops {
+		p.UnsubscribeRemote(topic, b)
+	}
+}
+
+// Unsubscribe removes the subscriber from the topic.
+func (b *Broker) Unsubscribe(topic, subscriber string) error {
+	b.mu.Lock()
+	st, ok := b.topics[topic]
+	if !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotSubscribed, topic)
+	}
+	if _, ok := st.subs[subscriber]; !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %q on %q", ErrNotSubscribed, subscriber, topic)
+	}
+	delete(st.subs, subscriber)
+	adds, drops := b.interestDeltas(st)
+	b.mu.Unlock()
+	b.sendInterest(topic, adds, drops)
+	return nil
+}
+
+// SubscribeRemote records that a neighbor wants this topic's traffic and
+// propagates the interest change across the tree. It implements Peer.
+func (b *Broker) SubscribeRemote(topic string, from Peer) {
+	b.mu.Lock()
+	st := b.topic(topic)
+	if _, dup := st.peers[from]; dup {
+		b.mu.Unlock()
+		return
+	}
+	st.peers[from] = struct{}{}
+	adds, drops := b.interestDeltas(st)
+	b.mu.Unlock()
+	b.sendInterest(topic, adds, drops)
+}
+
+// UnsubscribeRemote withdraws a neighbor's interest, quenching propagation
+// when nobody downstream is left. It implements Peer.
+func (b *Broker) UnsubscribeRemote(topic string, from Peer) {
+	b.mu.Lock()
+	st, ok := b.topics[topic]
+	if !ok {
+		b.mu.Unlock()
+		return
+	}
+	if _, ok := st.peers[from]; !ok {
+		b.mu.Unlock()
+		return
+	}
+	delete(st.peers, from)
+	adds, drops := b.interestDeltas(st)
+	b.mu.Unlock()
+	b.sendInterest(topic, adds, drops)
+}
+
+// Publish routes a notification to every subscriber of its topic, here and
+// across the federation. The topic must be advertised on the ingress
+// broker; notification IDs must be fresh.
+func (b *Broker) Publish(n *msg.Notification) error {
+	if n == nil {
+		return errors.New("publish: nil notification")
+	}
+	if err := n.Validate(); err != nil {
+		return fmt.Errorf("publish: %w", err)
+	}
+	b.mu.Lock()
+	st, ok := b.topics[n.Topic]
+	if !ok || st.publisher == "" {
+		b.mu.Unlock()
+		return fmt.Errorf("publish: %w: %q", ErrNotAdvertised, n.Topic)
+	}
+	if n.Publisher != "" && n.Publisher != st.publisher {
+		b.mu.Unlock()
+		return fmt.Errorf("publish: topic %q advertised by %q, not %q", n.Topic, st.publisher, n.Publisher)
+	}
+	if st.seen.Contains(n.ID) {
+		b.mu.Unlock()
+		return fmt.Errorf("publish: %w: %q", ErrDuplicateID, n.ID)
+	}
+	b.mu.Unlock()
+	b.Route(n, nil)
+	return nil
+}
+
+// Route delivers the notification locally and forwards it to interested
+// peers, excluding the edge it arrived on. It implements Peer.
+func (b *Broker) Route(n *msg.Notification, from Peer) {
+	b.mu.Lock()
+	st := b.topic(n.Topic)
+	if !st.seen.Add(n.ID) {
+		b.mu.Unlock()
+		return // already routed here (duplicate suppression)
+	}
+	targets := make([]*subscription, 0, len(st.subs))
+	for _, s := range st.subs {
+		targets = append(targets, s)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].name < targets[j].name })
+	peerTargets := make([]Peer, 0, len(st.peers))
+	for p := range st.peers {
+		if p != from {
+			peerTargets = append(peerTargets, p)
+		}
+	}
+	b.mu.Unlock()
+
+	for _, s := range targets {
+		s.sub.Deliver(n.Clone())
+	}
+	for _, p := range peerTargets {
+		p.Route(n, b)
+	}
+}
+
+// PublishRankUpdate routes a rank revision for a previously published
+// notification to everyone subscribed to its topic.
+func (b *Broker) PublishRankUpdate(u msg.RankUpdate) error {
+	if err := u.Validate(); err != nil {
+		return fmt.Errorf("rank update: %w", err)
+	}
+	b.mu.Lock()
+	st, ok := b.topics[u.Topic]
+	if !ok || !st.seen.Contains(u.ID) {
+		b.mu.Unlock()
+		return fmt.Errorf("rank update: unknown notification %q on %q", u.ID, u.Topic)
+	}
+	b.mu.Unlock()
+	b.RouteUpdate(u, nil)
+	return nil
+}
+
+// RouteUpdate floods the update along subscription edges, excluding the
+// edge it arrived on (sufficient for the required acyclic overlay; updates
+// have no per-ID dedup record). It implements Peer.
+func (b *Broker) RouteUpdate(u msg.RankUpdate, from Peer) {
+	b.mu.Lock()
+	st, ok := b.topics[u.Topic]
+	if !ok {
+		b.mu.Unlock()
+		return
+	}
+	targets := make([]*subscription, 0, len(st.subs))
+	for _, s := range st.subs {
+		targets = append(targets, s)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].name < targets[j].name })
+	peerTargets := make([]Peer, 0, len(st.peers))
+	for p := range st.peers {
+		if p != from {
+			peerTargets = append(peerTargets, p)
+		}
+	}
+	b.mu.Unlock()
+
+	for _, s := range targets {
+		s.sub.DeliverRankUpdate(u)
+	}
+	for _, p := range peerTargets {
+		p.RouteUpdate(u, b)
+	}
+}
+
+// Topics returns the names of all topics with local state, sorted.
+func (b *Broker) Topics() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.topics))
+	for name := range b.topics {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subscribers returns the names of local subscribers on a topic, sorted.
+func (b *Broker) Subscribers(topic string) []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.topics[topic]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(st.subs))
+	for name := range st.subs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SubscriptionOptions returns the options a local subscriber registered.
+func (b *Broker) SubscriptionOptions(topic, subscriber string) (msg.SubscriptionOptions, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.topics[topic]
+	if !ok {
+		return msg.SubscriptionOptions{}, false
+	}
+	s, ok := st.subs[subscriber]
+	if !ok {
+		return msg.SubscriptionOptions{}, false
+	}
+	return s.opts, true
+}

@@ -1,0 +1,133 @@
+package pubsub
+
+// Property test for federation routing: over random tree topologies and
+// random subscription churn, every publish must reach exactly the current
+// subscribers, each exactly once.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"lasthop/internal/msg"
+)
+
+func TestFederationDeliveryProperty(t *testing.T) {
+	published := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+
+		// Random tree of brokers.
+		n := 3 + rng.Intn(5)
+		brokers := make([]*Broker, n)
+		for i := range brokers {
+			brokers[i] = NewBroker(fmt.Sprintf("b%d", i))
+		}
+		for i := 1; i < n; i++ {
+			parent := rng.Intn(i)
+			if err := brokers[i].Connect(brokers[parent]); err != nil {
+				t.Fatalf("seed %d: connect: %v", seed, err)
+			}
+		}
+
+		if err := brokers[0].Advertise("t", "pub"); err != nil {
+			t.Fatal(err)
+		}
+
+		// Random subscription churn: the model tracks who is currently
+		// subscribed where.
+		type subKey struct{ broker, name int }
+		recs := map[subKey]*recorder{}
+		active := map[subKey]bool{}
+		for op := 0; op < 30; op++ {
+			key := subKey{broker: rng.Intn(n), name: rng.Intn(3)}
+			if !active[key] {
+				r, ok := recs[key]
+				if !ok {
+					r = &recorder{}
+					recs[key] = r
+				}
+				s := msg.Subscription{
+					Topic:      "t",
+					Subscriber: fmt.Sprintf("sub%d", key.name),
+					Options:    msg.SubscriptionOptions{Max: 8},
+				}
+				if err := brokers[key.broker].Subscribe(s, r); err != nil {
+					t.Fatalf("seed %d: subscribe: %v", seed, err)
+				}
+				active[key] = true
+			} else {
+				if err := brokers[key.broker].Unsubscribe("t", fmt.Sprintf("sub%d", key.name)); err != nil {
+					t.Fatalf("seed %d: unsubscribe: %v", seed, err)
+				}
+				active[key] = false
+			}
+
+			// After every churn step, publish one notification from a
+			// random broker that can reach the topic's publisher...
+			// publishing always enters at broker 0 (where the topic is
+			// advertised) and must reach exactly the active set.
+			before := map[subKey]int{}
+			for key, r := range recs {
+				before[key] = r.count()
+			}
+			id := msg.ID(fmt.Sprintf("s%d-op%d", seed, op))
+			err := brokers[0].Publish(&msg.Notification{
+				ID: id, Topic: "t", Publisher: "pub", Rank: 1, Published: published,
+			})
+			if err != nil {
+				t.Fatalf("seed %d: publish: %v", seed, err)
+			}
+			for key, r := range recs {
+				got := r.count() - before[key]
+				want := 0
+				if active[key] {
+					want = 1
+				}
+				if got != want {
+					t.Fatalf("seed %d op %d: subscriber %v on broker %d received %d, want %d",
+						seed, op, key.name, key.broker, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFederationDeepChain(t *testing.T) {
+	// A 10-broker chain: interest and traffic propagate end to end, and
+	// quench after the last unsubscribe.
+	const n = 10
+	brokers := make([]*Broker, n)
+	for i := range brokers {
+		brokers[i] = NewBroker(fmt.Sprintf("c%d", i))
+		if i > 0 {
+			if err := brokers[i].Connect(brokers[i-1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := brokers[0].Advertise("t", "pub"); err != nil {
+		t.Fatal(err)
+	}
+	r := &recorder{}
+	s := msg.Subscription{Topic: "t", Subscriber: "end", Options: msg.SubscriptionOptions{Max: 8}}
+	if err := brokers[n-1].Subscribe(s, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := brokers[0].Publish(note("x1", "t", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if r.count() != 1 {
+		t.Fatalf("end of chain received %d", r.count())
+	}
+	if err := brokers[n-1].Unsubscribe("t", "end"); err != nil {
+		t.Fatal(err)
+	}
+	if err := brokers[0].Publish(note("x2", "t", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if r.count() != 1 {
+		t.Fatalf("quench failed: received %d", r.count())
+	}
+}

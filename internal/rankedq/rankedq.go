@@ -1,0 +1,400 @@
+// Package rankedq provides the queue structures used by the last-hop proxy
+// algorithm: a rank-ordered queue with removal by notification ID, an
+// expiration index that surfaces stale notifications in expiry order, and a
+// bounded history of seen events.
+//
+// All structures are single-goroutine data structures: the proxy serializes
+// access to them through its scheduler, so they carry no locks.
+package rankedq
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"lasthop/internal/msg"
+)
+
+// Queue is a priority queue of notifications ordered by msg.Notification
+// rank order (rank descending, then publication time, then ID) that also
+// supports O(log n) removal by ID, as required by the set-subtraction
+// operations in the paper's Figure 7 pseudo-code.
+type Queue struct {
+	h queueHeap
+}
+
+type queueHeap struct {
+	items []*msg.Notification
+	index map[msg.ID]int
+}
+
+var _ heap.Interface = (*queueHeap)(nil)
+
+func (q *queueHeap) Len() int { return len(q.items) }
+
+func (q *queueHeap) Less(i, j int) bool { return q.items[i].Before(q.items[j]) }
+
+func (q *queueHeap) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.index[q.items[i].ID] = i
+	q.index[q.items[j].ID] = j
+}
+
+func (q *queueHeap) Push(x any) {
+	n, ok := x.(*msg.Notification)
+	if !ok {
+		return // guarded by the exported API; never reached
+	}
+	q.index[n.ID] = len(q.items)
+	q.items = append(q.items, n)
+}
+
+func (q *queueHeap) Pop() any {
+	last := len(q.items) - 1
+	n := q.items[last]
+	q.items[last] = nil
+	q.items = q.items[:last]
+	delete(q.index, n.ID)
+	return n
+}
+
+// NewQueue returns an empty rank-ordered queue.
+func NewQueue() *Queue {
+	return &Queue{h: queueHeap{index: make(map[msg.ID]int)}}
+}
+
+// Len returns the number of queued notifications.
+func (q *Queue) Len() int { return q.h.Len() }
+
+// Contains reports whether a notification with the given ID is queued.
+func (q *Queue) Contains(id msg.ID) bool {
+	_, ok := q.h.index[id]
+	return ok
+}
+
+// Get returns the queued notification with the given ID, if any.
+func (q *Queue) Get(id msg.ID) (*msg.Notification, bool) {
+	i, ok := q.h.index[id]
+	if !ok {
+		return nil, false
+	}
+	return q.h.items[i], true
+}
+
+// Push inserts a notification. Inserting a duplicate ID is an error: the
+// proxy must use UpdateRank to revise a queued notification.
+func (q *Queue) Push(n *msg.Notification) error {
+	if n == nil {
+		return fmt.Errorf("push nil notification")
+	}
+	if _, ok := q.h.index[n.ID]; ok {
+		return fmt.Errorf("duplicate notification %q", n.ID)
+	}
+	heap.Push(&q.h, n)
+	return nil
+}
+
+// PeekBest returns the highest-ranked notification without removing it.
+func (q *Queue) PeekBest() (*msg.Notification, bool) {
+	if q.h.Len() == 0 {
+		return nil, false
+	}
+	return q.h.items[0], true
+}
+
+// PopBest removes and returns the highest-ranked notification.
+func (q *Queue) PopBest() (*msg.Notification, bool) {
+	if q.h.Len() == 0 {
+		return nil, false
+	}
+	n, ok := heap.Pop(&q.h).(*msg.Notification)
+	return n, ok
+}
+
+// Remove deletes the notification with the given ID, returning it if it was
+// queued. This implements the pseudo-code's "queue \ event" subtraction.
+func (q *Queue) Remove(id msg.ID) (*msg.Notification, bool) {
+	i, ok := q.h.index[id]
+	if !ok {
+		return nil, false
+	}
+	n, ok := heap.Remove(&q.h, i).(*msg.Notification)
+	return n, ok
+}
+
+// UpdateRank revises the rank of a queued notification in place and
+// restores heap order. It reports whether the notification was queued.
+func (q *Queue) UpdateRank(id msg.ID, rank float64) bool {
+	i, ok := q.h.index[id]
+	if !ok {
+		return false
+	}
+	q.h.items[i].Rank = rank
+	heap.Fix(&q.h, i)
+	return true
+}
+
+// BestN returns the up-to-n highest-ranked notifications in rank order
+// without removing them. With n <= 0 it returns nil. It runs in
+// O(n log len) by popping and restoring, which matters because the proxy
+// calls it on every user read against queues that can hold a year of
+// backlog.
+func (q *Queue) BestN(n int) []*msg.Notification {
+	if n <= 0 || q.h.Len() == 0 {
+		return nil
+	}
+	if n > q.h.Len() {
+		n = q.h.Len()
+	}
+	out := q.TakeBestN(n)
+	for _, item := range out {
+		heap.Push(&q.h, item)
+	}
+	return out
+}
+
+// TakeBestN removes and returns the up-to-n highest-ranked notifications in
+// rank order.
+func (q *Queue) TakeBestN(n int) []*msg.Notification {
+	if n <= 0 {
+		return nil
+	}
+	if n > q.h.Len() {
+		n = q.h.Len()
+	}
+	out := make([]*msg.Notification, 0, n)
+	for i := 0; i < n; i++ {
+		best, ok := q.PopBest()
+		if !ok {
+			break
+		}
+		out = append(out, best)
+	}
+	return out
+}
+
+// PopWorst removes and returns the lowest-ranked notification. It is a
+// linear scan: devices evict under storage pressure rarely, and the queue
+// is optimized for best-first access.
+func (q *Queue) PopWorst() (*msg.Notification, bool) {
+	if q.h.Len() == 0 {
+		return nil, false
+	}
+	worst := q.h.items[0]
+	for _, n := range q.h.items[1:] {
+		if worst.Before(n) {
+			worst = n
+		}
+	}
+	return q.Remove(worst.ID)
+}
+
+// IDs returns the IDs of all queued notifications in unspecified order.
+func (q *Queue) IDs() []msg.ID {
+	ids := make([]msg.ID, 0, len(q.h.items))
+	for _, n := range q.h.items {
+		ids = append(ids, n.ID)
+	}
+	return ids
+}
+
+// IDSet returns the queued IDs as a set.
+func (q *Queue) IDSet() msg.IDSet {
+	s := make(msg.IDSet, len(q.h.items))
+	for _, n := range q.h.items {
+		s.Add(n.ID)
+	}
+	return s
+}
+
+// Each calls fn for every queued notification in unspecified order. The
+// callback must not mutate the queue.
+func (q *Queue) Each(fn func(*msg.Notification)) {
+	for _, n := range q.h.items {
+		fn(n)
+	}
+}
+
+// Clear removes all queued notifications.
+func (q *Queue) Clear() {
+	q.h.items = nil
+	q.h.index = make(map[msg.ID]int)
+}
+
+// ExpiryIndex tracks expirable notifications in a min-heap keyed by
+// expiration instant, so the proxy can expire them with a single scheduled
+// timeout per earliest deadline rather than one timer per event.
+type ExpiryIndex struct {
+	h expiryHeap
+}
+
+type expiryEntry struct {
+	id      msg.ID
+	expires time.Time
+}
+
+type expiryHeap struct {
+	entries []expiryEntry
+	index   map[msg.ID]int
+}
+
+var _ heap.Interface = (*expiryHeap)(nil)
+
+func (h *expiryHeap) Len() int { return len(h.entries) }
+
+func (h *expiryHeap) Less(i, j int) bool {
+	if !h.entries[i].expires.Equal(h.entries[j].expires) {
+		return h.entries[i].expires.Before(h.entries[j].expires)
+	}
+	return h.entries[i].id < h.entries[j].id
+}
+
+func (h *expiryHeap) Swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+	h.index[h.entries[i].id] = i
+	h.index[h.entries[j].id] = j
+}
+
+func (h *expiryHeap) Push(x any) {
+	e, ok := x.(expiryEntry)
+	if !ok {
+		return // guarded by the exported API; never reached
+	}
+	h.index[e.id] = len(h.entries)
+	h.entries = append(h.entries, e)
+}
+
+func (h *expiryHeap) Pop() any {
+	last := len(h.entries) - 1
+	e := h.entries[last]
+	h.entries = h.entries[:last]
+	delete(h.index, e.id)
+	return e
+}
+
+// NewExpiryIndex returns an empty expiration index.
+func NewExpiryIndex() *ExpiryIndex {
+	return &ExpiryIndex{h: expiryHeap{index: make(map[msg.ID]int)}}
+}
+
+// Len returns the number of indexed notifications.
+func (x *ExpiryIndex) Len() int { return x.h.Len() }
+
+// Add indexes a notification's expiration. Notifications that never expire
+// are ignored. Adding an already-indexed ID is an error.
+func (x *ExpiryIndex) Add(n *msg.Notification) error {
+	if n.NeverExpires() {
+		return nil
+	}
+	if _, ok := x.h.index[n.ID]; ok {
+		return fmt.Errorf("duplicate expiry entry %q", n.ID)
+	}
+	heap.Push(&x.h, expiryEntry{id: n.ID, expires: n.Expires})
+	return nil
+}
+
+// Remove drops the entry for the given ID, reporting whether it existed.
+func (x *ExpiryIndex) Remove(id msg.ID) bool {
+	i, ok := x.h.index[id]
+	if !ok {
+		return false
+	}
+	heap.Remove(&x.h, i)
+	return true
+}
+
+// NextExpiry returns the earliest indexed expiration instant.
+func (x *ExpiryIndex) NextExpiry() (time.Time, bool) {
+	if x.h.Len() == 0 {
+		return time.Time{}, false
+	}
+	return x.h.entries[0].expires, true
+}
+
+// PopExpired removes and returns the IDs of all notifications whose
+// expiration instant is strictly before or at now, in expiry order.
+func (x *ExpiryIndex) PopExpired(now time.Time) []msg.ID {
+	var out []msg.ID
+	for x.h.Len() > 0 && !x.h.entries[0].expires.After(now) {
+		e, ok := heap.Pop(&x.h).(expiryEntry)
+		if !ok {
+			break
+		}
+		out = append(out, e.id)
+	}
+	return out
+}
+
+// History is the bounded, insertion-ordered record of events a topic has
+// seen (the pseudo-code's topic.history). The paper notes that the history
+// "grows without bounds" and leaves garbage collection unimplemented; here
+// a capacity bound evicts the oldest entries.
+type History struct {
+	capacity int
+	order    []msg.ID
+	head     int
+	set      msg.IDSet
+}
+
+// NewHistory returns a history bounded to the given capacity; capacity <= 0
+// means unbounded.
+func NewHistory(capacity int) *History {
+	return &History{capacity: capacity, set: make(msg.IDSet)}
+}
+
+// Len returns the number of remembered IDs.
+func (h *History) Len() int { return len(h.set) }
+
+// Contains reports whether the ID is remembered.
+func (h *History) Contains(id msg.ID) bool { return h.set.Contains(id) }
+
+// Add remembers an ID, evicting the oldest entries beyond capacity. It
+// returns the evicted IDs (usually empty) and whether id was new.
+func (h *History) Add(id msg.ID) (evicted []msg.ID, added bool) {
+	if h.set.Contains(id) {
+		return nil, false
+	}
+	h.set.Add(id)
+	h.order = append(h.order, id)
+	if h.capacity > 0 {
+		for len(h.set) > h.capacity {
+			old := h.order[h.head]
+			h.order[h.head] = msg.NoID
+			h.head++
+			if h.set.Remove(old) {
+				evicted = append(evicted, old)
+			}
+		}
+		h.compact()
+	}
+	return evicted, true
+}
+
+// Remove forgets an ID, reporting whether it was remembered. The order
+// slot is lazily reclaimed.
+func (h *History) Remove(id msg.ID) bool {
+	if !h.set.Remove(id) {
+		return false
+	}
+	return true
+}
+
+// compact reclaims the consumed prefix of the order slice once it dominates
+// the backing array, keeping Add amortized O(1).
+func (h *History) compact() {
+	if h.head > len(h.order)/2 && h.head > 32 {
+		h.order = append([]msg.ID(nil), h.order[h.head:]...)
+		h.head = 0
+	}
+}
+
+// Oldest returns the oldest remembered ID, if any.
+func (h *History) Oldest() (msg.ID, bool) {
+	for i := h.head; i < len(h.order); i++ {
+		id := h.order[i]
+		if id != msg.NoID && h.set.Contains(id) {
+			return id, true
+		}
+	}
+	return msg.NoID, false
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lasthop/internal/core"
+	"lasthop/internal/dist"
+)
+
+func TestScenarioSaveLoadRoundTrip(t *testing.T) {
+	cfg := quickCfg(func(c *Config) {
+		c.Horizon = 20 * dist.Day
+		c.Outage.Fraction = 0.5
+		c.Expiration = dist.ExpirationConfig{Kind: dist.ExpExpiration, Mean: 6 * time.Hour}
+		c.Churn = ChurnConfig{Portion: 0.2, RetractTo: 0}
+	})
+	orig := mustScenario(t, cfg)
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadScenario(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Arrivals) != len(orig.Arrivals) ||
+		len(loaded.Reads) != len(orig.Reads) ||
+		len(loaded.Outages) != len(orig.Outages) {
+		t.Fatal("round trip changed scenario shape")
+	}
+	// The loaded scenario must replay to identical results.
+	r1, err := Run(orig, core.BufferConfig(TopicName, 8, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(loaded, core.BufferConfig(TopicName, 8, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Forwarded != r2.Forwarded || r1.ReadCount != r2.ReadCount || r1.WastePct != r2.WastePct {
+		t.Errorf("replay diverged: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestScenarioSaveLoadFile(t *testing.T) {
+	cfg := quickCfg(func(c *Config) { c.Horizon = 5 * dist.Day })
+	orig := mustScenario(t, cfg)
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadScenarioFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Arrivals) != len(orig.Arrivals) {
+		t.Error("file round trip changed arrivals")
+	}
+	if _, err := LoadScenarioFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("loading a missing file succeeded")
+	}
+}
+
+func TestLoadScenarioRejectsGarbage(t *testing.T) {
+	if _, err := LoadScenario(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadScenario(strings.NewReader(`{"version":99,"scenario":{}}`)); err == nil {
+		t.Error("unknown version accepted")
+	}
+	// Structurally invalid: arrival beyond the horizon.
+	bad := `{"version":1,"scenario":{"Cfg":{"Horizon":1000,"EventsPerDay":1,"ReadsPerDay":1},` +
+		`"Arrivals":[{"At":5000,"Rank":1}],"Reads":null,"Outages":null}}`
+	if _, err := LoadScenario(strings.NewReader(bad)); err == nil {
+		t.Error("out-of-horizon arrival accepted")
+	}
+	// Out-of-order reads.
+	bad2 := `{"version":1,"scenario":{"Cfg":{"Horizon":100000,"EventsPerDay":1,"ReadsPerDay":1},` +
+		`"Arrivals":null,"Reads":[500,100],"Outages":null}}`
+	if _, err := LoadScenario(strings.NewReader(bad2)); err == nil {
+		t.Error("out-of-order reads accepted")
+	}
+}

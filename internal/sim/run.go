@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"lasthop/internal/core"
+	"lasthop/internal/device"
+	"lasthop/internal/dist"
+	"lasthop/internal/link"
+	"lasthop/internal/metrics"
+	"lasthop/internal/msg"
+	"lasthop/internal/pubsub"
+	"lasthop/internal/simtime"
+	"lasthop/internal/stats"
+	"lasthop/internal/trace"
+)
+
+// Start is the fixed virtual start instant of every simulation.
+var Start = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// TopicName is the single simulated topic.
+const TopicName = "sim/topic"
+
+const publisherName = "sim/publisher"
+
+// Result summarizes one policy run over a scenario.
+type Result struct {
+	// Policy names the forwarding policy that ran.
+	Policy core.PolicyKind
+	// Arrivals counts published notifications.
+	Arrivals int
+	// Forwarded counts distinct notifications transferred to the device.
+	Forwarded int
+	// ReadSet identifies the notifications the user actually read.
+	ReadSet msg.IDSet
+	// ReadCount is len(ReadSet).
+	ReadCount int
+	// WastePct is the percentage of forwarded messages never read
+	// (§3.1).
+	WastePct float64
+	// Device, Proxy, and Link expose the component accounting.
+	Device device.Stats
+	Proxy  core.Stats
+	Link   link.Stats
+}
+
+// Comparison pairs a policy run with the on-line baseline run of the same
+// scenario and derives the paper's two inefficiency metrics.
+type Comparison struct {
+	Baseline Result
+	Policy   Result
+	// WastePct is the policy run's waste.
+	WastePct float64
+	// LossPct is the percentage of baseline-read messages the policy
+	// failed to deliver (§3.1).
+	LossPct float64
+}
+
+// forwardToDevice adapts the device as the proxy's Forwarder; the pointer
+// is set after both parties exist (they reference each other).
+type forwardToDevice struct {
+	dev   *device.Device
+	sched simtime.Scheduler
+	tr    trace.Tracer
+}
+
+var _ core.Forwarder = (*forwardToDevice)(nil)
+
+func (f *forwardToDevice) Forward(n *msg.Notification) error {
+	err := f.dev.Receive(n)
+	if err == nil && f.tr != nil {
+		trace.Record(f.tr, trace.Event{
+			At: f.sched.Now(), Kind: trace.KindForward,
+			Topic: n.Topic, ID: n.ID, Rank: n.Rank,
+		})
+	}
+	return err
+}
+
+// Run replays a scenario under the given forwarding policy. The policy
+// config's Name, ReadSize, and RankThreshold are overridden from the
+// scenario's subscriber parameters.
+func Run(sc Scenario, policy core.TopicConfig) (Result, error) {
+	return RunTraced(sc, policy, nil)
+}
+
+// RunTraced is Run with an event tracer recording the run's timeline
+// (arrivals, transfers, reads, retractions, link transitions). A nil
+// tracer records nothing.
+func RunTraced(sc Scenario, policy core.TopicConfig, tr trace.Tracer) (Result, error) {
+	cfg := sc.Cfg
+	sched := simtime.NewVirtual(Start)
+	lnk := link.New(sched, !dist.DownAt(sc.Outages, 0))
+	fwd := &forwardToDevice{sched: sched, tr: tr}
+	proxy := core.New(sched, fwd)
+	dev := device.New(sched, lnk, proxy, device.Config{
+		Capacity:        cfg.DeviceCapacity,
+		BatteryCapacity: cfg.DeviceBattery,
+		RankThreshold:   cfg.RankThreshold,
+	})
+	fwd.dev = dev
+	proxy.SetNetwork(lnk.Up())
+	lnk.OnChange(func(up bool) {
+		if tr != nil {
+			kind := trace.KindLinkDown
+			if up {
+				kind = trace.KindLinkUp
+			}
+			trace.Record(tr, trace.Event{At: sched.Now(), Kind: kind})
+		}
+		proxy.SetNetwork(up)
+	})
+
+	policy.Name = TopicName
+	policy.ReadSize = cfg.Max
+	policy.RankThreshold = cfg.RankThreshold
+	if err := proxy.AddTopic(policy); err != nil {
+		return Result{}, fmt.Errorf("run: %w", err)
+	}
+
+	broker := pubsub.NewBroker("sim/broker")
+	if err := broker.Advertise(TopicName, publisherName); err != nil {
+		return Result{}, fmt.Errorf("run: %w", err)
+	}
+	subscription := msg.Subscription{
+		Topic:      TopicName,
+		Subscriber: "sim/proxy",
+		Options: msg.SubscriptionOptions{
+			Max:       cfg.Max,
+			Threshold: cfg.RankThreshold,
+			Mode:      policy.Mode,
+		},
+	}
+	if err := broker.Subscribe(subscription, proxy.Subscriber()); err != nil {
+		return Result{}, fmt.Errorf("run: %w", err)
+	}
+
+	// Schedule the workload. Publish errors other than rejection of
+	// expired content indicate a harness bug and are collected.
+	var harnessErr error
+	fail := func(err error) {
+		if harnessErr == nil && err != nil {
+			harnessErr = err
+		}
+	}
+	for i, a := range sc.Arrivals {
+		a := a
+		id := msg.ID("e" + strconv.Itoa(i))
+		published := Start.Add(a.At)
+		n := &msg.Notification{
+			ID:        id,
+			Topic:     TopicName,
+			Publisher: publisherName,
+			Rank:      a.Rank,
+			Published: published,
+		}
+		if a.Lifetime > 0 {
+			n.Expires = published.Add(a.Lifetime)
+		}
+		sched.Schedule(a.At, func() {
+			trace.Record(tr, trace.Event{
+				At: sched.Now(), Kind: trace.KindArrival,
+				Topic: TopicName, ID: id, Rank: n.Rank,
+			})
+			fail(broker.Publish(n))
+		})
+		if a.RetractAt > 0 {
+			update := msg.RankUpdate{Topic: TopicName, ID: id, NewRank: a.RetractTo}
+			sched.Schedule(a.RetractAt, func() {
+				trace.Record(tr, trace.Event{
+					At: sched.Now(), Kind: trace.KindRetract,
+					Topic: TopicName, ID: id, Rank: update.NewRank,
+				})
+				fail(broker.PublishRankUpdate(update))
+			})
+		}
+	}
+	for _, at := range sc.Reads {
+		sched.Schedule(at, func() {
+			batch, err := dev.Read(TopicName, cfg.Max)
+			if err != nil && !errors.Is(err, device.ErrBatteryDead) {
+				fail(err)
+			}
+			trace.Record(tr, trace.Event{
+				At: sched.Now(), Kind: trace.KindRead,
+				Topic: TopicName, Count: len(batch),
+			})
+		})
+	}
+	link.Drive(sched, lnk, sc.Outages)
+
+	// Stop one nanosecond before the horizon so an outage ending exactly
+	// at the boundary (the 100% downtime case) cannot flush the queues in
+	// a final instant the paper's year never contains.
+	sched.RunUntil(Start.Add(cfg.Horizon - time.Nanosecond))
+	if harnessErr != nil {
+		return Result{}, fmt.Errorf("run: %w", harnessErr)
+	}
+
+	ds := dev.Stats()
+	res := Result{
+		Policy:    policy.Policy,
+		Arrivals:  len(sc.Arrivals),
+		Forwarded: ds.Received,
+		ReadSet:   dev.ReadSet(TopicName),
+		ReadCount: ds.ReadCount,
+		Device:    ds,
+		Proxy:     proxy.Stats(),
+		Link:      lnk.Stats(),
+	}
+	res.WastePct = metrics.WastePct(res.Forwarded, res.ReadCount)
+
+	acct := metrics.Accounting{
+		Published:      res.Arrivals,
+		Forwarded:      ds.Received,
+		Read:           ds.ReadCount,
+		ExpiredUnread:  ds.ExpiredUnread,
+		EvictedStorage: ds.EvictedStorage,
+		RankDropped:    ds.RankDropsApplied,
+		ResidualQueue:  dev.QueueLen(TopicName),
+	}
+	if err := acct.Check(); err != nil {
+		return res, fmt.Errorf("run: accounting violation: %w", err)
+	}
+	return res, nil
+}
+
+// Compare runs the on-line baseline and the given policy over the same
+// scenario and derives waste and loss.
+func Compare(sc Scenario, policy core.TopicConfig) (Comparison, error) {
+	base, err := Run(sc, core.OnlineConfig(TopicName))
+	if err != nil {
+		return Comparison{}, fmt.Errorf("baseline: %w", err)
+	}
+	pol, err := Run(sc, policy)
+	if err != nil {
+		return Comparison{}, fmt.Errorf("policy: %w", err)
+	}
+	return Comparison{
+		Baseline: base,
+		Policy:   pol,
+		WastePct: pol.WastePct,
+		LossPct:  metrics.LossPct(base.ReadSet, pol.ReadSet),
+	}, nil
+}
+
+// CompareStats repeats Compare over replications seeds derived from
+// cfg.Seed and returns full summary statistics of waste and loss, for
+// reporting means with dispersion.
+func CompareStats(cfg Config, policy core.TopicConfig, replications int) (wasteStats, lossStats stats.Running, err error) {
+	if replications < 1 {
+		replications = 1
+	}
+	for r := 0; r < replications; r++ {
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + uint64(r)*0x9e3779b9
+		sc, serr := NewScenario(runCfg)
+		if serr != nil {
+			return wasteStats, lossStats, serr
+		}
+		cmp, cerr := Compare(sc, policy)
+		if cerr != nil {
+			return wasteStats, lossStats, cerr
+		}
+		wasteStats.Add(cmp.WastePct)
+		lossStats.Add(cmp.LossPct)
+	}
+	return wasteStats, lossStats, nil
+}
+
+// CompareAveraged repeats Compare over replications seeds derived from
+// cfg.Seed and returns the mean waste and loss, reducing the variance of
+// single-scenario estimates. The first comparison is returned for
+// inspection.
+func CompareAveraged(cfg Config, policy core.TopicConfig, replications int) (waste, loss float64, first Comparison, err error) {
+	if replications < 1 {
+		replications = 1
+	}
+	for r := 0; r < replications; r++ {
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + uint64(r)*0x9e3779b9
+		sc, serr := NewScenario(runCfg)
+		if serr != nil {
+			return 0, 0, Comparison{}, serr
+		}
+		cmp, cerr := Compare(sc, policy)
+		if cerr != nil {
+			return 0, 0, Comparison{}, cerr
+		}
+		if r == 0 {
+			first = cmp
+		}
+		waste += cmp.WastePct
+		loss += cmp.LossPct
+	}
+	waste /= float64(replications)
+	loss /= float64(replications)
+	return waste, loss, first, nil
+}

@@ -1,0 +1,176 @@
+// Package sim is the discrete-event simulator of the last hop (paper §3):
+// one proxy attached to one mobile device, subscribed to one topic, driven
+// for a virtual year by Poisson notification arrivals, a randomized user
+// read schedule, and network outages.
+//
+// A Scenario is generated deterministically from a seed and then replayed
+// under different forwarding policies; comparing a policy run against the
+// on-line baseline run of the same scenario yields the paper's waste and
+// loss metrics.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"lasthop/internal/dist"
+)
+
+// Year is the default experiment horizon ("each experimental run lasted
+// for one virtual year").
+const Year = 365 * dist.Day
+
+// Config parameterizes scenario generation and the simulated subscriber.
+type Config struct {
+	// Seed drives all randomness; equal seeds give equal scenarios.
+	Seed uint64
+	// Horizon is the simulated duration; zero defaults to one year.
+	Horizon time.Duration
+	// EventsPerDay is the paper's event frequency; zero defaults to 32.
+	EventsPerDay float64
+	// ReadsPerDay is the paper's user frequency; zero defaults to 2.
+	ReadsPerDay float64
+	// Max is the subscriber's quantitative limit per read; zero means
+	// unlimited (Max = ∞).
+	Max int
+	// RankThreshold is the subscriber's qualitative limit.
+	RankThreshold float64
+	// RankMin and RankMax bound the uniform rank distribution of
+	// published notifications; both zero defaults to [0, 5).
+	RankMin, RankMax float64
+	// Expiration configures notification lifetimes.
+	Expiration dist.ExpirationConfig
+	// Outage configures the last-hop outage process.
+	Outage dist.OutageConfig
+	// Churn configures rank retractions (§3.4 workload).
+	Churn ChurnConfig
+	// DeviceCapacity bounds device storage; zero means unbounded.
+	DeviceCapacity int
+	// DeviceBattery bounds device energy; zero means unbounded.
+	DeviceBattery float64
+}
+
+// ChurnConfig describes a rank-retraction workload: a portion of published
+// notifications later has its rank revised down to RetractTo ("malicious
+// users retracted after reaching mailboxes but before being read").
+type ChurnConfig struct {
+	// Portion is the fraction of notifications that get retracted.
+	Portion float64
+	// MeanLag is the mean delay (exponential) between publication and
+	// retraction; zero defaults to 10 minutes.
+	MeanLag time.Duration
+	// RetractTo is the revised rank, normally below the subscriber's
+	// threshold.
+	RetractTo float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Horizon == 0 {
+		c.Horizon = Year
+	}
+	if c.EventsPerDay == 0 {
+		c.EventsPerDay = 32
+	}
+	if c.ReadsPerDay == 0 {
+		c.ReadsPerDay = 2
+	}
+	if c.RankMin == 0 && c.RankMax == 0 {
+		c.RankMax = 5
+	}
+	if c.Churn.Portion > 0 && c.Churn.MeanLag == 0 {
+		c.Churn.MeanLag = 10 * time.Minute
+	}
+	return c
+}
+
+// Validate rejects configurations the simulator cannot honor.
+func (c Config) Validate() error {
+	switch {
+	case c.Horizon < 0:
+		return fmt.Errorf("negative horizon %v", c.Horizon)
+	case c.EventsPerDay < 0:
+		return fmt.Errorf("negative event frequency %v", c.EventsPerDay)
+	case c.ReadsPerDay < 0:
+		return fmt.Errorf("negative user frequency %v", c.ReadsPerDay)
+	case c.Max < 0:
+		return fmt.Errorf("negative Max %d", c.Max)
+	case c.RankMax < c.RankMin:
+		return fmt.Errorf("rank range [%v, %v) is empty", c.RankMin, c.RankMax)
+	case c.Outage.Fraction < 0 || c.Outage.Fraction > 1:
+		return fmt.Errorf("outage fraction %v outside [0, 1]", c.Outage.Fraction)
+	case c.Churn.Portion < 0 || c.Churn.Portion > 1:
+		return fmt.Errorf("churn portion %v outside [0, 1]", c.Churn.Portion)
+	default:
+		return nil
+	}
+}
+
+// Arrival is one pre-generated notification arrival.
+type Arrival struct {
+	// At is the offset from the simulation start.
+	At time.Duration
+	// Rank is the published rank.
+	Rank float64
+	// Lifetime is how long the notification stays relevant; zero means
+	// it never expires.
+	Lifetime time.Duration
+	// RetractAt, when positive, is the offset at which the rank is
+	// revised down to RetractTo.
+	RetractAt time.Duration
+	// RetractTo is the revised rank for retracted notifications.
+	RetractTo float64
+}
+
+// Scenario is one fully materialized random instance: identical scenarios
+// replayed under different policies experience identical randomness, which
+// is what makes waste/loss comparisons well-defined.
+type Scenario struct {
+	// Cfg is the generating configuration with defaults applied.
+	Cfg Config
+	// Arrivals are the notification arrivals, sorted by time.
+	Arrivals []Arrival
+	// Reads are the user read instants, sorted.
+	Reads []time.Duration
+	// Outages are the link outage intervals, sorted and disjoint.
+	Outages []dist.Interval
+}
+
+// NewScenario generates the scenario for a configuration. Each stochastic
+// process draws from an independent stream, so e.g. changing the outage
+// fraction does not perturb the arrival sequence.
+func NewScenario(cfg Config) (Scenario, error) {
+	if err := cfg.Validate(); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: %w", err)
+	}
+	cfg = cfg.withDefaults()
+	root := dist.New(cfg.Seed)
+	arrRng := root.Split("arrivals")
+	rankRng := root.Split("ranks")
+	expRng := root.Split("expirations")
+	readRng := root.Split("reads")
+	outRng := root.Split("outages")
+	churnRng := root.Split("churn")
+
+	times := dist.PoissonProcess(arrRng, cfg.EventsPerDay, cfg.Horizon)
+	arrivals := make([]Arrival, len(times))
+	for i, at := range times {
+		a := Arrival{
+			At:       at,
+			Rank:     rankRng.Uniform(cfg.RankMin, cfg.RankMax),
+			Lifetime: cfg.Expiration.Sample(expRng),
+		}
+		if cfg.Churn.Portion > 0 && churnRng.Float64() < cfg.Churn.Portion {
+			lag := time.Duration(churnRng.Exp(float64(cfg.Churn.MeanLag)))
+			if lag < time.Second {
+				lag = time.Second
+			}
+			a.RetractAt = at + lag
+			a.RetractTo = cfg.Churn.RetractTo
+		}
+		arrivals[i] = a
+	}
+
+	reads := dist.ReadSchedule(readRng, dist.ReadScheduleConfig{PerDay: cfg.ReadsPerDay}, cfg.Horizon)
+	outages := dist.OutageSchedule(outRng, cfg.Outage, cfg.Horizon)
+	return Scenario{Cfg: cfg, Arrivals: arrivals, Reads: reads, Outages: outages}, nil
+}

@@ -1,0 +1,108 @@
+package simtime
+
+import (
+	"sync"
+	"time"
+)
+
+// Hybrid is a scheduler for crash recovery: it starts in replay mode,
+// where time is virtual and driven by recorded timestamps, and then goes
+// live on the wall clock. Timers armed during replay (for example
+// notification expirations scheduled months ago) migrate automatically:
+// those already due fire during GoLive, the rest fire at their original
+// instants via a wall-clock pump.
+//
+// Replay-mode methods are single-threaded, like Virtual. After GoLive the
+// scheduler has Wall's serialization guarantees.
+type Hybrid struct {
+	v    *Virtual
+	wall *Wall
+	live bool
+
+	pumpMu sync.Mutex
+	pump   Timer
+}
+
+var _ Scheduler = (*Hybrid)(nil)
+
+// NewHybrid returns a hybrid scheduler starting replay at the given
+// instant.
+func NewHybrid(start time.Time) *Hybrid {
+	return &Hybrid{v: NewVirtual(start), wall: NewWall()}
+}
+
+// Now returns virtual time during replay and wall time after GoLive.
+func (h *Hybrid) Now() time.Time {
+	if h.live {
+		return h.wall.Now()
+	}
+	return h.v.Now()
+}
+
+// Schedule arms a timer on the active underlying scheduler.
+func (h *Hybrid) Schedule(d time.Duration, fn func()) Timer {
+	if h.live {
+		return h.wall.Schedule(d, fn)
+	}
+	return h.v.Schedule(d, fn)
+}
+
+// Run executes fn serialized with the active scheduler's callbacks.
+func (h *Hybrid) Run(fn func()) {
+	if h.live {
+		h.wall.Run(fn)
+		return
+	}
+	fn()
+}
+
+// AdvanceTo moves virtual time forward during replay, firing due timers.
+// It is a no-op after GoLive.
+func (h *Hybrid) AdvanceTo(t time.Time) {
+	if h.live {
+		return
+	}
+	h.v.RunUntil(t)
+}
+
+// Live reports whether the scheduler has switched to the wall clock.
+func (h *Hybrid) Live() bool { return h.live }
+
+// GoLive fires every virtual timer due by the current wall-clock instant,
+// switches to the wall clock, and arms a pump that fires the remaining
+// replay-era timers at their original instants.
+func (h *Hybrid) GoLive() {
+	if h.live {
+		return
+	}
+	h.v.RunUntil(time.Now())
+	h.live = true
+	h.armPump()
+}
+
+// armPump schedules the next drain of replay-era timers. It runs under the
+// wall scheduler's mutex (from GoLive's caller or a previous pump), which
+// serializes it with every live callback.
+func (h *Hybrid) armPump() {
+	h.pumpMu.Lock()
+	defer h.pumpMu.Unlock()
+	next, ok := h.v.NextDeadline()
+	if !ok {
+		h.pump = nil
+		return
+	}
+	h.pump = h.wall.Schedule(time.Until(next), func() {
+		h.v.RunUntil(time.Now())
+		h.armPump()
+	})
+}
+
+// Close stops the wall clock (and the pump).
+func (h *Hybrid) Close() {
+	h.pumpMu.Lock()
+	if h.pump != nil {
+		h.pump.Cancel()
+	}
+	h.pumpMu.Unlock()
+	h.wall.Close()
+}

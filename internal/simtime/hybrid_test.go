@@ -1,0 +1,105 @@
+package simtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHybridReplayPhase(t *testing.T) {
+	h := NewHybrid(t0)
+	defer h.Close()
+	if h.Live() {
+		t.Fatal("hybrid born live")
+	}
+	if !h.Now().Equal(t0) {
+		t.Errorf("Now = %v", h.Now())
+	}
+	var fired []time.Duration
+	h.Schedule(time.Hour, func() { fired = append(fired, time.Hour) })
+	h.Schedule(2*time.Hour, func() { fired = append(fired, 2*time.Hour) })
+	h.AdvanceTo(t0.Add(90 * time.Minute))
+	if len(fired) != 1 || fired[0] != time.Hour {
+		t.Errorf("fired = %v", fired)
+	}
+	if !h.Now().Equal(t0.Add(90 * time.Minute)) {
+		t.Errorf("Now = %v", h.Now())
+	}
+	ran := false
+	h.Run(func() { ran = true })
+	if !ran {
+		t.Error("Run during replay did not execute")
+	}
+}
+
+func TestHybridGoLiveFiresDueTimers(t *testing.T) {
+	h := NewHybrid(t0)
+	defer h.Close()
+	fired := false
+	h.Schedule(time.Hour, func() { fired = true }) // long past by wall now
+	h.GoLive()
+	if !fired {
+		t.Error("due replay timer did not fire at GoLive")
+	}
+	if !h.Live() {
+		t.Error("not live after GoLive")
+	}
+	// Now must track the wall clock.
+	if d := time.Since(h.Now()); d > time.Second || d < -time.Second {
+		t.Errorf("Now is not wall time: %v off", d)
+	}
+	h.GoLive() // idempotent
+}
+
+func TestHybridPumpFiresFutureReplayTimers(t *testing.T) {
+	// A timer armed during replay whose deadline lands shortly after the
+	// wall 'now' must still fire, via the pump.
+	start := time.Now().Add(-time.Hour)
+	h := NewHybrid(start)
+	defer h.Close()
+	var mu sync.Mutex
+	fired := false
+	h.Schedule(time.Hour+50*time.Millisecond, func() {
+		mu.Lock()
+		fired = true
+		mu.Unlock()
+	})
+	h.GoLive()
+	mu.Lock()
+	early := fired
+	mu.Unlock()
+	if early {
+		t.Fatal("future replay timer fired too early")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		ok := fired
+		mu.Unlock()
+		if ok {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("replay-era timer never fired after GoLive")
+}
+
+func TestHybridLiveScheduling(t *testing.T) {
+	h := NewHybrid(time.Now().Add(-time.Minute))
+	defer h.Close()
+	h.GoLive()
+	done := make(chan struct{})
+	h.Schedule(10*time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("live timer never fired")
+	}
+	// AdvanceTo is a no-op when live.
+	h.AdvanceTo(time.Now().Add(time.Hour))
+	ran := false
+	h.Run(func() { ran = true })
+	if !ran {
+		t.Error("Run after live did not execute")
+	}
+}

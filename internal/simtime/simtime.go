@@ -1,0 +1,271 @@
+// Package simtime abstracts time for the last-hop proxy so that the same
+// algorithm code runs under a discrete-event virtual clock in simulation
+// and under the wall clock in a live deployment.
+//
+// The proxy algorithm (paper Figure 7) relies on a schedule() primitive to
+// expire and delay notifications; Scheduler provides it. Virtual is the
+// deterministic single-goroutine simulator clock; Wall serializes real
+// timer callbacks and external events through one mutex, preserving the
+// algorithm's single-threaded discipline.
+package simtime
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Timer is a handle to a scheduled callback.
+type Timer interface {
+	// Cancel prevents the callback from running, reporting whether it was
+	// still pending.
+	Cancel() bool
+}
+
+// Scheduler is the time facility the proxy depends on.
+type Scheduler interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// Schedule runs fn after d, serialized with every other callback.
+	// Non-positive delays run at the current instant (virtual) or as
+	// soon as possible (wall).
+	Schedule(d time.Duration, fn func()) Timer
+	// Run executes fn serialized with scheduled callbacks. External
+	// inputs (network frames, user commands) enter the proxy through Run.
+	Run(fn func())
+}
+
+// Virtual is a deterministic discrete-event scheduler. It is not safe for
+// concurrent use: the simulation driver owns it.
+type Virtual struct {
+	now    time.Time
+	events eventHeap
+	seq    uint64
+}
+
+// Compile-time interface checks.
+var (
+	_ Scheduler = (*Virtual)(nil)
+	_ Scheduler = (*Wall)(nil)
+)
+
+type event struct {
+	at        time.Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e, ok := x.(*event)
+	if !ok {
+		return // guarded by the exported API; never reached
+	}
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type virtualTimer struct {
+	v *Virtual
+	e *event
+}
+
+func (t *virtualTimer) Cancel() bool {
+	if t.e.cancelled || t.e.index < 0 {
+		return false
+	}
+	t.e.cancelled = true
+	heap.Remove(&t.v.events, t.e.index)
+	t.e.index = -1
+	return true
+}
+
+// NewVirtual returns a virtual scheduler starting at the given instant.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now returns the current virtual instant.
+func (v *Virtual) Now() time.Time { return v.now }
+
+// Schedule enqueues fn to run at Now()+d (clamped to Now() for negative d).
+func (v *Virtual) Schedule(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return v.ScheduleAt(v.now.Add(d), fn)
+}
+
+// ScheduleAt enqueues fn to run at the given instant (clamped to Now()).
+func (v *Virtual) ScheduleAt(at time.Time, fn func()) Timer {
+	if at.Before(v.now) {
+		at = v.now
+	}
+	e := &event{at: at, seq: v.seq, fn: fn}
+	v.seq++
+	heap.Push(&v.events, e)
+	return &virtualTimer{v: v, e: e}
+}
+
+// Run executes fn immediately; the virtual scheduler is single-threaded.
+func (v *Virtual) Run(fn func()) { fn() }
+
+// Pending returns the number of scheduled, uncancelled callbacks.
+func (v *Virtual) Pending() int { return len(v.events) }
+
+// Step runs the earliest pending callback, advancing the clock to its
+// deadline. It reports whether a callback ran.
+func (v *Virtual) Step() bool {
+	for len(v.events) > 0 {
+		e, ok := heap.Pop(&v.events).(*event)
+		if !ok {
+			return false
+		}
+		e.index = -1
+		if e.cancelled {
+			continue
+		}
+		v.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil runs every callback scheduled up to and including the given
+// instant, then advances the clock to it.
+func (v *Virtual) RunUntil(t time.Time) {
+	if t.Before(v.now) {
+		return
+	}
+	for len(v.events) > 0 && !v.events[0].at.After(t) {
+		v.Step()
+	}
+	v.now = t
+}
+
+// Advance is RunUntil(Now()+d).
+func (v *Virtual) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	v.RunUntil(v.now.Add(d))
+}
+
+// RunUntilIdle runs callbacks until none are pending. Callbacks that keep
+// rescheduling themselves will make this spin; the simulation drivers in
+// this repository only use it on draining workloads.
+func (v *Virtual) RunUntilIdle() {
+	for v.Step() {
+	}
+}
+
+// NextDeadline returns the earliest pending callback's instant.
+func (v *Virtual) NextDeadline() (time.Time, bool) {
+	if len(v.events) == 0 {
+		return time.Time{}, false
+	}
+	return v.events[0].at, true
+}
+
+// Wall is a Scheduler backed by the wall clock. All callbacks and Run
+// closures are serialized through one mutex, so code written for the
+// single-threaded virtual scheduler is safe under it.
+type Wall struct {
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewWall returns a wall-clock scheduler.
+func NewWall() *Wall { return &Wall{} }
+
+// Now returns the wall-clock time.
+func (w *Wall) Now() time.Time { return time.Now() }
+
+type wallTimer struct {
+	w     *Wall
+	t     *time.Timer
+	mu    sync.Mutex
+	state int // 0 pending, 1 fired, 2 cancelled
+}
+
+// Cancel stops the timer, reporting whether it was still pending.
+func (t *wallTimer) Cancel() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != 0 {
+		return false
+	}
+	t.state = 2
+	t.t.Stop()
+	return true
+}
+
+// Schedule runs fn after d under the scheduler mutex. After Close, the
+// callback is dropped.
+func (w *Wall) Schedule(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	wt := &wallTimer{w: w}
+	wt.t = time.AfterFunc(d, func() {
+		wt.mu.Lock()
+		if wt.state != 0 {
+			wt.mu.Unlock()
+			return
+		}
+		wt.state = 1
+		wt.mu.Unlock()
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if !w.closed {
+			fn()
+		}
+	})
+	return wt
+}
+
+// Run executes fn under the scheduler mutex.
+func (w *Wall) Run(fn func()) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	fn()
+}
+
+// Close stops delivering callbacks: fns scheduled but not yet fired are
+// dropped, and Close blocks until any currently running callback finishes.
+func (w *Wall) Close() {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+}

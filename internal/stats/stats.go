@@ -1,0 +1,308 @@
+// Package stats provides the small online statistics used by the proxy
+// algorithm (windowed moving averages over read sizes and inter-read
+// intervals, per the paper's moving_average() and
+// moving_average_difference() routines) and by the experiment harness
+// (running mean/variance, histograms, quantiles).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// MovingAverage is a fixed-window moving average over float64 samples.
+// The zero value is not usable; construct with NewMovingAverage.
+type MovingAverage struct {
+	window []float64
+	head   int
+	count  int
+	sum    float64
+}
+
+// NewMovingAverage returns a moving average over the last size samples.
+// It panics if size is not positive (a programming error).
+func NewMovingAverage(size int) *MovingAverage {
+	if size <= 0 {
+		panic(fmt.Sprintf("stats: non-positive window %d", size))
+	}
+	return &MovingAverage{window: make([]float64, size)}
+}
+
+// Add records a sample, evicting the oldest when the window is full.
+func (m *MovingAverage) Add(v float64) {
+	if m.count == len(m.window) {
+		m.sum -= m.window[m.head]
+	} else {
+		m.count++
+	}
+	m.window[m.head] = v
+	m.sum += v
+	m.head = (m.head + 1) % len(m.window)
+}
+
+// Mean returns the average of the retained samples, or 0 with ok=false when
+// no samples have been recorded.
+func (m *MovingAverage) Mean() (mean float64, ok bool) {
+	if m.count == 0 {
+		return 0, false
+	}
+	return m.sum / float64(m.count), true
+}
+
+// MeanOr returns the mean, or fallback when no samples have been recorded.
+func (m *MovingAverage) MeanOr(fallback float64) float64 {
+	if mean, ok := m.Mean(); ok {
+		return mean
+	}
+	return fallback
+}
+
+// Count returns the number of retained samples.
+func (m *MovingAverage) Count() int { return m.count }
+
+// Full reports whether the window has been filled at least once.
+func (m *MovingAverage) Full() bool { return m.count == len(m.window) }
+
+// Reset discards all samples.
+func (m *MovingAverage) Reset() {
+	m.head, m.count, m.sum = 0, 0, 0
+	for i := range m.window {
+		m.window[i] = 0
+	}
+}
+
+// IntervalAverage computes the moving average of differences between
+// successive timestamps — the proxy uses it to estimate the time between
+// user reads (the pseudo-code's moving_average_difference(topic.old_times)).
+type IntervalAverage struct {
+	diffs   *MovingAverage
+	last    time.Time
+	hasLast bool
+}
+
+// NewIntervalAverage averages the last size inter-observation gaps.
+func NewIntervalAverage(size int) *IntervalAverage {
+	return &IntervalAverage{diffs: NewMovingAverage(size)}
+}
+
+// Observe records a timestamp. Out-of-order or duplicate timestamps
+// contribute a zero-length interval rather than a negative one.
+func (ia *IntervalAverage) Observe(t time.Time) {
+	if ia.hasLast {
+		d := t.Sub(ia.last)
+		if d < 0 {
+			d = 0
+		}
+		ia.diffs.Add(d.Seconds())
+	}
+	if !ia.hasLast || t.After(ia.last) {
+		ia.last = t
+	}
+	ia.hasLast = true
+}
+
+// Mean returns the average interval, or ok=false before two observations.
+func (ia *IntervalAverage) Mean() (d time.Duration, ok bool) {
+	mean, ok := ia.diffs.Mean()
+	if !ok {
+		return 0, false
+	}
+	return time.Duration(mean * float64(time.Second)), true
+}
+
+// MeanOr returns the average interval or fallback before two observations.
+func (ia *IntervalAverage) MeanOr(fallback time.Duration) time.Duration {
+	if d, ok := ia.Mean(); ok {
+		return d
+	}
+	return fallback
+}
+
+// Count returns the number of retained intervals.
+func (ia *IntervalAverage) Count() int { return ia.diffs.Count() }
+
+// EWMA is an exponentially weighted moving average.
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor in (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("stats: EWMA alpha %v outside (0, 1]", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add folds in a sample.
+func (e *EWMA) Add(v float64) {
+	if !e.init {
+		e.value, e.init = v, true
+		return
+	}
+	e.value = e.alpha*v + (1-e.alpha)*e.value
+}
+
+// Value returns the current estimate, or 0 with ok=false before any sample.
+func (e *EWMA) Value() (float64, bool) { return e.value, e.init }
+
+// Running accumulates mean and variance with Welford's algorithm.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records a sample.
+func (r *Running) Add(v float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = v, v
+	} else {
+		if v < r.min {
+			r.min = v
+		}
+		if v > r.max {
+			r.max = v
+		}
+	}
+	delta := v - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (v - r.mean)
+}
+
+// N returns the sample count.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the unbiased sample variance.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the smallest sample (0 for an empty accumulator).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest sample (0 for an empty accumulator).
+func (r *Running) Max() float64 { return r.max }
+
+// Sample collects raw values for quantile reporting in experiments.
+type Sample struct {
+	values []float64
+	sorted bool
+}
+
+// Add records a value.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// N returns the number of recorded values.
+func (s *Sample) N() int { return len(s.values) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation
+// between closest ranks, or 0 with ok=false when empty.
+func (s *Sample) Quantile(q float64) (float64, bool) {
+	if len(s.values) == 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+	pos := q * float64(len(s.values)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.values[lo], true
+	}
+	frac := pos - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac, true
+}
+
+// Mean returns the arithmetic mean, or 0 with ok=false when empty.
+func (s *Sample) Mean() (float64, bool) {
+	if len(s.values) == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values)), true
+}
+
+// Histogram counts samples into fixed-width buckets over [lo, hi); samples
+// outside the range land in the under/overflow counters.
+type Histogram struct {
+	lo, hi    float64
+	buckets   []int
+	underflow int
+	overflow  int
+	total     int
+}
+
+// NewHistogram returns a histogram with n buckets over [lo, hi).
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: non-positive bucket count %d", n)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("stats: empty range [%v, %v)", lo, hi)
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]int, n)}, nil
+}
+
+// Add counts a sample.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	switch {
+	case v < h.lo:
+		h.underflow++
+	case v >= h.hi:
+		h.overflow++
+	default:
+		i := int((v - h.lo) / (h.hi - h.lo) * float64(len(h.buckets)))
+		if i >= len(h.buckets) { // guard float rounding at the upper edge
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// Total returns the number of samples counted, including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int { return h.buckets[i] }
+
+// Buckets returns a copy of the bucket counts.
+func (h *Histogram) Buckets() []int {
+	out := make([]int, len(h.buckets))
+	copy(out, h.buckets)
+	return out
+}
+
+// OutOfRange returns the underflow and overflow counts.
+func (h *Histogram) OutOfRange() (under, over int) { return h.underflow, h.overflow }

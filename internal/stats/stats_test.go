@@ -1,0 +1,287 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMovingAverageBasics(t *testing.T) {
+	m := NewMovingAverage(3)
+	if _, ok := m.Mean(); ok {
+		t.Error("empty average reported a mean")
+	}
+	if got := m.MeanOr(7); got != 7 {
+		t.Errorf("MeanOr on empty = %v, want fallback 7", got)
+	}
+	m.Add(2)
+	if mean, ok := m.Mean(); !ok || mean != 2 {
+		t.Errorf("Mean after one sample = %v, %v", mean, ok)
+	}
+	m.Add(4)
+	m.Add(6)
+	if !m.Full() {
+		t.Error("window should be full")
+	}
+	if mean, _ := m.Mean(); mean != 4 {
+		t.Errorf("Mean = %v, want 4", mean)
+	}
+	m.Add(8) // evicts 2
+	if mean, _ := m.Mean(); mean != 6 {
+		t.Errorf("Mean after eviction = %v, want 6", mean)
+	}
+	if m.Count() != 3 {
+		t.Errorf("Count = %d, want 3", m.Count())
+	}
+	m.Reset()
+	if m.Count() != 0 || m.Full() {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestMovingAveragePanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMovingAverage(0) did not panic")
+		}
+	}()
+	NewMovingAverage(0)
+}
+
+// TestMovingAverageMatchesNaive cross-checks the ring-buffer implementation
+// against a naive windowed mean.
+func TestMovingAverageMatchesNaive(t *testing.T) {
+	f := func(samples []float64, sizeRaw uint8) bool {
+		size := int(sizeRaw%10) + 1
+		m := NewMovingAverage(size)
+		for i, v := range samples {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				v = float64(i)
+			}
+			m.Add(v)
+			lo := i + 1 - size
+			if lo < 0 {
+				lo = 0
+			}
+			want := 0.0
+			cnt := 0
+			for j := lo; j <= i; j++ {
+				vv := samples[j]
+				if math.IsNaN(vv) || math.IsInf(vv, 0) || math.Abs(vv) > 1e9 {
+					vv = float64(j)
+				}
+				want += vv
+				cnt++
+			}
+			want /= float64(cnt)
+			got, ok := m.Mean()
+			if !ok || math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalAverage(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	ia := NewIntervalAverage(4)
+	if _, ok := ia.Mean(); ok {
+		t.Error("empty interval average reported a mean")
+	}
+	ia.Observe(base)
+	if _, ok := ia.Mean(); ok {
+		t.Error("single observation reported a mean")
+	}
+	if got := ia.MeanOr(time.Minute); got != time.Minute {
+		t.Errorf("MeanOr fallback = %v", got)
+	}
+	ia.Observe(base.Add(10 * time.Second))
+	ia.Observe(base.Add(30 * time.Second))
+	d, ok := ia.Mean()
+	if !ok || d != 15*time.Second {
+		t.Errorf("Mean = %v, %v; want 15s", d, ok)
+	}
+	if ia.Count() != 2 {
+		t.Errorf("Count = %d, want 2", ia.Count())
+	}
+}
+
+func TestIntervalAverageOutOfOrder(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	ia := NewIntervalAverage(4)
+	ia.Observe(base.Add(time.Minute))
+	ia.Observe(base) // earlier than last: counts as zero interval
+	d, ok := ia.Mean()
+	if !ok || d != 0 {
+		t.Errorf("Mean = %v, %v; want 0s", d, ok)
+	}
+	ia.Observe(base.Add(2 * time.Minute)) // 1m after the retained max
+	d, _ = ia.Mean()
+	if d != 30*time.Second {
+		t.Errorf("Mean = %v, want 30s", d)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if _, ok := e.Value(); ok {
+		t.Error("empty EWMA reported a value")
+	}
+	e.Add(10)
+	if v, ok := e.Value(); !ok || v != 10 {
+		t.Errorf("Value = %v, %v", v, ok)
+	}
+	e.Add(20)
+	if v, _ := e.Value(); v != 15 {
+		t.Errorf("Value = %v, want 15", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEWMA(0) did not panic")
+		}
+	}()
+	NewEWMA(0)
+}
+
+func TestRunning(t *testing.T) {
+	var r Running
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(v)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if math.Abs(r.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", r.Variance(), 32.0/7.0)
+	}
+	if math.Abs(r.StdDev()-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("StdDev = %v", r.StdDev())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+	var empty Running
+	if empty.Variance() != 0 || empty.StdDev() != 0 || empty.Mean() != 0 {
+		t.Error("empty Running must report zeros")
+	}
+}
+
+// TestRunningMatchesNaive cross-checks Welford against two-pass formulas.
+func TestRunningMatchesNaive(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var r Running
+		sum := 0.0
+		for _, v := range raw {
+			r.Add(float64(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(raw))
+		ss := 0.0
+		for _, v := range raw {
+			d := float64(v) - mean
+			ss += d * d
+		}
+		wantVar := ss / float64(len(raw)-1)
+		return math.Abs(r.Mean()-mean) < 1e-9*(1+math.Abs(mean)) &&
+			math.Abs(r.Variance()-wantVar) < 1e-6*(1+wantVar)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleQuantile(t *testing.T) {
+	var s Sample
+	if _, ok := s.Quantile(0.5); ok {
+		t.Error("empty sample returned a quantile")
+	}
+	if _, ok := s.Mean(); ok {
+		t.Error("empty sample returned a mean")
+	}
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4}, {-1, 1}, {2, 5},
+	}
+	for _, tt := range tests {
+		got, ok := s.Quantile(tt.q)
+		if !ok || math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if mean, _ := s.Mean(); mean != 3 {
+		t.Errorf("Mean = %v, want 3", mean)
+	}
+	if s.N() != 5 {
+		t.Errorf("N = %d", s.N())
+	}
+	// Interpolation between ranks.
+	var s2 Sample
+	s2.Add(0)
+	s2.Add(10)
+	if got, _ := s2.Quantile(0.25); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("interpolated quantile = %v, want 2.5", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-1, 0, 1.9, 2, 9.99, 10, 11} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Errorf("OutOfRange = %d, %d; want 1, 2", under, over)
+	}
+	want := []int{2, 1, 0, 0, 1}
+	got := h.Buckets()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Bucket(%d) = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Bucket(0) != 2 {
+		t.Errorf("Bucket(0) = %d", h.Bucket(0))
+	}
+
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+// TestHistogramEdgeRounding: values infinitesimally below hi must not panic
+// or escape the last bucket.
+func TestHistogramEdgeRounding(t *testing.T) {
+	h, err := NewHistogram(0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(math.Nextafter(1, 0))
+	if h.Bucket(2) != 1 {
+		t.Errorf("upper-edge value landed in %v", h.Buckets())
+	}
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	Record(nil, Event{At: t0, Kind: KindArrival})
+}
+
+func TestBufferRecordsAndFilters(t *testing.T) {
+	b := NewBuffer(0)
+	b.Record(Event{At: t0, Kind: KindArrival, ID: "a"})
+	b.Record(Event{At: t0, Kind: KindForward, ID: "a"})
+	b.Record(Event{At: t0, Kind: KindArrival, ID: "b"})
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	arrivals := b.Filter(KindArrival)
+	if len(arrivals) != 2 || arrivals[0].ID != "a" || arrivals[1].ID != "b" {
+		t.Errorf("Filter = %v", arrivals)
+	}
+	events := b.Events()
+	events[0].ID = "mutated"
+	if b.Events()[0].ID != "a" {
+		t.Error("Events exposes internal storage")
+	}
+	if b.Dropped() != 0 {
+		t.Errorf("Dropped = %d", b.Dropped())
+	}
+}
+
+func TestBufferCapacityEvictsOldest(t *testing.T) {
+	b := NewBuffer(2)
+	for i := 0; i < 5; i++ {
+		b.Record(Event{At: t0.Add(time.Duration(i) * time.Second), Kind: KindRead, Count: i})
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	events := b.Events()
+	if events[0].Count != 3 || events[1].Count != 4 {
+		t.Errorf("retained = %v", events)
+	}
+	if b.Dropped() != 3 {
+		t.Errorf("Dropped = %d", b.Dropped())
+	}
+}
+
+func TestWriterStreamsLines(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Record(Event{At: t0, Kind: KindArrival, Topic: "t", ID: "a", Rank: 4.5})
+	w.Record(Event{At: t0, Kind: KindRead, Topic: "t", Count: 3})
+	w.Record(Event{At: t0, Kind: KindLinkDown})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"arrival", "id=a", "rank=4.50", "read", "count=3", "link-down"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != 3 {
+		t.Errorf("lines = %d", got)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestWriterSurfacesErrors(t *testing.T) {
+	w := NewWriter(failWriter{})
+	w.Record(Event{At: t0, Kind: KindArrival})
+	if w.Err() == nil {
+		t.Error("write error swallowed")
+	}
+	// Further records are dropped without panicking.
+	w.Record(Event{At: t0, Kind: KindArrival})
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := NewBuffer(0), NewBuffer(0)
+	m := Multi(a, nil, b)
+	m.Record(Event{At: t0, Kind: KindArrival})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Errorf("fan-out failed: %d, %d", a.Len(), b.Len())
+	}
+}

@@ -1,0 +1,308 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"lasthop/internal/msg"
+	"lasthop/internal/pubsub"
+)
+
+// BrokerServer exposes a pubsub.Broker over TCP. Each connection may
+// advertise, publish, and subscribe; subscribed connections receive push
+// frames.
+type BrokerServer struct {
+	broker *pubsub.Broker
+	logf   func(format string, args ...any)
+
+	mu     sync.Mutex
+	closed bool
+	lis    net.Listener
+	conns  map[*Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewBrokerServer wraps a broker. A nil logf silences logging.
+func NewBrokerServer(b *pubsub.Broker, logf func(string, ...any)) *BrokerServer {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &BrokerServer{broker: b, logf: logf, conns: make(map[*Conn]struct{})}
+}
+
+// Serve accepts connections until the listener closes. It returns the
+// accept error (net.ErrClosed after Close).
+func (s *BrokerServer) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("broker server closed")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		c, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		conn := NewConn(c)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes every connection, and waits for handlers.
+func (s *BrokerServer) Close() {
+	s.mu.Lock()
+	s.closed = true
+	lis := s.lis
+	conns := make([]*Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		_ = lis.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+}
+
+// connSubscriber adapts a wire connection to pubsub.Subscriber.
+type connSubscriber struct {
+	conn *Conn
+}
+
+var _ pubsub.Subscriber = connSubscriber{}
+
+func (cs connSubscriber) Deliver(n *msg.Notification) {
+	_ = cs.conn.Send(&Frame{Type: TypePush, Notification: n})
+}
+
+func (cs connSubscriber) DeliverRankUpdate(u msg.RankUpdate) {
+	_ = cs.conn.Send(&Frame{Type: TypePushRank, RankUpdate: &u})
+}
+
+func (s *BrokerServer) handle(conn *Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	clientName := conn.RemoteAddr()
+	var subscribed []string
+	defer func() {
+		for _, topic := range subscribed {
+			if err := s.broker.Unsubscribe(topic, clientName); err != nil {
+				s.logf("broker: cleanup unsubscribe %s from %s: %v", clientName, topic, err)
+			}
+		}
+	}()
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case TypePeerHello:
+			// The connection is a federating broker, not a client:
+			// attach it as an overlay edge and switch to peer framing
+			// for the rest of its life.
+			edge := &peerEdge{conn: conn, logf: s.logf}
+			if err := s.broker.AttachPeer(edge); err != nil {
+				s.logf("broker: attach peer %s: %v", conn.RemoteAddr(), err)
+				return
+			}
+			servePeerFrames(s.broker, conn, edge, s.logf)
+			return
+		case TypeHello:
+			if f.Name != "" {
+				clientName = f.Name
+			}
+			s.respond(conn, OK(f))
+		case TypeAdvertise:
+			s.respondErr(conn, f, s.broker.Advertise(f.Topic, orDefault(f.Publisher, clientName)))
+		case TypeWithdraw:
+			s.respondErr(conn, f, s.broker.Withdraw(f.Topic, orDefault(f.Publisher, clientName)))
+		case TypePublish:
+			if f.Notification == nil {
+				s.respond(conn, Err(f, errors.New("publish frame without notification")))
+				continue
+			}
+			s.respondErr(conn, f, s.broker.Publish(f.Notification))
+		case TypeRankUpdate:
+			if f.RankUpdate == nil {
+				s.respond(conn, Err(f, errors.New("rank-update frame without update")))
+				continue
+			}
+			s.respondErr(conn, f, s.broker.PublishRankUpdate(*f.RankUpdate))
+		case TypeSubscribe:
+			if f.Subscription == nil {
+				s.respond(conn, Err(f, errors.New("subscribe frame without subscription")))
+				continue
+			}
+			sub := *f.Subscription
+			if sub.Subscriber == "" {
+				sub.Subscriber = clientName
+			}
+			err := s.broker.Subscribe(sub, connSubscriber{conn: conn})
+			if err == nil {
+				subscribed = append(subscribed, sub.Topic)
+			}
+			s.respondErr(conn, f, err)
+		case TypeUnsubscribe:
+			s.respondErr(conn, f, s.broker.Unsubscribe(f.Topic, clientName))
+		default:
+			s.respond(conn, Err(f, fmt.Errorf("unsupported frame type %q", f.Type)))
+		}
+	}
+}
+
+func (s *BrokerServer) respond(conn *Conn, f *Frame) {
+	if err := conn.Send(f); err != nil {
+		s.logf("broker: send response: %v", err)
+	}
+}
+
+func (s *BrokerServer) respondErr(conn *Conn, req *Frame, err error) {
+	if err != nil {
+		s.respond(conn, Err(req, err))
+		return
+	}
+	s.respond(conn, OK(req))
+}
+
+func orDefault(v, fallback string) string {
+	if v != "" {
+		return v
+	}
+	return fallback
+}
+
+// BrokerClient is the client side of the broker protocol, used by
+// publishers and by proxies.
+type BrokerClient struct {
+	caller
+	name string
+
+	cbmu   sync.Mutex
+	onPush func(*msg.Notification)
+	onRank func(msg.RankUpdate)
+	done   chan struct{}
+}
+
+// DialBroker connects and identifies to a broker server.
+func DialBroker(addr, name string) (*BrokerClient, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial broker: %w", err)
+	}
+	c := &BrokerClient{
+		caller: newCaller(NewConn(nc)),
+		name:   name,
+		done:   make(chan struct{}),
+	}
+	go c.readLoop()
+	if err := c.call(&Frame{Type: TypeHello, Name: name}); err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// OnPush registers the delivery callbacks. Register before subscribing.
+func (c *BrokerClient) OnPush(push func(*msg.Notification), rank func(msg.RankUpdate)) {
+	c.cbmu.Lock()
+	defer c.cbmu.Unlock()
+	c.onPush = push
+	c.onRank = rank
+}
+
+// Close tears the connection down.
+func (c *BrokerClient) Close() error {
+	if c.markClosed() {
+		return nil
+	}
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+func (c *BrokerClient) readLoop() {
+	defer close(c.done)
+	for {
+		f, err := c.conn.Recv()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		switch f.Type {
+		case TypePush:
+			c.cbmu.Lock()
+			push := c.onPush
+			c.cbmu.Unlock()
+			if push != nil && f.Notification != nil {
+				push(f.Notification)
+			}
+		case TypePushRank:
+			c.cbmu.Lock()
+			rank := c.onRank
+			c.cbmu.Unlock()
+			if rank != nil && f.RankUpdate != nil {
+				rank(*f.RankUpdate)
+			}
+		case TypeOK, TypeErr:
+			c.resolve(f)
+		}
+	}
+}
+
+// Advertise claims a topic for this client (or the named publisher).
+func (c *BrokerClient) Advertise(topic, publisher string) error {
+	return c.call(&Frame{Type: TypeAdvertise, Topic: topic, Publisher: publisher})
+}
+
+// Withdraw releases a topic claim.
+func (c *BrokerClient) Withdraw(topic, publisher string) error {
+	return c.call(&Frame{Type: TypeWithdraw, Topic: topic, Publisher: publisher})
+}
+
+// Publish routes a notification through the broker.
+func (c *BrokerClient) Publish(n *msg.Notification) error {
+	return c.call(&Frame{Type: TypePublish, Notification: n})
+}
+
+// PublishRankUpdate routes a rank revision through the broker.
+func (c *BrokerClient) PublishRankUpdate(u msg.RankUpdate) error {
+	return c.call(&Frame{Type: TypeRankUpdate, RankUpdate: &u})
+}
+
+// Subscribe registers this client for a topic; deliveries arrive through
+// the OnPush callbacks.
+func (c *BrokerClient) Subscribe(s msg.Subscription) error {
+	if s.Subscriber == "" {
+		s.Subscriber = c.name
+	}
+	return c.call(&Frame{Type: TypeSubscribe, Subscription: &s})
+}
+
+// Unsubscribe deregisters this client from a topic.
+func (c *BrokerClient) Unsubscribe(topic string) error {
+	return c.call(&Frame{Type: TypeUnsubscribe, Topic: topic})
+}

@@ -1,0 +1,253 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"lasthop/internal/msg"
+	"lasthop/internal/rankedq"
+)
+
+// DeviceClient is the mobile client of a ProxyServer: it keeps a local
+// ranked queue per topic (fed by proxy pushes), and implements the §3.5
+// READ protocol — offering its best local events so the proxy only
+// transfers better data.
+type DeviceClient struct {
+	caller
+	name string
+	done chan struct{}
+
+	smu        sync.Mutex
+	queues     map[string]*rankedq.Queue
+	read       map[string]msg.IDSet
+	thresholds map[string]float64
+	policies   map[string]TopicPolicy
+	received   int
+	updates    int
+	drops      int
+}
+
+// DialProxy connects and identifies to a proxy server.
+func DialProxy(addr, name string) (*DeviceClient, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial proxy: %w", err)
+	}
+	d := &DeviceClient{
+		caller:     newCaller(NewConn(nc)),
+		name:       name,
+		done:       make(chan struct{}),
+		queues:     make(map[string]*rankedq.Queue),
+		read:       make(map[string]msg.IDSet),
+		thresholds: make(map[string]float64),
+		policies:   make(map[string]TopicPolicy),
+	}
+	go d.readLoop()
+	if err := d.call(&Frame{Type: TypeHello, Name: name}); err != nil {
+		_ = d.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// Close tears the connection down.
+func (d *DeviceClient) Close() error {
+	if d.markClosed() {
+		return nil
+	}
+	err := d.conn.Close()
+	<-d.done
+	return err
+}
+
+func (d *DeviceClient) readLoop() {
+	defer close(d.done)
+	for {
+		f, err := d.conn.Recv()
+		if err != nil {
+			d.fail(err)
+			return
+		}
+		switch f.Type {
+		case TypePush:
+			if f.Notification != nil {
+				d.store(f.Notification)
+			}
+		case TypeOK, TypeErr:
+			d.resolve(f)
+		}
+	}
+}
+
+// store applies one pushed notification to the local queue with the same
+// semantics as the simulated device: duplicates are rank revisions, and a
+// revision below the topic threshold discards the local copy.
+func (d *DeviceClient) store(n *msg.Notification) {
+	d.smu.Lock()
+	defer d.smu.Unlock()
+	q, ok := d.queues[n.Topic]
+	if !ok {
+		q = rankedq.NewQueue()
+		d.queues[n.Topic] = q
+		d.read[n.Topic] = make(msg.IDSet)
+	}
+	if d.read[n.Topic].Contains(n.ID) {
+		d.updates++
+		return
+	}
+	if q.Contains(n.ID) {
+		d.updates++
+		if n.Rank < d.thresholds[n.Topic] {
+			q.Remove(n.ID)
+			d.drops++
+			return
+		}
+		q.UpdateRank(n.ID, n.Rank)
+		return
+	}
+	if n.Expired(time.Now()) || n.Rank < d.thresholds[n.Topic] {
+		d.received++
+		return
+	}
+	d.received++
+	_ = q.Push(n)
+}
+
+// Subscribe registers a topic on the proxy with the given policy.
+func (d *DeviceClient) Subscribe(topic string, pol TopicPolicy) error {
+	if err := d.call(&Frame{Type: TypeSubscribe, Topic: topic, TopicPolicy: &pol}); err != nil {
+		return err
+	}
+	d.smu.Lock()
+	d.thresholds[topic] = pol.Threshold
+	d.policies[topic] = pol
+	d.smu.Unlock()
+	return nil
+}
+
+// Unsubscribe deregisters a topic.
+func (d *DeviceClient) Unsubscribe(topic string) error {
+	if err := d.call(&Frame{Type: TypeUnsubscribe, Topic: topic}); err != nil {
+		return err
+	}
+	d.smu.Lock()
+	delete(d.policies, topic)
+	d.smu.Unlock()
+	return nil
+}
+
+// Redial re-establishes a dead proxy connection, keeping the local
+// notification cache (a phone does not forget its messages when the radio
+// drops) and re-subscribing every topic. It must not race with in-flight
+// calls: use it after a call failed with a connection error.
+func (d *DeviceClient) Redial(addr string) error {
+	// Tear the old connection down and wait for its read loop.
+	_ = d.conn.Close()
+	<-d.done
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("redial proxy: %w", err)
+	}
+	d.reset(NewConn(nc))
+	d.done = make(chan struct{})
+	go d.readLoop()
+	if err := d.call(&Frame{Type: TypeHello, Name: d.name}); err != nil {
+		return err
+	}
+	d.smu.Lock()
+	resubs := make(map[string]TopicPolicy, len(d.policies))
+	for topic, pol := range d.policies {
+		resubs[topic] = pol
+	}
+	d.smu.Unlock()
+	for topic, pol := range resubs {
+		pol := pol
+		if err := d.call(&Frame{Type: TypeSubscribe, Topic: topic, TopicPolicy: &pol}); err != nil {
+			return fmt.Errorf("redial resubscribe %q: %w", topic, err)
+		}
+	}
+	return nil
+}
+
+// Read performs a user read: it relays the READ request (offering its best
+// local IDs), waits for the proxy's pushes to land, and consumes the up-to
+// n highest-ranked unexpired local notifications (n == 0 means all).
+func (d *DeviceClient) Read(topic string, n int) ([]*msg.Notification, error) {
+	d.smu.Lock()
+	q, ok := d.queues[topic]
+	if !ok {
+		q = rankedq.NewQueue()
+		d.queues[topic] = q
+		d.read[topic] = make(msg.IDSet)
+	}
+	d.purgeExpiredLocked(topic)
+	haveN := n
+	if haveN == 0 || haveN > q.Len() {
+		haveN = q.Len()
+	}
+	var clientEvents []msg.ID
+	for _, h := range q.BestN(haveN) {
+		clientEvents = append(clientEvents, h.ID)
+	}
+	req := msg.ReadRequest{Topic: topic, N: n, QueueSize: q.Len(), ClientEvents: clientEvents}
+	d.smu.Unlock()
+
+	// The OK lands after every push of this read (TCP ordering), so the
+	// local queue is complete when call returns.
+	if err := d.call(&Frame{Type: TypeRead, Read: &req}); err != nil {
+		return nil, err
+	}
+
+	d.smu.Lock()
+	defer d.smu.Unlock()
+	d.purgeExpiredLocked(topic)
+	take := n
+	if take == 0 {
+		take = q.Len()
+	}
+	batch := q.TakeBestN(take)
+	for _, b := range batch {
+		d.read[topic].Add(b.ID)
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].Before(batch[j]) })
+	return batch, nil
+}
+
+func (d *DeviceClient) purgeExpiredLocked(topic string) {
+	q := d.queues[topic]
+	if q == nil {
+		return
+	}
+	now := time.Now()
+	var stale []msg.ID
+	q.Each(func(n *msg.Notification) {
+		if n.Expired(now) {
+			stale = append(stale, n.ID)
+		}
+	})
+	for _, id := range stale {
+		q.Remove(id)
+	}
+}
+
+// QueueLen returns the local queue length for a topic.
+func (d *DeviceClient) QueueLen(topic string) int {
+	d.smu.Lock()
+	defer d.smu.Unlock()
+	q := d.queues[topic]
+	if q == nil {
+		return 0
+	}
+	return q.Len()
+}
+
+// Stats returns (received, updates, rank drops applied).
+func (d *DeviceClient) Stats() (received, updates, drops int) {
+	d.smu.Lock()
+	defer d.smu.Unlock()
+	return d.received, d.updates, d.drops
+}

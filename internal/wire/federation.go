@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+
+	"lasthop/internal/msg"
+	"lasthop/internal/pubsub"
+)
+
+// Peer frame types for broker-to-broker federation. Peer frames are
+// one-way in both directions once the peer-hello handshake completes.
+const (
+	TypePeerHello       = "peer-hello"
+	TypePeerSubscribe   = "peer-subscribe"
+	TypePeerUnsubscribe = "peer-unsubscribe"
+	TypePeerPublish     = "peer-publish"
+	TypePeerRankUpdate  = "peer-rank-update"
+)
+
+// peerEdge implements pubsub.Peer over one federation connection: overlay
+// operations become frames, and incoming frames are applied to the local
+// broker with this edge as their origin. One peerEdge exists per side per
+// connection, giving the broker a stable identity for the edge.
+type peerEdge struct {
+	conn *Conn
+	logf func(string, ...any)
+}
+
+var _ pubsub.Peer = (*peerEdge)(nil)
+
+func (e *peerEdge) send(f *Frame) {
+	if err := e.conn.Send(f); err != nil {
+		e.logf("federation: send %s: %v", f.Type, err)
+	}
+}
+
+// SubscribeRemote implements pubsub.Peer.
+func (e *peerEdge) SubscribeRemote(topic string, from pubsub.Peer) {
+	e.send(&Frame{Type: TypePeerSubscribe, Topic: topic})
+}
+
+// UnsubscribeRemote implements pubsub.Peer.
+func (e *peerEdge) UnsubscribeRemote(topic string, from pubsub.Peer) {
+	e.send(&Frame{Type: TypePeerUnsubscribe, Topic: topic})
+}
+
+// Route implements pubsub.Peer.
+func (e *peerEdge) Route(n *msg.Notification, from pubsub.Peer) {
+	e.send(&Frame{Type: TypePeerPublish, Notification: n})
+}
+
+// RouteUpdate implements pubsub.Peer.
+func (e *peerEdge) RouteUpdate(u msg.RankUpdate, from pubsub.Peer) {
+	e.send(&Frame{Type: TypePeerRankUpdate, RankUpdate: &u})
+}
+
+// servePeerFrames applies incoming peer frames to the broker until the
+// connection dies, then detaches the edge.
+func servePeerFrames(broker *pubsub.Broker, conn *Conn, edge *peerEdge, logf func(string, ...any)) {
+	defer broker.DetachPeer(edge)
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case TypePeerSubscribe:
+			broker.SubscribeRemote(f.Topic, edge)
+		case TypePeerUnsubscribe:
+			broker.UnsubscribeRemote(f.Topic, edge)
+		case TypePeerPublish:
+			if f.Notification != nil {
+				broker.Route(f.Notification, edge)
+			}
+		case TypePeerRankUpdate:
+			if f.RankUpdate != nil {
+				broker.RouteUpdate(*f.RankUpdate, edge)
+			}
+		default:
+			logf("federation: unexpected frame %q on peer link", f.Type)
+		}
+	}
+}
+
+// Federation is the dialing side of one broker-to-broker overlay edge.
+type Federation struct {
+	local *pubsub.Broker
+	conn  *Conn
+	edge  *peerEdge
+	done  chan struct{}
+}
+
+// FederateBroker dials a remote broker server and attaches it as an
+// overlay peer of the local broker. The resulting overlay must stay
+// acyclic; federate along a tree.
+func FederateBroker(local *pubsub.Broker, addr, name string, logf func(string, ...any)) (*Federation, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("federate: %w", err)
+	}
+	conn := NewConn(nc)
+	if err := conn.Send(&Frame{Type: TypePeerHello, Name: name}); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("federate: %w", err)
+	}
+	edge := &peerEdge{conn: conn, logf: logf}
+	fed := &Federation{local: local, conn: conn, edge: edge, done: make(chan struct{})}
+	if err := local.AttachPeer(edge); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("federate: %w", err)
+	}
+	go func() {
+		defer close(fed.done)
+		servePeerFrames(local, conn, edge, logf)
+	}()
+	return fed, nil
+}
+
+// Close tears the overlay edge down.
+func (f *Federation) Close() error {
+	err := f.conn.Close()
+	<-f.done
+	return err
+}

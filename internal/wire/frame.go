@@ -1,0 +1,180 @@
+// Package wire is the deployment substrate: a newline-delimited JSON
+// protocol over TCP connecting publishers and proxies to brokers, and
+// mobile devices to proxies. It lets the identical core.Proxy algorithm
+// that drives the simulator run as a real service — the paper's §4 plan of
+// "implementing the ideas in a real system".
+//
+// Topology:
+//
+//	publisher ──┐
+//	            ├── BrokerServer ──(BrokerClient)── ProxyServer ──(DeviceClient)── device
+//	publisher ──┘
+//
+// The device⇄proxy TCP connection is the "last hop": while no device is
+// connected the proxy considers the network down and spools notifications
+// exactly as in the simulation.
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"lasthop/internal/msg"
+)
+
+// Frame types exchanged on the wire.
+const (
+	// Client → server requests.
+	TypeHello       = "hello"
+	TypeAdvertise   = "advertise"
+	TypeWithdraw    = "withdraw"
+	TypePublish     = "publish"
+	TypeRankUpdate  = "rank-update"
+	TypeSubscribe   = "subscribe"
+	TypeUnsubscribe = "unsubscribe"
+	TypeRead        = "read"
+
+	// Server → client responses and pushes.
+	TypeOK   = "ok"
+	TypeErr  = "error"
+	TypePush = "push"
+	// TypePushRank delivers a rank revision for an already-pushed
+	// notification.
+	TypePushRank = "push-rank"
+)
+
+// Frame is the single wire message shape; unused fields stay empty. Seq
+// correlates requests with their OK/Err response (Re echoes the request's
+// Seq); pushes carry Seq 0.
+type Frame struct {
+	Type string `json:"type"`
+	Seq  uint64 `json:"seq,omitempty"`
+	Re   uint64 `json:"re,omitempty"`
+
+	// Hello.
+	Name string `json:"name,omitempty"`
+
+	// Topic-scoped requests.
+	Topic     string `json:"topic,omitempty"`
+	Publisher string `json:"publisher,omitempty"`
+
+	// Publish / push payloads.
+	Notification *msg.Notification `json:"notification,omitempty"`
+	RankUpdate   *msg.RankUpdate   `json:"rankUpdate,omitempty"`
+
+	// Subscribe payload (broker) and topic policy (proxy).
+	Subscription *msg.Subscription `json:"subscription,omitempty"`
+	TopicPolicy  *TopicPolicy      `json:"topicPolicy,omitempty"`
+
+	// Read payload and its result count.
+	Read  *msg.ReadRequest `json:"read,omitempty"`
+	Count int              `json:"count,omitempty"`
+
+	// Error message for TypeErr.
+	Message string `json:"message,omitempty"`
+}
+
+// TopicPolicy is the device-facing subset of core.TopicConfig a device may
+// select when subscribing through a proxy.
+type TopicPolicy struct {
+	// Mode is "on-line" or "on-demand" (default).
+	Mode string `json:"mode,omitempty"`
+	// Policy is "online", "on-demand", "buffer", or "rate"; empty
+	// defaults to the unified buffer policy with auto tuning.
+	Policy string `json:"policy,omitempty"`
+	// Max and Threshold are the subscriber's volume limits.
+	Max       int     `json:"max,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	// PrefetchLimit fixes the buffer policy's limit; zero auto-tunes.
+	PrefetchLimit int `json:"prefetchLimit,omitempty"`
+	// DelaySeconds holds fresh notifications back for rank retractions.
+	DelaySeconds float64 `json:"delaySeconds,omitempty"`
+	// InterruptRank lets an on-demand topic interrupt for urgent
+	// content (§2.2); zero disables it.
+	InterruptRank float64 `json:"interruptRank,omitempty"`
+	// DailyOnlineCap bounds on-line pushes per day; zero means no cap.
+	DailyOnlineCap int `json:"dailyOnlineCap,omitempty"`
+	// QuietWindows silence on-line delivery during daily windows,
+	// expressed as minutes from midnight.
+	QuietWindows []QuietWindowSpec `json:"quietWindows,omitempty"`
+}
+
+// QuietWindowSpec is a daily quiet window in minutes from midnight.
+type QuietWindowSpec struct {
+	StartMinutes int `json:"startMinutes"`
+	EndMinutes   int `json:"endMinutes"`
+}
+
+// Conn wraps a net.Conn with frame encoding, write locking, and sequence
+// numbering. Reads must be performed by a single goroutine.
+type Conn struct {
+	c   net.Conn
+	r   *bufio.Scanner
+	enc *json.Encoder
+
+	wmu sync.Mutex
+	seq uint64
+}
+
+// maxFrameBytes bounds a single frame (1 MiB), protecting servers from
+// unbounded lines.
+const maxFrameBytes = 1 << 20
+
+// NewConn wraps an established network connection.
+func NewConn(c net.Conn) *Conn {
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 64*1024), maxFrameBytes)
+	return &Conn{c: c, r: sc, enc: json.NewEncoder(c)}
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr names the peer.
+func (c *Conn) RemoteAddr() string { return c.c.RemoteAddr().String() }
+
+// Send writes one frame.
+func (c *Conn) Send(f *Frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.enc.Encode(f)
+}
+
+// SendRequest assigns a fresh sequence number and writes the frame,
+// returning the sequence for correlation.
+func (c *Conn) SendRequest(f *Frame) (uint64, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.seq++
+	f.Seq = c.seq
+	if err := c.enc.Encode(f); err != nil {
+		return 0, err
+	}
+	return f.Seq, nil
+}
+
+// Recv reads the next frame.
+func (c *Conn) Recv() (*Frame, error) {
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("connection closed")
+	}
+	var f Frame
+	if err := json.Unmarshal(c.r.Bytes(), &f); err != nil {
+		return nil, fmt.Errorf("bad frame: %w", err)
+	}
+	return &f, nil
+}
+
+// OK builds a success response to the given request frame.
+func OK(re *Frame) *Frame { return &Frame{Type: TypeOK, Re: re.Seq} }
+
+// Err builds an error response to the given request frame.
+func Err(re *Frame, err error) *Frame {
+	return &Frame{Type: TypeErr, Re: re.Seq, Message: err.Error()}
+}

@@ -1,0 +1,67 @@
+package wire
+
+// Fuzz targets for the two decoders that face untrusted bytes: wire frames
+// and journal lines are both JSON, but the servers must never panic on
+// garbage.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"lasthop/internal/msg"
+)
+
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte(`{"type":"hello","name":"x"}`))
+	f.Add([]byte(`{"type":"publish","notification":{"id":"a","topic":"t","rank":3}}`))
+	f.Add([]byte(`{"type":"read","read":{"topic":"t","n":8,"clientEvents":["a","b"]}}`))
+	f.Add([]byte(`{"type":"subscribe","topicPolicy":{"policy":"buffer","max":8}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fr Frame
+		if err := json.Unmarshal(data, &fr); err != nil {
+			return
+		}
+		// Whatever decoded must survive the paths a server exercises.
+		if fr.TopicPolicy != nil {
+			_, _ = fr.TopicPolicy.ToConfig("fuzz")
+		}
+		if fr.Read != nil {
+			_ = fr.Read.Validate()
+		}
+		if fr.Notification != nil {
+			_ = fr.Notification.Validate()
+		}
+		if fr.Subscription != nil {
+			_ = fr.Subscription.Validate()
+		}
+		if fr.RankUpdate != nil {
+			_ = fr.RankUpdate.Validate()
+		}
+		// Re-encoding must always succeed.
+		if _, err := json.Marshal(&fr); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+	})
+}
+
+func FuzzNotificationRoundTrip(f *testing.F) {
+	f.Add("id-1", "topic/a", 4.5, []byte("payload"))
+	f.Add("", "", -1.0, []byte(nil))
+	f.Fuzz(func(t *testing.T, id, topic string, rank float64, payload []byte) {
+		n := &msg.Notification{ID: msg.ID(id), Topic: topic, Rank: rank, Payload: payload}
+		data, err := json.Marshal(n)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back msg.Notification
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal own output: %v", err)
+		}
+		if back.ID != n.ID || back.Topic != n.Topic {
+			t.Fatalf("round trip changed identity: %+v vs %+v", back, n)
+		}
+	})
+}

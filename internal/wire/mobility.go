@@ -1,0 +1,40 @@
+package wire
+
+import (
+	"lasthop/internal/mobility"
+	"lasthop/internal/msg"
+)
+
+// DeviceMobility adapts a DeviceClient as a mobility.SubscriptionManager,
+// so the §2.3 context tracker drives live wire subscriptions: a GPS update
+// becomes an unsubscribe/subscribe pair on the proxy.
+//
+// Rule options map onto the wire policy (Max, Threshold, delivery mode);
+// rules that need a richer per-topic policy can set Defaults first.
+type DeviceMobility struct {
+	dev *DeviceClient
+	// Defaults seeds the policy for rule-created subscriptions; the
+	// rule's Max, Threshold, and Mode override it.
+	Defaults TopicPolicy
+}
+
+var _ mobility.SubscriptionManager = (*DeviceMobility)(nil)
+
+// NewDeviceMobility wraps a device client.
+func NewDeviceMobility(dev *DeviceClient) *DeviceMobility {
+	return &DeviceMobility{dev: dev}
+}
+
+// Subscribe implements mobility.SubscriptionManager.
+func (m *DeviceMobility) Subscribe(s msg.Subscription) error {
+	pol := m.Defaults
+	pol.Max = s.Options.Max
+	pol.Threshold = s.Options.Threshold
+	pol.Mode = s.Options.EffectiveMode().String()
+	return m.dev.Subscribe(s.Topic, pol)
+}
+
+// Unsubscribe implements mobility.SubscriptionManager.
+func (m *DeviceMobility) Unsubscribe(topic, subscriber string) error {
+	return m.dev.Unsubscribe(topic)
+}

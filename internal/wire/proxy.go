@@ -1,0 +1,405 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"lasthop/internal/core"
+	"lasthop/internal/journal"
+	"lasthop/internal/msg"
+	"lasthop/internal/simtime"
+)
+
+// proxyAPI is the input surface ProxyServer drives: either a bare
+// core.Proxy or a journaled recorder.
+type proxyAPI interface {
+	AddTopic(cfg core.TopicConfig) error
+	RemoveTopic(name string) error
+	Notify(n *msg.Notification) error
+	ApplyRankUpdate(u msg.RankUpdate) error
+	Read(req msg.ReadRequest) error
+	SetNetwork(up bool) error
+}
+
+// plainProxy adapts core.Proxy to proxyAPI.
+type plainProxy struct {
+	p *core.Proxy
+}
+
+var _ proxyAPI = plainProxy{}
+
+func (pp plainProxy) AddTopic(cfg core.TopicConfig) error { return pp.p.AddTopic(cfg) }
+func (pp plainProxy) RemoveTopic(name string) error       { return pp.p.RemoveTopic(name) }
+func (pp plainProxy) Notify(n *msg.Notification) error {
+	pp.p.Notify(n)
+	return nil
+}
+func (pp plainProxy) ApplyRankUpdate(u msg.RankUpdate) error {
+	pp.p.ApplyRankUpdate(u)
+	return nil
+}
+func (pp plainProxy) Read(req msg.ReadRequest) error { return pp.p.Read(req) }
+func (pp plainProxy) SetNetwork(up bool) error {
+	pp.p.SetNetwork(up)
+	return nil
+}
+
+type closer interface {
+	Close()
+}
+
+// ProxyOptions configures a proxy server.
+type ProxyOptions struct {
+	// BrokerAddr is the upstream broker's address.
+	BrokerAddr string
+	// Name is the proxy's subscriber name at the broker.
+	Name string
+	// JournalPath, when set, makes the proxy durable: inputs are
+	// journaled and previous state is recovered before serving.
+	JournalPath string
+	// Logf receives diagnostics; nil silences them.
+	Logf func(string, ...any)
+}
+
+// ProxyServer runs the core last-hop proxy as a network service: upstream
+// it subscribes to a broker on behalf of its device; downstream it accepts
+// one device connection at a time. While no device is connected, the proxy
+// considers the network down and spools notifications, exactly as during a
+// simulated outage. With a journal configured it is durable: a restarted
+// proxy recovers its queues, subscriptions, and tuning state.
+type ProxyServer struct {
+	name     string
+	sched    simtime.Scheduler
+	schedC   closer
+	proxy    *core.Proxy
+	api      proxyAPI
+	upstream *BrokerClient
+	logf     func(string, ...any)
+
+	mu     sync.Mutex
+	device *Conn
+	lis    net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+var _ core.Forwarder = (*ProxyServer)(nil)
+
+// NewProxyServer dials the upstream broker and assembles a non-durable
+// proxy. Close releases both sides.
+func NewProxyServer(brokerAddr, name string, logf func(string, ...any)) (*ProxyServer, error) {
+	return NewProxyServerOpts(ProxyOptions{BrokerAddr: brokerAddr, Name: name, Logf: logf})
+}
+
+// NewProxyServerOpts dials the upstream broker and assembles the proxy,
+// recovering journaled state first when a journal path is configured.
+func NewProxyServerOpts(opts ProxyOptions) (*ProxyServer, error) {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ps := &ProxyServer{name: opts.Name, logf: logf}
+
+	if opts.JournalPath == "" {
+		wall := simtime.NewWall()
+		ps.sched, ps.schedC = wall, wall
+		ps.proxy = core.New(wall, ps)
+		ps.api = plainProxy{p: ps.proxy}
+	} else {
+		hybrid := simtime.NewHybrid(time.Now())
+		rec, err := journal.Recover(hybrid, hybrid.AdvanceTo, ps, opts.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("proxy: %w", err)
+		}
+		hybrid.GoLive()
+		ps.sched, ps.schedC = hybrid, hybrid
+		ps.proxy = rec.Proxy()
+		ps.api = rec
+		logf("proxy: recovered journal %s (%d topics)", opts.JournalPath, len(ps.proxy.Topics()))
+	}
+	ps.sched.Run(func() {
+		if err := ps.api.SetNetwork(false); err != nil { // no device yet
+			logf("proxy: initial network state: %v", err)
+		}
+	})
+
+	upstream, err := DialBroker(opts.BrokerAddr, opts.Name)
+	if err != nil {
+		ps.schedC.Close()
+		return nil, fmt.Errorf("proxy: %w", err)
+	}
+	upstream.OnPush(
+		func(n *msg.Notification) {
+			ps.sched.Run(func() {
+				if err := ps.api.Notify(n); err != nil {
+					ps.logf("proxy: journal notify: %v", err)
+				}
+			})
+		},
+		func(u msg.RankUpdate) {
+			ps.sched.Run(func() {
+				if err := ps.api.ApplyRankUpdate(u); err != nil {
+					ps.logf("proxy: journal rank update: %v", err)
+				}
+			})
+		},
+	)
+	ps.upstream = upstream
+
+	// A recovered proxy re-subscribes its topics upstream.
+	for _, topic := range ps.proxy.Topics() {
+		sub := msg.Subscription{Topic: topic, Subscriber: opts.Name}
+		if err := upstream.Subscribe(sub); err != nil {
+			logf("proxy: resubscribe %q: %v", topic, err)
+		}
+	}
+	return ps, nil
+}
+
+// Forward implements core.Forwarder by pushing to the connected device.
+func (ps *ProxyServer) Forward(n *msg.Notification) error {
+	ps.mu.Lock()
+	dev := ps.device
+	ps.mu.Unlock()
+	if dev == nil {
+		return errors.New("no device connected")
+	}
+	return dev.Send(&Frame{Type: TypePush, Notification: n})
+}
+
+// Serve accepts device connections until the listener closes.
+func (ps *ProxyServer) Serve(lis net.Listener) error {
+	ps.mu.Lock()
+	if ps.closed {
+		ps.mu.Unlock()
+		return errors.New("proxy server closed")
+	}
+	ps.lis = lis
+	ps.mu.Unlock()
+	for {
+		c, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		conn := NewConn(c)
+		ps.mu.Lock()
+		if ps.closed {
+			ps.mu.Unlock()
+			_ = conn.Close()
+			return net.ErrClosed
+		}
+		if old := ps.device; old != nil {
+			// A reconnecting device replaces the stale connection.
+			_ = old.Close()
+		}
+		ps.device = conn
+		ps.wg.Add(1)
+		ps.mu.Unlock()
+		ps.sched.Run(func() {
+			if err := ps.api.SetNetwork(true); err != nil {
+				ps.logf("proxy: network up: %v", err)
+			}
+		})
+		go func() {
+			defer ps.wg.Done()
+			ps.handleDevice(conn)
+		}()
+	}
+}
+
+// Close stops the server and the upstream client.
+func (ps *ProxyServer) Close() {
+	ps.mu.Lock()
+	ps.closed = true
+	lis := ps.lis
+	dev := ps.device
+	ps.mu.Unlock()
+	if lis != nil {
+		_ = lis.Close()
+	}
+	if dev != nil {
+		_ = dev.Close()
+	}
+	ps.wg.Wait()
+	if ps.upstream != nil {
+		_ = ps.upstream.Close()
+	}
+	ps.schedC.Close()
+}
+
+func (ps *ProxyServer) handleDevice(conn *Conn) {
+	defer func() {
+		ps.mu.Lock()
+		if ps.device == conn {
+			ps.device = nil
+			ps.mu.Unlock()
+			ps.sched.Run(func() {
+				if err := ps.api.SetNetwork(false); err != nil {
+					ps.logf("proxy: network down: %v", err)
+				}
+			})
+		} else {
+			ps.mu.Unlock()
+		}
+		_ = conn.Close()
+	}()
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case TypeHello:
+			ps.respond(conn, OK(f))
+		case TypeSubscribe:
+			ps.respondErr(conn, f, ps.subscribeTopic(f))
+		case TypeUnsubscribe:
+			ps.respondErr(conn, f, ps.unsubscribeTopic(f.Topic))
+		case TypeRead:
+			if f.Read == nil {
+				ps.respond(conn, Err(f, errors.New("read frame without request")))
+				continue
+			}
+			var rerr error
+			ps.sched.Run(func() { rerr = ps.api.Read(*f.Read) })
+			// Any pushed difference left on this connection before the
+			// OK below; TCP ordering lets the device treat OK as the
+			// end of the read response.
+			ps.respondErr(conn, f, rerr)
+		default:
+			ps.respond(conn, Err(f, fmt.Errorf("unsupported frame type %q", f.Type)))
+		}
+	}
+}
+
+// subscribeTopic registers the topic upstream and on the proxy.
+func (ps *ProxyServer) subscribeTopic(f *Frame) error {
+	if f.Topic == "" {
+		return errors.New("subscribe frame without topic")
+	}
+	var pol TopicPolicy
+	if f.TopicPolicy != nil {
+		pol = *f.TopicPolicy
+	}
+	cfg, err := pol.ToConfig(f.Topic)
+	if err != nil {
+		return err
+	}
+	// A reconnecting device reasserting a topic it already subscribed is
+	// idempotent: the proxy keeps the spooled state it collected during
+	// the disconnection instead of starting over.
+	if _, exists := ps.Snapshot(f.Topic); exists {
+		return nil
+	}
+	var addErr error
+	ps.sched.Run(func() { addErr = ps.api.AddTopic(cfg) })
+	if addErr != nil {
+		return addErr
+	}
+	sub := msg.Subscription{
+		Topic:      f.Topic,
+		Subscriber: ps.name,
+		Options: msg.SubscriptionOptions{
+			Max:       pol.Max,
+			Threshold: pol.Threshold,
+			Mode:      cfg.Mode,
+		},
+	}
+	if err := ps.upstream.Subscribe(sub); err != nil {
+		ps.sched.Run(func() {
+			if rerr := ps.api.RemoveTopic(f.Topic); rerr != nil {
+				ps.logf("proxy: rollback topic %q: %v", f.Topic, rerr)
+			}
+		})
+		return err
+	}
+	return nil
+}
+
+func (ps *ProxyServer) unsubscribeTopic(topic string) error {
+	if topic == "" {
+		return errors.New("unsubscribe frame without topic")
+	}
+	var remErr error
+	ps.sched.Run(func() { remErr = ps.api.RemoveTopic(topic) })
+	if err := ps.upstream.Unsubscribe(topic); err != nil {
+		return err
+	}
+	return remErr
+}
+
+func (ps *ProxyServer) respond(conn *Conn, f *Frame) {
+	if err := conn.Send(f); err != nil {
+		ps.logf("proxy: send response: %v", err)
+	}
+}
+
+func (ps *ProxyServer) respondErr(conn *Conn, req *Frame, err error) {
+	if err != nil {
+		ps.respond(conn, Err(req, err))
+		return
+	}
+	ps.respond(conn, OK(req))
+}
+
+// Snapshot exposes the proxy's per-topic state for tooling.
+func (ps *ProxyServer) Snapshot(topic string) (core.TopicSnapshot, bool) {
+	var (
+		snap core.TopicSnapshot
+		ok   bool
+	)
+	ps.sched.Run(func() { snap, ok = ps.proxy.Snapshot(topic) })
+	return snap, ok
+}
+
+// ToConfig maps the wire policy onto a core topic configuration. An empty
+// policy yields the paper's unified configuration.
+func (tp TopicPolicy) ToConfig(topic string) (core.TopicConfig, error) {
+	cfg := core.UnifiedConfig(topic, tp.Max)
+	if tp.Mode != "" {
+		mode, err := msg.ParseDeliveryMode(tp.Mode)
+		if err != nil {
+			return core.TopicConfig{}, err
+		}
+		cfg.Mode = mode
+	}
+	switch tp.Policy {
+	case "", "unified":
+		// keep the unified defaults
+	case "online":
+		cfg.Policy = core.Online
+		cfg.AutoPrefetchLimit = false
+		cfg.AutoExpirationThreshold = false
+	case "on-demand", "ondemand":
+		cfg.Policy = core.OnDemand
+		cfg.AutoPrefetchLimit = false
+		cfg.AutoExpirationThreshold = false
+	case "buffer":
+		cfg.Policy = core.Buffer
+	case "rate":
+		cfg.Policy = core.Rate
+		cfg.AutoPrefetchLimit = false
+	default:
+		return core.TopicConfig{}, fmt.Errorf("unknown policy %q", tp.Policy)
+	}
+	cfg.RankThreshold = tp.Threshold
+	if tp.PrefetchLimit > 0 {
+		cfg.PrefetchLimit = tp.PrefetchLimit
+		cfg.AutoPrefetchLimit = false
+	}
+	if tp.DelaySeconds > 0 {
+		cfg.Delay = time.Duration(tp.DelaySeconds * float64(time.Second))
+	}
+	cfg.InterruptRank = tp.InterruptRank
+	cfg.DailyOnlineCap = tp.DailyOnlineCap
+	for _, w := range tp.QuietWindows {
+		cfg.Quiet = append(cfg.Quiet, core.QuietWindow{
+			Start: time.Duration(w.StartMinutes) * time.Minute,
+			End:   time.Duration(w.EndMinutes) * time.Minute,
+		})
+	}
+	return cfg, cfg.Validate()
+}

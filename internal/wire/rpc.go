@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// caller implements the request/response half of the protocol shared by
+// every client: sequence allocation, pending-response registration, and
+// resolution from the read loop. Pushes are handled by the embedding
+// client's read loop.
+type caller struct {
+	conn *Conn
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]chan *Frame
+	closed  bool
+	readErr error
+}
+
+func newCaller(conn *Conn) caller {
+	return caller{conn: conn, pending: make(map[uint64]chan *Frame)}
+}
+
+// call sends a request and waits for its OK/Err response. The pending
+// channel is registered before the frame hits the wire so a fast response
+// cannot race the registration.
+func (c *caller) call(f *Frame) error {
+	ch := make(chan *Frame, 1)
+	c.mu.Lock()
+	if c.closed || c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("client closed")
+		}
+		return err
+	}
+	c.seq++
+	seq := c.seq
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	f.Seq = seq
+	if err := c.conn.Send(f); err != nil {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return err
+	}
+
+	resp, ok := <-ch
+	if !ok || resp == nil {
+		return errors.New("connection lost awaiting response")
+	}
+	if resp.Type == TypeErr {
+		return fmt.Errorf("remote: %s", resp.Message)
+	}
+	return nil
+}
+
+// resolve routes an OK/Err frame to its waiting call.
+func (c *caller) resolve(f *Frame) {
+	c.mu.Lock()
+	ch := c.pending[f.Re]
+	delete(c.pending, f.Re)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- f
+	}
+}
+
+// fail wakes every waiting call with a connection error.
+func (c *caller) fail(err error) {
+	c.mu.Lock()
+	c.readErr = err
+	for _, ch := range c.pending {
+		close(ch)
+	}
+	c.pending = make(map[uint64]chan *Frame)
+	c.mu.Unlock()
+}
+
+// markClosed flags the caller closed, reporting whether it already was.
+func (c *caller) markClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	was := c.closed
+	c.closed = true
+	return was
+}
+
+// reset installs a fresh connection after the previous one died, clearing
+// the terminal read error so calls flow again. The caller must have no
+// calls in flight.
+func (c *caller) reset(conn *Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.conn = conn
+	c.readErr = nil
+	c.closed = false
+	c.pending = make(map[uint64]chan *Frame)
+}
