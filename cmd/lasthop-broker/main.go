@@ -13,8 +13,10 @@ import (
 	"log"
 	"net"
 	"os"
+	"time"
 
 	"lasthop/internal/pubsub"
+	"lasthop/internal/retry"
 	"lasthop/internal/wire"
 )
 
@@ -30,6 +32,13 @@ func run() error {
 		listen = flag.String("listen", ":7470", "address to listen on")
 		name   = flag.String("name", "broker", "broker node name")
 		peer   = flag.String("peer", "", "federate with the broker at this address (keep the overlay acyclic)")
+
+		reconnect   = flag.Bool("reconnect", true, "re-establish the peer link with backoff when it dies")
+		backoffInit = flag.Duration("backoff-initial", 100*time.Millisecond, "initial peer reconnect backoff")
+		backoffMax  = flag.Duration("backoff-max", 15*time.Second, "maximum peer reconnect backoff")
+		heartbeat   = flag.Duration("heartbeat", 5*time.Second, "peer heartbeat interval (0 = disabled)")
+		readTO      = flag.Duration("read-timeout", 0, "max silence tolerated on a client connection (0 = unlimited)")
+		writeTO     = flag.Duration("write-timeout", 10*time.Second, "max time for one client write (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -39,7 +48,13 @@ func run() error {
 	}
 	broker := pubsub.NewBroker(*name)
 	if *peer != "" {
-		fed, err := wire.FederateBroker(broker, *peer, *name, log.Printf)
+		fed, err := wire.FederateBrokerOpts(broker, *peer, *name, wire.ClientOptions{
+			AutoReconnect:     *reconnect,
+			Backoff:           retry.Policy{Initial: *backoffInit, Max: *backoffMax},
+			HeartbeatInterval: *heartbeat,
+			WriteTimeout:      *writeTO,
+			Logf:              log.Printf,
+		})
 		if err != nil {
 			return err
 		}
@@ -47,6 +62,10 @@ func run() error {
 		log.Printf("broker %q federated with %s", *name, *peer)
 	}
 	log.Printf("broker %q listening on %s", *name, lis.Addr())
-	srv := wire.NewBrokerServer(broker, log.Printf)
+	srv := wire.NewBrokerServerOpts(broker, wire.ServerOptions{
+		ReadTimeout:  *readTO,
+		WriteTimeout: *writeTO,
+		Logf:         log.Printf,
+	})
 	return srv.Serve(lis)
 }

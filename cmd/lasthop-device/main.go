@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"lasthop/internal/retry"
 	"lasthop/internal/wire"
 )
 
@@ -35,10 +36,22 @@ func run() error {
 		limit     = flag.Int("prefetch-limit", 0, "fixed prefetch limit (0 = auto)")
 		interval  = flag.Duration("interval", 10*time.Second, "how often the user checks messages")
 		reads     = flag.Int("reads", 0, "stop after this many reads (0 = forever)")
+
+		reconnect   = flag.Bool("reconnect", true, "reconnect to the proxy with backoff when the last hop dies")
+		backoffInit = flag.Duration("backoff-initial", 100*time.Millisecond, "initial reconnect backoff")
+		backoffMax  = flag.Duration("backoff-max", 15*time.Second, "maximum reconnect backoff")
+		heartbeat   = flag.Duration("heartbeat", 5*time.Second, "proxy heartbeat interval (0 = disabled)")
+		writeTO     = flag.Duration("write-timeout", 10*time.Second, "max time for one write to the proxy (0 = unlimited)")
 	)
 	flag.Parse()
 
-	dev, err := wire.DialProxy(*proxy, *name)
+	dev, err := wire.DialProxyOpts(*proxy, *name, wire.ClientOptions{
+		AutoReconnect:     *reconnect,
+		Backoff:           retry.Policy{Initial: *backoffInit, Max: *backoffMax},
+		HeartbeatInterval: *heartbeat,
+		WriteTimeout:      *writeTO,
+		Logf:              log.Printf,
+	})
 	if err != nil {
 		return err
 	}

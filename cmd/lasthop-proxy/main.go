@@ -15,7 +15,9 @@ import (
 	"log"
 	"net"
 	"os"
+	"time"
 
+	"lasthop/internal/retry"
 	"lasthop/internal/wire"
 )
 
@@ -28,10 +30,17 @@ func main() {
 
 func run() error {
 	var (
-		broker      = flag.String("broker", "localhost:7470", "upstream broker address")
-		listen      = flag.String("listen", ":7471", "device-facing listen address")
-		name        = flag.String("name", "proxy", "proxy (subscriber) name at the broker")
-		journalPath = flag.String("journal", "", "journal file for durable proxy state (empty = volatile)")
+		broker       = flag.String("broker", "localhost:7470", "upstream broker address")
+		listen       = flag.String("listen", ":7471", "device-facing listen address")
+		name         = flag.String("name", "proxy", "proxy (subscriber) name at the broker")
+		journalPath  = flag.String("journal", "", "journal file for durable proxy state (empty = volatile)")
+		reconnect    = flag.Bool("reconnect", true, "reconnect to the broker with backoff when the link dies")
+		backoffInit  = flag.Duration("backoff-initial", 100*time.Millisecond, "initial broker reconnect backoff")
+		backoffMax   = flag.Duration("backoff-max", 15*time.Second, "maximum broker reconnect backoff")
+		heartbeat    = flag.Duration("heartbeat", 5*time.Second, "broker heartbeat interval (0 = disabled)")
+		devReadTO    = flag.Duration("device-read-timeout", 0, "max silence tolerated on the device connection (0 = unlimited)")
+		devWriteTO   = flag.Duration("device-write-timeout", 10*time.Second, "max time for one write to the device (0 = unlimited)")
+		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "max time for one write to the broker (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -39,7 +48,15 @@ func run() error {
 		BrokerAddr:  *broker,
 		Name:        *name,
 		JournalPath: *journalPath,
-		Logf:        log.Printf,
+		Upstream: wire.ClientOptions{
+			AutoReconnect:     *reconnect,
+			Backoff:           retry.Policy{Initial: *backoffInit, Max: *backoffMax},
+			HeartbeatInterval: *heartbeat,
+			WriteTimeout:      *writeTimeout,
+		},
+		DeviceReadTimeout:  *devReadTO,
+		DeviceWriteTimeout: *devWriteTO,
+		Logf:               log.Printf,
 	})
 	if err != nil {
 		return err

@@ -39,6 +39,17 @@ type Stats struct {
 	// Rejected counts arrivals dropped at the edge: below the rank
 	// threshold or already expired.
 	Rejected int
+	// Resumes counts session-resumption reconciliations after a device
+	// reconnect.
+	Resumes int
+	// ResumeRequeued counts forwarded notifications that the resuming
+	// device turned out not to have (lost in flight) and that were
+	// re-queued for forwarding.
+	ResumeRequeued int
+	// ResumeLost counts forwarded notifications lost in flight whose
+	// content the proxy no longer holds (expired or garbage-collected) —
+	// irrecoverable losses.
+	ResumeLost int
 }
 
 // Proxy is the last-hop proxy. It is single-threaded: every entry point
@@ -593,6 +604,66 @@ func (p *Proxy) Read(req msg.ReadRequest) error {
 	if ts.cfg.AutoPrefetchLimit && !req.Peek {
 		ts.retunePrefetchLimit()
 	}
+	p.tryForwarding(ts)
+	return nil
+}
+
+// Resume reconciles the proxy with a device that reconnected after an
+// outage: have is the set of notification IDs still queued on the device,
+// read the IDs its user has consumed (the §3.5 read-ID sets, replayed
+// across the session boundary). Forwarded notifications in neither set
+// were lost in flight — pushed into a connection that died before
+// delivery — and are re-queued for forwarding while their content is still
+// known and unexpired. Conversely, IDs the device already read are removed
+// from the staging queues so they are never transferred again. The proxy's
+// view of the client queue is reset to the device's report.
+func (p *Proxy) Resume(topic string, have, read msg.IDSet) error {
+	ts, ok := p.topics[topic]
+	if !ok {
+		return fmt.Errorf("resume: topic %q not registered", topic)
+	}
+	p.stats.Resumes++
+	now := p.sched.Now()
+
+	// Forwarded-but-absent IDs were lost in flight.
+	var lost []msg.ID
+	for id := range ts.forwarded {
+		if !have.Contains(id) && !read.Contains(id) {
+			lost = append(lost, id)
+		}
+	}
+	for _, id := range lost {
+		ts.forwarded.Remove(id)
+		n, known := ts.known[id]
+		if !known || n.Expired(now) {
+			p.stats.ResumeLost++
+			continue
+		}
+		if ts.outgoing.Contains(id) || ts.prefetch.Contains(id) || ts.holding.Contains(id) {
+			// Already staged for (re-)delivery; nothing to recover.
+			continue
+		}
+		p.mustPush(ts.outgoing, n)
+		p.stats.ResumeRequeued++
+	}
+
+	// IDs the user consumed must never be transferred again, even if the
+	// proxy (for example after a crash recovery) still stages them.
+	for id := range read {
+		removed := false
+		if _, ok := ts.outgoing.Remove(id); ok {
+			removed = true
+		} else if _, ok := ts.prefetch.Remove(id); ok {
+			removed = true
+		} else if _, ok := ts.holding.Remove(id); ok {
+			removed = true
+		}
+		if removed {
+			ts.forwarded.Add(id)
+		}
+	}
+
+	ts.queueSize = len(have)
 	p.tryForwarding(ts)
 	return nil
 }

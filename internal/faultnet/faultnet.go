@@ -1,0 +1,330 @@
+// Package faultnet wraps a net.Listener so every accepted connection can be
+// subjected to reproducible last-hop pathologies: connection refusal,
+// mid-stream cuts, byte-level delay and throttling, and one-way partitions
+// that stall a single direction (the half-open connection a dead radio
+// leaves behind). All randomized faults draw from one seeded RNG, so a
+// failing chaos run replays exactly.
+//
+// The wrapper sits on the accept side, which is where the paper's last hop
+// lives: the proxy keeps serving while the device's connectivity misbehaves.
+package faultnet
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"math/rand"
+)
+
+// Direction selects which flow of an accepted connection a partition
+// stalls. Inbound is peer→server (what the wrapped listener reads),
+// Outbound is server→peer (what it writes).
+type Direction int
+
+const (
+	// Both stalls the connection entirely.
+	Both Direction = iota
+	// Inbound stalls peer→server data.
+	Inbound
+	// Outbound stalls server→peer data.
+	Outbound
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	switch d {
+	case Inbound:
+		return "inbound"
+	case Outbound:
+		return "outbound"
+	default:
+		return "both"
+	}
+}
+
+// Options configures the randomized faults. All-zero options inject
+// nothing; scripted faults (RefuseNext, CutAll, Partition) work regardless.
+type Options struct {
+	// Seed drives every probabilistic decision; zero derives a seed from
+	// the wall clock (not reproducible).
+	Seed int64
+	// RefuseProb is the probability an accepted connection is closed
+	// immediately, before any byte flows — the app-level equivalent of a
+	// connection refusal.
+	RefuseProb float64
+	// CutProb is the probability, per write, that the connection is
+	// severed mid-stream instead.
+	CutProb float64
+	// MinDelay and MaxDelay bound a uniform random latency injected
+	// before every write.
+	MinDelay, MaxDelay time.Duration
+	// BytesPerSecond throttles writes to the given bandwidth; zero means
+	// unthrottled.
+	BytesPerSecond int
+}
+
+// Stats counts the faults injected so far.
+type Stats struct {
+	// Accepted counts connections handed to the server.
+	Accepted int
+	// Refused counts connections closed at accept.
+	Refused int
+	// Cut counts connections severed mid-stream.
+	Cut int
+	// Partitions counts Partition calls.
+	Partitions int
+}
+
+// Listener is the fault-injecting wrapper.
+type Listener struct {
+	inner net.Listener
+
+	mu         sync.Mutex
+	opts       Options
+	rng        *rand.Rand
+	conns      map[*Conn]struct{}
+	refuseNext int
+	partDir    Direction
+	partUntil  time.Time
+	stats      Stats
+}
+
+// Wrap decorates a listener with the given fault options.
+func Wrap(inner net.Listener, opts Options) *Listener {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Listener{
+		inner: inner,
+		opts:  opts,
+		rng:   rand.New(rand.NewSource(seed)),
+		conns: make(map[*Conn]struct{}),
+	}
+}
+
+// Accept implements net.Listener, applying refusal faults.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.inner.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		refuse := l.refuseNext > 0
+		if refuse {
+			l.refuseNext--
+		} else if l.opts.RefuseProb > 0 && l.rng.Float64() < l.opts.RefuseProb {
+			refuse = true
+		}
+		if refuse {
+			l.stats.Refused++
+			l.mu.Unlock()
+			_ = c.Close()
+			continue
+		}
+		fc := &Conn{Conn: c, l: l}
+		l.conns[fc] = struct{}{}
+		l.stats.Accepted++
+		l.mu.Unlock()
+		return fc, nil
+	}
+}
+
+// Close closes the wrapped listener (active connections stay up, as with a
+// plain listener).
+func (l *Listener) Close() error { return l.inner.Close() }
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// RefuseNext scripts the next n accepted connections to be refused.
+func (l *Listener) RefuseNext(n int) {
+	l.mu.Lock()
+	l.refuseNext += n
+	l.mu.Unlock()
+}
+
+// CutAll severs every active connection mid-stream and reports how many
+// were cut.
+func (l *Listener) CutAll() int {
+	l.mu.Lock()
+	victims := make([]*Conn, 0, len(l.conns))
+	for c := range l.conns {
+		victims = append(victims, c)
+	}
+	l.stats.Cut += len(victims)
+	l.mu.Unlock()
+	for _, c := range victims {
+		_ = c.Close()
+	}
+	return len(victims)
+}
+
+// Partition stalls the given direction of every current and future
+// connection for the duration: bytes neither flow nor fail, leaving the
+// half-open hang that only heartbeats and deadlines can detect.
+func (l *Listener) Partition(dir Direction, d time.Duration) {
+	l.mu.Lock()
+	l.partDir = dir
+	l.partUntil = time.Now().Add(d)
+	l.stats.Partitions++
+	l.mu.Unlock()
+}
+
+// Stats returns a copy of the fault counters.
+func (l *Listener) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// partitioned reports whether the given direction is currently stalled.
+func (l *Listener) partitioned(dir Direction) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if time.Now().After(l.partUntil) {
+		return false
+	}
+	return l.partDir == Both || l.partDir == dir
+}
+
+// drop removes a connection from the active set.
+func (l *Listener) drop(c *Conn) {
+	l.mu.Lock()
+	delete(l.conns, c)
+	l.mu.Unlock()
+}
+
+// cutRoll reports whether a random mid-stream cut fires for one write.
+func (l *Listener) cutRoll() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.opts.CutProb <= 0 || l.rng.Float64() >= l.opts.CutProb {
+		return false
+	}
+	l.stats.Cut++
+	return true
+}
+
+// writePause computes the injected latency for a write of n bytes.
+func (l *Listener) writePause(n int) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var d time.Duration
+	if l.opts.MaxDelay > l.opts.MinDelay {
+		d = l.opts.MinDelay + time.Duration(l.rng.Int63n(int64(l.opts.MaxDelay-l.opts.MinDelay)))
+	} else {
+		d = l.opts.MinDelay
+	}
+	if l.opts.BytesPerSecond > 0 {
+		d += time.Duration(float64(n) / float64(l.opts.BytesPerSecond) * float64(time.Second))
+	}
+	return d
+}
+
+// pollInterval is how often a stalled operation re-checks partition state
+// and deadlines.
+const pollInterval = 2 * time.Millisecond
+
+// Conn is one fault-injected accepted connection.
+type Conn struct {
+	net.Conn
+	l *Listener
+
+	dmu           sync.Mutex
+	readDeadline  time.Time
+	writeDeadline time.Time
+}
+
+// deadline returns the relevant deadline for a direction.
+func (c *Conn) deadline(dir Direction) time.Time {
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	if dir == Inbound {
+		return c.readDeadline
+	}
+	return c.writeDeadline
+}
+
+// stall blocks while dir is partitioned, honoring the conn's deadline. It
+// returns a timeout error if the deadline passes while stalled.
+func (c *Conn) stall(dir Direction) error {
+	for c.l.partitioned(dir) {
+		if dl := c.deadline(dir); !dl.IsZero() && time.Now().After(dl) {
+			return os.ErrDeadlineExceeded
+		}
+		time.Sleep(pollInterval)
+	}
+	return nil
+}
+
+// Read applies inbound partitions, then reads from the wrapped conn. A
+// partition raised while the read was blocked holds the delivered bytes
+// until it heals; if the deadline fires first the bytes are dropped, as
+// lost packets would be.
+func (c *Conn) Read(b []byte) (int, error) {
+	if err := c.stall(Inbound); err != nil {
+		return 0, err
+	}
+	n, err := c.Conn.Read(b)
+	if err != nil {
+		return n, err
+	}
+	if serr := c.stall(Inbound); serr != nil {
+		return 0, serr
+	}
+	return n, nil
+}
+
+// Write applies outbound partitions, injected latency, throttling, and
+// mid-stream cuts, then writes to the wrapped conn.
+func (c *Conn) Write(b []byte) (int, error) {
+	if err := c.stall(Outbound); err != nil {
+		return 0, err
+	}
+	if d := c.l.writePause(len(b)); d > 0 {
+		if dl := c.deadline(Outbound); !dl.IsZero() && time.Now().Add(d).After(dl) {
+			time.Sleep(time.Until(dl))
+			return 0, os.ErrDeadlineExceeded
+		}
+		time.Sleep(d)
+	}
+	if c.l.cutRoll() {
+		_ = c.Close()
+		return 0, net.ErrClosed
+	}
+	return c.Conn.Write(b)
+}
+
+// Close unregisters and closes the connection. It is idempotent.
+func (c *Conn) Close() error {
+	c.l.drop(c)
+	return c.Conn.Close()
+}
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.dmu.Lock()
+	c.readDeadline, c.writeDeadline = t, t
+	c.dmu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.dmu.Lock()
+	c.readDeadline = t
+	c.dmu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.dmu.Lock()
+	c.writeDeadline = t
+	c.dmu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}

@@ -1,0 +1,222 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// pipeServer listens on loopback, echoes one connection at a time through
+// the fault wrapper, and exposes the wrapper for fault scripting.
+func echoServer(t *testing.T, opts Options) (*Listener, string) {
+	t.Helper()
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Wrap(inner, opts)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}()
+		}
+	}()
+	t.Cleanup(func() { _ = l.Close() })
+	return l, inner.Addr().String()
+}
+
+func roundTrip(t *testing.T, addr string, payload string) error {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Write([]byte(payload)); err != nil {
+		return err
+	}
+	buf := make([]byte, len(payload))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		return err
+	}
+	if string(buf) != payload {
+		t.Fatalf("echo = %q, want %q", buf, payload)
+	}
+	return nil
+}
+
+func TestPassThroughWithoutFaults(t *testing.T) {
+	l, addr := echoServer(t, Options{Seed: 1})
+	if err := roundTrip(t, addr, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	s := l.Stats()
+	if s.Accepted != 1 || s.Refused != 0 || s.Cut != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestScriptedRefusal(t *testing.T) {
+	l, addr := echoServer(t, Options{Seed: 1})
+	l.RefuseNext(1)
+	// The refused connection dials fine but dies before the echo.
+	if err := roundTrip(t, addr, "x"); err == nil {
+		t.Fatal("refused connection served traffic")
+	}
+	// The next one goes through.
+	if err := roundTrip(t, addr, "y"); err != nil {
+		t.Fatal(err)
+	}
+	s := l.Stats()
+	if s.Refused != 1 || s.Accepted != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCutAllSeversMidStream(t *testing.T) {
+	l, addr := echoServer(t, Options{Seed: 1})
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := l.CutAll(); n != 1 {
+		t.Fatalf("CutAll cut %d conns, want 1", n)
+	}
+	// The severed connection yields EOF/reset on the client side.
+	if _, err := io.ReadFull(c, buf); err == nil {
+		t.Fatal("read succeeded on a cut connection")
+	}
+}
+
+func TestSeededCutIsReproducible(t *testing.T) {
+	// With the same seed, the same write sequence is cut at the same
+	// point in both runs.
+	run := func() int {
+		l, addr := echoServer(t, Options{Seed: 7, CutProb: 0.2})
+		_ = l
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		_ = c.SetDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, 1)
+		for i := 0; i < 100; i++ {
+			if _, err := c.Write([]byte{'a'}); err != nil {
+				return i
+			}
+			if _, err := io.ReadFull(c, buf); err != nil {
+				return i
+			}
+		}
+		return 100
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Fatalf("cut points differ: %d vs %d", first, second)
+	}
+	if first == 100 {
+		t.Fatal("no cut fired in 100 echoes with CutProb=0.2")
+	}
+}
+
+func TestOneWayPartitionStallsSingleDirection(t *testing.T) {
+	l, addr := echoServer(t, Options{Seed: 1})
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := roundTripOn(c, "warm"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stall inbound (client→server): the echo server stops seeing our
+	// bytes, so nothing comes back while the partition holds.
+	l.Partition(Inbound, 300*time.Millisecond)
+	start := time.Now()
+	if err := roundTripOn(c, "during"); err != nil {
+		t.Fatal(err)
+	}
+	if waited := time.Since(start); waited < 250*time.Millisecond {
+		t.Errorf("echo crossed a partitioned link after %v", waited)
+	}
+}
+
+func TestPartitionHonorsReadDeadline(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Wrap(inner, Options{Seed: 1})
+	defer l.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err := net.DialTimeout("tcp", inner.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	srv := <-accepted
+	defer srv.Close()
+
+	l.Partition(Both, time.Hour)
+	_ = srv.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 1)
+	_, err = srv.Read(buf)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("read during partition: %v, want deadline exceeded", err)
+	}
+}
+
+func TestWriteDelayInjection(t *testing.T) {
+	_, addr := echoServer(t, Options{Seed: 3, MinDelay: 50 * time.Millisecond, MaxDelay: 60 * time.Millisecond})
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	if err := roundTripOn(c, "slow"); err != nil {
+		t.Fatal(err)
+	}
+	// Only the server→client echo write crosses the wrapper.
+	if d := time.Since(start); d < 45*time.Millisecond {
+		t.Errorf("echo returned in %v, want ≥ 50ms injected delay", d)
+	}
+}
+
+func roundTripOn(c net.Conn, payload string) error {
+	if _, err := c.Write([]byte(payload)); err != nil {
+		return err
+	}
+	buf := make([]byte, len(payload))
+	_, err := io.ReadFull(c, buf)
+	return err
+}

@@ -40,6 +40,7 @@ const (
 	KindRankUpdate  Kind = "rank-update"
 	KindRead        Kind = "read"
 	KindNetwork     Kind = "network"
+	KindResume      Kind = "resume"
 )
 
 // Entry is one journaled proxy input.
@@ -55,6 +56,15 @@ type Entry struct {
 	Update       *msg.RankUpdate   `json:"update,omitempty"`
 	Read         *msg.ReadRequest  `json:"read,omitempty"`
 	NetworkUp    *bool             `json:"networkUp,omitempty"`
+	Resume       *ResumePayload    `json:"resume,omitempty"`
+}
+
+// ResumePayload journals one session-resumption reconciliation: the ID
+// sets a reconnecting device replayed for a topic.
+type ResumePayload struct {
+	Topic string   `json:"topic"`
+	Have  []msg.ID `json:"have,omitempty"`
+	Read  []msg.ID `json:"read,omitempty"`
 }
 
 // Validate checks that the entry's payload matches its kind.
@@ -83,6 +93,13 @@ func (e Entry) Validate() error {
 	case KindNetwork:
 		if e.NetworkUp == nil {
 			return errors.New("network entry without status")
+		}
+	case KindResume:
+		if e.Resume == nil {
+			return errors.New("resume entry without payload")
+		}
+		if e.Resume.Topic == "" {
+			return errors.New("resume entry without topic")
 		}
 	default:
 		return fmt.Errorf("unknown entry kind %q", e.Kind)

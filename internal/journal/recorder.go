@@ -3,6 +3,7 @@ package journal
 import (
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"lasthop/internal/core"
@@ -77,6 +78,25 @@ func (r *Recorder) Read(req msg.ReadRequest) error {
 	return r.proxy.Read(req)
 }
 
+// Resume journals and applies a session-resumption reconciliation.
+func (r *Recorder) Resume(topic string, have, read msg.IDSet) error {
+	payload := &ResumePayload{Topic: topic, Have: idSlice(have), Read: idSlice(read)}
+	if err := r.log(Entry{Kind: KindResume, Resume: payload}); err != nil {
+		return err
+	}
+	return r.proxy.Resume(topic, have, read)
+}
+
+// idSlice flattens a set for journaling, sorted for stable journals.
+func idSlice(s msg.IDSet) []msg.ID {
+	out := make([]msg.ID, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // SetNetwork journals and applies a last-hop status change.
 func (r *Recorder) SetNetwork(up bool) error {
 	if err := r.log(Entry{Kind: KindNetwork, NetworkUp: &up}); err != nil {
@@ -131,6 +151,10 @@ func Recover(sched simtime.Scheduler, advance func(time.Time), out core.Forwarde
 			_ = proxy.Read(*e.Read)
 		case KindNetwork:
 			proxy.SetNetwork(*e.NetworkUp)
+		case KindResume:
+			// Like reads, resumes for topics removed later in the journal
+			// are not fatal.
+			_ = proxy.Resume(e.Resume.Topic, msg.NewIDSet(e.Resume.Have...), msg.NewIDSet(e.Resume.Read...))
 		}
 		return nil
 	})
@@ -209,6 +233,8 @@ func Compact(path string, now time.Time) (int, error) {
 			keep = surviving(e.Read.Topic)
 		case KindNetwork:
 			keep = true
+		case KindResume:
+			keep = surviving(e.Resume.Topic)
 		}
 		if keep {
 			out = append(out, e)

@@ -1,0 +1,178 @@
+// Package retry provides the jittered exponential backoff policy shared by
+// every dialer in the deployment stack. The paper treats the last hop as
+// intermittent by design — "periods of unacceptably slow connectivity can
+// be treated as outages" — so reconnection is not an error path but the
+// steady state, and every client retries with the same capped, jittered
+// schedule to avoid synchronized reconnect storms.
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrAttemptsExhausted is returned by Do when the policy's attempt budget
+// runs out before an attempt succeeds.
+var ErrAttemptsExhausted = errors.New("retry: attempts exhausted")
+
+// Policy describes a backoff schedule. The zero value is not useful; start
+// from Default and override fields.
+type Policy struct {
+	// Initial is the delay before the first retry.
+	Initial time.Duration
+	// Max caps the delay between retries.
+	Max time.Duration
+	// Multiplier grows the delay after each failure (≥ 1).
+	Multiplier float64
+	// Jitter is the fraction of each delay randomized away (0..1): a
+	// delay d becomes uniform in [d·(1−Jitter), d].
+	Jitter float64
+	// MaxAttempts bounds the number of attempts Do makes; zero means
+	// retry forever (until the context is canceled).
+	MaxAttempts int
+	// Seed makes the jitter sequence reproducible in tests; zero derives
+	// a seed from the wall clock.
+	Seed int64
+}
+
+// Default is the schedule used by the wire clients when none is given:
+// 100 ms doubling to a 15 s cap with 25% jitter, forever.
+func Default() Policy {
+	return Policy{
+		Initial:    100 * time.Millisecond,
+		Max:        15 * time.Second,
+		Multiplier: 2,
+		Jitter:     0.25,
+	}
+}
+
+// withDefaults fills unset fields so a partially specified policy behaves.
+func (p Policy) withDefaults() Policy {
+	d := Default()
+	if p.Initial <= 0 {
+		p.Initial = d.Initial
+	}
+	if p.Max <= 0 {
+		p.Max = d.Max
+	}
+	if p.Max < p.Initial {
+		p.Max = p.Initial
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = d.Multiplier
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = d.Jitter
+	}
+	return p
+}
+
+// Backoff is the mutable state of one retry sequence. It is safe for
+// concurrent use.
+type Backoff struct {
+	mu       sync.Mutex
+	policy   Policy
+	rng      *rand.Rand
+	next     time.Duration
+	attempts int
+}
+
+// New returns a fresh backoff sequence for the policy.
+func New(p Policy) *Backoff {
+	p = p.withDefaults()
+	seed := p.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Backoff{
+		policy: p,
+		rng:    rand.New(rand.NewSource(seed)),
+		next:   p.Initial,
+	}
+}
+
+// Next returns the delay to wait before the upcoming attempt and advances
+// the schedule. ok is false when the policy's attempt budget is exhausted.
+func (b *Backoff) Next() (d time.Duration, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.policy.MaxAttempts > 0 && b.attempts >= b.policy.MaxAttempts {
+		return 0, false
+	}
+	b.attempts++
+	d = b.next
+	grown := time.Duration(float64(b.next) * b.policy.Multiplier)
+	if grown > b.policy.Max || grown < b.next { // cap, and guard overflow
+		grown = b.policy.Max
+	}
+	b.next = grown
+	if b.policy.Jitter > 0 {
+		cut := time.Duration(b.rng.Float64() * b.policy.Jitter * float64(d))
+		d -= cut
+	}
+	return d, true
+}
+
+// Reset restores the schedule to its initial delay and attempt budget,
+// typically after a successful attempt ("reset on success").
+func (b *Backoff) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.next = b.policy.Initial
+	b.attempts = 0
+}
+
+// Attempts reports how many times Next has been consumed since the last
+// Reset.
+func (b *Backoff) Attempts() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.attempts
+}
+
+// Sleep waits the next backoff delay, honoring context cancellation. It
+// returns the context error when canceled and ErrAttemptsExhausted when the
+// attempt budget ran out.
+func (b *Backoff) Sleep(ctx context.Context) error {
+	d, ok := b.Next()
+	if !ok {
+		return ErrAttemptsExhausted
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do retries fn under the policy until it succeeds, the context is
+// canceled, or the attempt budget runs out. The first attempt happens
+// immediately; subsequent attempts wait the backoff delay. On exhaustion
+// the last attempt error is wrapped alongside ErrAttemptsExhausted.
+func Do(ctx context.Context, p Policy, fn func() error) error {
+	b := New(p)
+	var lastErr error
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if lastErr = fn(); lastErr == nil {
+			return nil
+		}
+		if err := b.Sleep(ctx); err != nil {
+			if errors.Is(err, ErrAttemptsExhausted) {
+				return errors.Join(ErrAttemptsExhausted, lastErr)
+			}
+			return err
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	b := New(Policy{Initial: 100 * time.Millisecond, Max: 400 * time.Millisecond, Multiplier: 2, Jitter: 0})
+	want := []time.Duration{100, 200, 400, 400, 400}
+	for i, w := range want {
+		d, ok := b.Next()
+		if !ok {
+			t.Fatalf("attempt %d: budget exhausted unexpectedly", i)
+		}
+		if d != w*time.Millisecond {
+			t.Errorf("attempt %d: delay = %v, want %v", i, d, w*time.Millisecond)
+		}
+	}
+}
+
+func TestBackoffJitterBoundsAndDeterminism(t *testing.T) {
+	p := Policy{Initial: time.Second, Max: time.Second, Multiplier: 1, Jitter: 0.5, Seed: 42}
+	a, b := New(p), New(p)
+	for i := 0; i < 20; i++ {
+		da, _ := a.Next()
+		db, _ := b.Next()
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		if da < 500*time.Millisecond || da > time.Second {
+			t.Fatalf("attempt %d: delay %v outside [0.5s, 1s]", i, da)
+		}
+	}
+}
+
+func TestBackoffResetOnSuccess(t *testing.T) {
+	b := New(Policy{Initial: 10 * time.Millisecond, Max: time.Second, Multiplier: 2, Jitter: 0, MaxAttempts: 3})
+	for i := 0; i < 3; i++ {
+		if _, ok := b.Next(); !ok {
+			t.Fatalf("attempt %d refused", i)
+		}
+	}
+	if _, ok := b.Next(); ok {
+		t.Fatal("budget not enforced")
+	}
+	b.Reset()
+	d, ok := b.Next()
+	if !ok || d != 10*time.Millisecond {
+		t.Fatalf("after reset: d=%v ok=%v", d, ok)
+	}
+	if b.Attempts() != 1 {
+		t.Fatalf("attempts after reset = %d", b.Attempts())
+	}
+}
+
+func TestDoSucceedsAfterFailures(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{Initial: time.Millisecond, Max: time.Millisecond, Jitter: 0}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("flaky")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := Do(context.Background(), Policy{Initial: time.Millisecond, MaxAttempts: 2, Jitter: 0}, func() error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, ErrAttemptsExhausted) || !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// MaxAttempts bounds the retries (sleeps), so fn runs 1 + MaxAttempts times.
+	if calls != 3 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func TestDoHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(ctx, Policy{Initial: time.Hour, Jitter: 0}, func() error { return errors.New("always") })
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not observe cancellation")
+	}
+}

@@ -4,17 +4,33 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
+	"time"
 
 	"lasthop/internal/msg"
 	"lasthop/internal/pubsub"
 )
+
+// ServerOptions tunes a server's per-connection liveness deadlines.
+type ServerOptions struct {
+	// ReadTimeout bounds the silence tolerated on a client connection;
+	// clients must send (heartbeats count) within this bound or be
+	// disconnected. Zero disables it.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each push or response write so a stalled client
+	// cannot block the server. Zero disables it.
+	WriteTimeout time.Duration
+	// Logf receives diagnostics; nil silences them.
+	Logf func(string, ...any)
+}
 
 // BrokerServer exposes a pubsub.Broker over TCP. Each connection may
 // advertise, publish, and subscribe; subscribed connections receive push
 // frames.
 type BrokerServer struct {
 	broker *pubsub.Broker
+	opts   ServerOptions
 	logf   func(format string, args ...any)
 
 	mu     sync.Mutex
@@ -26,14 +42,19 @@ type BrokerServer struct {
 
 // NewBrokerServer wraps a broker. A nil logf silences logging.
 func NewBrokerServer(b *pubsub.Broker, logf func(string, ...any)) *BrokerServer {
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
-	return &BrokerServer{broker: b, logf: logf, conns: make(map[*Conn]struct{})}
+	return NewBrokerServerOpts(b, ServerOptions{Logf: logf})
 }
 
-// Serve accepts connections until the listener closes. It returns the
-// accept error (net.ErrClosed after Close).
+// NewBrokerServerOpts wraps a broker with connection liveness options.
+func NewBrokerServerOpts(b *pubsub.Broker, opts ServerOptions) *BrokerServer {
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	return &BrokerServer{broker: b, opts: opts, logf: opts.Logf, conns: make(map[*Conn]struct{})}
+}
+
+// Serve accepts connections until the listener closes. After an explicit
+// Close it returns nil; otherwise it returns the accept error.
 func (s *BrokerServer) Serve(lis net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
@@ -45,14 +66,18 @@ func (s *BrokerServer) Serve(lis net.Listener) error {
 	for {
 		c, err := lis.Accept()
 		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
 			return err
 		}
 		conn := NewConn(c)
+		conn.SetTimeouts(s.opts.ReadTimeout, s.opts.WriteTimeout)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			_ = conn.Close()
-			return net.ErrClosed
+			return nil
 		}
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
@@ -64,7 +89,14 @@ func (s *BrokerServer) Serve(lis net.Listener) error {
 	}
 }
 
+func (s *BrokerServer) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 // Close stops accepting, closes every connection, and waits for handlers.
+// It is idempotent.
 func (s *BrokerServer) Close() {
 	s.mu.Lock()
 	s.closed = true
@@ -136,6 +168,8 @@ func (s *BrokerServer) handle(conn *Conn) {
 				clientName = f.Name
 			}
 			s.respond(conn, OK(f))
+		case TypePing:
+			s.respond(conn, &Frame{Type: TypePong, Re: f.Seq})
 		case TypeAdvertise:
 			s.respondErr(conn, f, s.broker.Advertise(f.Topic, orDefault(f.Publisher, clientName)))
 		case TypeWithdraw:
@@ -161,6 +195,8 @@ func (s *BrokerServer) handle(conn *Conn) {
 			if sub.Subscriber == "" {
 				sub.Subscriber = clientName
 			}
+			// Re-subscribing with the same subscriber name rebinds delivery
+			// to this connection — exactly what a resuming client needs.
 			err := s.broker.Subscribe(sub, connSubscriber{conn: conn})
 			if err == nil {
 				subscribed = append(subscribed, sub.Topic)
@@ -182,7 +218,11 @@ func (s *BrokerServer) respond(conn *Conn, f *Frame) {
 
 func (s *BrokerServer) respondErr(conn *Conn, req *Frame, err error) {
 	if err != nil {
-		s.respond(conn, Err(req, err))
+		f := Err(req, err)
+		if errors.Is(err, pubsub.ErrDuplicateID) {
+			f.Code = CodeDuplicateID
+		}
+		s.respond(conn, f)
 		return
 	}
 	s.respond(conn, OK(req))
@@ -196,34 +236,179 @@ func orDefault(v, fallback string) string {
 }
 
 // BrokerClient is the client side of the broker protocol, used by
-// publishers and by proxies.
+// publishers and by proxies. With AutoReconnect enabled it survives broker
+// connection loss: it re-dials with backoff, re-identifies, and replays
+// its advertisements and subscriptions.
 type BrokerClient struct {
 	caller
 	name string
+	addr string
+	opts ClientOptions
+
+	closing chan struct{}
+	exited  chan struct{}
 
 	cbmu   sync.Mutex
 	onPush func(*msg.Notification)
 	onRank func(msg.RankUpdate)
-	done   chan struct{}
+
+	smu        sync.Mutex
+	advertised map[string]string // topic -> publisher
+	subs       map[string]msg.Subscription
+	reconnects int
 }
 
-// DialBroker connects and identifies to a broker server.
+// DialBroker connects and identifies to a broker server with default
+// options: fail-fast, no automatic reconnection.
 func DialBroker(addr, name string) (*BrokerClient, error) {
-	nc, err := net.Dial("tcp", addr)
+	return DialBrokerOpts(addr, name, ClientOptions{})
+}
+
+// DialBrokerOpts connects and identifies to a broker server. The initial
+// dial is a single attempt; opts.AutoReconnect governs what happens when
+// an established connection later dies.
+func DialBrokerOpts(addr, name string, opts ClientOptions) (*BrokerClient, error) {
+	c := &BrokerClient{
+		name:       name,
+		addr:       addr,
+		opts:       opts.withDefaults(),
+		closing:    make(chan struct{}),
+		exited:     make(chan struct{}),
+		advertised: make(map[string]string),
+		subs:       make(map[string]msg.Subscription),
+	}
+	conn, err := c.connect()
 	if err != nil {
 		return nil, fmt.Errorf("dial broker: %w", err)
 	}
-	c := &BrokerClient{
-		caller: newCaller(NewConn(nc)),
-		name:   name,
-		done:   make(chan struct{}),
-	}
-	go c.readLoop()
-	if err := c.call(&Frame{Type: TypeHello, Name: name}); err != nil {
-		_ = c.Close()
+	c.caller = newCaller(conn)
+	go c.run(conn)
+	return c, nil
+}
+
+// connect dials and completes the session handshake on a fresh connection.
+func (c *BrokerClient) connect() (*Conn, error) {
+	conn, err := dialConn(c.addr, c.opts)
+	if err != nil {
 		return nil, err
 	}
-	return c, nil
+	if err := c.handshake(conn); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// handshake identifies the client and replays its advertisements and
+// subscriptions, so a reconnecting publisher keeps its topic claims and a
+// reconnecting subscriber keeps receiving pushes. Pushes racing the
+// handshake are dispatched to the callbacks.
+func (c *BrokerClient) handshake(conn *Conn) error {
+	conn.setRawDeadline(time.Now().Add(c.opts.DialTimeout))
+	defer conn.setRawDeadline(time.Time{})
+	onFrame := func(f *Frame) { c.dispatchPush(f) }
+	if err := syncExchange(conn, &Frame{Type: TypeHello, Name: c.name}, onFrame); err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+	type claim struct{ topic, publisher string }
+	c.smu.Lock()
+	claims := make([]claim, 0, len(c.advertised))
+	for topic, pub := range c.advertised {
+		claims = append(claims, claim{topic, pub})
+	}
+	subs := make([]msg.Subscription, 0, len(c.subs))
+	for _, s := range c.subs {
+		subs = append(subs, s)
+	}
+	c.smu.Unlock()
+	sort.Slice(claims, func(i, j int) bool { return claims[i].topic < claims[j].topic })
+	sort.Slice(subs, func(i, j int) bool { return subs[i].Topic < subs[j].Topic })
+	// Re-advertising by the same publisher is idempotent at the broker.
+	for _, cl := range claims {
+		if err := syncExchange(conn, &Frame{Type: TypeAdvertise, Topic: cl.topic, Publisher: cl.publisher}, onFrame); err != nil {
+			return fmt.Errorf("readvertise %q: %w", cl.topic, err)
+		}
+	}
+	for _, sub := range subs {
+		s := sub
+		if err := syncExchange(conn, &Frame{Type: TypeSubscribe, Subscription: &s}, onFrame); err != nil {
+			return fmt.Errorf("resubscribe %q: %w", sub.Topic, err)
+		}
+	}
+	return nil
+}
+
+// run is the connection maintenance loop.
+func (c *BrokerClient) run(conn *Conn) {
+	defer close(c.exited)
+	for {
+		stopHB := startPinger(c.opts.HeartbeatInterval, func() error {
+			return c.call(&Frame{Type: TypePing})
+		})
+		err := c.readFrames(conn)
+		stopHB()
+		c.fail(err)
+		_ = conn.Close()
+		if c.isClosed() || !c.opts.AutoReconnect {
+			c.setDead(fmt.Errorf("%w: %v", ErrConnLost, err))
+			return
+		}
+		c.opts.Logf("wire: broker client %q: connection lost (%v), reconnecting", c.name, err)
+		next, rerr := reconnectLoop(c.addr, c.opts, c.closing, c.connect)
+		if rerr != nil {
+			c.opts.Logf("wire: broker client %q: %v", c.name, rerr)
+			c.setDead(rerr)
+			return
+		}
+		if next == nil {
+			return // closed while reconnecting
+		}
+		if !c.reset(next) {
+			_ = next.Close()
+			return
+		}
+		c.smu.Lock()
+		c.reconnects++
+		c.smu.Unlock()
+		c.opts.Logf("wire: broker client %q: session resumed", c.name)
+		conn = next
+	}
+}
+
+func (c *BrokerClient) readFrames(conn *Conn) error {
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		switch f.Type {
+		case TypePush, TypePushRank:
+			c.dispatchPush(f)
+		case TypePing:
+			_ = conn.Send(&Frame{Type: TypePong, Re: f.Seq})
+		case TypeOK, TypeErr, TypePong:
+			c.resolve(f)
+		}
+	}
+}
+
+func (c *BrokerClient) dispatchPush(f *Frame) {
+	switch f.Type {
+	case TypePush:
+		c.cbmu.Lock()
+		push := c.onPush
+		c.cbmu.Unlock()
+		if push != nil && f.Notification != nil {
+			push(f.Notification)
+		}
+	case TypePushRank:
+		c.cbmu.Lock()
+		rank := c.onRank
+		c.cbmu.Unlock()
+		if rank != nil && f.RankUpdate != nil {
+			rank(*f.RankUpdate)
+		}
+	}
 }
 
 // OnPush registers the delivery callbacks. Register before subscribing.
@@ -234,63 +419,100 @@ func (c *BrokerClient) OnPush(push func(*msg.Notification), rank func(msg.RankUp
 	c.onRank = rank
 }
 
-// Close tears the connection down.
+// Close tears the connection down. It is idempotent.
 func (c *BrokerClient) Close() error {
 	if c.markClosed() {
 		return nil
 	}
-	err := c.conn.Close()
-	<-c.done
-	return err
+	close(c.closing)
+	if conn := c.currentConn(); conn != nil {
+		_ = conn.Close()
+	}
+	<-c.exited
+	return nil
 }
 
-func (c *BrokerClient) readLoop() {
-	defer close(c.done)
+// Reconnects reports how many times the session was automatically resumed.
+func (c *BrokerClient) Reconnects() int {
+	c.smu.Lock()
+	defer c.smu.Unlock()
+	return c.reconnects
+}
+
+// callRetry issues a request, parking and retrying across reconnects when
+// the transport (not the remote application) failed.
+func (c *BrokerClient) callRetry(mk func() *Frame) error {
 	for {
-		f, err := c.conn.Recv()
-		if err != nil {
-			c.fail(err)
-			return
+		err := c.call(mk())
+		if err == nil || !isConnLost(err) || !c.opts.AutoReconnect {
+			return err
 		}
-		switch f.Type {
-		case TypePush:
-			c.cbmu.Lock()
-			push := c.onPush
-			c.cbmu.Unlock()
-			if push != nil && f.Notification != nil {
-				push(f.Notification)
-			}
-		case TypePushRank:
-			c.cbmu.Lock()
-			rank := c.onRank
-			c.cbmu.Unlock()
-			if rank != nil && f.RankUpdate != nil {
-				rank(*f.RankUpdate)
-			}
-		case TypeOK, TypeErr:
-			c.resolve(f)
+		if werr := c.awaitOnline(); werr != nil {
+			return werr
 		}
 	}
 }
 
 // Advertise claims a topic for this client (or the named publisher).
 func (c *BrokerClient) Advertise(topic, publisher string) error {
-	return c.call(&Frame{Type: TypeAdvertise, Topic: topic, Publisher: publisher})
+	err := c.callRetry(func() *Frame {
+		return &Frame{Type: TypeAdvertise, Topic: topic, Publisher: publisher}
+	})
+	if err != nil {
+		return err
+	}
+	c.smu.Lock()
+	c.advertised[topic] = publisher
+	c.smu.Unlock()
+	return nil
 }
 
 // Withdraw releases a topic claim.
 func (c *BrokerClient) Withdraw(topic, publisher string) error {
-	return c.call(&Frame{Type: TypeWithdraw, Topic: topic, Publisher: publisher})
+	err := c.callRetry(func() *Frame {
+		return &Frame{Type: TypeWithdraw, Topic: topic, Publisher: publisher}
+	})
+	if err != nil {
+		return err
+	}
+	c.smu.Lock()
+	delete(c.advertised, topic)
+	c.smu.Unlock()
+	return nil
 }
 
-// Publish routes a notification through the broker.
+// Publish routes a notification through the broker. With AutoReconnect it
+// retries across connection loss; a duplicate-ID rejection on a retry
+// means the pre-disconnect attempt landed and is treated as success, so
+// publishes are exactly-once from the broker's point of view.
 func (c *BrokerClient) Publish(n *msg.Notification) error {
-	return c.call(&Frame{Type: TypePublish, Notification: n})
+	attempt := 0
+	for {
+		err := c.call(&Frame{Type: TypePublish, Notification: n})
+		if err == nil {
+			return nil
+		}
+		var re *RemoteError
+		if attempt > 0 && errors.As(err, &re) && re.Code == CodeDuplicateID {
+			return nil
+		}
+		if !isConnLost(err) || !c.opts.AutoReconnect {
+			return err
+		}
+		if werr := c.awaitOnline(); werr != nil {
+			return werr
+		}
+		attempt++
+	}
 }
 
-// PublishRankUpdate routes a rank revision through the broker.
+// PublishRankUpdate routes a rank revision through the broker. Rank
+// updates are idempotent, so retrying across reconnects is safe.
 func (c *BrokerClient) PublishRankUpdate(u msg.RankUpdate) error {
-	return c.call(&Frame{Type: TypeRankUpdate, RankUpdate: &u})
+	return c.callRetry(func() *Frame {
+		v := u
+		return &Frame{Type: TypeRankUpdate, RankUpdate: &v}
+	})
 }
 
 // Subscribe registers this client for a topic; deliveries arrive through
@@ -299,10 +521,26 @@ func (c *BrokerClient) Subscribe(s msg.Subscription) error {
 	if s.Subscriber == "" {
 		s.Subscriber = c.name
 	}
-	return c.call(&Frame{Type: TypeSubscribe, Subscription: &s})
+	err := c.callRetry(func() *Frame {
+		v := s
+		return &Frame{Type: TypeSubscribe, Subscription: &v}
+	})
+	if err != nil {
+		return err
+	}
+	c.smu.Lock()
+	c.subs[s.Topic] = s
+	c.smu.Unlock()
+	return nil
 }
 
 // Unsubscribe deregisters this client from a topic.
 func (c *BrokerClient) Unsubscribe(topic string) error {
-	return c.call(&Frame{Type: TypeUnsubscribe, Topic: topic})
+	if err := c.callRetry(func() *Frame { return &Frame{Type: TypeUnsubscribe, Topic: topic} }); err != nil {
+		return err
+	}
+	c.smu.Lock()
+	delete(c.subs, topic)
+	c.smu.Unlock()
+	return nil
 }

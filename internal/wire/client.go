@@ -1,0 +1,159 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"lasthop/internal/retry"
+)
+
+// DefaultDialTimeout bounds connection establishment when the options do
+// not say otherwise: a dead address fails fast instead of hanging at the
+// operating system's defaults.
+const DefaultDialTimeout = 10 * time.Second
+
+// ClientOptions tunes the fault tolerance of a wire client (DeviceClient
+// or BrokerClient). The zero value reproduces the original fail-fast
+// behavior: one connection, no heartbeats, errors surface to the caller.
+type ClientOptions struct {
+	// AutoReconnect keeps the client alive across connection failures:
+	// it re-dials with backoff, re-identifies, and replays its session
+	// (subscriptions, advertisements, and — for devices — the §3.5
+	// read-ID sets), while calls issued during the outage park until the
+	// connection returns.
+	AutoReconnect bool
+	// Backoff is the reconnect schedule; the zero value means
+	// retry.Default(). Set MaxAttempts to bound how long the client
+	// tries before giving up terminally.
+	Backoff retry.Policy
+	// HeartbeatInterval is how often the client pings its peer to prove
+	// the connection alive in both directions. Zero disables pinging
+	// (but see ReadTimeout).
+	HeartbeatInterval time.Duration
+	// ReadTimeout bounds the silence tolerated between incoming frames;
+	// a half-open connection fails within this bound instead of hanging.
+	// Zero derives 3× HeartbeatInterval when heartbeats are enabled, and
+	// disables the deadline otherwise.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each outgoing frame write. Zero disables it.
+	WriteTimeout time.Duration
+	// DialTimeout bounds connection establishment; zero means
+	// DefaultDialTimeout.
+	DialTimeout time.Duration
+	// Logf receives reconnection diagnostics; nil silences them.
+	Logf func(string, ...any)
+}
+
+// withDefaults resolves the derived settings.
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = DefaultDialTimeout
+	}
+	if o.ReadTimeout <= 0 && o.HeartbeatInterval > 0 {
+		o.ReadTimeout = 3 * o.HeartbeatInterval
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// dialConn establishes a frame connection with the options' timeouts.
+func dialConn(addr string, opts ClientOptions) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	conn := NewConn(nc)
+	conn.SetTimeouts(opts.ReadTimeout, opts.WriteTimeout)
+	return conn, nil
+}
+
+// syncExchange performs one request/response round trip on a connection
+// whose read loop is not running (handshakes happen before a connection is
+// published to the client's caller). Frames other than the response — for
+// example pushes racing the handshake — are handed to onFrame (nil drops
+// them).
+func syncExchange(conn *Conn, f *Frame, onFrame func(*Frame)) error {
+	seq, err := conn.SendRequest(f)
+	if err != nil {
+		return err
+	}
+	for {
+		resp, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		if resp.Re == seq && (resp.Type == TypeOK || resp.Type == TypeErr || resp.Type == TypePong) {
+			if resp.Type == TypeErr {
+				return &RemoteError{Code: resp.Code, Message: resp.Message}
+			}
+			return nil
+		}
+		if onFrame != nil {
+			onFrame(resp)
+		}
+	}
+}
+
+// startPinger probes the peer every interval until stopped or until a
+// transport failure (which the owning read loop notices independently).
+// The returned stop function is idempotent and does not wait for the
+// goroutine.
+func startPinger(interval time.Duration, ping func() error) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	stopCh := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-t.C:
+				if err := ping(); err != nil && errors.Is(err, ErrConnLost) {
+					return
+				}
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if !once {
+			once = true
+			close(stopCh)
+		}
+	}
+}
+
+// isConnLost reports whether an error is a retriable transport failure.
+func isConnLost(err error) bool { return errors.Is(err, ErrConnLost) }
+
+// reconnectLoop re-dials with backoff until connect succeeds, the stop
+// channel fires, or the attempt budget runs out. connect must dial AND
+// complete the application handshake. It returns the established
+// connection, or nil when stopped, or an error on exhaustion.
+func reconnectLoop(addr string, opts ClientOptions, stop <-chan struct{}, connect func() (*Conn, error)) (*Conn, error) {
+	b := retry.New(opts.Backoff)
+	for {
+		d, ok := b.Next()
+		if !ok {
+			return nil, fmt.Errorf("reconnect %s: %w", addr, retry.ErrAttemptsExhausted)
+		}
+		select {
+		case <-stop:
+			return nil, nil
+		case <-time.After(d):
+		}
+		conn, err := connect()
+		if err != nil {
+			opts.Logf("wire: reconnect %s: %v", addr, err)
+			continue
+		}
+		return conn, nil
+	}
+}

@@ -1,8 +1,8 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
-	"net"
 	"sort"
 	"sync"
 	"time"
@@ -15,10 +15,20 @@ import (
 // ranked queue per topic (fed by proxy pushes), and implements the §3.5
 // READ protocol — offering its best local events so the proxy only
 // transfers better data.
+//
+// With AutoReconnect enabled the client survives the intermittent last
+// hop: a dead connection is re-dialed with backoff, the session is resumed
+// (re-identify, re-subscribe, replay the read/queue ID sets so the proxy
+// can reconcile in-flight losses), and calls issued during the outage park
+// until the link returns.
 type DeviceClient struct {
 	caller
 	name string
-	done chan struct{}
+	addr string
+	opts ClientOptions
+
+	closing chan struct{} // closed by Close; aborts reconnect waits
+	exited  chan struct{} // closed when the maintenance loop exits
 
 	smu        sync.Mutex
 	queues     map[string]*rankedq.Queue
@@ -28,56 +38,186 @@ type DeviceClient struct {
 	received   int
 	updates    int
 	drops      int
+	reconnects int
 }
 
-// DialProxy connects and identifies to a proxy server.
+// DialProxy connects and identifies to a proxy server with default
+// options: fail-fast, no automatic reconnection.
 func DialProxy(addr, name string) (*DeviceClient, error) {
-	nc, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("dial proxy: %w", err)
-	}
+	return DialProxyOpts(addr, name, ClientOptions{})
+}
+
+// DialProxyOpts connects and identifies to a proxy server. The initial
+// dial is a single attempt (so a wrong address fails immediately);
+// opts.AutoReconnect governs what happens when an established connection
+// later dies.
+func DialProxyOpts(addr, name string, opts ClientOptions) (*DeviceClient, error) {
 	d := &DeviceClient{
-		caller:     newCaller(NewConn(nc)),
 		name:       name,
-		done:       make(chan struct{}),
+		addr:       addr,
+		opts:       opts.withDefaults(),
+		closing:    make(chan struct{}),
+		exited:     make(chan struct{}),
 		queues:     make(map[string]*rankedq.Queue),
 		read:       make(map[string]msg.IDSet),
 		thresholds: make(map[string]float64),
 		policies:   make(map[string]TopicPolicy),
 	}
-	go d.readLoop()
-	if err := d.call(&Frame{Type: TypeHello, Name: name}); err != nil {
-		_ = d.Close()
-		return nil, err
+	conn, err := d.connect()
+	if err != nil {
+		return nil, fmt.Errorf("dial proxy: %w", err)
 	}
+	d.caller = newCaller(conn)
+	go d.run(conn)
 	return d, nil
 }
 
-// Close tears the connection down.
-func (d *DeviceClient) Close() error {
-	if d.markClosed() {
-		return nil
+// connect dials and completes the session handshake on a fresh connection.
+func (d *DeviceClient) connect() (*Conn, error) {
+	conn, err := dialConn(d.addr, d.opts)
+	if err != nil {
+		return nil, err
 	}
-	err := d.conn.Close()
-	<-d.done
-	return err
+	if err := d.handshake(conn); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return conn, nil
 }
 
-func (d *DeviceClient) readLoop() {
-	defer close(d.done)
+// handshake identifies the device and replays its session: every
+// subscription is reasserted, and the per-topic queue and read ID sets are
+// resumed so the proxy re-queues anything that was lost in flight and
+// never re-sends what the user already consumed. It runs synchronously on
+// a connection whose read loop has not started; racing pushes are applied
+// to the local store as they arrive.
+func (d *DeviceClient) handshake(conn *Conn) error {
+	conn.setRawDeadline(time.Now().Add(d.opts.DialTimeout))
+	defer conn.setRawDeadline(time.Time{})
+	onFrame := func(f *Frame) {
+		if f.Type == TypePush && f.Notification != nil {
+			d.store(f.Notification)
+		}
+	}
+	if err := syncExchange(conn, &Frame{Type: TypeHello, Name: d.name}, onFrame); err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+
+	type topicSession struct {
+		topic      string
+		pol        TopicPolicy
+		have, read []msg.ID
+	}
+	d.smu.Lock()
+	sessions := make([]topicSession, 0, len(d.policies))
+	for topic, pol := range d.policies {
+		s := topicSession{topic: topic, pol: pol}
+		if q := d.queues[topic]; q != nil {
+			q.Each(func(n *msg.Notification) { s.have = append(s.have, n.ID) })
+		}
+		for id := range d.read[topic] {
+			s.read = append(s.read, id)
+		}
+		sessions = append(sessions, s)
+	}
+	d.smu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].topic < sessions[j].topic })
+
+	for _, s := range sessions {
+		pol := s.pol
+		if err := syncExchange(conn, &Frame{Type: TypeSubscribe, Topic: s.topic, TopicPolicy: &pol}, onFrame); err != nil {
+			return fmt.Errorf("resubscribe %q: %w", s.topic, err)
+		}
+		if err := syncExchange(conn, &Frame{Type: TypeResume, Topic: s.topic, HaveIDs: s.have, ReadIDs: s.read}, onFrame); err != nil {
+			return fmt.Errorf("resume %q: %w", s.topic, err)
+		}
+	}
+	return nil
+}
+
+// run is the connection maintenance loop: it serves one connection until
+// it dies, then — when AutoReconnect is on — re-establishes the session
+// with backoff and carries on.
+func (d *DeviceClient) run(conn *Conn) {
+	defer close(d.exited)
 	for {
-		f, err := d.conn.Recv()
-		if err != nil {
-			d.fail(err)
+		stopHB := startPinger(d.opts.HeartbeatInterval, func() error {
+			return d.call(&Frame{Type: TypePing})
+		})
+		err := d.readFrames(conn)
+		stopHB()
+		d.fail(err)
+		_ = conn.Close()
+		if d.isClosed() || !d.opts.AutoReconnect {
+			d.setDead(fmt.Errorf("%w: %v", ErrConnLost, err))
 			return
+		}
+		d.opts.Logf("wire: device %q: connection lost (%v), reconnecting", d.name, err)
+		next, rerr := reconnectLoop(d.addr, d.opts, d.closing, d.connect)
+		if rerr != nil {
+			d.opts.Logf("wire: device %q: %v", d.name, rerr)
+			d.setDead(rerr)
+			return
+		}
+		if next == nil {
+			return // closed while reconnecting
+		}
+		if !d.reset(next) {
+			_ = next.Close()
+			return
+		}
+		d.smu.Lock()
+		d.reconnects++
+		d.smu.Unlock()
+		d.opts.Logf("wire: device %q: session resumed", d.name)
+		conn = next
+	}
+}
+
+// readFrames dispatches incoming frames until the connection fails.
+func (d *DeviceClient) readFrames(conn *Conn) error {
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			return err
 		}
 		switch f.Type {
 		case TypePush:
 			if f.Notification != nil {
 				d.store(f.Notification)
 			}
-		case TypeOK, TypeErr:
+		case TypePing:
+			_ = conn.Send(&Frame{Type: TypePong, Re: f.Seq})
+		case TypeOK, TypeErr, TypePong:
 			d.resolve(f)
+		}
+	}
+}
+
+// Close tears the client down. It is idempotent and safe to call
+// concurrently with in-flight requests, which fail with a closed error.
+func (d *DeviceClient) Close() error {
+	if d.markClosed() {
+		return nil
+	}
+	close(d.closing)
+	if c := d.currentConn(); c != nil {
+		_ = c.Close()
+	}
+	<-d.exited
+	return nil
+}
+
+// callRetry issues a request, parking and retrying across reconnects when
+// the transport (not the remote application) failed.
+func (d *DeviceClient) callRetry(mk func() *Frame) error {
+	for {
+		err := d.call(mk())
+		if err == nil || !isConnLost(err) || !d.opts.AutoReconnect {
+			return err
+		}
+		if werr := d.awaitOnline(); werr != nil {
+			return werr
 		}
 	}
 }
@@ -118,7 +258,11 @@ func (d *DeviceClient) store(n *msg.Notification) {
 
 // Subscribe registers a topic on the proxy with the given policy.
 func (d *DeviceClient) Subscribe(topic string, pol TopicPolicy) error {
-	if err := d.call(&Frame{Type: TypeSubscribe, Topic: topic, TopicPolicy: &pol}); err != nil {
+	err := d.callRetry(func() *Frame {
+		p := pol
+		return &Frame{Type: TypeSubscribe, Topic: topic, TopicPolicy: &p}
+	})
+	if err != nil {
 		return err
 	}
 	d.smu.Lock()
@@ -130,7 +274,7 @@ func (d *DeviceClient) Subscribe(topic string, pol TopicPolicy) error {
 
 // Unsubscribe deregisters a topic.
 func (d *DeviceClient) Unsubscribe(topic string) error {
-	if err := d.call(&Frame{Type: TypeUnsubscribe, Topic: topic}); err != nil {
+	if err := d.callRetry(func() *Frame { return &Frame{Type: TypeUnsubscribe, Topic: topic} }); err != nil {
 		return err
 	}
 	d.smu.Lock()
@@ -141,42 +285,51 @@ func (d *DeviceClient) Unsubscribe(topic string) error {
 
 // Redial re-establishes a dead proxy connection, keeping the local
 // notification cache (a phone does not forget its messages when the radio
-// drops) and re-subscribing every topic. It must not race with in-flight
-// calls: use it after a call failed with a connection error.
+// drops) and replaying the session. It is the manual recovery path for
+// clients without AutoReconnect; reconnecting clients do this on their
+// own.
 func (d *DeviceClient) Redial(addr string) error {
-	// Tear the old connection down and wait for its read loop.
-	_ = d.conn.Close()
-	<-d.done
+	if d.opts.AutoReconnect {
+		return errors.New("redial: client reconnects automatically")
+	}
+	if c := d.currentConn(); c != nil {
+		_ = c.Close()
+	}
+	<-d.exited // the maintenance loop exits once the connection dies
 
-	nc, err := net.Dial("tcp", addr)
+	d.addr = addr
+	conn, err := d.connect()
 	if err != nil {
 		return fmt.Errorf("redial proxy: %w", err)
 	}
-	d.reset(NewConn(nc))
-	d.done = make(chan struct{})
-	go d.readLoop()
-	if err := d.call(&Frame{Type: TypeHello, Name: d.name}); err != nil {
-		return err
+	d.revive()
+	if !d.reset(conn) {
+		_ = conn.Close()
+		return errClientClosed
 	}
-	d.smu.Lock()
-	resubs := make(map[string]TopicPolicy, len(d.policies))
-	for topic, pol := range d.policies {
-		resubs[topic] = pol
-	}
-	d.smu.Unlock()
-	for topic, pol := range resubs {
-		pol := pol
-		if err := d.call(&Frame{Type: TypeSubscribe, Topic: topic, TopicPolicy: &pol}); err != nil {
-			return fmt.Errorf("redial resubscribe %q: %w", topic, err)
-		}
-	}
+	d.exited = make(chan struct{})
+	go d.run(conn)
 	return nil
 }
 
 // Read performs a user read: it relays the READ request (offering its best
 // local IDs), waits for the proxy's pushes to land, and consumes the up-to
-// n highest-ranked unexpired local notifications (n == 0 means all).
+// n highest-ranked unexpired local notifications (n == 0 means all). With
+// AutoReconnect the read survives connection loss: it is re-issued — with
+// a freshly computed offer — once the session resumes.
 func (d *DeviceClient) Read(topic string, n int) ([]*msg.Notification, error) {
+	for {
+		batch, err := d.readOnce(topic, n)
+		if err == nil || !isConnLost(err) || !d.opts.AutoReconnect {
+			return batch, err
+		}
+		if werr := d.awaitOnline(); werr != nil {
+			return nil, werr
+		}
+	}
+}
+
+func (d *DeviceClient) readOnce(topic string, n int) ([]*msg.Notification, error) {
 	d.smu.Lock()
 	q, ok := d.queues[topic]
 	if !ok {
@@ -245,9 +398,28 @@ func (d *DeviceClient) QueueLen(topic string) int {
 	return q.Len()
 }
 
+// ReadSet returns a copy of the IDs the user has consumed on a topic.
+func (d *DeviceClient) ReadSet(topic string) msg.IDSet {
+	d.smu.Lock()
+	defer d.smu.Unlock()
+	ids, ok := d.read[topic]
+	if !ok {
+		return make(msg.IDSet)
+	}
+	return ids.Clone()
+}
+
 // Stats returns (received, updates, rank drops applied).
 func (d *DeviceClient) Stats() (received, updates, drops int) {
 	d.smu.Lock()
 	defer d.smu.Unlock()
 	return d.received, d.updates, d.drops
+}
+
+// Reconnects reports how many times the session was automatically resumed
+// after a connection loss.
+func (d *DeviceClient) Reconnects() int {
+	d.smu.Lock()
+	defer d.smu.Unlock()
+	return d.reconnects
 }

@@ -2,20 +2,26 @@ package wire
 
 import (
 	"fmt"
-	"net"
+	"sync"
+	"time"
 
 	"lasthop/internal/msg"
 	"lasthop/internal/pubsub"
+	"lasthop/internal/retry"
 )
 
 // Peer frame types for broker-to-broker federation. Peer frames are
-// one-way in both directions once the peer-hello handshake completes.
+// one-way in both directions once the peer-hello handshake completes;
+// peer-ping/peer-pong are the only solicited pair, keeping the link's
+// liveness deadlines fed in both directions.
 const (
 	TypePeerHello       = "peer-hello"
 	TypePeerSubscribe   = "peer-subscribe"
 	TypePeerUnsubscribe = "peer-unsubscribe"
 	TypePeerPublish     = "peer-publish"
 	TypePeerRankUpdate  = "peer-rank-update"
+	TypePeerPing        = "peer-ping"
+	TypePeerPong        = "peer-pong"
 )
 
 // peerEdge implements pubsub.Peer over one federation connection: overlay
@@ -77,6 +83,10 @@ func servePeerFrames(broker *pubsub.Broker, conn *Conn, edge *peerEdge, logf fun
 			if f.RankUpdate != nil {
 				broker.RouteUpdate(*f.RankUpdate, edge)
 			}
+		case TypePeerPing:
+			_ = conn.Send(&Frame{Type: TypePeerPong})
+		case TypePeerPong:
+			// Receipt alone feeds the read deadline.
 		default:
 			logf("federation: unexpected frame %q on peer link", f.Type)
 		}
@@ -84,45 +94,170 @@ func servePeerFrames(broker *pubsub.Broker, conn *Conn, edge *peerEdge, logf fun
 }
 
 // Federation is the dialing side of one broker-to-broker overlay edge.
+// With AutoReconnect enabled in its options, a dead link is detached from
+// the local broker, re-dialed with backoff, and re-attached — AttachPeer
+// replays the local interest set, so routing state reconverges without
+// operator action.
 type Federation struct {
 	local *pubsub.Broker
-	conn  *Conn
-	edge  *peerEdge
-	done  chan struct{}
+	addr  string
+	name  string
+	opts  ClientOptions
+
+	closing chan struct{}
+	exited  chan struct{}
+
+	mu         sync.Mutex
+	conn       *Conn
+	closed     bool
+	reconnects int
 }
 
 // FederateBroker dials a remote broker server and attaches it as an
-// overlay peer of the local broker. The resulting overlay must stay
-// acyclic; federate along a tree.
+// overlay peer of the local broker, with default options: fail-fast, no
+// automatic reconnection. The resulting overlay must stay acyclic;
+// federate along a tree.
 func FederateBroker(local *pubsub.Broker, addr, name string, logf func(string, ...any)) (*Federation, error) {
-	if logf == nil {
-		logf = func(string, ...any) {}
+	return FederateBrokerOpts(local, addr, name, ClientOptions{Logf: logf})
+}
+
+// FederateBrokerOpts dials a remote broker server and attaches it as an
+// overlay peer with the given fault-tolerance options.
+func FederateBrokerOpts(local *pubsub.Broker, addr, name string, opts ClientOptions) (*Federation, error) {
+	fed := &Federation{
+		local:   local,
+		addr:    addr,
+		name:    name,
+		opts:    opts.withDefaults(),
+		closing: make(chan struct{}),
+		exited:  make(chan struct{}),
 	}
-	nc, err := net.Dial("tcp", addr)
+	conn, edge, err := fed.connect()
 	if err != nil {
-		return nil, fmt.Errorf("federate: %w", err)
+		return nil, err
 	}
-	conn := NewConn(nc)
-	if err := conn.Send(&Frame{Type: TypePeerHello, Name: name}); err != nil {
-		_ = conn.Close()
-		return nil, fmt.Errorf("federate: %w", err)
-	}
-	edge := &peerEdge{conn: conn, logf: logf}
-	fed := &Federation{local: local, conn: conn, edge: edge, done: make(chan struct{})}
-	if err := local.AttachPeer(edge); err != nil {
-		_ = conn.Close()
-		return nil, fmt.Errorf("federate: %w", err)
-	}
-	go func() {
-		defer close(fed.done)
-		servePeerFrames(local, conn, edge, logf)
-	}()
+	fed.mu.Lock()
+	fed.conn = conn
+	fed.mu.Unlock()
+	go fed.run(conn, edge)
 	return fed, nil
 }
 
-// Close tears the overlay edge down.
+// connect dials the remote broker, sends the peer hello, and attaches the
+// edge to the local broker (which replays local interest over it).
+func (f *Federation) connect() (*Conn, *peerEdge, error) {
+	conn, err := dialConn(f.addr, f.opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("federate: %w", err)
+	}
+	if err := conn.Send(&Frame{Type: TypePeerHello, Name: f.name}); err != nil {
+		_ = conn.Close()
+		return nil, nil, fmt.Errorf("federate: %w", err)
+	}
+	edge := &peerEdge{conn: conn, logf: f.opts.Logf}
+	if err := f.local.AttachPeer(edge); err != nil {
+		_ = conn.Close()
+		return nil, nil, fmt.Errorf("federate: %w", err)
+	}
+	return conn, edge, nil
+}
+
+// run serves the link, re-establishing it after failures when
+// AutoReconnect is enabled.
+func (f *Federation) run(conn *Conn, edge *peerEdge) {
+	defer close(f.exited)
+	for {
+		stopHB := startPinger(f.opts.HeartbeatInterval, pingPeer(conn))
+		servePeerFrames(f.local, conn, edge, f.opts.Logf) // detaches edge on exit
+		stopHB()
+		_ = conn.Close()
+		if f.isClosed() || !f.opts.AutoReconnect {
+			return
+		}
+		f.opts.Logf("federation: link %s -> %s lost, reconnecting", f.name, f.addr)
+		next, nextEdge, ok := f.redial()
+		if !ok {
+			return
+		}
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			f.local.DetachPeer(nextEdge)
+			_ = next.Close()
+			return
+		}
+		f.conn = next
+		f.reconnects++
+		f.mu.Unlock()
+		f.opts.Logf("federation: link %s -> %s restored", f.name, f.addr)
+		conn, edge = next, nextEdge
+	}
+}
+
+// pingPeer returns a heartbeat function for one connection. Peer framing
+// is unsolicited, so a failed write (not a missing response) is the error
+// signal; the read deadline catches silent peers.
+func pingPeer(conn *Conn) func() error {
+	return func() error {
+		if err := conn.Send(&Frame{Type: TypePeerPing}); err != nil {
+			return fmt.Errorf("%w: %v", ErrConnLost, err)
+		}
+		return nil
+	}
+}
+
+// redial re-establishes the link with backoff. It reports false when the
+// federation closed or the attempt budget ran out.
+func (f *Federation) redial() (*Conn, *peerEdge, bool) {
+	b := retry.New(f.opts.Backoff)
+	for {
+		d, ok := b.Next()
+		if !ok {
+			f.opts.Logf("federation: giving up on %s: %v", f.addr, retry.ErrAttemptsExhausted)
+			return nil, nil, false
+		}
+		select {
+		case <-f.closing:
+			return nil, nil, false
+		case <-time.After(d):
+		}
+		conn, edge, err := f.connect()
+		if err != nil {
+			f.opts.Logf("federation: reconnect %s: %v", f.addr, err)
+			continue
+		}
+		return conn, edge, true
+	}
+}
+
+func (f *Federation) isClosed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed
+}
+
+// Reconnects reports how many times the link was automatically restored.
+func (f *Federation) Reconnects() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reconnects
+}
+
+// Close tears the overlay edge down. It is idempotent.
 func (f *Federation) Close() error {
-	err := f.conn.Close()
-	<-f.done
+	f.mu.Lock()
+	already := f.closed
+	f.closed = true
+	conn := f.conn
+	f.mu.Unlock()
+	if already {
+		return nil
+	}
+	close(f.closing)
+	var err error
+	if conn != nil {
+		err = conn.Close()
+	}
+	<-f.exited
 	return err
 }

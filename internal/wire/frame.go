@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"lasthop/internal/msg"
 )
@@ -36,6 +37,13 @@ const (
 	TypeSubscribe   = "subscribe"
 	TypeUnsubscribe = "unsubscribe"
 	TypeRead        = "read"
+	// TypeResume replays a reconnecting device's per-topic session state
+	// (queued and consumed notification IDs) so the proxy can reconcile
+	// in-flight losses without duplicating deliveries.
+	TypeResume = "resume"
+	// TypePing is a liveness probe; the peer answers with TypePong
+	// echoing the sequence. Either side may probe.
+	TypePing = "ping"
 
 	// Server → client responses and pushes.
 	TypeOK   = "ok"
@@ -44,6 +52,17 @@ const (
 	// TypePushRank delivers a rank revision for an already-pushed
 	// notification.
 	TypePushRank = "push-rank"
+	// TypePong answers a TypePing.
+	TypePong = "pong"
+)
+
+// Error codes carried by TypeErr frames so clients can react to specific
+// failures without parsing message text.
+const (
+	// CodeDuplicateID marks a publish rejected because the notification
+	// ID was already published; a retrying publisher treats it as
+	// confirmation that the original attempt landed.
+	CodeDuplicateID = "duplicate-id"
 )
 
 // Frame is the single wire message shape; unused fields stay empty. Seq
@@ -73,8 +92,14 @@ type Frame struct {
 	Read  *msg.ReadRequest `json:"read,omitempty"`
 	Count int              `json:"count,omitempty"`
 
-	// Error message for TypeErr.
+	// Resume payload: the device's local queue contents and consumed IDs
+	// for Topic.
+	HaveIDs []msg.ID `json:"haveIDs,omitempty"`
+	ReadIDs []msg.ID `json:"readIDs,omitempty"`
+
+	// Error message and machine-readable code for TypeErr.
 	Message string `json:"message,omitempty"`
+	Code    string `json:"code,omitempty"`
 }
 
 // TopicPolicy is the device-facing subset of core.TopicConfig a device may
@@ -108,12 +133,21 @@ type QuietWindowSpec struct {
 	EndMinutes   int `json:"endMinutes"`
 }
 
-// Conn wraps a net.Conn with frame encoding, write locking, and sequence
-// numbering. Reads must be performed by a single goroutine.
+// Conn wraps a net.Conn with frame encoding, write locking, sequence
+// numbering, and optional liveness deadlines. Reads must be performed by a
+// single goroutine.
 type Conn struct {
 	c   net.Conn
 	r   *bufio.Scanner
 	enc *json.Encoder
+
+	// readTimeout bounds the silence tolerated between frames: each Recv
+	// arms a deadline this far in the future, so a half-open connection
+	// fails instead of hanging forever. Zero disables it.
+	readTimeout time.Duration
+	// writeTimeout bounds each Send, so a peer that stopped draining its
+	// socket cannot block the writer indefinitely. Zero disables it.
+	writeTimeout time.Duration
 
 	wmu sync.Mutex
 	seq uint64
@@ -130,8 +164,21 @@ func NewConn(c net.Conn) *Conn {
 	return &Conn{c: c, r: sc, enc: json.NewEncoder(c)}
 }
 
+// SetTimeouts configures the liveness deadlines: read bounds the silence
+// between received frames, write bounds each Send. Zero disables either.
+// Call before the connection is shared between goroutines.
+func (c *Conn) SetTimeouts(read, write time.Duration) {
+	c.readTimeout = read
+	c.writeTimeout = write
+}
+
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.c.Close() }
+
+// setRawDeadline bounds every pending and future I/O operation on the
+// underlying connection (both directions); the zero time clears it. Used
+// to bound multi-frame handshakes as a whole.
+func (c *Conn) setRawDeadline(t time.Time) { _ = c.c.SetDeadline(t) }
 
 // RemoteAddr names the peer.
 func (c *Conn) RemoteAddr() string { return c.c.RemoteAddr().String() }
@@ -140,6 +187,9 @@ func (c *Conn) RemoteAddr() string { return c.c.RemoteAddr().String() }
 func (c *Conn) Send(f *Frame) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.writeTimeout > 0 {
+		_ = c.c.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	}
 	return c.enc.Encode(f)
 }
 
@@ -150,6 +200,9 @@ func (c *Conn) SendRequest(f *Frame) (uint64, error) {
 	defer c.wmu.Unlock()
 	c.seq++
 	f.Seq = c.seq
+	if c.writeTimeout > 0 {
+		_ = c.c.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	}
 	if err := c.enc.Encode(f); err != nil {
 		return 0, err
 	}
@@ -158,6 +211,9 @@ func (c *Conn) SendRequest(f *Frame) (uint64, error) {
 
 // Recv reads the next frame.
 func (c *Conn) Recv() (*Frame, error) {
+	if c.readTimeout > 0 {
+		_ = c.c.SetReadDeadline(time.Now().Add(c.readTimeout))
+	}
 	if !c.r.Scan() {
 		if err := c.r.Err(); err != nil {
 			return nil, err

@@ -21,6 +21,7 @@ type proxyAPI interface {
 	Notify(n *msg.Notification) error
 	ApplyRankUpdate(u msg.RankUpdate) error
 	Read(req msg.ReadRequest) error
+	Resume(topic string, have, read msg.IDSet) error
 	SetNetwork(up bool) error
 }
 
@@ -42,6 +43,9 @@ func (pp plainProxy) ApplyRankUpdate(u msg.RankUpdate) error {
 	return nil
 }
 func (pp plainProxy) Read(req msg.ReadRequest) error { return pp.p.Read(req) }
+func (pp plainProxy) Resume(topic string, have, read msg.IDSet) error {
+	return pp.p.Resume(topic, have, read)
+}
 func (pp plainProxy) SetNetwork(up bool) error {
 	pp.p.SetNetwork(up)
 	return nil
@@ -60,8 +64,31 @@ type ProxyOptions struct {
 	// JournalPath, when set, makes the proxy durable: inputs are
 	// journaled and previous state is recovered before serving.
 	JournalPath string
+	// Upstream tunes the broker-facing client: enable AutoReconnect and
+	// heartbeats there to survive broker restarts and dead links.
+	Upstream ClientOptions
+	// DeviceReadTimeout bounds the silence tolerated on the device
+	// connection; devices must send (heartbeats count) within this bound
+	// or be considered gone. Zero disables it.
+	DeviceReadTimeout time.Duration
+	// DeviceWriteTimeout bounds each push or response write to the
+	// device. Zero disables it.
+	DeviceWriteTimeout time.Duration
 	// Logf receives diagnostics; nil silences them.
 	Logf func(string, ...any)
+}
+
+// DeviceSession is the per-device state a proxy retains across
+// disconnects, for tooling and tests.
+type DeviceSession struct {
+	// Name is the device's hello name.
+	Name string
+	// Connected reports whether the device is currently attached.
+	Connected bool
+	// Connects counts connection establishments (1 on first attach).
+	Connects int
+	// Resumes counts per-topic session resumptions processed.
+	Resumes int
 }
 
 // ProxyServer runs the core last-hop proxy as a network service: upstream
@@ -70,8 +97,14 @@ type ProxyOptions struct {
 // considers the network down and spools notifications, exactly as during a
 // simulated outage. With a journal configured it is durable: a restarted
 // proxy recovers its queues, subscriptions, and tuning state.
+//
+// The proxy keeps session state across device disconnects: a device that
+// reconnects and identifies with the same name resumes where it left off,
+// and its resume frames (§3.5 read-ID sets) let the proxy re-queue
+// notifications that were in flight when the previous connection died.
 type ProxyServer struct {
 	name     string
+	opts     ProxyOptions
 	sched    simtime.Scheduler
 	schedC   closer
 	proxy    *core.Proxy
@@ -79,11 +112,13 @@ type ProxyServer struct {
 	upstream *BrokerClient
 	logf     func(string, ...any)
 
-	mu     sync.Mutex
-	device *Conn
-	lis    net.Listener
-	closed bool
-	wg     sync.WaitGroup
+	mu         sync.Mutex
+	device     *Conn
+	deviceName string
+	sessions   map[string]*DeviceSession
+	lis        net.Listener
+	closed     bool
+	wg         sync.WaitGroup
 }
 
 var _ core.Forwarder = (*ProxyServer)(nil)
@@ -101,7 +136,15 @@ func NewProxyServerOpts(opts ProxyOptions) (*ProxyServer, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	ps := &ProxyServer{name: opts.Name, logf: logf}
+	if opts.Upstream.Logf == nil {
+		opts.Upstream.Logf = logf
+	}
+	ps := &ProxyServer{
+		name:     opts.Name,
+		opts:     opts,
+		logf:     logf,
+		sessions: make(map[string]*DeviceSession),
+	}
 
 	if opts.JournalPath == "" {
 		wall := simtime.NewWall()
@@ -126,7 +169,7 @@ func NewProxyServerOpts(opts ProxyOptions) (*ProxyServer, error) {
 		}
 	})
 
-	upstream, err := DialBroker(opts.BrokerAddr, opts.Name)
+	upstream, err := DialBrokerOpts(opts.BrokerAddr, opts.Name, opts.Upstream)
 	if err != nil {
 		ps.schedC.Close()
 		return nil, fmt.Errorf("proxy: %w", err)
@@ -170,7 +213,8 @@ func (ps *ProxyServer) Forward(n *msg.Notification) error {
 	return dev.Send(&Frame{Type: TypePush, Notification: n})
 }
 
-// Serve accepts device connections until the listener closes.
+// Serve accepts device connections until the listener closes. After an
+// explicit Close it returns nil; otherwise it returns the accept error.
 func (ps *ProxyServer) Serve(lis net.Listener) error {
 	ps.mu.Lock()
 	if ps.closed {
@@ -182,20 +226,25 @@ func (ps *ProxyServer) Serve(lis net.Listener) error {
 	for {
 		c, err := lis.Accept()
 		if err != nil {
+			if ps.isClosed() {
+				return nil
+			}
 			return err
 		}
 		conn := NewConn(c)
+		conn.SetTimeouts(ps.opts.DeviceReadTimeout, ps.opts.DeviceWriteTimeout)
 		ps.mu.Lock()
 		if ps.closed {
 			ps.mu.Unlock()
 			_ = conn.Close()
-			return net.ErrClosed
+			return nil
 		}
 		if old := ps.device; old != nil {
 			// A reconnecting device replaces the stale connection.
 			_ = old.Close()
 		}
 		ps.device = conn
+		ps.deviceName = ""
 		ps.wg.Add(1)
 		ps.mu.Unlock()
 		ps.sched.Run(func() {
@@ -210,13 +259,23 @@ func (ps *ProxyServer) Serve(lis net.Listener) error {
 	}
 }
 
-// Close stops the server and the upstream client.
+func (ps *ProxyServer) isClosed() bool {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.closed
+}
+
+// Close stops the server and the upstream client. It is idempotent.
 func (ps *ProxyServer) Close() {
 	ps.mu.Lock()
+	already := ps.closed
 	ps.closed = true
 	lis := ps.lis
 	dev := ps.device
 	ps.mu.Unlock()
+	if already {
+		return
+	}
 	if lis != nil {
 		_ = lis.Close()
 	}
@@ -235,6 +294,10 @@ func (ps *ProxyServer) handleDevice(conn *Conn) {
 		ps.mu.Lock()
 		if ps.device == conn {
 			ps.device = nil
+			if s := ps.sessions[ps.deviceName]; s != nil {
+				s.Connected = false
+			}
+			ps.deviceName = ""
 			ps.mu.Unlock()
 			ps.sched.Run(func() {
 				if err := ps.api.SetNetwork(false); err != nil {
@@ -253,11 +316,16 @@ func (ps *ProxyServer) handleDevice(conn *Conn) {
 		}
 		switch f.Type {
 		case TypeHello:
+			ps.attachSession(conn, f.Name)
 			ps.respond(conn, OK(f))
+		case TypePing:
+			ps.respond(conn, &Frame{Type: TypePong, Re: f.Seq})
 		case TypeSubscribe:
 			ps.respondErr(conn, f, ps.subscribeTopic(f))
 		case TypeUnsubscribe:
 			ps.respondErr(conn, f, ps.unsubscribeTopic(f.Topic))
+		case TypeResume:
+			ps.respondErr(conn, f, ps.resumeTopic(conn, f))
 		case TypeRead:
 			if f.Read == nil {
 				ps.respond(conn, Err(f, errors.New("read frame without request")))
@@ -273,6 +341,62 @@ func (ps *ProxyServer) handleDevice(conn *Conn) {
 			ps.respond(conn, Err(f, fmt.Errorf("unsupported frame type %q", f.Type)))
 		}
 	}
+}
+
+// attachSession records the device's identity for the connection and
+// creates or revives its session.
+func (ps *ProxyServer) attachSession(conn *Conn, name string) {
+	if name == "" {
+		name = conn.RemoteAddr()
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.device != conn {
+		return // superseded before the hello was processed
+	}
+	ps.deviceName = name
+	s := ps.sessions[name]
+	if s == nil {
+		s = &DeviceSession{Name: name}
+		ps.sessions[name] = s
+	}
+	s.Connected = true
+	s.Connects++
+}
+
+// resumeTopic reconciles a reconnecting device's per-topic state: IDs the
+// proxy believed forwarded but the device never received are re-queued,
+// and IDs the device consumed are marked read.
+func (ps *ProxyServer) resumeTopic(conn *Conn, f *Frame) error {
+	if f.Topic == "" {
+		return errors.New("resume frame without topic")
+	}
+	have := msg.NewIDSet(f.HaveIDs...)
+	read := msg.NewIDSet(f.ReadIDs...)
+	var rerr error
+	ps.sched.Run(func() { rerr = ps.api.Resume(f.Topic, have, read) })
+	if rerr != nil {
+		return rerr
+	}
+	ps.mu.Lock()
+	if ps.device == conn {
+		if s := ps.sessions[ps.deviceName]; s != nil {
+			s.Resumes++
+		}
+	}
+	ps.mu.Unlock()
+	return nil
+}
+
+// Sessions returns a snapshot of the per-device session state.
+func (ps *ProxyServer) Sessions() []DeviceSession {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	out := make([]DeviceSession, 0, len(ps.sessions))
+	for _, s := range ps.sessions {
+		out = append(out, *s)
+	}
+	return out
 }
 
 // subscribeTopic registers the topic upstream and on the proxy.
@@ -353,6 +477,13 @@ func (ps *ProxyServer) Snapshot(topic string) (core.TopicSnapshot, bool) {
 	)
 	ps.sched.Run(func() { snap, ok = ps.proxy.Snapshot(topic) })
 	return snap, ok
+}
+
+// Stats exposes the core proxy's counters for tooling and tests.
+func (ps *ProxyServer) Stats() core.Stats {
+	var st core.Stats
+	ps.sched.Run(func() { st = ps.proxy.Stats() })
+	return st
 }
 
 // ToConfig maps the wire policy onto a core topic configuration. An empty

@@ -6,62 +6,95 @@ import (
 	"sync"
 )
 
+// ErrConnLost marks request failures caused by the transport rather than
+// the remote application: the send failed, the connection died awaiting
+// the response, or the client is between connections. Callers with
+// auto-reconnect enabled retry these; remote errors are never retried.
+var ErrConnLost = errors.New("connection lost")
+
+// errClientClosed is the terminal error after an explicit Close.
+var errClientClosed = errors.New("client closed")
+
+// RemoteError is an application-level failure reported by the peer. Code
+// is optional and machine-readable (see the Code* constants).
+type RemoteError struct {
+	Code    string
+	Message string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "remote: " + e.Message }
+
 // caller implements the request/response half of the protocol shared by
 // every client: sequence allocation, pending-response registration, and
 // resolution from the read loop. Pushes are handled by the embedding
-// client's read loop.
+// client's read loop. Unlike the first generation of this type, the
+// underlying connection is replaceable: fail marks it lost, reset installs
+// a successor, and awaitOnline parks callers in between.
 type caller struct {
-	conn *Conn
-
 	mu      sync.Mutex
+	conn    *Conn
 	seq     uint64
 	pending map[uint64]chan *Frame
 	closed  bool
-	readErr error
+	connErr error         // transport failure; nil while the conn is live
+	dead    error         // terminal: no reconnection will follow
+	online  chan struct{} // created on loss, closed on recovery/termination
 }
 
 func newCaller(conn *Conn) caller {
 	return caller{conn: conn, pending: make(map[uint64]chan *Frame)}
 }
 
-// call sends a request and waits for its OK/Err response. The pending
+// call sends a request and waits for its OK/Err/Pong response. The pending
 // channel is registered before the frame hits the wire so a fast response
-// cannot race the registration.
+// cannot race the registration. Transport failures are reported as
+// ErrConnLost wraps; application failures as *RemoteError.
 func (c *caller) call(f *Frame) error {
 	ch := make(chan *Frame, 1)
 	c.mu.Lock()
-	if c.closed || c.readErr != nil {
-		err := c.readErr
+	if c.closed {
 		c.mu.Unlock()
-		if err == nil {
-			err = errors.New("client closed")
-		}
+		return errClientClosed
+	}
+	if c.dead != nil {
+		err := c.dead
+		c.mu.Unlock()
 		return err
 	}
+	if c.conn == nil || c.connErr != nil {
+		err := c.connErr
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("reconnecting")
+		}
+		return fmt.Errorf("%w: %v", ErrConnLost, err)
+	}
+	conn := c.conn
 	c.seq++
 	seq := c.seq
 	c.pending[seq] = ch
 	c.mu.Unlock()
 
 	f.Seq = seq
-	if err := c.conn.Send(f); err != nil {
+	if err := conn.Send(f); err != nil {
 		c.mu.Lock()
 		delete(c.pending, seq)
 		c.mu.Unlock()
-		return err
+		return fmt.Errorf("%w: send: %v", ErrConnLost, err)
 	}
 
 	resp, ok := <-ch
 	if !ok || resp == nil {
-		return errors.New("connection lost awaiting response")
+		return fmt.Errorf("%w: awaiting response", ErrConnLost)
 	}
 	if resp.Type == TypeErr {
-		return fmt.Errorf("remote: %s", resp.Message)
+		return &RemoteError{Code: resp.Code, Message: resp.Message}
 	}
 	return nil
 }
 
-// resolve routes an OK/Err frame to its waiting call.
+// resolve routes an OK/Err/Pong frame to its waiting call.
 func (c *caller) resolve(f *Frame) {
 	c.mu.Lock()
 	ch := c.pending[f.Re]
@@ -72,10 +105,13 @@ func (c *caller) resolve(f *Frame) {
 	}
 }
 
-// fail wakes every waiting call with a connection error.
+// fail records a transport failure and wakes every waiting call.
 func (c *caller) fail(err error) {
 	c.mu.Lock()
-	c.readErr = err
+	c.connErr = err
+	if c.online == nil {
+		c.online = make(chan struct{})
+	}
 	for _, ch := range c.pending {
 		close(ch)
 	}
@@ -89,17 +125,93 @@ func (c *caller) markClosed() bool {
 	defer c.mu.Unlock()
 	was := c.closed
 	c.closed = true
+	c.wakeLocked()
 	return was
 }
 
-// reset installs a fresh connection after the previous one died, clearing
-// the terminal read error so calls flow again. The caller must have no
-// calls in flight.
-func (c *caller) reset(conn *Conn) {
+// setDead records the terminal error: reconnection has been abandoned.
+func (c *caller) setDead(err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.dead == nil {
+		c.dead = err
+	}
+	c.wakeLocked()
+}
+
+// isClosed reports whether Close has been called.
+func (c *caller) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// currentConn returns the most recently installed connection (which may
+// already have failed).
+func (c *caller) currentConn() *Conn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn
+}
+
+// reset installs a fresh connection after the previous one died, clearing
+// the transport error so calls flow again, and wakes parked callers. It
+// reports false — leaving the state untouched except for waking waiters —
+// when the client was closed in the meantime.
+func (c *caller) reset(conn *Conn) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		c.wakeLocked()
+		return false
+	}
 	c.conn = conn
-	c.readErr = nil
-	c.closed = false
+	c.connErr = nil
 	c.pending = make(map[uint64]chan *Frame)
+	c.wakeLocked()
+	return true
+}
+
+// revive clears a terminal state (used by explicit Redial after the
+// maintenance loop gave up).
+func (c *caller) revive() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dead = nil
+	c.closed = false
+}
+
+// wakeLocked releases every awaitOnline waiter; callers re-check state.
+func (c *caller) wakeLocked() {
+	if c.online != nil {
+		close(c.online)
+		c.online = nil
+	}
+}
+
+// awaitOnline blocks until a live connection is installed, returning the
+// terminal error instead if the client closed or gave up reconnecting.
+func (c *caller) awaitOnline() error {
+	for {
+		c.mu.Lock()
+		switch {
+		case c.closed:
+			c.mu.Unlock()
+			return errClientClosed
+		case c.dead != nil:
+			err := c.dead
+			c.mu.Unlock()
+			return err
+		case c.conn != nil && c.connErr == nil:
+			c.mu.Unlock()
+			return nil
+		}
+		ch := c.online
+		if ch == nil {
+			ch = make(chan struct{})
+			c.online = ch
+		}
+		c.mu.Unlock()
+		<-ch
+	}
 }
