@@ -20,6 +20,19 @@ type Forwarder interface {
 	Forward(n *msg.Notification) error
 }
 
+// BatchForwarder is an optional Forwarder extension for transports that
+// can push several notifications in one write. When the forwarder
+// implements it, tryForwarding collects everything the policy releases in
+// one pass — a drained outgoing queue, a prefetch refill, a read response
+// — and hands the burst over in a single call. An error means none of the
+// batch should be considered delivered; the proxy re-queues all of it
+// (devices deduplicate by ID, so a partially transmitted batch costs only
+// redundant bytes, not duplicates).
+type BatchForwarder interface {
+	Forwarder
+	ForwardBatch(batch []*msg.Notification) error
+}
+
 // Stats is the proxy's cumulative accounting.
 type Stats struct {
 	// Notifications counts arrivals from the routing substrate,
@@ -686,9 +699,15 @@ func (ts *topicState) bestAcross(n int) []*msg.Notification {
 }
 
 // tryForwarding is Figure 7's try_forwarding: drain the outgoing queue,
-// then prefetch according to the policy while there is room.
+// then prefetch according to the policy while there is room. With a
+// batch-capable forwarder the whole burst is collected first and pushed
+// in one call.
 func (p *Proxy) tryForwarding(ts *topicState) {
 	if !p.networkUp {
+		return
+	}
+	if bf, ok := p.fwd.(BatchForwarder); ok {
+		p.tryForwardingBatch(ts, bf)
 		return
 	}
 	for {
@@ -725,6 +744,77 @@ func (p *Proxy) tryForwarding(ts *topicState) {
 	case Online, OnDemand:
 		// Online routes everything through outgoing; OnDemand never
 		// prefetches.
+	}
+}
+
+// tryForwardingBatch collects everything the per-event path would forward
+// right now — the drained outgoing queue plus the policy's prefetch
+// allowance — and pushes it as one batch. Accounting mirrors doForward:
+// the buffer policy's room check uses the queue growth the batch will
+// cause, and rate tokens spent on a failed batch are refunded.
+func (p *Proxy) tryForwardingBatch(ts *topicState, bf BatchForwarder) {
+	var batch []*msg.Notification
+	// newCount predicts the client-queue growth of the batch so far. Each
+	// ranked queue holds an ID at most once, so popping both queues cannot
+	// double-count except when an ID sits in outgoing and prefetch at
+	// once; the estimate is then merely conservative.
+	newCount := 0
+	for {
+		ev, ok := ts.outgoing.PopBest()
+		if !ok {
+			break
+		}
+		batch = append(batch, ev)
+		if !ts.forwarded.Contains(ev.ID) {
+			newCount++
+		}
+	}
+	rateSpent := 0
+	switch ts.cfg.Policy {
+	case Buffer:
+		for ts.queueSize+newCount < ts.prefetchLimit {
+			ev, ok := ts.prefetch.PopBest()
+			if !ok {
+				break
+			}
+			batch = append(batch, ev)
+			if !ts.forwarded.Contains(ev.ID) {
+				newCount++
+			}
+		}
+	case Rate:
+		for ts.rateTokens >= 1 {
+			ev, ok := ts.prefetch.PopBest()
+			if !ok {
+				break
+			}
+			batch = append(batch, ev)
+			ts.rateTokens--
+			rateSpent++
+		}
+	case Online, OnDemand:
+	}
+	if len(batch) == 0 {
+		return
+	}
+	if err := bf.ForwardBatch(batch); err != nil {
+		for _, ev := range batch {
+			if !ts.outgoing.Contains(ev.ID) {
+				p.mustPush(ts.outgoing, ev)
+			}
+		}
+		ts.rateTokens += float64(rateSpent)
+		p.networkUp = false
+		return
+	}
+	for _, ev := range batch {
+		p.stats.Forwards++
+		if ts.forwarded.Contains(ev.ID) {
+			p.stats.RankDropSignals++
+			continue
+		}
+		ts.forwarded.Add(ev.ID)
+		ts.queueSize++
 	}
 }
 

@@ -1,0 +1,326 @@
+// Package loadgen drives a real broker → proxy → device topology at
+// configurable scale and measures end-to-end throughput: P concurrent
+// publishers push notifications through a wire.BrokerServer, one
+// wire.ProxyServer per device subscribes and forwards across the last
+// hop, and the run completes when every device holds everything it was
+// owed. It is the measurement harness behind cmd/lasthop-loadgen and the
+// BENCH_PR2 trajectory.
+package loadgen
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"lasthop/internal/msg"
+	"lasthop/internal/pubsub"
+	"lasthop/internal/wire"
+)
+
+// Config sizes one load-generation run. The zero value is usable: it
+// resolves to a small smoke-scale run.
+type Config struct {
+	// Publishers is the number of concurrent publisher connections.
+	Publishers int `json:"publishers"`
+	// Devices is the number of device connections; each device gets its
+	// own last-hop proxy, as in the paper's deployment model.
+	Devices int `json:"devices"`
+	// Topics is the number of distinct topics; device i subscribes to
+	// topic i mod Topics. Defaults to Devices.
+	Topics int `json:"topics"`
+	// Notifications is the total number of notifications published,
+	// spread round-robin across topics.
+	Notifications int `json:"notifications"`
+	// PayloadBytes is the payload size of every notification.
+	PayloadBytes int `json:"payloadBytes"`
+	// OnDemand switches the devices to on-demand topics consumed with
+	// §3.5 READ requests; the default is on-line forwarding.
+	OnDemand bool `json:"onDemand"`
+	// Timeout bounds the whole run. Zero means a minute.
+	Timeout time.Duration `json:"-"`
+	// Logf receives progress diagnostics; nil silences them.
+	Logf func(string, ...any) `json:"-"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.Publishers <= 0 {
+		c.Publishers = 4
+	}
+	if c.Devices <= 0 {
+		c.Devices = 4
+	}
+	if c.Topics <= 0 || c.Topics > c.Devices {
+		c.Topics = c.Devices
+	}
+	if c.Notifications <= 0 {
+		c.Notifications = 1000
+	}
+	if c.PayloadBytes < 0 {
+		c.PayloadBytes = 0
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = time.Minute
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Report is the outcome of one run.
+type Report struct {
+	Config Config `json:"config"`
+
+	// Published is how many notifications were acknowledged by the
+	// broker; Delivered is how many landed on (on-line) or were read by
+	// (on-demand) the devices.
+	Published int `json:"published"`
+	Delivered int `json:"delivered"`
+
+	// PublishSeconds is the wall-clock time until the last publish was
+	// acknowledged; DeliverSeconds until the last device delivery.
+	PublishSeconds float64 `json:"publishSeconds"`
+	DeliverSeconds float64 `json:"deliverSeconds"`
+
+	// PublishPerSec and DeliverPerSec are the derived rates.
+	PublishPerSec float64 `json:"publishPerSec"`
+	DeliverPerSec float64 `json:"deliverPerSec"`
+}
+
+// node is one device leg: a dedicated last-hop proxy and its device.
+type node struct {
+	proxy  *wire.ProxyServer
+	plis   net.Listener
+	dev    *wire.DeviceClient
+	topic  string
+	expect int
+}
+
+// Run builds the topology, publishes the configured load, waits for every
+// delivery, and reports the measured rates.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	deadline := time.Now().Add(cfg.Timeout)
+
+	blis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	bs := wire.NewBrokerServer(pubsub.NewBroker("loadgen"), nil)
+	go func() { _ = bs.Serve(blis) }()
+	defer bs.Close()
+	brokerAddr := blis.Addr().String()
+
+	topics := make([]string, cfg.Topics)
+	for i := range topics {
+		topics[i] = fmt.Sprintf("load/t%03d", i)
+	}
+
+	nodes := make([]*node, cfg.Devices)
+	defer func() {
+		for _, nd := range nodes {
+			if nd == nil {
+				continue
+			}
+			if nd.dev != nil {
+				_ = nd.dev.Close()
+			}
+			if nd.proxy != nil {
+				nd.proxy.Close()
+			}
+		}
+	}()
+	mode := "on-line"
+	if cfg.OnDemand {
+		mode = "on-demand"
+	}
+	for i := range nodes {
+		nd, err := newNode(brokerAddr, i, topics[i%cfg.Topics], mode)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = nd
+	}
+	cfg.Logf("loadgen: %d devices attached through their proxies", cfg.Devices)
+
+	pubs := make([]*wire.BrokerClient, cfg.Publishers)
+	defer func() {
+		for _, p := range pubs {
+			if p != nil {
+				_ = p.Close()
+			}
+		}
+	}()
+	for i := range pubs {
+		pub, err := wire.DialBroker(brokerAddr, fmt.Sprintf("lg-pub-%d", i))
+		if err != nil {
+			return nil, fmt.Errorf("publisher %d: %w", i, err)
+		}
+		pubs[i] = pub
+		// Topics are single-publisher; every connection claims them under
+		// one shared identity (re-advertising the same name is idempotent)
+		// so all publishers can feed all topics.
+		for _, t := range topics {
+			if err := pub.Advertise(t, "loadgen"); err != nil {
+				return nil, fmt.Errorf("advertise %s: %w", t, err)
+			}
+		}
+	}
+
+	// Notification i goes to topic i mod Topics; every device subscribed
+	// there is owed one delivery of it.
+	perTopic := make([]int, cfg.Topics)
+	for i := 0; i < cfg.Notifications; i++ {
+		perTopic[i%cfg.Topics]++
+	}
+	for i, nd := range nodes {
+		nd.expect = perTopic[i%cfg.Topics]
+	}
+
+	payload := make([]byte, cfg.PayloadBytes)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+
+	cfg.Logf("loadgen: publishing %d notifications from %d publishers", cfg.Notifications, cfg.Publishers)
+	start := time.Now()
+	var (
+		wg     sync.WaitGroup
+		pubMu  sync.Mutex
+		pubErr error
+		next   = make(chan int, cfg.Publishers)
+	)
+	go func() {
+		for i := 0; i < cfg.Notifications; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < cfg.Publishers; w++ {
+		wg.Add(1)
+		go func(pub *wire.BrokerClient) {
+			defer wg.Done()
+			for i := range next {
+				n := &msg.Notification{
+					ID:        msg.ID(fmt.Sprintf("lg-%d", i)),
+					Topic:     topics[i%cfg.Topics],
+					Publisher: "loadgen",
+					Rank:      float64(1 + i%5),
+					Published: time.Now(),
+					Payload:   payload,
+				}
+				if err := pub.Publish(n); err != nil {
+					pubMu.Lock()
+					if pubErr == nil {
+						pubErr = fmt.Errorf("publish %s: %w", n.ID, err)
+					}
+					pubMu.Unlock()
+					return
+				}
+			}
+		}(pubs[w])
+	}
+	wg.Wait()
+	if pubErr != nil {
+		return nil, pubErr
+	}
+	publishElapsed := time.Since(start)
+
+	delivered, err := awaitDeliveries(nodes, cfg, deadline)
+	deliverElapsed := time.Since(start)
+	rep := &Report{
+		Config:         cfg,
+		Published:      cfg.Notifications,
+		Delivered:      delivered,
+		PublishSeconds: publishElapsed.Seconds(),
+		DeliverSeconds: deliverElapsed.Seconds(),
+	}
+	if s := rep.PublishSeconds; s > 0 {
+		rep.PublishPerSec = float64(rep.Published) / s
+	}
+	if s := rep.DeliverSeconds; s > 0 {
+		rep.DeliverPerSec = float64(rep.Delivered) / s
+	}
+	return rep, err
+}
+
+func newNode(brokerAddr string, i int, topic, mode string) (*node, error) {
+	ps, err := wire.NewProxyServer(brokerAddr, fmt.Sprintf("lg-proxy-%d", i), nil)
+	if err != nil {
+		return nil, fmt.Errorf("proxy %d: %w", i, err)
+	}
+	nd := &node{proxy: ps, topic: topic}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ps.Close()
+		return nil, err
+	}
+	nd.plis = lis
+	go func() { _ = ps.Serve(lis) }()
+	dev, err := wire.DialProxy(lis.Addr().String(), fmt.Sprintf("lg-dev-%d", i))
+	if err != nil {
+		ps.Close()
+		return nil, fmt.Errorf("device %d: %w", i, err)
+	}
+	nd.dev = dev
+	if err := dev.Subscribe(topic, wire.TopicPolicy{Mode: mode}); err != nil {
+		_ = dev.Close()
+		ps.Close()
+		return nil, fmt.Errorf("subscribe %d: %w", i, err)
+	}
+	return nd, nil
+}
+
+// awaitDeliveries blocks until every device holds its expected volume. For
+// on-line topics pushes arrive on their own; on-demand devices issue READ
+// requests until they have consumed everything.
+func awaitDeliveries(nodes []*node, cfg Config, deadline time.Time) (int, error) {
+	if cfg.OnDemand {
+		total := 0
+		for _, nd := range nodes {
+			got := 0
+			for got < nd.expect {
+				if time.Now().After(deadline) {
+					return total + got, fmt.Errorf("timeout: device read %d of %d", got, nd.expect)
+				}
+				batch, err := nd.dev.Read(nd.topic, 0)
+				if err != nil {
+					return total + got, err
+				}
+				got += len(batch)
+				if len(batch) == 0 {
+					time.Sleep(5 * time.Millisecond)
+				}
+			}
+			total += got
+		}
+		return total, nil
+	}
+	for {
+		total := 0
+		done := true
+		for _, nd := range nodes {
+			received, _, _ := nd.dev.Stats()
+			total += received
+			if received < nd.expect {
+				done = false
+			}
+		}
+		if done {
+			return total, nil
+		}
+		if time.Now().After(deadline) {
+			return total, fmt.Errorf("timeout: %d deliveries outstanding", expectedTotal(nodes)-total)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func expectedTotal(nodes []*node) int {
+	total := 0
+	for _, nd := range nodes {
+		total += nd.expect
+	}
+	return total
+}

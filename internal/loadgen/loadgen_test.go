@@ -1,0 +1,47 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunOnline(t *testing.T) {
+	rep, err := Run(Config{
+		Publishers:    2,
+		Devices:       3,
+		Topics:        2,
+		Notifications: 60,
+		PayloadBytes:  64,
+		Timeout:       30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Published != 60 {
+		t.Fatalf("published %d, want 60", rep.Published)
+	}
+	// Topic 0 gets 30 notifications and has two subscribers (devices 0
+	// and 2); topic 1 gets 30 with one subscriber: 90 deliveries.
+	if rep.Delivered != 90 {
+		t.Fatalf("delivered %d, want 90", rep.Delivered)
+	}
+	if rep.PublishPerSec <= 0 || rep.DeliverPerSec <= 0 {
+		t.Fatalf("rates not computed: %+v", rep)
+	}
+}
+
+func TestRunOnDemand(t *testing.T) {
+	rep, err := Run(Config{
+		Publishers:    2,
+		Devices:       2,
+		Notifications: 40,
+		OnDemand:      true,
+		Timeout:       30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delivered != 40 {
+		t.Fatalf("delivered %d, want 40", rep.Delivered)
+	}
+}

@@ -11,11 +11,17 @@
 // Subscriptions propagate through the overlay and notifications are routed
 // only toward brokers with matching subscribers, the standard
 // subscription-flooding design of topic-based systems.
+//
+// Routing state is striped across shards keyed by topic hash, so
+// publishes on unrelated topics never contend on a common lock, and each
+// topic keeps copy-on-write subscriber and peer slices so publish fan-out
+// walks a stable snapshot without holding any lock.
 package pubsub
 
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sort"
 	"sync"
 
@@ -65,82 +71,163 @@ type Peer interface {
 type topicState struct {
 	publisher string
 	subs      map[string]*subscription
-	seen      msg.IDSet // IDs published on this topic (duplicate suppression)
+	seen      *seenSet // IDs published on this topic (duplicate suppression)
 	// peers holds the neighbors that expressed interest in this topic
 	// (i.e. want its notifications forwarded to them).
 	peers map[Peer]struct{}
 	// sent tracks the neighbors this broker has expressed interest to,
 	// so interest changes propagate as deltas.
 	sent map[Peer]bool
+
+	// subsList and peerList are copy-on-write snapshots of subs (sorted
+	// by subscriber name) and peers, rebuilt whenever the maps change.
+	// Fan-out grabs them under the shard lock and walks them after
+	// releasing it; the slices themselves are never mutated in place.
+	subsList []*subscription
+	peerList []Peer
 }
+
+// refreshSubs rebuilds the copy-on-write subscriber snapshot. The caller
+// holds the owning shard's lock.
+func (st *topicState) refreshSubs() {
+	list := make([]*subscription, 0, len(st.subs))
+	for _, s := range st.subs {
+		list = append(list, s)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].name < list[j].name })
+	st.subsList = list
+}
+
+// refreshPeers rebuilds the copy-on-write interested-peer snapshot. The
+// caller holds the owning shard's lock.
+func (st *topicState) refreshPeers() {
+	list := make([]Peer, 0, len(st.peers))
+	for p := range st.peers {
+		list = append(list, p)
+	}
+	st.peerList = list
+}
+
+// shardCount stripes topic state; must be a power of two. 128 stripes keeps
+// the chance of two concurrent publishes colliding on a stripe low even with
+// dozens of publisher goroutines, at a cost of a few KB per broker.
+const shardCount = 128
+
+type shard struct {
+	mu     sync.Mutex
+	topics map[string]*topicState
+}
+
+// topic returns the shard's state for a topic, creating it if absent. The
+// caller holds sh.mu.
+func (sh *shard) topic(name string) *topicState {
+	st, ok := sh.topics[name]
+	if !ok {
+		st = &topicState{
+			subs:  make(map[string]*subscription),
+			seen:  newSeenSet(),
+			peers: make(map[Peer]struct{}),
+			sent:  make(map[Peer]bool),
+		}
+		sh.topics[name] = st
+	}
+	return st
+}
+
+// topicHashSeed is shared by every broker so equal topics hash alike in
+// every process lifetime (the mapping only needs to be stable in-process).
+var topicHashSeed = maphash.MakeSeed()
 
 // Broker is one topic-based pub/sub routing node. All methods are safe for
 // concurrent use.
 type Broker struct {
 	name string
 
-	mu     sync.Mutex
-	topics map[string]*topicState
-	peers  []Peer
+	// pmu guards the copy-on-write overlay neighbor list. Lock order:
+	// shard.mu may be held when taking pmu for reading; pmu is never held
+	// while taking a shard lock with pmu held for writing.
+	pmu   sync.RWMutex
+	peers []Peer
+
+	shards [shardCount]shard
 }
 
 var _ Peer = (*Broker)(nil)
 
 // NewBroker returns an empty broker with the given node name.
 func NewBroker(name string) *Broker {
-	return &Broker{name: name, topics: make(map[string]*topicState)}
+	b := &Broker{name: name}
+	for i := range b.shards {
+		b.shards[i].topics = make(map[string]*topicState)
+	}
+	return b
 }
 
 // Name returns the broker's node name.
 func (b *Broker) Name() string { return b.name }
 
+// shard selects the lock stripe owning a topic.
+func (b *Broker) shard(topic string) *shard {
+	h := maphash.String(topicHashSeed, topic)
+	return &b.shards[h&(shardCount-1)]
+}
+
+// peerSnapshot returns the current overlay neighbor list; the slice is
+// copy-on-write and must not be mutated.
+func (b *Broker) peerSnapshot() []Peer {
+	b.pmu.RLock()
+	defer b.pmu.RUnlock()
+	return b.peers
+}
+
+// addPeerLocked appends to the copy-on-write neighbor list. The caller
+// holds pmu for writing.
+func (b *Broker) addPeerLocked(p Peer) {
+	next := make([]Peer, len(b.peers), len(b.peers)+1)
+	copy(next, b.peers)
+	b.peers = append(next, p)
+}
+
+func (b *Broker) hasPeerLocked(p Peer) bool {
+	for _, existing := range b.peers {
+		if existing == p {
+			return true
+		}
+	}
+	return false
+}
+
 // Connect links two in-process brokers as overlay peers. The overlay must
 // remain acyclic (a tree); Connect does not verify global acyclicity but
-// rejects self-links and duplicate links.
+// rejects self-links and duplicate links. Unlike the routing paths, peer
+// list changes on the two sides are made atomic by locking both brokers'
+// peer locks in address order; no topic shard lock is held across brokers,
+// so Connect cannot deadlock against concurrent routing or reverse
+// Connects.
 func (b *Broker) Connect(other *Broker) error {
 	if other == nil || other == b {
 		return errors.New("invalid peer")
 	}
-	// Lock in address order to avoid lock inversion with concurrent
-	// Connect calls in the opposite direction.
 	first, second := b, other
 	if fmt.Sprintf("%p", first) > fmt.Sprintf("%p", second) {
 		first, second = second, first
 	}
-	first.mu.Lock()
-	second.mu.Lock()
-	for _, p := range b.peers {
-		if p == Peer(other) {
-			second.mu.Unlock()
-			first.mu.Unlock()
-			return fmt.Errorf("brokers %s and %s already connected", b.name, other.name)
-		}
+	first.pmu.Lock()
+	second.pmu.Lock()
+	if b.hasPeerLocked(other) {
+		second.pmu.Unlock()
+		first.pmu.Unlock()
+		return fmt.Errorf("brokers %s and %s already connected", b.name, other.name)
 	}
-	b.peers = append(b.peers, other)
-	other.peers = append(other.peers, b)
-	// Recompute interest toward the new neighbor on both sides; the
-	// deltas are exchanged after the locks drop so notifications start
-	// routing across the new edge.
-	type delta struct {
-		src         *Broker
-		topic       string
-		adds, drops []Peer
-	}
-	var deltas []delta
-	for _, side := range []*Broker{b, other} {
-		for topic, st := range side.topics {
-			adds, drops := side.interestDeltas(st)
-			if len(adds)+len(drops) > 0 {
-				deltas = append(deltas, delta{src: side, topic: topic, adds: adds, drops: drops})
-			}
-		}
-	}
-	second.mu.Unlock()
-	first.mu.Unlock()
-
-	for _, d := range deltas {
-		d.src.sendInterest(d.topic, d.adds, d.drops)
-	}
+	b.addPeerLocked(other)
+	other.addPeerLocked(b)
+	second.pmu.Unlock()
+	first.pmu.Unlock()
+	// Recompute interest on both sides so notifications start routing
+	// across the new edge; deltas are computed per shard and sent with no
+	// locks held.
+	b.refreshInterest()
+	other.refreshInterest()
 	return nil
 }
 
@@ -151,74 +238,79 @@ func (b *Broker) AttachPeer(p Peer) error {
 	if p == nil || p == Peer(b) {
 		return errors.New("invalid peer")
 	}
-	b.mu.Lock()
-	for _, existing := range b.peers {
-		if existing == p {
-			b.mu.Unlock()
-			return errors.New("peer already attached")
-		}
+	b.pmu.Lock()
+	if b.hasPeerLocked(p) {
+		b.pmu.Unlock()
+		return errors.New("peer already attached")
 	}
-	b.peers = append(b.peers, p)
-	type delta struct {
-		topic       string
-		adds, drops []Peer
-	}
-	var deltas []delta
-	for topic, st := range b.topics {
-		adds, drops := b.interestDeltas(st)
-		if len(adds)+len(drops) > 0 {
-			deltas = append(deltas, delta{topic: topic, adds: adds, drops: drops})
-		}
-	}
-	b.mu.Unlock()
-	for _, d := range deltas {
-		b.sendInterest(d.topic, d.adds, d.drops)
-	}
+	b.addPeerLocked(p)
+	b.pmu.Unlock()
+	b.refreshInterest()
 	return nil
 }
 
 // DetachPeer removes an overlay edge (for example when a federation
 // connection drops) and withdraws the interest it carried.
 func (b *Broker) DetachPeer(p Peer) {
-	b.mu.Lock()
-	kept := b.peers[:0]
+	b.pmu.Lock()
+	kept := make([]Peer, 0, len(b.peers))
 	for _, existing := range b.peers {
 		if existing != p {
 			kept = append(kept, existing)
 		}
 	}
 	b.peers = kept
+	b.pmu.Unlock()
+
 	type delta struct {
 		topic       string
 		adds, drops []Peer
 	}
-	var deltas []delta
-	for topic, st := range b.topics {
-		delete(st.peers, p)
-		delete(st.sent, p)
-		adds, drops := b.interestDeltas(st)
-		if len(adds)+len(drops) > 0 {
-			deltas = append(deltas, delta{topic: topic, adds: adds, drops: drops})
+	for i := range b.shards {
+		sh := &b.shards[i]
+		var deltas []delta
+		sh.mu.Lock()
+		for topic, st := range sh.topics {
+			if _, ok := st.peers[p]; ok {
+				delete(st.peers, p)
+				st.refreshPeers()
+			}
+			delete(st.sent, p)
+			adds, drops := b.interestDeltas(st)
+			if len(adds)+len(drops) > 0 {
+				deltas = append(deltas, delta{topic: topic, adds: adds, drops: drops})
+			}
 		}
-	}
-	b.mu.Unlock()
-	for _, d := range deltas {
-		b.sendInterest(d.topic, d.adds, d.drops)
+		sh.mu.Unlock()
+		for _, d := range deltas {
+			b.sendInterest(d.topic, d.adds, d.drops)
+		}
 	}
 }
 
-func (b *Broker) topic(name string) *topicState {
-	st, ok := b.topics[name]
-	if !ok {
-		st = &topicState{
-			subs:  make(map[string]*subscription),
-			seen:  make(msg.IDSet),
-			peers: make(map[Peer]struct{}),
-			sent:  make(map[Peer]bool),
-		}
-		b.topics[name] = st
+// refreshInterest recomputes interest deltas for every topic, shard by
+// shard, sending each shard's deltas with no locks held. Used after the
+// neighbor set changes.
+func (b *Broker) refreshInterest() {
+	type delta struct {
+		topic       string
+		adds, drops []Peer
 	}
-	return st
+	for i := range b.shards {
+		sh := &b.shards[i]
+		var deltas []delta
+		sh.mu.Lock()
+		for topic, st := range sh.topics {
+			adds, drops := b.interestDeltas(st)
+			if len(adds)+len(drops) > 0 {
+				deltas = append(deltas, delta{topic: topic, adds: adds, drops: drops})
+			}
+		}
+		sh.mu.Unlock()
+		for _, d := range deltas {
+			b.sendInterest(d.topic, d.adds, d.drops)
+		}
+	}
 }
 
 // Advertise announces that publisher will publish on the topic. A topic
@@ -228,9 +320,10 @@ func (b *Broker) Advertise(topic, publisher string) error {
 	if topic == "" || publisher == "" {
 		return errors.New("advertise needs a topic and a publisher")
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	st := b.topic(topic)
+	sh := b.shard(topic)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := sh.topic(topic)
 	if st.publisher != "" && st.publisher != publisher {
 		return fmt.Errorf("%w: topic %q held by %q", ErrAlreadyAdvertised, topic, st.publisher)
 	}
@@ -241,9 +334,10 @@ func (b *Broker) Advertise(topic, publisher string) error {
 // Withdraw removes the publisher's claim on the topic. Existing
 // subscriptions stay; they simply stop receiving events.
 func (b *Broker) Withdraw(topic, publisher string) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	st, ok := b.topics[topic]
+	sh := b.shard(topic)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.topics[topic]
 	if !ok || st.publisher != publisher {
 		return fmt.Errorf("%w: %q", ErrNotAdvertised, topic)
 	}
@@ -261,11 +355,13 @@ func (b *Broker) Subscribe(s msg.Subscription, sub Subscriber) error {
 	if sub == nil {
 		return errors.New("subscribe: nil subscriber")
 	}
-	b.mu.Lock()
-	st := b.topic(s.Topic)
+	sh := b.shard(s.Topic)
+	sh.mu.Lock()
+	st := sh.topic(s.Topic)
 	st.subs[s.Subscriber] = &subscription{name: s.Subscriber, sub: sub, opts: s.Options}
+	st.refreshSubs()
 	adds, drops := b.interestDeltas(st)
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	b.sendInterest(s.Topic, adds, drops)
 	return nil
 }
@@ -273,9 +369,10 @@ func (b *Broker) Subscribe(s msg.Subscription, sub Subscriber) error {
 // interestDeltas recomputes, for every neighbor, whether this broker should
 // express interest in the topic (it should when it has local subscribers or
 // interest from any *other* neighbor), and returns the neighbors whose view
-// must change. The caller holds b.mu.
+// must change. The caller holds the topic's shard lock; the neighbor list
+// is read from its copy-on-write snapshot.
 func (b *Broker) interestDeltas(st *topicState) (adds, drops []Peer) {
-	for _, p := range b.peers {
+	for _, p := range b.peerSnapshot() {
 		want := len(st.subs) > 0
 		if !want {
 			for q := range st.peers {
@@ -297,7 +394,8 @@ func (b *Broker) interestDeltas(st *topicState) (adds, drops []Peer) {
 	return adds, drops
 }
 
-// sendInterest delivers interest deltas; it must run without holding b.mu.
+// sendInterest delivers interest deltas; it must run without holding any
+// shard lock.
 func (b *Broker) sendInterest(topic string, adds, drops []Peer) {
 	for _, p := range adds {
 		p.SubscribeRemote(topic, b)
@@ -309,19 +407,21 @@ func (b *Broker) sendInterest(topic string, adds, drops []Peer) {
 
 // Unsubscribe removes the subscriber from the topic.
 func (b *Broker) Unsubscribe(topic, subscriber string) error {
-	b.mu.Lock()
-	st, ok := b.topics[topic]
+	sh := b.shard(topic)
+	sh.mu.Lock()
+	st, ok := sh.topics[topic]
 	if !ok {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotSubscribed, topic)
 	}
 	if _, ok := st.subs[subscriber]; !ok {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q on %q", ErrNotSubscribed, subscriber, topic)
 	}
 	delete(st.subs, subscriber)
+	st.refreshSubs()
 	adds, drops := b.interestDeltas(st)
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	b.sendInterest(topic, adds, drops)
 	return nil
 }
@@ -329,40 +429,46 @@ func (b *Broker) Unsubscribe(topic, subscriber string) error {
 // SubscribeRemote records that a neighbor wants this topic's traffic and
 // propagates the interest change across the tree. It implements Peer.
 func (b *Broker) SubscribeRemote(topic string, from Peer) {
-	b.mu.Lock()
-	st := b.topic(topic)
+	sh := b.shard(topic)
+	sh.mu.Lock()
+	st := sh.topic(topic)
 	if _, dup := st.peers[from]; dup {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
 	st.peers[from] = struct{}{}
+	st.refreshPeers()
 	adds, drops := b.interestDeltas(st)
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	b.sendInterest(topic, adds, drops)
 }
 
 // UnsubscribeRemote withdraws a neighbor's interest, quenching propagation
 // when nobody downstream is left. It implements Peer.
 func (b *Broker) UnsubscribeRemote(topic string, from Peer) {
-	b.mu.Lock()
-	st, ok := b.topics[topic]
+	sh := b.shard(topic)
+	sh.mu.Lock()
+	st, ok := sh.topics[topic]
 	if !ok {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
 	if _, ok := st.peers[from]; !ok {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
 	delete(st.peers, from)
+	st.refreshPeers()
 	adds, drops := b.interestDeltas(st)
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	b.sendInterest(topic, adds, drops)
 }
 
 // Publish routes a notification to every subscriber of its topic, here and
 // across the federation. The topic must be advertised on the ingress
-// broker; notification IDs must be fresh.
+// broker; notification IDs must be fresh. The admission checks and the
+// duplicate-suppression record share one locked pass over the topic's
+// shard, so the ingress hot path takes exactly one lock round trip.
 func (b *Broker) Publish(n *msg.Notification) error {
 	if n == nil {
 		return errors.New("publish: nil notification")
@@ -370,53 +476,71 @@ func (b *Broker) Publish(n *msg.Notification) error {
 	if err := n.Validate(); err != nil {
 		return fmt.Errorf("publish: %w", err)
 	}
-	b.mu.Lock()
-	st, ok := b.topics[n.Topic]
+	sh := b.shard(n.Topic)
+	sh.mu.Lock()
+	st, ok := sh.topics[n.Topic]
 	if !ok || st.publisher == "" {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("publish: %w: %q", ErrNotAdvertised, n.Topic)
 	}
 	if n.Publisher != "" && n.Publisher != st.publisher {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("publish: topic %q advertised by %q, not %q", n.Topic, st.publisher, n.Publisher)
 	}
-	if st.seen.Contains(n.ID) {
-		b.mu.Unlock()
+	if !st.seen.Add(n.ID) {
+		sh.mu.Unlock()
 		return fmt.Errorf("publish: %w: %q", ErrDuplicateID, n.ID)
 	}
-	b.mu.Unlock()
-	b.Route(n, nil)
+	subs := st.subsList
+	peers := st.peerList
+	sh.mu.Unlock()
+
+	b.fanOut(n, nil, subs, peers)
 	return nil
 }
 
-// Route delivers the notification locally and forwards it to interested
-// peers, excluding the edge it arrived on. It implements Peer.
-func (b *Broker) Route(n *msg.Notification, from Peer) {
-	b.mu.Lock()
-	st := b.topic(n.Topic)
-	if !st.seen.Add(n.ID) {
-		b.mu.Unlock()
-		return // already routed here (duplicate suppression)
-	}
-	targets := make([]*subscription, 0, len(st.subs))
-	for _, s := range st.subs {
-		targets = append(targets, s)
-	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].name < targets[j].name })
-	peerTargets := make([]Peer, 0, len(st.peers))
-	for p := range st.peers {
-		if p != from {
-			peerTargets = append(peerTargets, p)
+// fanOut walks copy-on-write subscriber and peer snapshots with no lock
+// held, delivering locally and forwarding to every interested peer except
+// the edge the notification arrived on. The Notification structs for the
+// whole local fan-out come from a single allocation; each subscriber still
+// owns an isolated copy, including its own payload bytes.
+func (b *Broker) fanOut(n *msg.Notification, from Peer, subs []*subscription, peers []Peer) {
+	if len(subs) > 0 {
+		clones := make([]msg.Notification, len(subs))
+		for i := range clones {
+			clones[i] = *n
+			if n.Payload != nil {
+				clones[i].Payload = append([]byte(nil), n.Payload...)
+			}
+		}
+		for i, s := range subs {
+			s.sub.Deliver(&clones[i])
 		}
 	}
-	b.mu.Unlock()
+	for _, p := range peers {
+		if p != from {
+			p.Route(n, b)
+		}
+	}
+}
 
-	for _, s := range targets {
-		s.sub.Deliver(n.Clone())
+// Route delivers the notification locally and forwards it to interested
+// peers, excluding the edge it arrived on. It implements Peer. The fan-out
+// itself runs on the copy-on-write subscriber and peer snapshots with no
+// lock held, so a slow subscriber or peer never blocks routing state.
+func (b *Broker) Route(n *msg.Notification, from Peer) {
+	sh := b.shard(n.Topic)
+	sh.mu.Lock()
+	st := sh.topic(n.Topic)
+	if !st.seen.Add(n.ID) {
+		sh.mu.Unlock()
+		return // already routed here (duplicate suppression)
 	}
-	for _, p := range peerTargets {
-		p.Route(n, b)
-	}
+	subs := st.subsList
+	peers := st.peerList
+	sh.mu.Unlock()
+
+	b.fanOut(n, from, subs, peers)
 }
 
 // PublishRankUpdate routes a rank revision for a previously published
@@ -425,13 +549,14 @@ func (b *Broker) PublishRankUpdate(u msg.RankUpdate) error {
 	if err := u.Validate(); err != nil {
 		return fmt.Errorf("rank update: %w", err)
 	}
-	b.mu.Lock()
-	st, ok := b.topics[u.Topic]
+	sh := b.shard(u.Topic)
+	sh.mu.Lock()
+	st, ok := sh.topics[u.Topic]
 	if !ok || !st.seen.Contains(u.ID) {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("rank update: unknown notification %q on %q", u.ID, u.Topic)
 	}
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	b.RouteUpdate(u, nil)
 	return nil
 }
@@ -440,40 +565,37 @@ func (b *Broker) PublishRankUpdate(u msg.RankUpdate) error {
 // edge it arrived on (sufficient for the required acyclic overlay; updates
 // have no per-ID dedup record). It implements Peer.
 func (b *Broker) RouteUpdate(u msg.RankUpdate, from Peer) {
-	b.mu.Lock()
-	st, ok := b.topics[u.Topic]
+	sh := b.shard(u.Topic)
+	sh.mu.Lock()
+	st, ok := sh.topics[u.Topic]
 	if !ok {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
-	targets := make([]*subscription, 0, len(st.subs))
-	for _, s := range st.subs {
-		targets = append(targets, s)
-	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].name < targets[j].name })
-	peerTargets := make([]Peer, 0, len(st.peers))
-	for p := range st.peers {
-		if p != from {
-			peerTargets = append(peerTargets, p)
-		}
-	}
-	b.mu.Unlock()
+	subs := st.subsList
+	peers := st.peerList
+	sh.mu.Unlock()
 
-	for _, s := range targets {
+	for _, s := range subs {
 		s.sub.DeliverRankUpdate(u)
 	}
-	for _, p := range peerTargets {
-		p.RouteUpdate(u, b)
+	for _, p := range peers {
+		if p != from {
+			p.RouteUpdate(u, b)
+		}
 	}
 }
 
 // Topics returns the names of all topics with local state, sorted.
 func (b *Broker) Topics() []string {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := make([]string, 0, len(b.topics))
-	for name := range b.topics {
-		out = append(out, name)
+	var out []string
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		for name := range sh.topics {
+			out = append(out, name)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out
@@ -481,25 +603,28 @@ func (b *Broker) Topics() []string {
 
 // Subscribers returns the names of local subscribers on a topic, sorted.
 func (b *Broker) Subscribers(topic string) []string {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	st, ok := b.topics[topic]
+	sh := b.shard(topic)
+	sh.mu.Lock()
+	st, ok := sh.topics[topic]
 	if !ok {
+		sh.mu.Unlock()
 		return nil
 	}
-	out := make([]string, 0, len(st.subs))
-	for name := range st.subs {
-		out = append(out, name)
+	subs := st.subsList
+	sh.mu.Unlock()
+	out := make([]string, 0, len(subs))
+	for _, s := range subs {
+		out = append(out, s.name)
 	}
-	sort.Strings(out)
 	return out
 }
 
 // SubscriptionOptions returns the options a local subscriber registered.
 func (b *Broker) SubscriptionOptions(topic, subscriber string) (msg.SubscriptionOptions, bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	st, ok := b.topics[topic]
+	sh := b.shard(topic)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.topics[topic]
 	if !ok {
 		return msg.SubscriptionOptions{}, false
 	}

@@ -1,0 +1,144 @@
+package pubsub
+
+import (
+	"hash/maphash"
+
+	"lasthop/internal/msg"
+)
+
+// seenSeed hashes notification IDs into seenSet fingerprints. One seed per
+// process is enough: fingerprints never leave the broker.
+var seenSeed = maphash.MakeSeed()
+
+// fingerprint folds an ID to a non-zero 64-bit key; zero is the table's
+// empty-slot sentinel.
+func fingerprint(id msg.ID) uint64 {
+	fp := maphash.String(seenSeed, string(id))
+	if fp == 0 {
+		fp = 1
+	}
+	return fp
+}
+
+// seenSet is a duplicate-suppression set of notification IDs tuned for the
+// publish hot path, which holds a shard lock while inserting. A plain
+// map[ID]struct{} retains every ID string forever — the garbage collector
+// re-scans hundreds of thousands of small pointers on every cycle — and
+// each insert pays a generic string-map assignment. seenSet instead keeps
+// an open-addressed table of 64-bit fingerprints (the fingerprint doubles
+// as the hash, so probing is a masked index and a compare) and copies ID
+// bytes into one append-only arena. Membership stays exact: a fresh insert
+// that lands on an occupied fingerprint verifies against the arena, and
+// true fingerprint collisions between distinct IDs fall back to an exact
+// spill map. The collector sees two pointer-free slices and, rarely, a
+// tiny spill map.
+//
+// IDs cannot be removed; the set is monotonic like the routing history it
+// records.
+type seenSet struct {
+	table []seenSlot // open-addressed, power-of-two length; fp 0 = empty
+	n     int        // occupied slots
+	arena []byte
+	spill msg.IDSet // exact fallback: colliding or oversized IDs
+}
+
+type seenSlot struct {
+	fp   uint64
+	pack uint64 // offset<<lenBits | len into arena
+}
+
+// lenBits is how many low bits of a packed arena reference hold the ID
+// length; IDs longer than that go to the spill map.
+const (
+	lenBits = 16
+	lenMask = 1<<lenBits - 1
+
+	seenInitialSlots = 64
+)
+
+func newSeenSet() *seenSet {
+	return &seenSet{table: make([]seenSlot, seenInitialSlots)}
+}
+
+// slotMatches reports whether an occupied slot holds exactly id.
+func (s *seenSet) slotMatches(slot seenSlot, id msg.ID) bool {
+	off, ln := slot.pack>>lenBits, slot.pack&lenMask
+	return int(ln) == len(id) && string(s.arena[off:off+ln]) == string(id)
+}
+
+// Contains reports membership.
+func (s *seenSet) Contains(id msg.ID) bool {
+	fp := fingerprint(id)
+	mask := uint64(len(s.table) - 1)
+	for i := fp & mask; ; i = (i + 1) & mask {
+		slot := s.table[i]
+		if slot.fp == 0 {
+			break
+		}
+		if slot.fp == fp {
+			if s.slotMatches(slot, id) {
+				return true
+			}
+			break // a different ID owns this fingerprint; check the spill
+		}
+	}
+	return s.spill != nil && s.spill.Contains(id)
+}
+
+// Add inserts id and reports whether it was absent.
+func (s *seenSet) Add(id msg.ID) bool {
+	fp := fingerprint(id)
+	mask := uint64(len(s.table) - 1)
+	i := fp & mask
+	for {
+		slot := s.table[i]
+		if slot.fp == 0 {
+			break // free slot: id is not in the table
+		}
+		if slot.fp == fp {
+			if s.slotMatches(slot, id) {
+				return false
+			}
+			// Genuine fingerprint collision between distinct IDs: only
+			// the first one lives in the table, the rest spill.
+			return s.spillAdd(id)
+		}
+		i = (i + 1) & mask
+	}
+	if len(id) > lenMask {
+		return s.spillAdd(id)
+	}
+	off := len(s.arena)
+	s.arena = append(s.arena, id...)
+	s.table[i] = seenSlot{fp: fp, pack: uint64(off)<<lenBits | uint64(len(id))}
+	s.n++
+	if s.n*4 > len(s.table)*3 {
+		s.grow()
+	}
+	return true
+}
+
+func (s *seenSet) spillAdd(id msg.ID) bool {
+	if s.spill == nil {
+		s.spill = make(msg.IDSet)
+	}
+	return s.spill.Add(id)
+}
+
+// grow doubles the table and redistributes the slots; the stored
+// fingerprints are the hashes, so no ID is re-hashed or re-read.
+func (s *seenSet) grow() {
+	next := make([]seenSlot, len(s.table)*2)
+	mask := uint64(len(next) - 1)
+	for _, slot := range s.table {
+		if slot.fp == 0 {
+			continue
+		}
+		i := slot.fp & mask
+		for next[i].fp != 0 {
+			i = (i + 1) & mask
+		}
+		next[i] = slot
+	}
+	s.table = next
+}

@@ -1,0 +1,148 @@
+package wire
+
+import (
+	"io"
+	"net"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lasthop/internal/msg"
+	"lasthop/internal/pubsub"
+)
+
+// benchPair returns a frame connection whose peer discards everything it
+// receives, isolating the sender's encode+write path.
+func benchPair(b *testing.B) *Conn {
+	b.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	drained := make(chan struct{})
+	go func() {
+		c, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		_, _ = io.Copy(io.Discard, c)
+		close(drained)
+	}()
+	nc, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn := NewConn(nc)
+	b.Cleanup(func() {
+		_ = conn.Close()
+		_ = lis.Close()
+		select {
+		case <-drained:
+		case <-time.After(time.Second):
+		}
+	})
+	return conn
+}
+
+// BenchmarkWireThroughput measures the push write path: encoding and
+// writing one notification-bearing push frame per op to a TCP peer that
+// discards them.
+func BenchmarkWireThroughput(b *testing.B) {
+	conn := benchPair(b)
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+	n := &msg.Notification{
+		ID:        "bench-note",
+		Topic:     "bench/topic",
+		Publisher: "pub",
+		Rank:      4.25,
+		Published: time.Unix(1700000000, 0).UTC(),
+		Expires:   time.Unix(1700086400, 0).UTC(),
+		Payload:   payload,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := conn.Send(&Frame{Type: TypePush, Notification: n}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProxyForwardPath measures the full last-hop pipeline: publisher
+// → broker server → proxy (on-line topic) → device client, counting a
+// notification as done when the device has stored it.
+func BenchmarkProxyForwardPath(b *testing.B) {
+	bl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bs := NewBrokerServer(pubsub.NewBroker("bench-broker"), nil)
+	go func() { _ = bs.Serve(bl) }()
+	defer bs.Close()
+
+	ps, err := NewProxyServer(bl.Addr().String(), "bench-proxy", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ps.Close()
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = ps.Serve(pl) }()
+
+	dev, err := DialProxy(pl.Addr().String(), "bench-device")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dev.Close()
+	if err := dev.Subscribe("bench/online", TopicPolicy{Mode: "on-line"}); err != nil {
+		b.Fatal(err)
+	}
+
+	pub, err := DialBroker(bl.Addr().String(), "bench-pub")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Advertise("bench/online", ""); err != nil {
+		b.Fatal(err)
+	}
+
+	base := time.Unix(1700000000, 0).UTC()
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := ctr.Add(1)
+			n := &msg.Notification{
+				ID:        msg.ID("fwd-" + strconv.FormatInt(i, 10)),
+				Topic:     "bench/online",
+				Rank:      3,
+				Published: base,
+			}
+			if err := pub.Publish(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Wait for every published notification to land on the device.
+	total := int(ctr.Load())
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		received, _, _ := dev.Stats()
+		if received >= total {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("device received %d of %d", received, total)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	b.StopTimer()
+}

@@ -123,7 +123,11 @@ type connSubscriber struct {
 var _ pubsub.Subscriber = connSubscriber{}
 
 func (cs connSubscriber) Deliver(n *msg.Notification) {
-	_ = cs.conn.Send(&Frame{Type: TypePush, Notification: n})
+	f := getPushFrame()
+	f.Type = TypePush
+	f.Notification = n
+	_ = cs.conn.Send(f)
+	putPushFrame(f)
 }
 
 func (cs connSubscriber) DeliverRankUpdate(u msg.RankUpdate) {
@@ -167,7 +171,9 @@ func (s *BrokerServer) handle(conn *Conn) {
 			if f.Name != "" {
 				clientName = f.Name
 			}
-			s.respond(conn, OK(f))
+			ok := OK(f)
+			ok.Caps = localCaps()
+			s.respond(conn, ok)
 		case TypePing:
 			s.respond(conn, &Frame{Type: TypePong, Re: f.Seq})
 		case TypeAdvertise:
@@ -307,7 +313,7 @@ func (c *BrokerClient) handshake(conn *Conn) error {
 	conn.setRawDeadline(time.Now().Add(c.opts.DialTimeout))
 	defer conn.setRawDeadline(time.Time{})
 	onFrame := func(f *Frame) { c.dispatchPush(f) }
-	if err := syncExchange(conn, &Frame{Type: TypeHello, Name: c.name}, onFrame); err != nil {
+	if err := syncExchange(conn, &Frame{Type: TypeHello, Name: c.name, Caps: localCaps()}, onFrame); err != nil {
 		return fmt.Errorf("hello: %w", err)
 	}
 	type claim struct{ topic, publisher string }
@@ -382,7 +388,7 @@ func (c *BrokerClient) readFrames(conn *Conn) error {
 			return err
 		}
 		switch f.Type {
-		case TypePush, TypePushRank:
+		case TypePush, TypePushBatch, TypePushRank:
 			c.dispatchPush(f)
 		case TypePing:
 			_ = conn.Send(&Frame{Type: TypePong, Re: f.Seq})
@@ -400,6 +406,18 @@ func (c *BrokerClient) dispatchPush(f *Frame) {
 		c.cbmu.Unlock()
 		if push != nil && f.Notification != nil {
 			push(f.Notification)
+		}
+	case TypePushBatch:
+		c.cbmu.Lock()
+		push := c.onPush
+		c.cbmu.Unlock()
+		if push == nil {
+			return
+		}
+		for _, n := range f.Batch {
+			if n != nil {
+				push(n)
+			}
 		}
 	case TypePushRank:
 		c.cbmu.Lock()

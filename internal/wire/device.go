@@ -95,11 +95,20 @@ func (d *DeviceClient) handshake(conn *Conn) error {
 	conn.setRawDeadline(time.Now().Add(d.opts.DialTimeout))
 	defer conn.setRawDeadline(time.Time{})
 	onFrame := func(f *Frame) {
-		if f.Type == TypePush && f.Notification != nil {
-			d.store(f.Notification)
+		switch f.Type {
+		case TypePush:
+			if f.Notification != nil {
+				d.store(f.Notification)
+			}
+		case TypePushBatch:
+			for _, n := range f.Batch {
+				if n != nil {
+					d.store(n)
+				}
+			}
 		}
 	}
-	if err := syncExchange(conn, &Frame{Type: TypeHello, Name: d.name}, onFrame); err != nil {
+	if err := syncExchange(conn, &Frame{Type: TypeHello, Name: d.name, Caps: localCaps()}, onFrame); err != nil {
 		return fmt.Errorf("hello: %w", err)
 	}
 
@@ -185,6 +194,12 @@ func (d *DeviceClient) readFrames(conn *Conn) error {
 		case TypePush:
 			if f.Notification != nil {
 				d.store(f.Notification)
+			}
+		case TypePushBatch:
+			for _, n := range f.Batch {
+				if n != nil {
+					d.store(n)
+				}
 			}
 		case TypePing:
 			_ = conn.Send(&Frame{Type: TypePong, Re: f.Seq})

@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"math"
+	"slices"
+	"strconv"
+	"sync"
+	"time"
+	"unicode/utf8"
+
+	"lasthop/internal/msg"
+)
+
+// The encoders below hand-roll the JSON for the frame shapes that dominate
+// wire traffic — pushes and push batches — because encoding/json's
+// reflection walk over the 18-field Frame struct is the single largest
+// per-notification cost on the send path. Every other frame shape falls
+// back to json.Marshal; the output of both paths is plain JSON and
+// indistinguishable to the receiver.
+
+// encBuf wraps a reusable encode buffer so sync.Pool stores a pointer.
+type encBuf struct{ b []byte }
+
+var encBufPool = sync.Pool{New: func() any { return &encBuf{b: make([]byte, 0, 512)} }}
+
+// framePool recycles the transient Frame values built for pushes, whose
+// lifetime ends when Send returns.
+var framePool = sync.Pool{New: func() any { return new(Frame) }}
+
+func getPushFrame() *Frame { return framePool.Get().(*Frame) }
+
+func putPushFrame(f *Frame) {
+	*f = Frame{}
+	framePool.Put(f)
+}
+
+// appendFrame appends the newline-terminated encoding of f to dst.
+func appendFrame(dst []byte, f *Frame) ([]byte, error) {
+	switch {
+	case f.Type == TypePush && f.Notification != nil && f.Batch == nil &&
+		f.bareAsidePayload() && encodable(f.Notification):
+		dst = append(dst, `{"type":"push","notification":`...)
+		dst = appendNotification(dst, f.Notification)
+		return append(dst, '}', '\n'), nil
+	case f.Type == TypePushBatch && len(f.Batch) > 0 && f.Notification == nil &&
+		f.bareAsidePayload() && allEncodable(f.Batch):
+		dst = append(dst, `{"type":"push-batch","batch":[`...)
+		for i, n := range f.Batch {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendNotification(dst, n)
+		}
+		return append(dst, ']', '}', '\n'), nil
+	}
+	b, err := json.Marshal(f)
+	if err != nil {
+		return dst, err
+	}
+	return append(append(dst, b...), '\n'), nil
+}
+
+// bareAsidePayload reports whether every frame field other than Type,
+// Notification, and Batch is zero — the shape the hand-rolled encoders
+// emit. Anything else routes through json.Marshal.
+func (f *Frame) bareAsidePayload() bool {
+	return f.Seq == 0 && f.Re == 0 && f.Name == "" && f.Topic == "" &&
+		f.Publisher == "" && f.RankUpdate == nil && f.Subscription == nil &&
+		f.TopicPolicy == nil && f.Read == nil && f.Count == 0 &&
+		f.HaveIDs == nil && f.ReadIDs == nil && f.Message == "" &&
+		f.Code == "" && f.Caps == nil
+}
+
+// encodable reports whether the hand-rolled notification encoder can
+// represent n exactly as json.Marshal would: a finite rank (JSON has no
+// NaN/Inf) and RFC 3339-representable times.
+func encodable(n *msg.Notification) bool {
+	if math.IsNaN(n.Rank) || math.IsInf(n.Rank, 0) {
+		return false
+	}
+	return rfc3339Year(n.Published) && rfc3339Year(n.Expires)
+}
+
+func rfc3339Year(t time.Time) bool {
+	y := t.Year()
+	return y >= 1 && y <= 9999
+}
+
+func allEncodable(batch []*msg.Notification) bool {
+	for _, n := range batch {
+		if n == nil || !encodable(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// appendNotification appends the JSON object for n, mirroring the field
+// order and omitempty behavior of the struct tags in msg.Notification
+// (expires is a struct, so encoding/json never omits it).
+func appendNotification(dst []byte, n *msg.Notification) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = appendJSONString(dst, string(n.ID))
+	dst = append(dst, `,"topic":`...)
+	dst = appendJSONString(dst, n.Topic)
+	if n.Publisher != "" {
+		dst = append(dst, `,"publisher":`...)
+		dst = appendJSONString(dst, n.Publisher)
+	}
+	dst = append(dst, `,"rank":`...)
+	dst = appendJSONFloat(dst, n.Rank)
+	dst = append(dst, `,"published":"`...)
+	dst = n.Published.AppendFormat(dst, time.RFC3339Nano)
+	dst = append(dst, `","expires":"`...)
+	dst = n.Expires.AppendFormat(dst, time.RFC3339Nano)
+	dst = append(dst, '"')
+	if len(n.Payload) > 0 {
+		dst = append(dst, `,"payload":"`...)
+		dst = appendBase64(dst, n.Payload)
+		dst = append(dst, '"')
+	}
+	return append(dst, '}')
+}
+
+// appendJSONString appends s as a JSON string. The fast path covers plain
+// ASCII without characters needing escapes — every ID and topic the system
+// mints; anything else defers to json.Marshal for exact escaping.
+func appendJSONString(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c == '"' || c == '\\' || c >= utf8.RuneSelf {
+			q, err := json.Marshal(s)
+			if err != nil { // unreachable: strings always marshal
+				return append(dst, '"', '"')
+			}
+			return append(dst, q...)
+		}
+	}
+	dst = append(dst, '"')
+	dst = append(dst, s...)
+	return append(dst, '"')
+}
+
+// appendJSONFloat appends a finite float as a JSON number the same way
+// encoding/json does: shortest representation, 'e' notation only for
+// extreme exponents, with two-digit exponents trimmed of their leading
+// zero.
+func appendJSONFloat(dst []byte, v float64) []byte {
+	abs := math.Abs(v)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, v, format, -1, 64)
+	if format == 'e' {
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}
+
+// appendBase64 appends the standard base64 encoding of p.
+func appendBase64(dst []byte, p []byte) []byte {
+	n := base64.StdEncoding.EncodedLen(len(p))
+	dst = slices.Grow(dst, n)
+	dst = dst[:len(dst)+n]
+	base64.StdEncoding.Encode(dst[len(dst)-n:], p)
+	return dst
+}
+
+// encodedSizeHint conservatively over-estimates the wire size of one
+// notification inside a batch frame, for chunking below maxFrameBytes.
+func encodedSizeHint(n *msg.Notification) int {
+	const fixed = 192 // braces, keys, rank, two RFC 3339 timestamps
+	return fixed + 2*(len(n.ID)+len(n.Topic)+len(n.Publisher)) +
+		base64.StdEncoding.EncodedLen(len(n.Payload))
+}

@@ -49,12 +49,39 @@ const (
 	TypeOK   = "ok"
 	TypeErr  = "error"
 	TypePush = "push"
+	// TypePushBatch delivers several notifications in one frame, so a
+	// burst of forwards (a read response, a reconnect drain) costs one
+	// write instead of one per notification. Only sent to peers that
+	// advertised CapPushBatch in their hello.
+	TypePushBatch = "push-batch"
 	// TypePushRank delivers a rank revision for an already-pushed
 	// notification.
 	TypePushRank = "push-rank"
 	// TypePong answers a TypePing.
 	TypePong = "pong"
 )
+
+// Capability tokens exchanged in the hello handshake (Frame.Caps). A peer
+// that omits a capability — including every peer speaking the pre-batch
+// protocol, whose hellos carry no caps at all — is served with the
+// original single-frame encodings.
+const (
+	// CapPushBatch marks a peer that understands TypePushBatch frames.
+	CapPushBatch = "push-batch"
+)
+
+// localCaps is what this build advertises and understands.
+func localCaps() []string { return []string{CapPushBatch} }
+
+// hasCap reports whether a hello's capability list names c.
+func hasCap(caps []string, c string) bool {
+	for _, v := range caps {
+		if v == c {
+			return true
+		}
+	}
+	return false
+}
 
 // Error codes carried by TypeErr frames so clients can react to specific
 // failures without parsing message text.
@@ -83,6 +110,13 @@ type Frame struct {
 	// Publish / push payloads.
 	Notification *msg.Notification `json:"notification,omitempty"`
 	RankUpdate   *msg.RankUpdate   `json:"rankUpdate,omitempty"`
+
+	// Batch carries the notifications of a TypePushBatch frame.
+	Batch []*msg.Notification `json:"batch,omitempty"`
+
+	// Caps lists protocol capabilities on hello frames and their OK
+	// responses; see the Cap* constants.
+	Caps []string `json:"caps,omitempty"`
 
 	// Subscribe payload (broker) and topic policy (proxy).
 	Subscription *msg.Subscription `json:"subscription,omitempty"`
@@ -136,32 +170,94 @@ type QuietWindowSpec struct {
 // Conn wraps a net.Conn with frame encoding, write locking, sequence
 // numbering, and optional liveness deadlines. Reads must be performed by a
 // single goroutine.
+//
+// Writes are buffered: Send encodes into a bufio.Writer and signals a
+// per-connection flusher goroutine, so frames written while a flush
+// syscall is in flight coalesce into the next one (group commit). SendNow
+// and SendRequest flush before returning — a request's caller blocks on
+// the response anyway, so its frame should hit the wire immediately. A
+// write error is latched and reported by every subsequent send.
 type Conn struct {
-	c   net.Conn
-	r   *bufio.Scanner
-	enc *json.Encoder
+	c  net.Conn
+	r  *bufio.Scanner
+	bw *bufio.Writer
 
 	// readTimeout bounds the silence tolerated between frames: each Recv
 	// arms a deadline this far in the future, so a half-open connection
 	// fails instead of hanging forever. Zero disables it.
 	readTimeout time.Duration
-	// writeTimeout bounds each Send, so a peer that stopped draining its
+	// writeTimeout bounds each flush, so a peer that stopped draining its
 	// socket cannot block the writer indefinitely. Zero disables it.
 	writeTimeout time.Duration
 
-	wmu sync.Mutex
-	seq uint64
+	wmu  sync.Mutex
+	seq  uint64
+	werr error // first write/flush failure; latched
+
+	flushC    chan struct{} // kicks the flusher; capacity 1
+	done      chan struct{} // closed by Close; stops the flusher
+	closeOnce sync.Once
 }
 
 // maxFrameBytes bounds a single frame (1 MiB), protecting servers from
 // unbounded lines.
 const maxFrameBytes = 1 << 20
 
+// writeBufferBytes sizes the per-connection write buffer. Large enough to
+// coalesce a burst of pushes into one syscall; once full, writes degrade
+// to synchronous flushes, which is the natural backpressure.
+const writeBufferBytes = 64 * 1024
+
 // NewConn wraps an established network connection.
 func NewConn(c net.Conn) *Conn {
 	sc := bufio.NewScanner(c)
 	sc.Buffer(make([]byte, 64*1024), maxFrameBytes)
-	return &Conn{c: c, r: sc, enc: json.NewEncoder(c)}
+	conn := &Conn{
+		c:      c,
+		r:      sc,
+		bw:     bufio.NewWriterSize(c, writeBufferBytes),
+		flushC: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	go conn.flushLoop()
+	return conn
+}
+
+// flushLoop is the connection's flusher goroutine: it sleeps until a Send
+// kicks it, then writes out whatever has accumulated. All frames buffered
+// between two wakeups leave in one syscall.
+func (c *Conn) flushLoop() {
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-c.flushC:
+		}
+		c.wmu.Lock()
+		c.flushLocked()
+		c.wmu.Unlock()
+	}
+}
+
+// flushLocked drains the write buffer to the socket; wmu must be held.
+func (c *Conn) flushLocked() {
+	if c.werr != nil || c.bw.Buffered() == 0 {
+		return
+	}
+	if c.writeTimeout > 0 {
+		_ = c.c.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.werr = err
+	}
+}
+
+// kickFlush wakes the flusher without blocking; a pending kick suffices.
+func (c *Conn) kickFlush() {
+	select {
+	case c.flushC <- struct{}{}:
+	default:
+	}
 }
 
 // SetTimeouts configures the liveness deadlines: read bounds the silence
@@ -172,8 +268,27 @@ func (c *Conn) SetTimeouts(read, write time.Duration) {
 	c.writeTimeout = write
 }
 
-// Close closes the underlying connection.
-func (c *Conn) Close() error { return c.c.Close() }
+// closeFlushTimeout bounds the best-effort drain of buffered frames during
+// Close; a peer that stopped reading cannot stall teardown longer.
+const closeFlushTimeout = 100 * time.Millisecond
+
+// Close stops the flusher and closes the underlying connection, draining
+// any buffered frames first (briefly, best effort — an unresponsive peer
+// loses them, which the session-resume protocol already tolerates).
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.wmu.Lock()
+		if c.werr == nil && c.bw.Buffered() > 0 {
+			_ = c.c.SetWriteDeadline(time.Now().Add(closeFlushTimeout))
+			if err := c.bw.Flush(); err != nil {
+				c.werr = err
+			}
+		}
+		c.wmu.Unlock()
+	})
+	return c.c.Close()
+}
 
 // setRawDeadline bounds every pending and future I/O operation on the
 // underlying connection (both directions); the zero time clears it. Used
@@ -183,30 +298,76 @@ func (c *Conn) setRawDeadline(t time.Time) { _ = c.c.SetDeadline(t) }
 // RemoteAddr names the peer.
 func (c *Conn) RemoteAddr() string { return c.c.RemoteAddr().String() }
 
-// Send writes one frame.
+// Send buffers one frame and wakes the flusher; it coalesces with other
+// frames in flight. Use it for pushes and responses, where the sender does
+// not wait on the peer.
 func (c *Conn) Send(f *Frame) error {
 	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	if c.writeTimeout > 0 {
-		_ = c.c.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	err := c.writeLocked(f)
+	c.wmu.Unlock()
+	if err != nil {
+		return err
 	}
-	return c.enc.Encode(f)
+	c.kickFlush()
+	return nil
 }
 
-// SendRequest assigns a fresh sequence number and writes the frame,
-// returning the sequence for correlation.
+// SendNow writes one frame and flushes it to the wire before returning.
+// Use it for requests, whose caller blocks on the response.
+func (c *Conn) SendNow(f *Frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.writeLocked(f); err != nil {
+		return err
+	}
+	c.flushLocked()
+	return c.werr
+}
+
+// SendRequest assigns a fresh sequence number and writes the frame through
+// to the wire, returning the sequence for correlation.
 func (c *Conn) SendRequest(f *Frame) (uint64, error) {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	c.seq++
 	f.Seq = c.seq
-	if c.writeTimeout > 0 {
-		_ = c.c.SetWriteDeadline(time.Now().Add(c.writeTimeout))
-	}
-	if err := c.enc.Encode(f); err != nil {
+	if err := c.writeLocked(f); err != nil {
 		return 0, err
 	}
+	c.flushLocked()
+	if c.werr != nil {
+		return 0, c.werr
+	}
 	return f.Seq, nil
+}
+
+// writeLocked encodes f into the write buffer; wmu must be held. When the
+// frame outgrows the buffer, bufio flushes inline, so the write deadline
+// is armed whenever a syscall may happen.
+func (c *Conn) writeLocked(f *Frame) error {
+	if c.werr != nil {
+		return c.werr
+	}
+	eb := encBufPool.Get().(*encBuf)
+	b, err := appendFrame(eb.b[:0], f)
+	eb.b = b
+	if err == nil && len(b)-1 > maxFrameBytes {
+		err = fmt.Errorf("frame exceeds %d bytes", maxFrameBytes)
+	}
+	if err != nil {
+		encBufPool.Put(eb)
+		return err
+	}
+	if c.writeTimeout > 0 && c.bw.Available() < len(b) {
+		_ = c.c.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	}
+	_, err = c.bw.Write(b)
+	encBufPool.Put(eb)
+	if err != nil {
+		c.werr = err
+		return err
+	}
+	return nil
 }
 
 // Recv reads the next frame.

@@ -6,16 +6,30 @@ package wire
 
 import (
 	"encoding/json"
+	"math"
+	"strings"
 	"testing"
+	"time"
 
 	"lasthop/internal/msg"
 )
 
 func FuzzFrameDecode(f *testing.F) {
 	f.Add([]byte(`{"type":"hello","name":"x"}`))
+	f.Add([]byte(`{"type":"hello","name":"x","caps":["push-batch","future-cap"]}`))
 	f.Add([]byte(`{"type":"publish","notification":{"id":"a","topic":"t","rank":3}}`))
 	f.Add([]byte(`{"type":"read","read":{"topic":"t","n":8,"clientEvents":["a","b"]}}`))
 	f.Add([]byte(`{"type":"subscribe","topicPolicy":{"policy":"buffer","max":8}}`))
+	f.Add([]byte(`{"type":"push-batch","batch":[{"id":"a","topic":"t","rank":1},{"id":"b","topic":"t","rank":2,"payload":"aGk="}]}`))
+	f.Add([]byte(`{"type":"push-batch","batch":[null,{"id":"c","topic":"t","rank":3},null]}`))
+	f.Add([]byte(`{"type":"push-batch","batch":[]}`))
+	// Oversized-but-legal frames: a payload that pushes the encoded frame
+	// near (but under) maxFrameBytes, and one batch of many small entries.
+	f.Add([]byte(`{"type":"push","notification":{"id":"big","topic":"t","rank":1,"payload":"` +
+		strings.Repeat("QUJDRA==", (maxFrameBytes-4096)/8) + `"}}`))
+	f.Add([]byte(`{"type":"push-batch","batch":[` +
+		strings.Repeat(`{"id":"x","topic":"t","rank":1},`, 4095) +
+		`{"id":"last","topic":"t","rank":1}]}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(`null`))
 	f.Add([]byte(`[1,2,3]`))
@@ -40,6 +54,11 @@ func FuzzFrameDecode(f *testing.F) {
 		if fr.RankUpdate != nil {
 			_ = fr.RankUpdate.Validate()
 		}
+		for _, n := range fr.Batch {
+			if n != nil {
+				_ = n.Validate()
+			}
+		}
 		// Re-encoding must always succeed.
 		if _, err := json.Marshal(&fr); err != nil {
 			t.Fatalf("re-encode: %v", err)
@@ -51,6 +70,9 @@ func FuzzNotificationRoundTrip(f *testing.F) {
 	f.Add("id-1", "topic/a", 4.5, []byte("payload"))
 	f.Add("", "", -1.0, []byte(nil))
 	f.Fuzz(func(t *testing.T, id, topic string, rank float64, payload []byte) {
+		if math.IsNaN(rank) || math.IsInf(rank, 0) {
+			t.Skip("non-finite ranks are rejected at encode time")
+		}
 		n := &msg.Notification{ID: msg.ID(id), Topic: topic, Rank: rank, Payload: payload}
 		data, err := json.Marshal(n)
 		if err != nil {
@@ -62,6 +84,74 @@ func FuzzNotificationRoundTrip(f *testing.F) {
 		}
 		if back.ID != n.ID || back.Topic != n.Topic {
 			t.Fatalf("round trip changed identity: %+v vs %+v", back, n)
+		}
+	})
+}
+
+// FuzzBatchFrameEncode drives the hand-rolled hot-path encoder with
+// arbitrary batch contents and checks it against encoding/json: both
+// encodings must decode to the same frame, and the hand-rolled bytes must
+// survive the real frame decoder.
+func FuzzBatchFrameEncode(f *testing.F) {
+	f.Add(3, "id", "topic/a", "pub", 4.5, []byte("payload"), int64(1_700_000_000))
+	f.Add(1, "", "", "", -0.0, []byte(nil), int64(0))
+	f.Add(8, "nö\x00n", "t<a>&b", "svc\"q\\", 1e21, []byte{0x00, 0xff}, int64(4_000_000_000))
+	f.Fuzz(func(t *testing.T, count int, id, topic, publisher string, rank float64, payload []byte, sec int64) {
+		if math.IsNaN(rank) || math.IsInf(rank, 0) {
+			t.Skip("non-finite ranks are rejected at encode time")
+		}
+		if count < 0 {
+			count = -count
+		}
+		count = count%8 + 1
+		// Keep the timestamp within RFC 3339's representable years; the
+		// encoder falls back to encoding/json outside them, and Marshal
+		// itself errors there.
+		sec %= 250_000_000_000
+		if sec < 0 {
+			sec = -sec
+		}
+		at := time.Unix(sec, 0).UTC()
+		batch := make([]*msg.Notification, count)
+		for i := range batch {
+			n := &msg.Notification{
+				ID: msg.ID(id), Topic: topic, Rank: rank, Published: at, Payload: payload,
+			}
+			if i%2 == 1 {
+				n.Publisher = publisher
+				n.Expires = at.Add(time.Duration(i) * time.Hour)
+			}
+			batch[i] = n
+		}
+		fr := &Frame{Type: TypePushBatch, Batch: batch}
+		enc, err := appendFrame(nil, fr)
+		if err != nil {
+			t.Fatalf("appendFrame: %v", err)
+		}
+		if enc[len(enc)-1] != '\n' {
+			t.Fatalf("missing newline terminator: %q", enc)
+		}
+		ref, err := json.Marshal(fr)
+		if err != nil {
+			t.Fatalf("json.Marshal reference: %v", err)
+		}
+		var got, want Frame
+		if err := json.Unmarshal(enc[:len(enc)-1], &got); err != nil {
+			t.Fatalf("decode appendFrame output: %v\nenc: %s", err, enc)
+		}
+		if err := json.Unmarshal(ref, &want); err != nil {
+			t.Fatalf("decode reference: %v", err)
+		}
+		if len(got.Batch) != len(want.Batch) {
+			t.Fatalf("batch length diverged: %d vs %d", len(got.Batch), len(want.Batch))
+		}
+		for i := range got.Batch {
+			g, w := got.Batch[i], want.Batch[i]
+			if g.ID != w.ID || g.Topic != w.Topic || g.Publisher != w.Publisher ||
+				g.Rank != w.Rank || !g.Published.Equal(w.Published) ||
+				!g.Expires.Equal(w.Expires) || string(g.Payload) != string(w.Payload) {
+				t.Fatalf("entry %d diverged\n got: %+v\nwant: %+v\n enc: %s\n ref: %s", i, g, w, enc, ref)
+			}
 		}
 	})
 }

@@ -115,13 +115,20 @@ type ProxyServer struct {
 	mu         sync.Mutex
 	device     *Conn
 	deviceName string
-	sessions   map[string]*DeviceSession
-	lis        net.Listener
-	closed     bool
-	wg         sync.WaitGroup
+	// deviceBatch records whether the connected device advertised
+	// CapPushBatch in its hello; devices speaking the pre-batch protocol
+	// get single-frame pushes.
+	deviceBatch bool
+	sessions    map[string]*DeviceSession
+	lis         net.Listener
+	closed      bool
+	wg          sync.WaitGroup
 }
 
-var _ core.Forwarder = (*ProxyServer)(nil)
+var (
+	_ core.Forwarder      = (*ProxyServer)(nil)
+	_ core.BatchForwarder = (*ProxyServer)(nil)
+)
 
 // NewProxyServer dials the upstream broker and assembles a non-durable
 // proxy. Close releases both sides.
@@ -210,7 +217,67 @@ func (ps *ProxyServer) Forward(n *msg.Notification) error {
 	if dev == nil {
 		return errors.New("no device connected")
 	}
-	return dev.Send(&Frame{Type: TypePush, Notification: n})
+	return sendPush(dev, n)
+}
+
+// ForwardBatch implements core.BatchForwarder: a burst of forwards — a
+// drained outgoing queue, a prefetch refill, a read response — leaves in
+// as few push-batch frames as the 1 MiB frame bound allows. Devices that
+// did not advertise CapPushBatch get the frames one by one.
+func (ps *ProxyServer) ForwardBatch(batch []*msg.Notification) error {
+	ps.mu.Lock()
+	dev := ps.device
+	batching := ps.deviceBatch
+	ps.mu.Unlock()
+	if dev == nil {
+		return errors.New("no device connected")
+	}
+	if !batching {
+		for _, n := range batch {
+			if err := sendPush(dev, n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Chunk so each frame stays safely below maxFrameBytes.
+	const budget = maxFrameBytes - 8*1024
+	start, size := 0, 0
+	for i, n := range batch {
+		est := encodedSizeHint(n)
+		if i > start && size+est > budget {
+			if err := sendBatch(dev, batch[start:i]); err != nil {
+				return err
+			}
+			start, size = i, 0
+		}
+		size += est
+	}
+	return sendBatch(dev, batch[start:])
+}
+
+func sendPush(dev *Conn, n *msg.Notification) error {
+	f := getPushFrame()
+	f.Type = TypePush
+	f.Notification = n
+	err := dev.Send(f)
+	putPushFrame(f)
+	return err
+}
+
+func sendBatch(dev *Conn, batch []*msg.Notification) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	if len(batch) == 1 {
+		return sendPush(dev, batch[0])
+	}
+	f := getPushFrame()
+	f.Type = TypePushBatch
+	f.Batch = batch
+	err := dev.Send(f)
+	putPushFrame(f)
+	return err
 }
 
 // Serve accepts device connections until the listener closes. After an
@@ -245,6 +312,7 @@ func (ps *ProxyServer) Serve(lis net.Listener) error {
 		}
 		ps.device = conn
 		ps.deviceName = ""
+		ps.deviceBatch = false
 		ps.wg.Add(1)
 		ps.mu.Unlock()
 		ps.sched.Run(func() {
@@ -298,6 +366,7 @@ func (ps *ProxyServer) handleDevice(conn *Conn) {
 				s.Connected = false
 			}
 			ps.deviceName = ""
+			ps.deviceBatch = false
 			ps.mu.Unlock()
 			ps.sched.Run(func() {
 				if err := ps.api.SetNetwork(false); err != nil {
@@ -316,8 +385,10 @@ func (ps *ProxyServer) handleDevice(conn *Conn) {
 		}
 		switch f.Type {
 		case TypeHello:
-			ps.attachSession(conn, f.Name)
-			ps.respond(conn, OK(f))
+			ps.attachSession(conn, f)
+			ok := OK(f)
+			ok.Caps = localCaps()
+			ps.respond(conn, ok)
 		case TypePing:
 			ps.respond(conn, &Frame{Type: TypePong, Re: f.Seq})
 		case TypeSubscribe:
@@ -343,9 +414,10 @@ func (ps *ProxyServer) handleDevice(conn *Conn) {
 	}
 }
 
-// attachSession records the device's identity for the connection and
-// creates or revives its session.
-func (ps *ProxyServer) attachSession(conn *Conn, name string) {
+// attachSession records the device's identity and capabilities for the
+// connection and creates or revives its session.
+func (ps *ProxyServer) attachSession(conn *Conn, hello *Frame) {
+	name := hello.Name
 	if name == "" {
 		name = conn.RemoteAddr()
 	}
@@ -355,6 +427,7 @@ func (ps *ProxyServer) attachSession(conn *Conn, name string) {
 		return // superseded before the hello was processed
 	}
 	ps.deviceName = name
+	ps.deviceBatch = hasCap(hello.Caps, CapPushBatch)
 	s := ps.sessions[name]
 	if s == nil {
 		s = &DeviceSession{Name: name}

@@ -77,7 +77,7 @@ func (c *caller) call(f *Frame) error {
 	c.mu.Unlock()
 
 	f.Seq = seq
-	if err := conn.Send(f); err != nil {
+	if err := conn.SendNow(f); err != nil {
 		c.mu.Lock()
 		delete(c.pending, seq)
 		c.mu.Unlock()
