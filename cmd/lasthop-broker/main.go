@@ -4,17 +4,17 @@
 //
 // Example:
 //
-//	lasthop-broker -listen :7470
+//	lasthop-broker -listen :7470 -obs-addr :9470
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"os"
 	"time"
 
+	"lasthop/internal/obs"
 	"lasthop/internal/pubsub"
 	"lasthop/internal/retry"
 	"lasthop/internal/wire"
@@ -39,33 +39,57 @@ func run() error {
 		heartbeat   = flag.Duration("heartbeat", 5*time.Second, "peer heartbeat interval (0 = disabled)")
 		readTO      = flag.Duration("read-timeout", 0, "max silence tolerated on a client connection (0 = unlimited)")
 		writeTO     = flag.Duration("write-timeout", 10*time.Second, "max time for one client write (0 = unlimited)")
+
+		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty = disabled)")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	logf := obs.Logf(logger, "broker")
+
+	broker := pubsub.NewBroker(*name)
+	reg := obs.NewRegistry()
+	wm := wire.NewMetrics(reg)
+	broker.RegisterMetrics(reg)
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		logger.Info("observability endpoint up", "component", "broker", "addr", srv.Addr())
+	}
 
 	lis, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
-	broker := pubsub.NewBroker(*name)
 	if *peer != "" {
 		fed, err := wire.FederateBrokerOpts(broker, *peer, *name, wire.ClientOptions{
 			AutoReconnect:     *reconnect,
 			Backoff:           retry.Policy{Initial: *backoffInit, Max: *backoffMax},
 			HeartbeatInterval: *heartbeat,
 			WriteTimeout:      *writeTO,
-			Logf:              log.Printf,
+			Logf:              logf,
+			Metrics:           wm,
 		})
 		if err != nil {
 			return err
 		}
 		defer fed.Close()
-		log.Printf("broker %q federated with %s", *name, *peer)
+		logger.Info("federated", "component", "broker", "name", *name, "peer", *peer)
 	}
-	log.Printf("broker %q listening on %s", *name, lis.Addr())
+	logger.Info("listening", "component", "broker", "name", *name, "addr", lis.Addr().String())
 	srv := wire.NewBrokerServerOpts(broker, wire.ServerOptions{
 		ReadTimeout:  *readTO,
 		WriteTimeout: *writeTO,
-		Logf:         log.Printf,
+		Logf:         logf,
+		Metrics:      wm,
 	})
 	return srv.Serve(lis)
 }

@@ -10,10 +10,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"time"
 
+	"lasthop/internal/obs"
 	"lasthop/internal/retry"
 	"lasthop/internal/wire"
 )
@@ -42,20 +42,43 @@ func run() error {
 		backoffMax  = flag.Duration("backoff-max", 15*time.Second, "maximum reconnect backoff")
 		heartbeat   = flag.Duration("heartbeat", 5*time.Second, "proxy heartbeat interval (0 = disabled)")
 		writeTO     = flag.Duration("write-timeout", 10*time.Second, "max time for one write to the proxy (0 = unlimited)")
+
+		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty = disabled)")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	logf := obs.Logf(logger, "device")
+
+	reg := obs.NewRegistry()
+	wm := wire.NewMetrics(reg)
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		logger.Info("observability endpoint up", "component", "device", "addr", srv.Addr())
+	}
 
 	dev, err := wire.DialProxyOpts(*proxy, *name, wire.ClientOptions{
 		AutoReconnect:     *reconnect,
 		Backoff:           retry.Policy{Initial: *backoffInit, Max: *backoffMax},
 		HeartbeatInterval: *heartbeat,
 		WriteTimeout:      *writeTO,
-		Logf:              log.Printf,
+		Logf:              logf,
+		Metrics:           wm,
 	})
 	if err != nil {
 		return err
 	}
 	defer dev.Close()
+	dev.RegisterMetrics(reg, *name)
 
 	pol := wire.TopicPolicy{
 		Policy:        *policy,
@@ -66,7 +89,8 @@ func run() error {
 	if err := dev.Subscribe(*topic, pol); err != nil {
 		return err
 	}
-	log.Printf("device %q subscribed to %q (max=%d threshold=%g)", *name, *topic, *maxRead, *threshold)
+	logger.Info("subscribed", "component", "device", "name", *name,
+		"topic", *topic, "max", *maxRead, "threshold", *threshold)
 
 	for i := 0; *reads == 0 || i < *reads; i++ {
 		time.Sleep(*interval)
@@ -75,11 +99,12 @@ func run() error {
 			return err
 		}
 		if len(batch) == 0 {
-			log.Printf("read: nothing new (queue=%d)", dev.QueueLen(*topic))
+			logger.Info("read: nothing new", "component", "device", "queue", dev.QueueLen(*topic))
 			continue
 		}
 		for _, n := range batch {
-			log.Printf("read: [%.1f] %s %s", n.Rank, n.ID, string(n.Payload))
+			logger.Info("read", "component", "device",
+				"rank", n.Rank, "id", string(n.ID), "payload", string(n.Payload))
 		}
 	}
 	return nil

@@ -39,6 +39,8 @@ func run() error {
 		timeout    = flag.Duration("timeout", time.Minute, "abort the run after this long")
 		out        = flag.String("out", "", "write the JSON report here (default stdout)")
 		quiet      = flag.Bool("q", false, "suppress progress logging")
+		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /healthz, and /debug/pprof for the whole topology (empty = disabled)")
+		linger     = flag.Duration("linger", 0, "keep the topology and obs endpoint alive this long after the run")
 	)
 	flag.Parse()
 
@@ -53,6 +55,8 @@ func run() error {
 		Notifications: *count,
 		PayloadBytes:  *payload,
 		OnDemand:      *onDemand,
+		ObsAddr:       *obsAddr,
+		Linger:        *linger,
 		Timeout:       *timeout,
 		Logf:          logf,
 	})

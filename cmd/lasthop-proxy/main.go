@@ -6,17 +6,18 @@
 //
 // Example:
 //
-//	lasthop-proxy -broker localhost:7470 -listen :7471 -name alice-proxy
+//	lasthop-proxy -broker localhost:7470 -listen :7471 -name alice-proxy -obs-addr :9471
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"os"
 	"time"
 
+	"lasthop/internal/metrics"
+	"lasthop/internal/obs"
 	"lasthop/internal/retry"
 	"lasthop/internal/wire"
 )
@@ -41,8 +42,22 @@ func run() error {
 		devReadTO    = flag.Duration("device-read-timeout", 0, "max silence tolerated on the device connection (0 = unlimited)")
 		devWriteTO   = flag.Duration("device-write-timeout", 10*time.Second, "max time for one write to the device (0 = unlimited)")
 		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "max time for one write to the broker (0 = unlimited)")
+
+		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty = disabled)")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	logf := obs.Logf(logger, "proxy")
+
+	reg := obs.NewRegistry()
+	wm := wire.NewMetrics(reg)
+	metrics.Register(reg)
 
 	srv, err := wire.NewProxyServerOpts(wire.ProxyOptions{
 		BrokerAddr:  *broker,
@@ -56,16 +71,28 @@ func run() error {
 		},
 		DeviceReadTimeout:  *devReadTO,
 		DeviceWriteTimeout: *devWriteTO,
-		Logf:               log.Printf,
+		Logf:               logf,
+		Metrics:            wm,
 	})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
+	srv.RegisterMetrics(reg, *name)
+	if *obsAddr != "" {
+		osrv, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = osrv.Close() }()
+		logger.Info("observability endpoint up", "component", "proxy", "addr", osrv.Addr())
+	}
+
 	lis, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
-	log.Printf("proxy %q connected to broker %s, listening for devices on %s", *name, *broker, lis.Addr())
+	logger.Info("serving", "component", "proxy", "name", *name,
+		"broker", *broker, "addr", lis.Addr().String())
 	return srv.Serve(lis)
 }

@@ -98,17 +98,29 @@ func TestDailyOnlineCap(t *testing.T) {
 func TestQuietWindowValidation(t *testing.T) {
 	bad := []QuietWindow{
 		{Start: -time.Hour, End: time.Hour},
-		{Start: 2 * time.Hour, End: time.Hour},
 		{Start: time.Hour, End: 25 * time.Hour},
+		{Start: 25 * time.Hour, End: time.Hour},
+		{Start: time.Hour, End: -time.Hour},
 		{Start: time.Hour, End: time.Hour},
+		{Start: 24 * time.Hour, End: time.Hour},
 	}
 	for _, w := range bad {
 		if err := w.Validate(); err == nil {
 			t.Errorf("window %+v accepted", w)
 		}
 	}
+	good := []QuietWindow{
+		{Start: 2 * time.Hour, End: 3 * time.Hour},
+		{Start: 22 * time.Hour, End: 7 * time.Hour}, // wraps midnight
+		{Start: 23 * time.Hour, End: time.Hour},
+	}
+	for _, w := range good {
+		if err := w.Validate(); err != nil {
+			t.Errorf("window %+v rejected: %v", w, err)
+		}
+	}
 	cfg := OnlineConfig("t")
-	cfg.Quiet = []QuietWindow{{Start: 2 * time.Hour, End: time.Hour}}
+	cfg.Quiet = []QuietWindow{{Start: time.Hour, End: time.Hour}}
 	if err := cfg.Validate(); err == nil {
 		t.Error("config with bad window accepted")
 	}

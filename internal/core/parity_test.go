@@ -1,0 +1,379 @@
+package core
+
+// Regression tests for the batch/quiet-window policy-parity fixes: the
+// batch forwarding path must agree with the per-event Figure 7 semantics,
+// failed picks must return to the queue they came from, and the §2.2
+// daily on-line cap must be charged when an event is actually pushed, not
+// when it is deferred by a quiet window.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"lasthop/internal/msg"
+	"lasthop/internal/simtime"
+)
+
+// fakeBatchDevice is a BatchForwarder with all-or-nothing batches; like
+// fakeDevice it records deliveries and can be told to fail.
+type fakeBatchDevice struct {
+	fakeDevice
+}
+
+var _ BatchForwarder = (*fakeBatchDevice)(nil)
+
+func (d *fakeBatchDevice) ForwardBatch(batch []*msg.Notification) error {
+	if d.fail {
+		return errors.New("link failure injected")
+	}
+	d.received = append(d.received, batch...)
+	return nil
+}
+
+// parityDriver runs one proxy (per-event or batch) through a scripted
+// scenario.
+type parityDriver struct {
+	sched   *simtime.Virtual
+	proxy   *Proxy
+	setFail func(bool)
+	ids     func() []msg.ID
+}
+
+func newParityDriver(t *testing.T, cfg TopicConfig, batch bool) *parityDriver {
+	t.Helper()
+	sched := simtime.NewVirtual(t0)
+	var fwd Forwarder
+	var setFail func(bool)
+	var ids func() []msg.ID
+	if batch {
+		dev := &fakeBatchDevice{}
+		fwd, setFail, ids = dev, func(f bool) { dev.fail = f }, dev.ids
+	} else {
+		dev := &fakeDevice{}
+		fwd, setFail, ids = dev, func(f bool) { dev.fail = f }, dev.ids
+	}
+	p := New(sched, fwd)
+	if err := p.AddTopic(cfg); err != nil {
+		t.Fatalf("AddTopic: %v", err)
+	}
+	return &parityDriver{sched: sched, proxy: p, setFail: setFail, ids: ids}
+}
+
+func (d *parityDriver) note(id msg.ID, rank float64) *msg.Notification {
+	return &msg.Notification{ID: id, Topic: "t", Rank: rank, Published: d.sched.Now()}
+}
+
+// TestBatchForwarderEquivalence drives a per-event and a batch proxy
+// through the same scenario with injected link failures and asserts they
+// forward the same IDs in the same order. Before the origin-queue fix the
+// batch path re-queued failed prefetch picks into outgoing, so after
+// recovery it delivered stale picks instead of the better-ranked arrivals
+// the per-event path chooses.
+func TestBatchForwarderEquivalence(t *testing.T) {
+	script := func(d *parityDriver) {
+		// Plain deliveries up to the prefetch limit, then a read that
+		// frees the client queue.
+		d.proxy.Notify(d.note("p1", 5))
+		d.proxy.Notify(d.note("p2", 3))
+		if err := d.proxy.Read(msg.ReadRequest{Topic: "t", N: 2, QueueSize: 2}); err != nil {
+			panic(err)
+		}
+		// An outage queues two events in the prefetch stage.
+		d.proxy.SetNetwork(false)
+		d.proxy.Notify(d.note("b9", 9))
+		d.proxy.Notify(d.note("a1", 1))
+		// The link comes back but the device rejects the first
+		// transmission: the picks must return to their origin queues.
+		d.setFail(true)
+		d.proxy.SetNetwork(true)
+		// A better event arrives while the proxy considers the network
+		// down, then the device recovers.
+		d.proxy.Notify(d.note("h8", 8))
+		d.setFail(false)
+		d.proxy.SetNetwork(true)
+		// A final read drains what the prefetch limit held back.
+		if err := d.proxy.Read(msg.ReadRequest{Topic: "t", N: 4, QueueSize: 2}); err != nil {
+			panic(err)
+		}
+	}
+
+	perEvent := newParityDriver(t, BufferConfig("t", 2, 2), false)
+	batch := newParityDriver(t, BufferConfig("t", 2, 2), true)
+	script(perEvent)
+	script(batch)
+
+	got, want := batch.ids(), perEvent.ids()
+	if len(got) != len(want) {
+		t.Fatalf("batch forwarded %v, per-event forwarded %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("forwarded-ID sequences diverge at %d: batch %v, per-event %v", i, got, want)
+		}
+	}
+	sb, _ := batch.proxy.Snapshot("t")
+	se, _ := perEvent.proxy.Snapshot("t")
+	if sb.QueueSizeView != se.QueueSizeView || sb.Outgoing != se.Outgoing || sb.Prefetch != se.Prefetch {
+		t.Errorf("final state diverges: batch %+v, per-event %+v", sb, se)
+	}
+	if bs, es := batch.proxy.Stats(), perEvent.proxy.Stats(); bs.Forwards != es.Forwards {
+		t.Errorf("Forwards diverge: batch %d, per-event %d", bs.Forwards, es.Forwards)
+	}
+}
+
+// TestBatchFailureReturnsPicksToOriginQueues pins the fix directly: after
+// a failed batch, outgoing picks are back in outgoing and prefetch picks
+// back in prefetch.
+func TestBatchFailureReturnsPicksToOriginQueues(t *testing.T) {
+	d := newParityDriver(t, BufferConfig("t", 2, 2), true)
+	d.proxy.SetNetwork(false)
+	d.proxy.Notify(d.note("x", 4))
+	d.proxy.Notify(d.note("y", 6))
+	d.setFail(true)
+	d.proxy.SetNetwork(true)
+	s, _ := d.proxy.Snapshot("t")
+	if s.Outgoing != 0 || s.Prefetch != 2 {
+		t.Fatalf("failed prefetch picks promoted: outgoing=%d prefetch=%d, want 0/2", s.Outgoing, s.Prefetch)
+	}
+}
+
+// TestBatchFailureRetunedLimitRegression: a failed batch of prefetch
+// picks, a read that retunes the prefetch limit down, then recovery. The
+// pre-fix promotion to outgoing made the drain unconditional, driving the
+// client-queue view past the retuned limit.
+func TestBatchFailureRetunedLimitRegression(t *testing.T) {
+	cfg := TopicConfig{Name: "t", Policy: Buffer, ReadSize: 1, PrefetchLimit: 4, AutoPrefetchLimit: true}
+	d := newParityDriver(t, cfg, true)
+	d.proxy.SetNetwork(false)
+	for i, rank := range []float64{4, 3, 2, 1} {
+		d.proxy.Notify(d.note(msg.ID(fmt.Sprintf("e%d", i)), rank))
+	}
+	// The device rejects the recovery batch of four prefetch picks.
+	d.setFail(true)
+	d.proxy.SetNetwork(true)
+	// A read retunes the limit down to 2*mean(read sizes) = 2.
+	if err := d.proxy.Read(msg.ReadRequest{Topic: "t", N: 1, QueueSize: 0}); err != nil {
+		t.Fatal(err)
+	}
+	d.setFail(false)
+	d.proxy.SetNetwork(true)
+	s, _ := d.proxy.Snapshot("t")
+	if s.PrefetchLimit != 2 {
+		t.Fatalf("retuned prefetch limit = %d, want 2", s.PrefetchLimit)
+	}
+	if s.QueueSizeView > s.PrefetchLimit {
+		t.Fatalf("client-queue view %d exceeds prefetch limit %d after recovery", s.QueueSizeView, s.PrefetchLimit)
+	}
+}
+
+// TestBufferBatchPrefetchLimitProperty: under random arrivals, reads,
+// outages, and injected failures, the batch path must track the per-event
+// Figure 7 semantics step for step, and its opportunistic refill must
+// never grow the client-queue view past the prefetch limit. The view may
+// legitimately exceed the limit only by draining user-promoted outgoing
+// events (which the per-event path drains identically), so the absolute
+// bound is asserted whenever the outgoing queue was empty before the op.
+func TestBufferBatchPrefetchLimitProperty(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := TopicConfig{Name: "t", Policy: Buffer, ReadSize: 2, PrefetchLimit: 8, AutoPrefetchLimit: true}
+		batch := newParityDriver(t, cfg, true)
+		perEvent := newParityDriver(t, cfg, false)
+		drivers := []*parityDriver{batch, perEvent}
+		snap := func(d *parityDriver) TopicSnapshot {
+			s, _ := d.proxy.Snapshot("t")
+			return s
+		}
+		nextID := 0
+		for op := 0; op < 300; op++ {
+			before := snap(batch)
+			isRead := false
+			kind := rng.Intn(10)
+			n := 1 + rng.Intn(3)
+			rank := rng.Float64() * 10
+			hours := time.Duration(6+rng.Intn(24)) * time.Hour
+			for _, d := range drivers {
+				switch kind {
+				case 0, 1, 2, 3: // arrival
+					d.proxy.Notify(d.note(msg.ID(fmt.Sprintf("n%d", nextID)), rank))
+				case 4: // outage
+					d.proxy.SetNetwork(false)
+				case 5: // recovery
+					d.setFail(false)
+					d.proxy.SetNetwork(true)
+				case 6: // device rejects the next transmission attempt
+					d.setFail(true)
+					d.proxy.SetNetwork(true)
+					d.setFail(false)
+				case 7, 8: // user read
+					isRead = true
+					qs := snap(d).QueueSizeView
+					if err := d.proxy.Read(msg.ReadRequest{Topic: "t", N: n, QueueSize: qs}); err != nil {
+						t.Fatal(err)
+					}
+				case 9: // time passes
+					d.sched.Advance(hours)
+				}
+			}
+			if kind < 4 {
+				nextID++
+			}
+			sb, se := snap(batch), snap(perEvent)
+			if sb.QueueSizeView != se.QueueSizeView || sb.Outgoing != se.Outgoing ||
+				sb.Prefetch != se.Prefetch || sb.PrefetchLimit != se.PrefetchLimit {
+				t.Fatalf("seed %d op %d (kind %d): batch state %+v diverges from per-event %+v",
+					seed, op, kind, sb, se)
+			}
+			if !isRead && before.Outgoing == 0 && sb.QueueSizeView > sb.PrefetchLimit && sb.QueueSizeView > before.QueueSizeView {
+				t.Fatalf("seed %d op %d: batch refill grew client-queue view to %d past prefetch limit %d",
+					seed, op, sb.QueueSizeView, sb.PrefetchLimit)
+			}
+		}
+		bids, eids := batch.ids(), perEvent.ids()
+		if len(bids) != len(eids) {
+			t.Fatalf("seed %d: batch forwarded %d, per-event %d", seed, len(bids), len(eids))
+		}
+		for i := range eids {
+			if bids[i] != eids[i] {
+				t.Fatalf("seed %d: forwarded sequences diverge at %d: %v vs %v", seed, i, bids[i], eids[i])
+			}
+		}
+	}
+}
+
+// TestQuietReleaseCrossesMidnightChargesNewDay: an event held through a
+// quiet window that ends past midnight must draw on the new day's on-line
+// budget. Before the fix the cap was charged on the arrival day, so the
+// spent budget of yesterday silently demoted the release to the staging
+// path.
+func TestQuietReleaseCrossesMidnightChargesNewDay(t *testing.T) {
+	cfg := OnlineConfig("t")
+	cfg.DailyOnlineCap = 1
+	cfg.Quiet = []QuietWindow{{Start: 23 * time.Hour, End: 24 * time.Hour}}
+	f := newFixture(t, cfg)
+
+	// Noon: the day's single on-line delivery.
+	f.sched.Advance(12 * time.Hour)
+	f.proxy.Notify(f.note("a", 5, 0))
+	if got := f.dev.ids(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("day-0 delivery: %v", got)
+	}
+	// 23:30, inside the quiet window: deferred to midnight.
+	f.sched.Advance(11*time.Hour + 30*time.Minute)
+	f.proxy.Notify(f.note("b", 5, 0))
+	if len(f.dev.received) != 1 {
+		t.Fatalf("quiet arrival delivered immediately: %v", f.dev.ids())
+	}
+	// Midnight: the release crosses into a fresh budget and must be
+	// delivered on-line.
+	f.sched.Advance(30 * time.Minute)
+	if got := f.dev.ids(); len(got) != 2 || got[1] != "b" {
+		t.Fatalf("release crossing midnight not delivered on-line: %v", got)
+	}
+	// The release consumed the new day's budget: the next arrival is
+	// capped onto the staging path.
+	f.proxy.Notify(f.note("c", 5, 0))
+	if len(f.dev.received) != 2 {
+		t.Fatalf("cap not charged at release: %v", f.dev.ids())
+	}
+}
+
+// TestQuietDeferralDoesNotChargeDailyCap: an event that is deferred by a
+// quiet window and then retracted before release must not consume the
+// day's on-line budget.
+func TestQuietDeferralDoesNotChargeDailyCap(t *testing.T) {
+	cfg := OnlineConfig("t")
+	cfg.DailyOnlineCap = 1
+	cfg.RankThreshold = 2
+	cfg.Quiet = []QuietWindow{{Start: time.Hour, End: 2 * time.Hour}}
+	f := newFixture(t, cfg)
+
+	// 01:30, inside the window: "a" is deferred.
+	f.sched.Advance(90 * time.Minute)
+	f.proxy.Notify(f.note("a", 5, 0))
+	// Its rank is retracted before the window ends; it will never be
+	// delivered and must not have spent the budget.
+	f.proxy.ApplyRankUpdate(msg.RankUpdate{Topic: "t", ID: "a", NewRank: 1})
+	f.sched.Advance(time.Hour)
+	if len(f.dev.received) != 0 {
+		t.Fatalf("retracted deferral delivered: %v", f.dev.ids())
+	}
+	// 02:30: the budget must still be available.
+	f.proxy.Notify(f.note("b", 5, 0))
+	if got := f.dev.ids(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("daily budget consumed by an undelivered deferral: %v", got)
+	}
+}
+
+// TestQuietWindowWrapAroundContains covers the midnight boundary of an
+// overnight window (22:00-07:00).
+func TestQuietWindowWrapAroundContains(t *testing.T) {
+	w := QuietWindow{Start: 22 * time.Hour, End: 7 * time.Hour}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("overnight window rejected: %v", err)
+	}
+	at := func(h, m int) time.Time {
+		return time.Date(2026, 1, 15, h, m, 0, 0, time.UTC)
+	}
+	cases := []struct {
+		t    time.Time
+		in   bool
+		left time.Duration
+	}{
+		{at(21, 59), false, 0},
+		{at(22, 0), true, 9 * time.Hour},
+		{at(23, 30), true, 7*time.Hour + 30*time.Minute},
+		{at(0, 0), true, 7 * time.Hour},
+		{at(6, 59), true, time.Minute},
+		{at(7, 0), false, 0},
+		{at(12, 0), false, 0},
+	}
+	for _, c := range cases {
+		in, left := w.contains(c.t)
+		if in != c.in || left != c.left {
+			t.Errorf("contains(%v) = %v, %v; want %v, %v", c.t, in, left, c.in, c.left)
+		}
+	}
+}
+
+// TestOvernightQuietWindowDelivery exercises the wrap-around window
+// end-to-end: both legs defer, and the evening leg releases at the
+// window's end the next morning.
+func TestOvernightQuietWindowDelivery(t *testing.T) {
+	cfg := OnlineConfig("t")
+	cfg.Quiet = []QuietWindow{{Start: 22 * time.Hour, End: 7 * time.Hour}}
+	f := newFixture(t, cfg)
+
+	// t0 is midnight: inside the morning leg.
+	f.proxy.Notify(f.note("night", 5, 0))
+	if len(f.dev.received) != 0 {
+		t.Fatalf("morning-leg arrival delivered: %v", f.dev.ids())
+	}
+	f.sched.Advance(7 * time.Hour)
+	if got := f.dev.ids(); len(got) != 1 || got[0] != "night" {
+		t.Fatalf("morning-leg release: %v", got)
+	}
+	// Midday is outside the window.
+	f.sched.Advance(5 * time.Hour)
+	f.proxy.Notify(f.note("noon", 5, 0))
+	if got := f.dev.ids(); len(got) != 2 || got[1] != "noon" {
+		t.Fatalf("midday arrival not delivered: %v", got)
+	}
+	// 23:00 is the evening leg; release is 07:00 the next morning.
+	f.sched.Advance(11 * time.Hour)
+	f.proxy.Notify(f.note("late", 5, 0))
+	if len(f.dev.received) != 2 {
+		t.Fatalf("evening-leg arrival delivered: %v", f.dev.ids())
+	}
+	f.sched.Advance(7 * time.Hour) // 06:00: still quiet
+	if len(f.dev.received) != 2 {
+		t.Fatalf("released before the window ended: %v", f.dev.ids())
+	}
+	f.sched.Advance(time.Hour) // 07:00
+	if got := f.dev.ids(); len(got) != 3 || got[2] != "late" {
+		t.Fatalf("evening-leg release: %v", got)
+	}
+}

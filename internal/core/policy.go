@@ -141,16 +141,21 @@ type TopicConfig struct {
 
 // QuietWindow is a daily local-time window (offsets from midnight, in the
 // notification timestamps' location) during which an on-line topic goes
-// quiet.
+// quiet. A window with Start > End wraps around midnight: {22h, 7h} is
+// quiet from 22:00 through 07:00 the next morning.
 type QuietWindow struct {
-	// Start and End are offsets from midnight; Start must be before End
-	// and both must fall within 24 hours.
+	// Start and End are offsets from midnight, both within [0, 24h] and
+	// distinct. Start < End is a same-day window [Start, End); Start >
+	// End wraps around midnight ([Start, 24h) ∪ [0, End)).
 	Start, End time.Duration
 }
 
+// wraps reports whether the window crosses midnight.
+func (w QuietWindow) wraps() bool { return w.Start > w.End }
+
 // Validate checks the window invariants.
 func (w QuietWindow) Validate() error {
-	if w.Start < 0 || w.End > 24*time.Hour || w.Start >= w.End {
+	if w.Start < 0 || w.Start >= 24*time.Hour || w.End < 0 || w.End > 24*time.Hour || w.Start == w.End {
 		return fmt.Errorf("invalid quiet window [%v, %v)", w.Start, w.End)
 	}
 	return nil
@@ -161,6 +166,17 @@ func (w QuietWindow) Validate() error {
 func (w QuietWindow) contains(t time.Time) (bool, time.Duration) {
 	midnight := time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, t.Location())
 	off := t.Sub(midnight)
+	if w.wraps() {
+		switch {
+		case off >= w.Start:
+			// Evening leg: quiet until End tomorrow.
+			return true, 24*time.Hour - off + w.End
+		case off < w.End:
+			// Morning leg.
+			return true, w.End - off
+		}
+		return false, 0
+	}
 	if off >= w.Start && off < w.End {
 		return true, w.End - off
 	}

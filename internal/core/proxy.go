@@ -63,6 +63,11 @@ type Stats struct {
 	// content the proxy no longer holds (expired or garbage-collected) —
 	// irrecoverable losses.
 	ResumeLost int
+	// ReadConsumed counts notifications consumed by user reads, the
+	// "read" side of the §3.1 waste metric (waste = forwarded but never
+	// read). Together with Forwards and RankDropSignals it yields a live
+	// waste%: WastePct(Forwards-RankDropSignals, ReadConsumed).
+	ReadConsumed int
 }
 
 // Proxy is the last-hop proxy. It is single-threaded: every entry point
@@ -288,25 +293,48 @@ func (p *Proxy) enqueue(ts *topicState, n *msg.Notification, now time.Time) {
 		// warning on a weather topic").
 		online = true
 	}
-	if online && ts.cfg.DailyOnlineCap > 0 {
-		if day := dayIndex(now); day != ts.onlineDay {
-			ts.onlineDay, ts.onlineSent = day, 0
-		}
-		if ts.onlineSent >= ts.cfg.DailyOnlineCap {
-			online = false // the day's budget is spent
-		} else {
-			ts.onlineSent++
-		}
-	}
 	if online {
+		// Quiet windows defer before any cap accounting: an event held
+		// through the night must draw on the budget of the day it is
+		// actually delivered, not the day it arrived.
 		if quiet, rem := ts.quietRemaining(now); quiet {
 			id := n.ID
 			ts.delayed[id] = p.sched.Schedule(rem, func() { p.quietTimeout(ts, id) })
 			return
 		}
-		p.mustPush(ts.outgoing, n)
-		return
+		if ts.chargeOnlineCap(now) {
+			p.mustPush(ts.outgoing, n)
+			return
+		}
+		// The day's budget is spent: overflow onto the staging path.
 	}
+	p.enqueueStaged(ts, n, now)
+}
+
+// chargeOnlineCap charges one on-line delivery against the topic's daily
+// cap, resetting the counter on a day change. It reports false — charging
+// nothing — when the day's budget is exhausted. A topic without a cap
+// always has budget. Charging happens at push-to-outgoing time, never when
+// an event is merely deferred, so quiet-window releases account against
+// the delivery day.
+func (ts *topicState) chargeOnlineCap(now time.Time) bool {
+	if ts.cfg.DailyOnlineCap <= 0 {
+		return true
+	}
+	if day := dayIndex(now); day != ts.onlineDay {
+		ts.onlineDay, ts.onlineSent = day, 0
+	}
+	if ts.onlineSent >= ts.cfg.DailyOnlineCap {
+		return false
+	}
+	ts.onlineSent++
+	return true
+}
+
+// enqueueStaged places an event on the on-demand staging path: holding
+// when it expires before the expiration threshold, the delay stage when
+// the topic delays, and the prefetch queue otherwise.
+func (p *Proxy) enqueueStaged(ts *topicState, n *msg.Notification, now time.Time) {
 	if thr := ts.effectiveExpThreshold(); thr > 0 && !n.NeverExpires() && n.RemainingLife(now) < thr {
 		p.mustPush(ts.holding, n)
 		return
@@ -326,15 +354,23 @@ func (p *Proxy) quietTimeout(ts *topicState, id msg.ID) {
 		return
 	}
 	delete(ts.delayed, id)
+	now := p.sched.Now()
 	n, ok := ts.known[id]
-	if !ok || n.Expired(p.sched.Now()) || n.Rank < ts.cfg.RankThreshold {
+	if !ok || n.Expired(now) || n.Rank < ts.cfg.RankThreshold {
 		return
 	}
-	if quiet, rem := ts.quietRemaining(p.sched.Now()); quiet {
+	if quiet, rem := ts.quietRemaining(now); quiet {
 		ts.delayed[id] = p.sched.Schedule(rem, func() { p.quietTimeout(ts, id) })
 		return
 	}
-	p.mustPush(ts.outgoing, n)
+	// The daily cap is charged at release time: a window crossing
+	// midnight draws on the new day's budget, and overflow rides the
+	// staging path like any other capped arrival.
+	if ts.chargeOnlineCap(now) {
+		p.mustPush(ts.outgoing, n)
+	} else {
+		p.enqueueStaged(ts, n, now)
+	}
 	p.tryForwarding(ts)
 }
 
@@ -603,12 +639,14 @@ func (p *Proxy) Read(req msg.ReadRequest) error {
 	case req.Peek:
 		ts.queueSize = req.QueueSize
 	case unlimited:
+		p.stats.ReadConsumed += req.QueueSize + sent
 		ts.queueSize = 0
 	default:
 		consumed := req.N
 		if avail := req.QueueSize + sent; consumed > avail {
 			consumed = avail
 		}
+		p.stats.ReadConsumed += consumed
 		ts.queueSize = req.QueueSize - consumed
 		if ts.queueSize < 0 {
 			ts.queueSize = 0
@@ -715,7 +753,7 @@ func (p *Proxy) tryForwarding(ts *topicState) {
 		if !ok {
 			break
 		}
-		if !p.doForward(ts, ev) {
+		if !p.doForward(ts, ev, ts.outgoing) {
 			return
 		}
 	}
@@ -726,7 +764,7 @@ func (p *Proxy) tryForwarding(ts *topicState) {
 			if !ok {
 				break
 			}
-			if !p.doForward(ts, ev) {
+			if !p.doForward(ts, ev, ts.prefetch) {
 				return
 			}
 		}
@@ -736,7 +774,7 @@ func (p *Proxy) tryForwarding(ts *topicState) {
 			if !ok {
 				break
 			}
-			if !p.doForward(ts, ev) {
+			if !p.doForward(ts, ev, ts.prefetch) {
 				return
 			}
 			ts.rateTokens--
@@ -769,6 +807,9 @@ func (p *Proxy) tryForwardingBatch(ts *topicState, bf BatchForwarder) {
 			newCount++
 		}
 	}
+	// Everything past this index was picked opportunistically from the
+	// prefetch queue; on failure it must go back there, not be promoted.
+	fromOutgoing := len(batch)
 	rateSpent := 0
 	switch ts.cfg.Policy {
 	case Buffer:
@@ -798,9 +839,18 @@ func (p *Proxy) tryForwardingBatch(ts *topicState, bf BatchForwarder) {
 		return
 	}
 	if err := bf.ForwardBatch(batch); err != nil {
-		for _, ev := range batch {
-			if !ts.outgoing.Contains(ev.ID) {
-				p.mustPush(ts.outgoing, ev)
+		// Failure parity with the per-event path: every pick returns to
+		// the queue it came from. Re-queueing prefetch picks into
+		// outgoing would promote opportunistic prefetches into
+		// must-send-ASAP messages that bypass the prefetch-limit room
+		// check after reconnect.
+		for i, ev := range batch {
+			origin := ts.outgoing
+			if i >= fromOutgoing {
+				origin = ts.prefetch
+			}
+			if !origin.Contains(ev.ID) {
+				p.mustPush(origin, ev)
 			}
 		}
 		ts.rateTokens += float64(rateSpent)
@@ -819,12 +869,13 @@ func (p *Proxy) tryForwardingBatch(ts *topicState, bf BatchForwarder) {
 }
 
 // doForward pushes one event to the device, updating the proxy's view of
-// the client queue. On failure the event returns to the outgoing queue and
-// the network is considered down until the next status change.
-func (p *Proxy) doForward(ts *topicState, ev *msg.Notification) bool {
+// the client queue. On failure the event returns to the queue it was
+// picked from and the network is considered down until the next status
+// change.
+func (p *Proxy) doForward(ts *topicState, ev *msg.Notification, origin *rankedq.Queue) bool {
 	if err := p.fwd.Forward(ev); err != nil {
-		if !ts.outgoing.Contains(ev.ID) {
-			p.mustPush(ts.outgoing, ev)
+		if !origin.Contains(ev.ID) {
+			p.mustPush(origin, ev)
 		}
 		p.networkUp = false
 		return false

@@ -13,7 +13,9 @@ import (
 	"sync"
 	"time"
 
+	"lasthop/internal/metrics"
 	"lasthop/internal/msg"
+	"lasthop/internal/obs"
 	"lasthop/internal/pubsub"
 	"lasthop/internal/wire"
 )
@@ -37,10 +39,20 @@ type Config struct {
 	// OnDemand switches the devices to on-demand topics consumed with
 	// §3.5 READ requests; the default is on-line forwarding.
 	OnDemand bool `json:"onDemand"`
+	// ObsAddr, when set, serves /metrics, /healthz, and /debug/pprof for
+	// the whole topology on this address for the duration of the run.
+	ObsAddr string `json:"obsAddr,omitempty"`
+	// Linger keeps the topology (and the ObsAddr endpoint) alive this
+	// long after the last delivery, so external scrapers can observe the
+	// run's final state.
+	Linger time.Duration `json:"-"`
 	// Timeout bounds the whole run. Zero means a minute.
 	Timeout time.Duration `json:"-"`
 	// Logf receives progress diagnostics; nil silences them.
 	Logf func(string, ...any) `json:"-"`
+	// Registry receives every layer's metric families; nil creates a
+	// private one. Tests pass their own to assert on the scrape.
+	Registry *obs.Registry `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +98,13 @@ type Report struct {
 	// PublishPerSec and DeliverPerSec are the derived rates.
 	PublishPerSec float64 `json:"publishPerSec"`
 	DeliverPerSec float64 `json:"deliverPerSec"`
+
+	// Delivery latency quantiles in milliseconds, from publish timestamp
+	// to device receipt (on-line) or user read (on-demand), interpolated
+	// from an HDR-style log-bucketed histogram.
+	LatencyP50Ms float64 `json:"latencyP50Ms"`
+	LatencyP95Ms float64 `json:"latencyP95Ms"`
+	LatencyP99Ms float64 `json:"latencyP99Ms"`
 }
 
 // node is one device leg: a dedicated last-hop proxy and its device.
@@ -98,16 +117,37 @@ type node struct {
 }
 
 // Run builds the topology, publishes the configured load, waits for every
-// delivery, and reports the measured rates.
+// delivery, and reports the measured rates and latency quantiles.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	deadline := time.Now().Add(cfg.Timeout)
+
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	metrics.Register(reg)
+	wm := wire.NewMetrics(reg)
+	latency := reg.Histogram("lasthop_loadgen_delivery_latency_seconds",
+		"End-to-end delivery latency from publish to device receipt or user read.",
+		obs.LatencyBuckets())
+
+	if cfg.ObsAddr != "" {
+		srv, err := obs.Serve(cfg.ObsAddr, reg)
+		if err != nil {
+			return nil, fmt.Errorf("obs endpoint: %w", err)
+		}
+		defer func() { _ = srv.Close() }()
+		cfg.Logf("loadgen: observability on http://%s/metrics", srv.Addr())
+	}
 
 	blis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
-	bs := wire.NewBrokerServer(pubsub.NewBroker("loadgen"), nil)
+	broker := pubsub.NewBroker("loadgen")
+	broker.RegisterMetrics(reg)
+	bs := wire.NewBrokerServerOpts(broker, wire.ServerOptions{Metrics: wm})
 	go func() { _ = bs.Serve(blis) }()
 	defer bs.Close()
 	brokerAddr := blis.Addr().String()
@@ -136,9 +176,16 @@ func Run(cfg Config) (*Report, error) {
 		mode = "on-demand"
 	}
 	for i := range nodes {
-		nd, err := newNode(brokerAddr, i, topics[i%cfg.Topics], mode)
+		nd, err := newNode(brokerAddr, i, topics[i%cfg.Topics], mode, reg, wm)
 		if err != nil {
 			return nil, err
+		}
+		if !cfg.OnDemand {
+			// On-line deliveries complete at push time; on-demand ones at
+			// read time (observed in awaitDeliveries instead).
+			nd.dev.SetOnPush(func(n *msg.Notification) {
+				latency.Observe(time.Since(n.Published).Seconds())
+			})
 		}
 		nodes[i] = nd
 	}
@@ -153,7 +200,7 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}()
 	for i := range pubs {
-		pub, err := wire.DialBroker(brokerAddr, fmt.Sprintf("lg-pub-%d", i))
+		pub, err := wire.DialBrokerOpts(brokerAddr, fmt.Sprintf("lg-pub-%d", i), wire.ClientOptions{Metrics: wm})
 		if err != nil {
 			return nil, fmt.Errorf("publisher %d: %w", i, err)
 		}
@@ -227,7 +274,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 	publishElapsed := time.Since(start)
 
-	delivered, err := awaitDeliveries(nodes, cfg, deadline)
+	delivered, err := awaitDeliveries(nodes, cfg, deadline, latency)
 	deliverElapsed := time.Since(start)
 	rep := &Report{
 		Config:         cfg,
@@ -235,6 +282,9 @@ func Run(cfg Config) (*Report, error) {
 		Delivered:      delivered,
 		PublishSeconds: publishElapsed.Seconds(),
 		DeliverSeconds: deliverElapsed.Seconds(),
+		LatencyP50Ms:   latency.Quantile(0.50) * 1000,
+		LatencyP95Ms:   latency.Quantile(0.95) * 1000,
+		LatencyP99Ms:   latency.Quantile(0.99) * 1000,
 	}
 	if s := rep.PublishSeconds; s > 0 {
 		rep.PublishPerSec = float64(rep.Published) / s
@@ -242,14 +292,24 @@ func Run(cfg Config) (*Report, error) {
 	if s := rep.DeliverSeconds; s > 0 {
 		rep.DeliverPerSec = float64(rep.Delivered) / s
 	}
+	if err == nil && cfg.Linger > 0 {
+		cfg.Logf("loadgen: run complete, lingering %v for scrapers", cfg.Linger)
+		time.Sleep(cfg.Linger)
+	}
 	return rep, err
 }
 
-func newNode(brokerAddr string, i int, topic, mode string) (*node, error) {
-	ps, err := wire.NewProxyServer(brokerAddr, fmt.Sprintf("lg-proxy-%d", i), nil)
+func newNode(brokerAddr string, i int, topic, mode string, reg *obs.Registry, wm *wire.Metrics) (*node, error) {
+	name := fmt.Sprintf("lg-proxy-%d", i)
+	ps, err := wire.NewProxyServerOpts(wire.ProxyOptions{
+		BrokerAddr: brokerAddr,
+		Name:       name,
+		Metrics:    wm,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("proxy %d: %w", i, err)
 	}
+	ps.RegisterMetrics(reg, name)
 	nd := &node{proxy: ps, topic: topic}
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -258,11 +318,13 @@ func newNode(brokerAddr string, i int, topic, mode string) (*node, error) {
 	}
 	nd.plis = lis
 	go func() { _ = ps.Serve(lis) }()
-	dev, err := wire.DialProxy(lis.Addr().String(), fmt.Sprintf("lg-dev-%d", i))
+	devName := fmt.Sprintf("lg-dev-%d", i)
+	dev, err := wire.DialProxyOpts(lis.Addr().String(), devName, wire.ClientOptions{Metrics: wm})
 	if err != nil {
 		ps.Close()
 		return nil, fmt.Errorf("device %d: %w", i, err)
 	}
+	dev.RegisterMetrics(reg, devName)
 	nd.dev = dev
 	if err := dev.Subscribe(topic, wire.TopicPolicy{Mode: mode}); err != nil {
 		_ = dev.Close()
@@ -275,7 +337,7 @@ func newNode(brokerAddr string, i int, topic, mode string) (*node, error) {
 // awaitDeliveries blocks until every device holds its expected volume. For
 // on-line topics pushes arrive on their own; on-demand devices issue READ
 // requests until they have consumed everything.
-func awaitDeliveries(nodes []*node, cfg Config, deadline time.Time) (int, error) {
+func awaitDeliveries(nodes []*node, cfg Config, deadline time.Time, latency *obs.Histogram) (int, error) {
 	if cfg.OnDemand {
 		total := 0
 		for _, nd := range nodes {
@@ -287,6 +349,9 @@ func awaitDeliveries(nodes []*node, cfg Config, deadline time.Time) (int, error)
 				batch, err := nd.dev.Read(nd.topic, 0)
 				if err != nil {
 					return total + got, err
+				}
+				for _, n := range batch {
+					latency.Observe(time.Since(n.Published).Seconds())
 				}
 				got += len(batch)
 				if len(batch) == 0 {

@@ -1,6 +1,11 @@
 package loadgen
 
 import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -27,6 +32,114 @@ func TestRunOnline(t *testing.T) {
 	}
 	if rep.PublishPerSec <= 0 || rep.DeliverPerSec <= 0 {
 		t.Fatalf("rates not computed: %+v", rep)
+	}
+	if rep.LatencyP50Ms <= 0 || rep.LatencyP99Ms < rep.LatencyP50Ms {
+		t.Fatalf("latency quantiles not computed: p50=%v p95=%v p99=%v",
+			rep.LatencyP50Ms, rep.LatencyP95Ms, rep.LatencyP99Ms)
+	}
+}
+
+// TestRunObsEndpoint drives a run with the observability endpoint enabled
+// and scrapes /metrics concurrently with the traffic (run under -race this
+// doubles as the data-race check on every instrumented hot path). The
+// final scrape must carry the core per-topic families, the wire frame and
+// batch-size families, the pubsub publish counters, and the loadgen
+// latency histogram.
+func TestRunObsEndpoint(t *testing.T) {
+	cfg := Config{
+		Publishers:    2,
+		Devices:       2,
+		Topics:        2,
+		Notifications: 200,
+		PayloadBytes:  32,
+		// Fixed port so the scrapers know the address before Run binds it;
+		// they retry until it comes up.
+		ObsAddr: "127.0.0.1:17479",
+		Timeout: 30 * time.Second,
+	}
+
+	stop := make(chan struct{})
+	var swg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		swg.Add(1)
+		go func() {
+			defer swg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get("http://" + cfg.ObsAddr + "/metrics")
+				if err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					_ = resp.Body.Close()
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	cfg.Linger = 250 * time.Millisecond
+	var (
+		body string
+		lerr error
+		lwg  sync.WaitGroup
+	)
+	lwg.Add(1)
+	go func() {
+		// One scrape taken while the topology is still alive (the run
+		// lingers past the last delivery) feeds the family assertions.
+		defer lwg.Done()
+		deadline := time.Now().Add(20 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get("http://" + cfg.ObsAddr + "/metrics")
+			if err != nil {
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			b, err := io.ReadAll(resp.Body)
+			_ = resp.Body.Close()
+			if err == nil && strings.Contains(string(b), "lasthop_loadgen_delivery_latency_seconds_count") &&
+				!strings.Contains(string(b), "lasthop_loadgen_delivery_latency_seconds_count 0\n") {
+				body, lerr = string(b), nil
+				return
+			}
+			lerr = fmt.Errorf("scrape incomplete")
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	rep, err := Run(cfg)
+	close(stop)
+	swg.Wait()
+	lwg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delivered == 0 {
+		t.Fatalf("nothing delivered: %+v", rep)
+	}
+	if lerr != nil || body == "" {
+		t.Fatalf("no complete scrape captured: %v", lerr)
+	}
+	for _, family := range []string{
+		"lasthop_core_topic_queue_depth",
+		"lasthop_core_topic_prefetch_limit",
+		"lasthop_core_forwards_total",
+		"lasthop_core_reads_total",
+		"lasthop_core_waste_pct",
+		"lasthop_core_conservation_violations_total",
+		"lasthop_pubsub_publishes_total",
+		"lasthop_pubsub_fanout_width_bucket",
+		"lasthop_pubsub_seen_ids",
+		"lasthop_wire_frames_out_total",
+		"lasthop_wire_batch_size_bucket",
+		"lasthop_wire_flush_frames_bucket",
+		"lasthop_loadgen_delivery_latency_seconds_bucket",
+	} {
+		if !strings.Contains(body, family) {
+			t.Errorf("scrape missing family %s", family)
+		}
 	}
 }
 

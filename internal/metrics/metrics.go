@@ -9,20 +9,66 @@ package metrics
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"lasthop/internal/msg"
 )
 
+// ConservationError reports a waste computation whose inputs violate the
+// Read <= Forwarded identity: the user cannot have read more than was
+// transferred, so the caller's accounting is corrupt.
+type ConservationError struct {
+	Forwarded, Read int
+}
+
+// Error implements error.
+func (e *ConservationError) Error() string {
+	return fmt.Sprintf("conservation violation: read %d exceeds forwarded %d", e.Read, e.Forwarded)
+}
+
+// violations counts conservation violations observed by WastePct, exported
+// to the obs layer so a live violation is visible on /metrics.
+var violations atomic.Int64
+
+// ViolationHook, when non-nil, is invoked on every conservation violation
+// WastePct observes. Tests install a panic hook to fail loudly; daemons
+// may log. It must be set before concurrent use.
+var ViolationHook func(error)
+
+// Violations returns the number of conservation violations observed by
+// WastePct since process start.
+func Violations() int64 { return violations.Load() }
+
 // WastePct returns the percentage of forwarded messages that were never
-// read. With nothing forwarded there is no waste.
+// read. With nothing forwarded there is no waste. Inputs with read >
+// forwarded violate conservation (§3.1: waste counts forwarded-but-unread
+// messages, which cannot be negative); instead of silently clamping, the
+// violation is counted, reported through ViolationHook, and the negative
+// percentage is returned so the corruption stays visible. Callers that
+// want the error itself use WastePctChecked.
 func WastePct(forwarded, read int) float64 {
+	v, err := WastePctChecked(forwarded, read)
+	if err != nil {
+		violations.Add(1)
+		if h := ViolationHook; h != nil {
+			h(err)
+		}
+	}
+	return v
+}
+
+// WastePctChecked is WastePct returning a *ConservationError when read >
+// forwarded, without touching the violation counter or hook. The returned
+// value is the unclamped (negative) percentage.
+func WastePctChecked(forwarded, read int) (float64, error) {
 	if forwarded <= 0 {
-		return 0
+		return 0, nil
 	}
+	pct := 100 * float64(forwarded-read) / float64(forwarded)
 	if read > forwarded {
-		read = forwarded
+		return pct, &ConservationError{Forwarded: forwarded, Read: read}
 	}
-	return 100 * float64(forwarded-read) / float64(forwarded)
+	return pct, nil
 }
 
 // LossPct returns the percentage of baseline-read messages the policy

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -18,13 +19,43 @@ func TestWastePct(t *testing.T) {
 		{100, 0, 100},
 		{100, 12, 88},
 		{8, 4, 50},
-		{10, 15, 0}, // read clamped to forwarded
 		{-5, 0, 0},
 	}
 	for _, tt := range tests {
 		if got := WastePct(tt.forwarded, tt.read); math.Abs(got-tt.want) > 1e-12 {
 			t.Errorf("WastePct(%d, %d) = %v, want %v", tt.forwarded, tt.read, got, tt.want)
 		}
+	}
+}
+
+func TestWastePctConservationViolation(t *testing.T) {
+	// read > forwarded violates the §3.1 identity: it must be reported,
+	// not silently clamped to zero waste.
+	before := Violations()
+	var hooked error
+	ViolationHook = func(err error) { hooked = err }
+	defer func() { ViolationHook = nil }()
+
+	if got := WastePct(10, 15); got != -50 {
+		t.Errorf("WastePct(10, 15) = %v, want unclamped -50", got)
+	}
+	if Violations() != before+1 {
+		t.Errorf("Violations = %d, want %d", Violations(), before+1)
+	}
+	var ce *ConservationError
+	if !errors.As(hooked, &ce) || ce.Forwarded != 10 || ce.Read != 15 {
+		t.Errorf("hook error = %v, want ConservationError{10, 15}", hooked)
+	}
+
+	if v, err := WastePctChecked(10, 15); err == nil || v != -50 {
+		t.Errorf("WastePctChecked(10, 15) = %v, %v; want -50 and error", v, err)
+	}
+	if v, err := WastePctChecked(10, 5); err != nil || v != 50 {
+		t.Errorf("WastePctChecked(10, 5) = %v, %v; want 50 and nil", v, err)
+	}
+	// Checked never touches the counter.
+	if Violations() != before+1 {
+		t.Errorf("WastePctChecked must not count violations")
 	}
 }
 

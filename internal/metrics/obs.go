@@ -1,0 +1,15 @@
+package metrics
+
+import "lasthop/internal/obs"
+
+// Register exports the package's accounting-identity instrumentation on a
+// registry: the cumulative conservation-violation count observed by
+// WastePct. Call it once per registry (typically from the daemon or
+// loadgen that owns it).
+func Register(reg *obs.Registry) {
+	reg.SampleCounters("lasthop_core_conservation_violations_total",
+		"Waste computations whose inputs violated read <= forwarded.",
+		nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(Violations())}}
+		})
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the observability HTTP endpoint of a daemon: /metrics in
+// Prometheus text format, /healthz as a JSON liveness probe, and the full
+// net/http/pprof suite under /debug/pprof/.
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+}
+
+// Handler returns an http.Handler serving the registry as Prometheus text.
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+}
+
+// Serve starts the observability server on addr (e.g. ":6060") and returns
+// once the listener is bound, so a following scrape cannot race startup.
+// A nil registry serves health and pprof only.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, start: time.Now()}
+
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.Handle("/metrics", Handler(reg))
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":         "ok",
+			"uptime_seconds": time.Since(s.start).Seconds(),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0" in tests).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }

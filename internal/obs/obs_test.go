@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func scrape(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("lasthop_test_events_total", "Events seen.")
+	c.Add(3)
+	c.Inc()
+	g := r.GaugeVec("lasthop_test_depth", "Queue depth.", "topic", "queue").With("news", "outgoing")
+	g.Set(7)
+	g.Add(-2)
+
+	out := scrape(t, r)
+	for _, want := range []string{
+		"# TYPE lasthop_test_events_total counter",
+		"lasthop_test_events_total 4",
+		"# HELP lasthop_test_depth Queue depth.",
+		`lasthop_test_depth{topic="news",queue="outgoing"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Add(1)
+	c.Inc()
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+}
+
+func TestHistogramRenderAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lasthop_test_latency_seconds", "Latency.", []float64{0.001, 0.01, 0.1})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.0005) // first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.05) // third bucket
+	}
+	h.Observe(5) // +Inf bucket
+
+	out := scrape(t, r)
+	for _, want := range []string{
+		"# TYPE lasthop_test_latency_seconds histogram",
+		`lasthop_test_latency_seconds_bucket{le="0.001"} 90`,
+		`lasthop_test_latency_seconds_bucket{le="0.01"} 90`,
+		`lasthop_test_latency_seconds_bucket{le="0.1"} 100`,
+		`lasthop_test_latency_seconds_bucket{le="+Inf"} 101`,
+		"lasthop_test_latency_seconds_count 101",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > 0.001 {
+		t.Errorf("p50 = %v, want within first bucket (0, 0.001]", q)
+	}
+	if q := h.Quantile(0.95); q <= 0.01 || q > 0.1 {
+		t.Errorf("p95 = %v, want within third bucket (0.01, 0.1]", q)
+	}
+	// The +Inf observation is attributed to the last finite bound.
+	if q := h.Quantile(1); q != 0.1 {
+		t.Errorf("p100 = %v, want 0.1", q)
+	}
+	if got, want := h.Sum(), 90*0.0005+10*0.05+5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+	if n := len(LatencyBuckets()); n != 60 {
+		t.Fatalf("LatencyBuckets len = %d, want 60", n)
+	}
+}
+
+func TestSampledFamilies(t *testing.T) {
+	r := NewRegistry()
+	depth := 4.0
+	r.SampleGauges("lasthop_test_sampled", "Sampled depth.", []string{"topic"}, func() []Sample {
+		return []Sample{{Labels: []string{"a"}, Value: depth}}
+	})
+	// A second sampler may feed the same family.
+	r.SampleGauges("lasthop_test_sampled", "Sampled depth.", []string{"topic"}, func() []Sample {
+		return []Sample{{Labels: []string{"b"}, Value: 9}}
+	})
+	out := scrape(t, r)
+	if !strings.Contains(out, `lasthop_test_sampled{topic="a"} 4`) ||
+		!strings.Contains(out, `lasthop_test_sampled{topic="b"} 9`) {
+		t.Fatalf("sampled families missing:\n%s", out)
+	}
+	if strings.Count(out, "# TYPE lasthop_test_sampled gauge") != 1 {
+		t.Fatalf("TYPE line must appear once:\n%s", out)
+	}
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("lasthop_test_total", "x")
+	b := r.Counter("lasthop_test_total", "x")
+	if a != b {
+		t.Fatal("same name+type must return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting re-registration must panic")
+		}
+	}()
+	r.Gauge("lasthop_test_total", "x")
+}
+
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("lasthop_test_conc_total", "")
+	h := r.Histogram("lasthop_test_conc_seconds", "", ExpBuckets(0.001, 2, 10))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.005)
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_ = scrape(t, r)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lasthop_test_served_total", "").Add(2)
+	s, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer s.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "lasthop_test_served_total 2") {
+		t.Errorf("/metrics missing counter:\n%s", out)
+	}
+	if out := get("/healthz"); !strings.Contains(out, `"status":"ok"`) {
+		t.Errorf("/healthz = %s", out)
+	}
+	if out := get("/debug/pprof/cmdline"); out == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestLoggerAndLogf(t *testing.T) {
+	var b bytes.Buffer
+	l, err := NewLogger(&b, "json", "info")
+	if err != nil {
+		t.Fatalf("NewLogger: %v", err)
+	}
+	Logf(l, "wire")("dial %s attempt %d", "broker:1", 3)
+	out := b.String()
+	if !strings.Contains(out, `"component":"wire"`) || !strings.Contains(out, "dial broker:1 attempt 3") {
+		t.Fatalf("log line = %s", out)
+	}
+	if _, err := NewLogger(io.Discard, "xml", "info"); err == nil {
+		t.Fatal("unknown format must error")
+	}
+	if _, err := NewLogger(io.Discard, "text", "loud"); err == nil {
+		t.Fatal("unknown level must error")
+	}
+	// nil logger adapter must be callable.
+	Logf(nil, "x")("ignored %d", 1)
+}
+
+func ExampleRegistry_WriteText() {
+	r := NewRegistry()
+	r.Counter("lasthop_example_total", "An example.").Add(1)
+	var b bytes.Buffer
+	_ = r.WriteText(&b)
+	fmt.Print(b.String())
+	// Output:
+	// # HELP lasthop_example_total An example.
+	// # TYPE lasthop_example_total counter
+	// lasthop_example_total 1
+}

@@ -24,8 +24,10 @@ import (
 	"hash/maphash"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"lasthop/internal/msg"
+	"lasthop/internal/obs"
 )
 
 // Well-known errors callers can match with errors.Is.
@@ -116,6 +118,12 @@ const shardCount = 128
 type shard struct {
 	mu     sync.Mutex
 	topics map[string]*topicState
+
+	// publishes and routed count accepted ingress publishes and accepted
+	// federation routes on this stripe (atomics, incremented outside the
+	// lock; RegisterMetrics exports them per shard).
+	publishes atomic.Int64
+	routed    atomic.Int64
 }
 
 // topic returns the shard's state for a topic, creating it if absent. The
@@ -150,6 +158,12 @@ type Broker struct {
 	peers []Peer
 
 	shards [shardCount]shard
+
+	// Always-on lightweight instrumentation; RegisterMetrics exports it.
+	duplicates   atomic.Int64
+	peerForwards atomic.Int64
+	peerDrops    atomic.Int64
+	fanoutHist   atomic.Pointer[obs.Histogram]
 }
 
 var _ Peer = (*Broker)(nil)
@@ -489,11 +503,13 @@ func (b *Broker) Publish(n *msg.Notification) error {
 	}
 	if !st.seen.Add(n.ID) {
 		sh.mu.Unlock()
+		b.duplicates.Add(1)
 		return fmt.Errorf("publish: %w: %q", ErrDuplicateID, n.ID)
 	}
 	subs := st.subsList
 	peers := st.peerList
 	sh.mu.Unlock()
+	sh.publishes.Add(1)
 
 	b.fanOut(n, nil, subs, peers)
 	return nil
@@ -517,10 +533,18 @@ func (b *Broker) fanOut(n *msg.Notification, from Peer, subs []*subscription, pe
 			s.sub.Deliver(&clones[i])
 		}
 	}
+	forwards := 0
 	for _, p := range peers {
 		if p != from {
 			p.Route(n, b)
+			forwards++
 		}
+	}
+	if forwards > 0 {
+		b.peerForwards.Add(int64(forwards))
+	}
+	if h := b.fanoutHist.Load(); h != nil {
+		h.Observe(float64(len(subs) + forwards))
 	}
 }
 
@@ -534,11 +558,13 @@ func (b *Broker) Route(n *msg.Notification, from Peer) {
 	st := sh.topic(n.Topic)
 	if !st.seen.Add(n.ID) {
 		sh.mu.Unlock()
+		b.duplicates.Add(1)
 		return // already routed here (duplicate suppression)
 	}
 	subs := st.subsList
 	peers := st.peerList
 	sh.mu.Unlock()
+	sh.routed.Add(1)
 
 	b.fanOut(n, from, subs, peers)
 }

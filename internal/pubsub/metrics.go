@@ -1,0 +1,101 @@
+package pubsub
+
+import (
+	"strconv"
+
+	"lasthop/internal/obs"
+)
+
+// NotePeerDrop records a notification that could not be forwarded across
+// a federation edge (the transport adapter calls this when its send
+// fails; the in-process overlay never drops).
+func (b *Broker) NotePeerDrop() { b.peerDrops.Add(1) }
+
+// RegisterMetrics exports the broker's routing-substrate state on reg:
+// per-shard publish/route counters, duplicate suppressions, federation
+// forwards and drops, fan-out width, and seen-set occupancy. The broker
+// label distinguishes multiple brokers sharing one registry. Call once
+// per (registry, broker) pair.
+func (b *Broker) RegisterMetrics(reg *obs.Registry) {
+	b.fanoutHist.Store(reg.Histogram("lasthop_pubsub_fanout_width",
+		"Local subscribers plus federation forwards reached per routed notification.",
+		obs.SizeBuckets()))
+
+	shardCounter := func(name, help string, get func(*shard) int64) {
+		reg.SampleCounters(name, help, []string{"broker", "shard"}, func() []obs.Sample {
+			var out []obs.Sample
+			for i := range b.shards {
+				v := get(&b.shards[i])
+				if v == 0 {
+					continue // keep scrapes compact: idle stripes stay silent
+				}
+				out = append(out, obs.Sample{
+					Labels: []string{b.name, strconv.Itoa(i)},
+					Value:  float64(v),
+				})
+			}
+			return out
+		})
+	}
+	shardCounter("lasthop_pubsub_publishes_total", "Accepted ingress publishes per lock stripe.",
+		func(sh *shard) int64 { return sh.publishes.Load() })
+	shardCounter("lasthop_pubsub_routed_total", "Accepted federation routes per lock stripe.",
+		func(sh *shard) int64 { return sh.routed.Load() })
+
+	reg.SampleCounters("lasthop_pubsub_duplicates_total",
+		"Notifications suppressed by the duplicate-ID record.",
+		[]string{"broker"}, func() []obs.Sample {
+			return []obs.Sample{{Labels: []string{b.name}, Value: float64(b.duplicates.Load())}}
+		})
+	reg.SampleCounters("lasthop_pubsub_peer_forwards_total",
+		"Notifications forwarded to federation peers.",
+		[]string{"broker"}, func() []obs.Sample {
+			return []obs.Sample{{Labels: []string{b.name}, Value: float64(b.peerForwards.Load())}}
+		})
+	reg.SampleCounters("lasthop_pubsub_peer_forward_drops_total",
+		"Notifications lost on a federation edge whose transport send failed.",
+		[]string{"broker"}, func() []obs.Sample {
+			return []obs.Sample{{Labels: []string{b.name}, Value: float64(b.peerDrops.Load())}}
+		})
+
+	reg.SampleGauges("lasthop_pubsub_seen_ids",
+		"Duplicate-suppression set occupancy across all topics.",
+		[]string{"broker"}, func() []obs.Sample {
+			var total int
+			for i := range b.shards {
+				sh := &b.shards[i]
+				sh.mu.Lock()
+				for _, st := range sh.topics {
+					total += st.seen.Len()
+				}
+				sh.mu.Unlock()
+			}
+			return []obs.Sample{{Labels: []string{b.name}, Value: float64(total)}}
+		})
+	reg.SampleGauges("lasthop_pubsub_topics",
+		"Topics with local routing state.",
+		[]string{"broker"}, func() []obs.Sample {
+			var total int
+			for i := range b.shards {
+				sh := &b.shards[i]
+				sh.mu.Lock()
+				total += len(sh.topics)
+				sh.mu.Unlock()
+			}
+			return []obs.Sample{{Labels: []string{b.name}, Value: float64(total)}}
+		})
+	reg.SampleGauges("lasthop_pubsub_subscribers",
+		"Local subscriptions across all topics.",
+		[]string{"broker"}, func() []obs.Sample {
+			var total int
+			for i := range b.shards {
+				sh := &b.shards[i]
+				sh.mu.Lock()
+				for _, st := range sh.topics {
+					total += len(st.subs)
+				}
+				sh.mu.Unlock()
+			}
+			return []obs.Sample{{Labels: []string{b.name}, Value: float64(total)}}
+		})
+}

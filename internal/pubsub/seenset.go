@@ -118,6 +118,9 @@ func (s *seenSet) Add(id msg.ID) bool {
 	return true
 }
 
+// Len returns the number of distinct IDs recorded.
+func (s *seenSet) Len() int { return s.n + len(s.spill) }
+
 func (s *seenSet) spillAdd(id msg.ID) bool {
 	if s.spill == nil {
 		s.spill = make(msg.IDSet)

@@ -23,6 +23,9 @@ type ServerOptions struct {
 	WriteTimeout time.Duration
 	// Logf receives diagnostics; nil silences them.
 	Logf func(string, ...any)
+	// Metrics aggregates wire-level instrumentation across all accepted
+	// connections; nil disables it.
+	Metrics *Metrics
 }
 
 // BrokerServer exposes a pubsub.Broker over TCP. Each connection may
@@ -73,6 +76,7 @@ func (s *BrokerServer) Serve(lis net.Listener) error {
 		}
 		conn := NewConn(c)
 		conn.SetTimeouts(s.opts.ReadTimeout, s.opts.WriteTimeout)
+		conn.SetMetrics(s.opts.Metrics)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -160,7 +164,7 @@ func (s *BrokerServer) handle(conn *Conn) {
 			// The connection is a federating broker, not a client:
 			// attach it as an overlay edge and switch to peer framing
 			// for the rest of its life.
-			edge := &peerEdge{conn: conn, logf: s.logf}
+			edge := &peerEdge{conn: conn, logf: s.logf, drop: s.broker.NotePeerDrop}
 			if err := s.broker.AttachPeer(edge); err != nil {
 				s.logf("broker: attach peer %s: %v", conn.RemoteAddr(), err)
 				return
@@ -349,7 +353,12 @@ func (c *BrokerClient) run(conn *Conn) {
 	defer close(c.exited)
 	for {
 		stopHB := startPinger(c.opts.HeartbeatInterval, func() error {
-			return c.call(&Frame{Type: TypePing})
+			start := time.Now()
+			err := c.call(&Frame{Type: TypePing})
+			if err == nil && c.opts.Metrics != nil {
+				c.opts.Metrics.HeartbeatRTT.Observe(time.Since(start).Seconds())
+			}
+			return err
 		})
 		err := c.readFrames(conn)
 		stopHB()
@@ -376,6 +385,9 @@ func (c *BrokerClient) run(conn *Conn) {
 		c.smu.Lock()
 		c.reconnects++
 		c.smu.Unlock()
+		if c.opts.Metrics != nil {
+			c.opts.Metrics.Reconnects.Inc()
+		}
 		c.opts.Logf("wire: broker client %q: session resumed", c.name)
 		conn = next
 	}

@@ -44,6 +44,9 @@ type ClientOptions struct {
 	DialTimeout time.Duration
 	// Logf receives reconnection diagnostics; nil silences them.
 	Logf func(string, ...any)
+	// Metrics aggregates wire-level instrumentation (frames, bytes, flush
+	// coalescing, heartbeat RTT, reconnects); nil disables it.
+	Metrics *Metrics
 }
 
 // withDefaults resolves the derived settings.
@@ -68,6 +71,7 @@ func dialConn(addr string, opts ClientOptions) (*Conn, error) {
 	}
 	conn := NewConn(nc)
 	conn.SetTimeouts(opts.ReadTimeout, opts.WriteTimeout)
+	conn.SetMetrics(opts.Metrics)
 	return conn, nil
 }
 

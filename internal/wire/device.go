@@ -39,6 +39,7 @@ type DeviceClient struct {
 	updates    int
 	drops      int
 	reconnects int
+	onPush     func(*msg.Notification)
 }
 
 // DialProxy connects and identifies to a proxy server with default
@@ -98,12 +99,12 @@ func (d *DeviceClient) handshake(conn *Conn) error {
 		switch f.Type {
 		case TypePush:
 			if f.Notification != nil {
-				d.store(f.Notification)
+				d.storeAndNotify(f.Notification)
 			}
 		case TypePushBatch:
 			for _, n := range f.Batch {
 				if n != nil {
-					d.store(n)
+					d.storeAndNotify(n)
 				}
 			}
 		}
@@ -151,7 +152,12 @@ func (d *DeviceClient) run(conn *Conn) {
 	defer close(d.exited)
 	for {
 		stopHB := startPinger(d.opts.HeartbeatInterval, func() error {
-			return d.call(&Frame{Type: TypePing})
+			start := time.Now()
+			err := d.call(&Frame{Type: TypePing})
+			if err == nil && d.opts.Metrics != nil {
+				d.opts.Metrics.HeartbeatRTT.Observe(time.Since(start).Seconds())
+			}
+			return err
 		})
 		err := d.readFrames(conn)
 		stopHB()
@@ -178,6 +184,9 @@ func (d *DeviceClient) run(conn *Conn) {
 		d.smu.Lock()
 		d.reconnects++
 		d.smu.Unlock()
+		if d.opts.Metrics != nil {
+			d.opts.Metrics.Reconnects.Inc()
+		}
 		d.opts.Logf("wire: device %q: session resumed", d.name)
 		conn = next
 	}
@@ -193,12 +202,12 @@ func (d *DeviceClient) readFrames(conn *Conn) error {
 		switch f.Type {
 		case TypePush:
 			if f.Notification != nil {
-				d.store(f.Notification)
+				d.storeAndNotify(f.Notification)
 			}
 		case TypePushBatch:
 			for _, n := range f.Batch {
 				if n != nil {
-					d.store(n)
+					d.storeAndNotify(n)
 				}
 			}
 		case TypePing:
@@ -239,8 +248,10 @@ func (d *DeviceClient) callRetry(mk func() *Frame) error {
 
 // store applies one pushed notification to the local queue with the same
 // semantics as the simulated device: duplicates are rank revisions, and a
-// revision below the topic threshold discards the local copy.
-func (d *DeviceClient) store(n *msg.Notification) {
+// revision below the topic threshold discards the local copy. It reports
+// whether the notification was a first-time delivery (not a revision of
+// something already held or consumed).
+func (d *DeviceClient) store(n *msg.Notification) bool {
 	d.smu.Lock()
 	defer d.smu.Unlock()
 	q, ok := d.queues[n.Topic]
@@ -251,24 +262,46 @@ func (d *DeviceClient) store(n *msg.Notification) {
 	}
 	if d.read[n.Topic].Contains(n.ID) {
 		d.updates++
-		return
+		return false
 	}
 	if q.Contains(n.ID) {
 		d.updates++
 		if n.Rank < d.thresholds[n.Topic] {
 			q.Remove(n.ID)
 			d.drops++
-			return
+			return false
 		}
 		q.UpdateRank(n.ID, n.Rank)
-		return
+		return false
 	}
 	if n.Expired(time.Now()) || n.Rank < d.thresholds[n.Topic] {
 		d.received++
-		return
+		return true
 	}
 	d.received++
 	_ = q.Push(n)
+	return true
+}
+
+// storeAndNotify stores a pushed notification and, when it was a
+// first-time delivery, invokes the OnPush observer outside the state lock.
+func (d *DeviceClient) storeAndNotify(n *msg.Notification) {
+	fresh := d.store(n)
+	d.smu.Lock()
+	cb := d.onPush
+	d.smu.Unlock()
+	if fresh && cb != nil {
+		cb(n)
+	}
+}
+
+// SetOnPush installs an observer invoked once per first-time delivery
+// (rank revisions and resume replays of consumed IDs are filtered out).
+// The callback runs on the connection's read goroutine; keep it cheap.
+func (d *DeviceClient) SetOnPush(fn func(*msg.Notification)) {
+	d.smu.Lock()
+	d.onPush = fn
+	d.smu.Unlock()
 }
 
 // Subscribe registers a topic on the proxy with the given policy.
@@ -437,4 +470,16 @@ func (d *DeviceClient) Reconnects() int {
 	d.smu.Lock()
 	defer d.smu.Unlock()
 	return d.reconnects
+}
+
+// Topics lists the topics with local state, sorted.
+func (d *DeviceClient) Topics() []string {
+	d.smu.Lock()
+	topics := make([]string, 0, len(d.queues))
+	for t := range d.queues {
+		topics = append(topics, t)
+	}
+	d.smu.Unlock()
+	sort.Strings(topics)
+	return topics
 }

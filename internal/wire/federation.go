@@ -31,6 +31,9 @@ const (
 type peerEdge struct {
 	conn *Conn
 	logf func(string, ...any)
+	// drop records a frame lost on this edge (nil disables); wired to the
+	// owning broker's peer-forward-drop counter.
+	drop func()
 }
 
 var _ pubsub.Peer = (*peerEdge)(nil)
@@ -38,6 +41,9 @@ var _ pubsub.Peer = (*peerEdge)(nil)
 func (e *peerEdge) send(f *Frame) {
 	if err := e.conn.Send(f); err != nil {
 		e.logf("federation: send %s: %v", f.Type, err)
+		if e.drop != nil {
+			e.drop()
+		}
 	}
 }
 
@@ -154,7 +160,7 @@ func (f *Federation) connect() (*Conn, *peerEdge, error) {
 		_ = conn.Close()
 		return nil, nil, fmt.Errorf("federate: %w", err)
 	}
-	edge := &peerEdge{conn: conn, logf: f.opts.Logf}
+	edge := &peerEdge{conn: conn, logf: f.opts.Logf, drop: f.local.NotePeerDrop}
 	if err := f.local.AttachPeer(edge); err != nil {
 		_ = conn.Close()
 		return nil, nil, fmt.Errorf("federate: %w", err)

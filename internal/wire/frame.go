@@ -194,6 +194,14 @@ type Conn struct {
 	seq  uint64
 	werr error // first write/flush failure; latched
 
+	// m aggregates wire metrics; nil disables instrumentation.
+	// pendingFrames and firstBuffered (wmu-guarded) track how many frames
+	// accumulated since the last flush and when the burst started, feeding
+	// the flush-coalescing histograms.
+	m             *Metrics
+	pendingFrames int
+	firstBuffered time.Time
+
 	flushC    chan struct{} // kicks the flusher; capacity 1
 	done      chan struct{} // closed by Close; stops the flusher
 	closeOnce sync.Once
@@ -241,6 +249,11 @@ func (c *Conn) flushLoop() {
 
 // flushLocked drains the write buffer to the socket; wmu must be held.
 func (c *Conn) flushLocked() {
+	if c.m != nil && c.pendingFrames > 0 {
+		c.m.FlushFrames.Observe(float64(c.pendingFrames))
+		c.m.FlushCoalesce.Observe(time.Since(c.firstBuffered).Seconds())
+		c.pendingFrames = 0
+	}
 	if c.werr != nil || c.bw.Buffered() == 0 {
 		return
 	}
@@ -267,6 +280,10 @@ func (c *Conn) SetTimeouts(read, write time.Duration) {
 	c.readTimeout = read
 	c.writeTimeout = write
 }
+
+// SetMetrics attaches a wire metrics set; nil leaves the connection
+// uninstrumented. Call before the connection is shared between goroutines.
+func (c *Conn) SetMetrics(m *Metrics) { c.m = m }
 
 // closeFlushTimeout bounds the best-effort drain of buffered frames during
 // Close; a peer that stopped reading cannot stall teardown longer.
@@ -361,11 +378,20 @@ func (c *Conn) writeLocked(f *Frame) error {
 	if c.writeTimeout > 0 && c.bw.Available() < len(b) {
 		_ = c.c.SetWriteDeadline(time.Now().Add(c.writeTimeout))
 	}
+	n := len(b)
 	_, err = c.bw.Write(b)
 	encBufPool.Put(eb)
 	if err != nil {
 		c.werr = err
 		return err
+	}
+	if c.m != nil {
+		c.m.FramesOut.Inc()
+		c.m.BytesOut.Add(int64(n))
+		if c.pendingFrames == 0 {
+			c.firstBuffered = time.Now()
+		}
+		c.pendingFrames++
 	}
 	return nil
 }
@@ -384,6 +410,10 @@ func (c *Conn) Recv() (*Frame, error) {
 	var f Frame
 	if err := json.Unmarshal(c.r.Bytes(), &f); err != nil {
 		return nil, fmt.Errorf("bad frame: %w", err)
+	}
+	if c.m != nil {
+		c.m.FramesIn.Inc()
+		c.m.BytesIn.Add(int64(len(c.r.Bytes())))
 	}
 	return &f, nil
 }

@@ -76,6 +76,10 @@ type ProxyOptions struct {
 	DeviceWriteTimeout time.Duration
 	// Logf receives diagnostics; nil silences them.
 	Logf func(string, ...any)
+	// Metrics aggregates wire-level instrumentation for device
+	// connections; it also propagates to the upstream client unless
+	// Upstream.Metrics is set explicitly. Nil disables it.
+	Metrics *Metrics
 }
 
 // DeviceSession is the per-device state a proxy retains across
@@ -145,6 +149,9 @@ func NewProxyServerOpts(opts ProxyOptions) (*ProxyServer, error) {
 	}
 	if opts.Upstream.Logf == nil {
 		opts.Upstream.Logf = logf
+	}
+	if opts.Upstream.Metrics == nil {
+		opts.Upstream.Metrics = opts.Metrics
 	}
 	ps := &ProxyServer{
 		name:     opts.Name,
@@ -269,6 +276,9 @@ func sendBatch(dev *Conn, batch []*msg.Notification) error {
 	if len(batch) == 0 {
 		return nil
 	}
+	if dev.m != nil {
+		dev.m.BatchSize.Observe(float64(len(batch)))
+	}
 	if len(batch) == 1 {
 		return sendPush(dev, batch[0])
 	}
@@ -300,6 +310,7 @@ func (ps *ProxyServer) Serve(lis net.Listener) error {
 		}
 		conn := NewConn(c)
 		conn.SetTimeouts(ps.opts.DeviceReadTimeout, ps.opts.DeviceWriteTimeout)
+		conn.SetMetrics(ps.opts.Metrics)
 		ps.mu.Lock()
 		if ps.closed {
 			ps.mu.Unlock()
@@ -458,6 +469,9 @@ func (ps *ProxyServer) resumeTopic(conn *Conn, f *Frame) error {
 		}
 	}
 	ps.mu.Unlock()
+	if ps.opts.Metrics != nil {
+		ps.opts.Metrics.ResumeReconciliations.Inc()
+	}
 	return nil
 }
 
@@ -557,6 +571,25 @@ func (ps *ProxyServer) Stats() core.Stats {
 	var st core.Stats
 	ps.sched.Run(func() { st = ps.proxy.Stats() })
 	return st
+}
+
+// Snapshots returns every topic's snapshot plus the core counters in one
+// scheduler round trip; metrics scrapes use it to avoid one round trip
+// per exported family.
+func (ps *ProxyServer) Snapshots() ([]core.TopicSnapshot, core.Stats) {
+	var (
+		snaps []core.TopicSnapshot
+		st    core.Stats
+	)
+	ps.sched.Run(func() {
+		for _, t := range ps.proxy.Topics() {
+			if snap, ok := ps.proxy.Snapshot(t); ok {
+				snaps = append(snaps, snap)
+			}
+		}
+		st = ps.proxy.Stats()
+	})
+	return snaps, st
 }
 
 // ToConfig maps the wire policy onto a core topic configuration. An empty

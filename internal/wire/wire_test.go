@@ -648,7 +648,14 @@ func TestTopicPolicyToConfig(t *testing.T) {
 		cfg.Quiet[0].Start != 9*time.Hour || cfg.Quiet[0].End != 10*time.Hour {
 		t.Errorf("hybrid delivery mapping: %+v", cfg)
 	}
-	if _, err := (TopicPolicy{QuietWindows: []QuietWindowSpec{{StartMinutes: 600, EndMinutes: 540}}}).ToConfig("t"); err == nil {
-		t.Error("inverted quiet window accepted")
+	// Start > End wraps around midnight and is valid (e.g. 22:00-07:00).
+	cfg, err = (TopicPolicy{QuietWindows: []QuietWindowSpec{{StartMinutes: 1320, EndMinutes: 420}}}).ToConfig("t")
+	if err != nil {
+		t.Errorf("overnight quiet window rejected: %v", err)
+	} else if cfg.Quiet[0].Start != 22*time.Hour || cfg.Quiet[0].End != 7*time.Hour {
+		t.Errorf("overnight quiet window mapping: %+v", cfg.Quiet)
+	}
+	if _, err := (TopicPolicy{QuietWindows: []QuietWindowSpec{{StartMinutes: 600, EndMinutes: 600}}}).ToConfig("t"); err == nil {
+		t.Error("empty quiet window accepted")
 	}
 }

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Scrape /metrics from a live loadgen topology and fail on missing metric
+# families — the end-to-end check that every layer's instrumentation
+# (core queues and tuners, pubsub routing, wire framing, loadgen latency)
+# is actually wired through to the exposition endpoint.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${OBS_ADDR:-127.0.0.1:19478}"
+OUT="$(mktemp)"
+SCRAPE="$(mktemp)"
+trap 'rm -f "$OUT" "$SCRAPE"' EXIT
+
+go run ./cmd/lasthop-loadgen -publishers 2 -devices 2 -n 500 \
+  -obs-addr "$ADDR" -linger 10s -q -out "$OUT" &
+LG=$!
+
+# Poll until a scrape shows completed deliveries (the run lingers after
+# the last one, so the endpoint stays up long enough to capture it).
+ok=0
+for _ in $(seq 1 150); do
+  if curl -fsS "http://$ADDR/metrics" -o "$SCRAPE" 2>/dev/null &&
+     grep -q 'lasthop_loadgen_delivery_latency_seconds_count' "$SCRAPE" &&
+     ! grep -q '^lasthop_loadgen_delivery_latency_seconds_count 0$' "$SCRAPE"; then
+    ok=1
+    break
+  fi
+  sleep 0.2
+done
+wait "$LG"
+if [ "$ok" != 1 ]; then
+  echo "check_metrics: never captured a complete scrape from $ADDR" >&2
+  exit 1
+fi
+
+required="
+lasthop_core_topic_queue_depth
+lasthop_core_topic_prefetch_limit
+lasthop_core_forwards_total
+lasthop_core_reads_total
+lasthop_core_waste_pct
+lasthop_core_conservation_violations_total
+lasthop_pubsub_publishes_total
+lasthop_pubsub_fanout_width_bucket
+lasthop_pubsub_seen_ids
+lasthop_wire_frames_out_total
+lasthop_wire_batch_size_bucket
+lasthop_wire_flush_frames_bucket
+lasthop_loadgen_delivery_latency_seconds_bucket
+"
+missing=0
+for fam in $required; do
+  if ! grep -q "$fam" "$SCRAPE"; then
+    echo "check_metrics: missing family $fam" >&2
+    missing=1
+  fi
+done
+[ "$missing" = 0 ]
+echo "check_metrics: all required families present; loadgen report:"
+cat "$OUT"
