@@ -17,6 +17,7 @@ import (
 	"lasthop/internal/obs"
 	"lasthop/internal/pubsub"
 	"lasthop/internal/retry"
+	"lasthop/internal/trace"
 	"lasthop/internal/wire"
 )
 
@@ -40,9 +41,11 @@ func run() error {
 		readTO      = flag.Duration("read-timeout", 0, "max silence tolerated on a client connection (0 = unlimited)")
 		writeTO     = flag.Duration("write-timeout", 10*time.Second, "max time for one client write (0 = unlimited)")
 
-		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty = disabled)")
-		logFormat = flag.String("log-format", "text", "log output format: text or json")
-		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		obsAddr     = flag.String("obs-addr", "", "serve /metrics, /healthz, /debug/pprof, and /debug/traces on this address (empty = disabled)")
+		traceSample = flag.Float64("trace-sample", 0, "head-sample this fraction of accepted publishes into end-to-end traces (0 = anomalies only)")
+		traceRing   = flag.Int("trace-ring", 0, "completed traces retained for /debug/traces (0 = default)")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	)
 	flag.Parse()
 
@@ -56,8 +59,12 @@ func run() error {
 	reg := obs.NewRegistry()
 	wm := wire.NewMetrics(reg)
 	broker.RegisterMetrics(reg)
+	collector := trace.NewCollector(*name, trace.NewSampler(*traceSample), *traceRing)
+	collector.RegisterMetrics(reg)
+	broker.SetTracer(collector)
 	if *obsAddr != "" {
-		srv, err := obs.Serve(*obsAddr, reg)
+		srv, err := obs.Serve(*obsAddr, reg,
+			obs.Route{Pattern: "/debug/traces", Handler: collector.Handler()})
 		if err != nil {
 			return err
 		}

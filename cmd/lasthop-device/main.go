@@ -15,6 +15,7 @@ import (
 
 	"lasthop/internal/obs"
 	"lasthop/internal/retry"
+	"lasthop/internal/trace"
 	"lasthop/internal/wire"
 )
 
@@ -43,7 +44,8 @@ func run() error {
 		heartbeat   = flag.Duration("heartbeat", 5*time.Second, "proxy heartbeat interval (0 = disabled)")
 		writeTO     = flag.Duration("write-timeout", 10*time.Second, "max time for one write to the proxy (0 = unlimited)")
 
-		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty = disabled)")
+		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /healthz, /debug/pprof, and /debug/traces on this address (empty = disabled)")
+		traceRing = flag.Int("trace-ring", 0, "completed traces retained for /debug/traces (0 = default; the device never mints contexts, it records receive/read events against contexts minted upstream)")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	)
@@ -57,8 +59,11 @@ func run() error {
 
 	reg := obs.NewRegistry()
 	wm := wire.NewMetrics(reg)
+	collector := trace.NewCollector(*name, nil, *traceRing)
+	collector.RegisterMetrics(reg)
 	if *obsAddr != "" {
-		srv, err := obs.Serve(*obsAddr, reg)
+		srv, err := obs.Serve(*obsAddr, reg,
+			obs.Route{Pattern: "/debug/traces", Handler: collector.Handler()})
 		if err != nil {
 			return err
 		}
@@ -73,6 +78,7 @@ func run() error {
 		WriteTimeout:      *writeTO,
 		Logf:              logf,
 		Metrics:           wm,
+		Trace:             collector,
 	})
 	if err != nil {
 		return err

@@ -39,8 +39,11 @@ func run() error {
 		timeout    = flag.Duration("timeout", time.Minute, "abort the run after this long")
 		out        = flag.String("out", "", "write the JSON report here (default stdout)")
 		quiet      = flag.Bool("q", false, "suppress progress logging")
-		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /healthz, and /debug/pprof for the whole topology (empty = disabled)")
+		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /healthz, /debug/pprof, and /debug/traces for the whole topology (empty = disabled)")
 		linger     = flag.Duration("linger", 0, "keep the topology and obs endpoint alive this long after the run")
+
+		traceSample = flag.Float64("trace-sample", 0, "head-sample this fraction of notifications into end-to-end traces (0 = disabled)")
+		traceOut    = flag.String("trace-out", "", "write the completed traces as JSONL here (for lasthop-trace; requires -trace-sample > 0)")
 	)
 	flag.Parse()
 
@@ -59,9 +62,24 @@ func run() error {
 		Linger:        *linger,
 		Timeout:       *timeout,
 		Logf:          logf,
+		TraceSample:   *traceSample,
 	})
 	if err != nil {
 		return err
+	}
+	if *traceOut != "" && rep.Collector != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.Collector.WriteJSONL(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		logf("loadgen: trace dump written to %s", *traceOut)
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"lasthop/internal/metrics"
 	"lasthop/internal/obs"
 	"lasthop/internal/retry"
+	"lasthop/internal/trace"
 	"lasthop/internal/wire"
 )
 
@@ -43,9 +44,11 @@ func run() error {
 		devWriteTO   = flag.Duration("device-write-timeout", 10*time.Second, "max time for one write to the device (0 = unlimited)")
 		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "max time for one write to the broker (0 = unlimited)")
 
-		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty = disabled)")
-		logFormat = flag.String("log-format", "text", "log output format: text or json")
-		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		obsAddr     = flag.String("obs-addr", "", "serve /metrics, /healthz, /debug/pprof, and /debug/traces on this address (empty = disabled)")
+		traceSample = flag.Float64("trace-sample", 0, "head-sample this fraction of locally published traffic (the proxy mostly records events against contexts minted upstream; anomalies are always traced)")
+		traceRing   = flag.Int("trace-ring", 0, "completed traces retained for /debug/traces (0 = default)")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	)
 	flag.Parse()
 
@@ -58,6 +61,8 @@ func run() error {
 	reg := obs.NewRegistry()
 	wm := wire.NewMetrics(reg)
 	metrics.Register(reg)
+	collector := trace.NewCollector(*name, trace.NewSampler(*traceSample), *traceRing)
+	collector.RegisterMetrics(reg)
 
 	srv, err := wire.NewProxyServerOpts(wire.ProxyOptions{
 		BrokerAddr:  *broker,
@@ -73,6 +78,7 @@ func run() error {
 		DeviceWriteTimeout: *devWriteTO,
 		Logf:               logf,
 		Metrics:            wm,
+		Trace:              collector,
 	})
 	if err != nil {
 		return err
@@ -80,7 +86,8 @@ func run() error {
 	defer srv.Close()
 	srv.RegisterMetrics(reg, *name)
 	if *obsAddr != "" {
-		osrv, err := obs.Serve(*obsAddr, reg)
+		osrv, err := obs.Serve(*obsAddr, reg,
+			obs.Route{Pattern: "/debug/traces", Handler: collector.Handler()})
 		if err != nil {
 			return err
 		}

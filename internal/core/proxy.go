@@ -9,6 +9,7 @@ import (
 	"lasthop/internal/rankedq"
 	"lasthop/internal/simtime"
 	"lasthop/internal/stats"
+	"lasthop/internal/trace"
 )
 
 // Forwarder is the proxy's downstream: it pushes one notification across
@@ -80,6 +81,11 @@ type Proxy struct {
 	networkUp bool
 	topics    map[string]*topicState
 	stats     Stats
+
+	// tracer receives per-notification queue-decision events (enqueue,
+	// forward, expire, drop, tune) when set. Nil — the default — keeps
+	// every handler free of tracing work beyond one pointer comparison.
+	tracer trace.Tracer
 }
 
 // topicState carries Figure 7's per-topic variables.
@@ -232,6 +238,67 @@ func (p *Proxy) SetNetwork(up bool) {
 // Stats returns a copy of the cumulative accounting.
 func (p *Proxy) Stats() Stats { return p.stats }
 
+// SetTracer installs (or, with nil, removes) the tracer that receives
+// per-notification queue-decision events. Like every other entry point it
+// must be invoked through the owning scheduler.
+func (p *Proxy) SetTracer(tr trace.Tracer) { p.tracer = tr }
+
+// traceEvent stamps the scheduler clock onto the event and records it.
+// Callers check p.tracer != nil first so the disabled path constructs no
+// Event at all.
+func (p *Proxy) traceEvent(e trace.Event) {
+	e.At = p.sched.Now()
+	p.tracer.Record(e)
+}
+
+// noteEvent builds the notification-scoped fields of a trace event.
+func noteEvent(kind trace.Kind, n *msg.Notification) trace.Event {
+	e := trace.Event{Kind: kind, Topic: n.Topic, ID: n.ID, Rank: n.Rank}
+	if n.Trace != nil {
+		e.TraceID = n.Trace.TraceID
+	}
+	return e
+}
+
+// traceDecision records a queue decision with the tuner values in effect
+// (prefetch limit and expiration threshold), so a later waste or loss can
+// be attributed to the exact policy state that produced it.
+func (p *Proxy) traceDecision(kind trace.Kind, ts *topicState, n *msg.Notification, queue, cause string) {
+	if p.tracer == nil {
+		return
+	}
+	e := noteEvent(kind, n)
+	e.Queue = queue
+	e.Cause = cause
+	e.Limit = ts.prefetchLimit
+	e.ThresholdS = ts.effectiveExpThreshold().Seconds()
+	p.traceEvent(e)
+}
+
+// joinCause composes an upstream decision cause with a local one.
+func joinCause(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	}
+	return a + "; " + b
+}
+
+// queueLabel names the queue a forward was picked from.
+func queueLabel(ts *topicState, q *rankedq.Queue) string {
+	switch q {
+	case ts.outgoing:
+		return "outgoing"
+	case ts.prefetch:
+		return "prefetch"
+	case ts.holding:
+		return "holding"
+	}
+	return ""
+}
+
 // Notify is Figure 7's NOTIFICATION handler: a new event (or a rank
 // revision re-arriving under a known ID) enters the proxy.
 func (p *Proxy) Notify(n *msg.Notification) {
@@ -249,6 +316,12 @@ func (p *Proxy) Notify(n *msg.Notification) {
 	}
 	if n.Expired(now) {
 		p.stats.Rejected++
+		if p.tracer != nil {
+			e := noteEvent(trace.KindExpire, n)
+			e.Queue = "ingress"
+			e.Cause = "already expired on arrival at the proxy"
+			p.traceEvent(e)
+		}
 		return
 	}
 
@@ -266,6 +339,12 @@ func (p *Proxy) Notify(n *msg.Notification) {
 
 	if n.Rank < ts.cfg.RankThreshold {
 		p.stats.Rejected++
+		if p.tracer != nil {
+			e := noteEvent(trace.KindDrop, n)
+			e.Queue = "ingress"
+			e.Cause = "rank below the subscription threshold at arrival"
+			p.traceEvent(e)
+		}
 		p.recomputeDelay(ts)
 		return
 	}
@@ -298,17 +377,27 @@ func (p *Proxy) enqueue(ts *topicState, n *msg.Notification, now time.Time) {
 		// through the night must draw on the budget of the day it is
 		// actually delivered, not the day it arrived.
 		if quiet, rem := ts.quietRemaining(now); quiet {
+			if p.tracer != nil {
+				e := noteEvent(trace.KindEnqueue, n)
+				e.Queue = "delayed"
+				e.Cause = "quiet-window"
+				e.DelayS = rem.Seconds()
+				p.traceEvent(e)
+			}
 			id := n.ID
 			ts.delayed[id] = p.sched.Schedule(rem, func() { p.quietTimeout(ts, id) })
 			return
 		}
 		if ts.chargeOnlineCap(now) {
+			p.traceDecision(trace.KindEnqueue, ts, n, "outgoing", "on-line delivery")
 			p.mustPush(ts.outgoing, n)
 			return
 		}
 		// The day's budget is spent: overflow onto the staging path.
+		p.enqueueStaged(ts, n, now, "daily-cap")
+		return
 	}
-	p.enqueueStaged(ts, n, now)
+	p.enqueueStaged(ts, n, now, "")
 }
 
 // chargeOnlineCap charges one on-line delivery against the topic's daily
@@ -333,17 +422,31 @@ func (ts *topicState) chargeOnlineCap(now time.Time) bool {
 
 // enqueueStaged places an event on the on-demand staging path: holding
 // when it expires before the expiration threshold, the delay stage when
-// the topic delays, and the prefetch queue otherwise.
-func (p *Proxy) enqueueStaged(ts *topicState, n *msg.Notification, now time.Time) {
+// the topic delays, and the prefetch queue otherwise. cause carries the
+// upstream decision that diverted the event here (e.g. a spent daily cap)
+// into the trace record.
+func (p *Proxy) enqueueStaged(ts *topicState, n *msg.Notification, now time.Time, cause string) {
 	if thr := ts.effectiveExpThreshold(); thr > 0 && !n.NeverExpires() && n.RemainingLife(now) < thr {
+		p.traceDecision(trace.KindEnqueue, ts, n, "holding",
+			joinCause(cause, "expires before the expiration threshold"))
 		p.mustPush(ts.holding, n)
 		return
 	}
 	if d := ts.effectiveDelay(); d > 0 {
+		if p.tracer != nil {
+			e := noteEvent(trace.KindEnqueue, n)
+			e.Queue = "delayed"
+			e.Cause = joinCause(cause, "delay stage")
+			e.DelayS = d.Seconds()
+			e.Limit = ts.prefetchLimit
+			e.ThresholdS = ts.effectiveExpThreshold().Seconds()
+			p.traceEvent(e)
+		}
 		id := n.ID
 		ts.delayed[id] = p.sched.Schedule(d, func() { p.delayTimeout(ts, id) })
 		return
 	}
+	p.traceDecision(trace.KindEnqueue, ts, n, "prefetch", cause)
 	p.mustPush(ts.prefetch, n)
 }
 
@@ -367,9 +470,10 @@ func (p *Proxy) quietTimeout(ts *topicState, id msg.ID) {
 	// midnight draws on the new day's budget, and overflow rides the
 	// staging path like any other capped arrival.
 	if ts.chargeOnlineCap(now) {
+		p.traceDecision(trace.KindEnqueue, ts, n, "outgoing", "quiet-window released")
 		p.mustPush(ts.outgoing, n)
 	} else {
-		p.enqueueStaged(ts, n, now)
+		p.enqueueStaged(ts, n, now, "daily-cap after quiet-window")
 	}
 	p.tryForwarding(ts)
 }
@@ -418,23 +522,43 @@ func (p *Proxy) scheduleExpiry(ts *topicState, n *msg.Notification) {
 // expirationTimeout removes an expired event from all queues (Figure 7).
 func (p *Proxy) expirationTimeout(ts *topicState, id msg.ID) {
 	delete(ts.expiryTimer, id)
-	removed := false
+	// queue remembers where the event died; outgoing wins when an ID sits
+	// in two queues at once, because dying there means a missed delivery.
+	queue := ""
 	if _, ok := ts.outgoing.Remove(id); ok {
-		removed = true
+		queue = "outgoing"
 	}
-	if _, ok := ts.prefetch.Remove(id); ok {
-		removed = true
+	if _, ok := ts.prefetch.Remove(id); ok && queue == "" {
+		queue = "prefetch"
 	}
-	if _, ok := ts.holding.Remove(id); ok {
-		removed = true
+	if _, ok := ts.holding.Remove(id); ok && queue == "" {
+		queue = "holding"
 	}
 	if t, ok := ts.delayed[id]; ok {
 		t.Cancel()
 		delete(ts.delayed, id)
-		removed = true
+		if queue == "" {
+			queue = "delayed"
+		}
 	}
-	if removed {
-		p.stats.Expirations++
+	if queue == "" {
+		return
+	}
+	p.stats.Expirations++
+	if p.tracer != nil {
+		e := trace.Event{Kind: trace.KindExpire, Topic: ts.cfg.Name, ID: id, Queue: queue}
+		if n, ok := ts.known[id]; ok {
+			e.Rank = n.Rank
+			if n.Trace != nil {
+				e.TraceID = n.Trace.TraceID
+			}
+		}
+		if queue == "outgoing" && !p.networkUp {
+			e.Cause = "expired while the last hop was down"
+		}
+		e.Limit = ts.prefetchLimit
+		e.ThresholdS = ts.effectiveExpThreshold().Seconds()
+		p.traceEvent(e)
 	}
 }
 
@@ -448,6 +572,7 @@ func (p *Proxy) delayTimeout(ts *topicState, id msg.ID) {
 	if !ok || n.Expired(p.sched.Now()) || n.Rank < ts.cfg.RankThreshold {
 		return
 	}
+	p.traceDecision(trace.KindEnqueue, ts, n, "prefetch", "delay elapsed")
 	p.mustPush(ts.prefetch, n)
 	p.tryForwarding(ts)
 }
@@ -475,11 +600,17 @@ func (p *Proxy) applyRank(ts *topicState, id msg.ID, rank float64) {
 	if rank < ts.cfg.RankThreshold {
 		// Rank dropped below the threshold: purge it from the staging
 		// queues.
-		ts.holding.Remove(id)
-		ts.prefetch.Remove(id)
+		purged := ""
+		if _, ok := ts.holding.Remove(id); ok {
+			purged = "holding"
+		}
+		if _, ok := ts.prefetch.Remove(id); ok {
+			purged = "prefetch"
+		}
 		if t, ok := ts.delayed[id]; ok {
 			t.Cancel()
 			delete(ts.delayed, id)
+			purged = "delayed"
 		}
 		if ts.cfg.AutoDelay && oldRank >= ts.cfg.RankThreshold {
 			ts.dropLags.Add(p.sched.Now().Sub(n.Published).Seconds())
@@ -490,12 +621,26 @@ func (p *Proxy) applyRank(ts *topicState, id msg.ID, rank float64) {
 			// copy. (An expired message needs no signal: the device
 			// purges expired content on its own, and its expiry timer
 			// here is already gone.)
+			if p.tracer != nil {
+				e := noteEvent(trace.KindEnqueue, n)
+				e.Queue = "outgoing"
+				e.Cause = "rank-retraction signal to the device"
+				p.traceEvent(e)
+			}
 			if !ts.outgoing.UpdateRank(id, rank) {
 				p.mustPush(ts.outgoing, n)
 			}
 		} else {
 			// Don't bother the client.
-			ts.outgoing.Remove(id)
+			if _, ok := ts.outgoing.Remove(id); ok {
+				purged = "outgoing"
+			}
+			if purged != "" && !ts.forwarded.Contains(id) {
+				// Terminal for a never-forwarded event; a forwarded one is
+				// finished by the device when its own copy goes.
+				p.traceDecision(trace.KindDrop, ts, n, purged,
+					"rank retracted below the subscription threshold")
+			}
 		}
 		p.tryForwarding(ts)
 		return
@@ -549,6 +694,7 @@ func (p *Proxy) Read(req msg.ReadRequest) error {
 	}
 	p.stats.Reads++
 	now := p.sched.Now()
+	oldLimit, oldThr := ts.prefetchLimit, ts.expThreshold
 
 	queued := ts.outgoing.Len() + ts.prefetch.Len() + ts.holding.Len()
 	n := req.N
@@ -617,6 +763,7 @@ func (p *Proxy) Read(req msg.ReadRequest) error {
 				ts.holding.Remove(c.n.ID)
 			}
 			if !ts.outgoing.Contains(c.n.ID) {
+				p.traceDecision(trace.KindEnqueue, ts, c.n, "outgoing", "promoted by a read request")
 				p.mustPush(ts.outgoing, c.n)
 			}
 			sent++
@@ -655,6 +802,14 @@ func (p *Proxy) Read(req msg.ReadRequest) error {
 	if ts.cfg.AutoPrefetchLimit && !req.Peek {
 		ts.retunePrefetchLimit()
 	}
+	if p.tracer != nil && !req.Peek &&
+		(ts.prefetchLimit != oldLimit || ts.expThreshold != oldThr) {
+		p.traceEvent(trace.Event{
+			Kind: trace.KindTune, Topic: ts.cfg.Name,
+			Limit: ts.prefetchLimit, ThresholdS: ts.expThreshold.Seconds(),
+			Cause: "retuned by read statistics",
+		})
+	}
 	p.tryForwarding(ts)
 	return nil
 }
@@ -688,11 +843,30 @@ func (p *Proxy) Resume(topic string, have, read msg.IDSet) error {
 		n, known := ts.known[id]
 		if !known || n.Expired(now) {
 			p.stats.ResumeLost++
+			if p.tracer != nil {
+				e := trace.Event{
+					Kind: trace.KindLost, Topic: topic, ID: id,
+					Cause: "lost in flight across a reconnect; content no longer recoverable",
+				}
+				if known {
+					e.Rank = n.Rank
+					if n.Trace != nil {
+						e.TraceID = n.Trace.TraceID
+					}
+				}
+				p.traceEvent(e)
+			}
 			continue
 		}
 		if ts.outgoing.Contains(id) || ts.prefetch.Contains(id) || ts.holding.Contains(id) {
 			// Already staged for (re-)delivery; nothing to recover.
 			continue
+		}
+		if p.tracer != nil {
+			e := noteEvent(trace.KindResume, n)
+			e.Queue = "outgoing"
+			e.Cause = "re-queued after loss in flight"
+			p.traceEvent(e)
 		}
 		p.mustPush(ts.outgoing, n)
 		p.stats.ResumeRequeued++
@@ -857,9 +1031,25 @@ func (p *Proxy) tryForwardingBatch(ts *topicState, bf BatchForwarder) {
 		p.networkUp = false
 		return
 	}
-	for _, ev := range batch {
+	for i, ev := range batch {
 		p.stats.Forwards++
-		if ts.forwarded.Contains(ev.ID) {
+		signal := ts.forwarded.Contains(ev.ID)
+		if p.tracer != nil {
+			e := noteEvent(trace.KindForward, ev)
+			e.Count = len(batch)
+			if i < fromOutgoing {
+				e.Queue = "outgoing"
+			} else {
+				e.Queue = "prefetch"
+			}
+			e.Limit = ts.prefetchLimit
+			e.ThresholdS = ts.effectiveExpThreshold().Seconds()
+			if signal {
+				e.Cause = "rank-revision signal"
+			}
+			p.traceEvent(e)
+		}
+		if signal {
 			p.stats.RankDropSignals++
 			continue
 		}
@@ -881,7 +1071,19 @@ func (p *Proxy) doForward(ts *topicState, ev *msg.Notification, origin *rankedq.
 		return false
 	}
 	p.stats.Forwards++
-	if ts.forwarded.Contains(ev.ID) {
+	signal := ts.forwarded.Contains(ev.ID)
+	if p.tracer != nil {
+		e := noteEvent(trace.KindForward, ev)
+		e.Queue = queueLabel(ts, origin)
+		e.Count = 1
+		e.Limit = ts.prefetchLimit
+		e.ThresholdS = ts.effectiveExpThreshold().Seconds()
+		if signal {
+			e.Cause = "rank-revision signal"
+		}
+		p.traceEvent(e)
+	}
+	if signal {
 		// A re-forward only revises the client's copy; it does not grow
 		// the client queue.
 		p.stats.RankDropSignals++

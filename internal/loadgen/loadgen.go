@@ -10,6 +10,7 @@ package loadgen
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"lasthop/internal/msg"
 	"lasthop/internal/obs"
 	"lasthop/internal/pubsub"
+	"lasthop/internal/trace"
 	"lasthop/internal/wire"
 )
 
@@ -39,9 +41,20 @@ type Config struct {
 	// OnDemand switches the devices to on-demand topics consumed with
 	// §3.5 READ requests; the default is on-line forwarding.
 	OnDemand bool `json:"onDemand"`
-	// ObsAddr, when set, serves /metrics, /healthz, and /debug/pprof for
-	// the whole topology on this address for the duration of the run.
+	// ObsAddr, when set, serves /metrics, /healthz, /debug/pprof, and
+	// /debug/traces for the whole topology on this address for the
+	// duration of the run.
 	ObsAddr string `json:"obsAddr,omitempty"`
+	// TraceSample head-samples this fraction of published notifications
+	// into end-to-end traces (0 disables tracing; anomalies are still
+	// traced when > 0 is ever observed on a node with a collector). The
+	// whole in-process topology shares one collector, so each trace is a
+	// complete publisher → broker → proxy → device timeline.
+	TraceSample float64 `json:"traceSample,omitempty"`
+	// TraceRing bounds the completed-trace ring. Zero sizes it to hold
+	// every notification of the run, so no sampled trace is evicted
+	// before the report is computed.
+	TraceRing int `json:"traceRing,omitempty"`
 	// Linger keeps the topology (and the ObsAddr endpoint) alive this
 	// long after the last delivery, so external scrapers can observe the
 	// run's final state.
@@ -105,6 +118,72 @@ type Report struct {
 	LatencyP50Ms float64 `json:"latencyP50Ms"`
 	LatencyP95Ms float64 `json:"latencyP95Ms"`
 	LatencyP99Ms float64 `json:"latencyP99Ms"`
+
+	// Tracing summary, present when TraceSample > 0: how many traces were
+	// head-sampled, the terminal outcome tally, and the per-hop latency
+	// decomposition of the delivered traces (broker routing, proxy
+	// queueing, and the last hop; federation would appear on multi-broker
+	// topologies).
+	TraceSampled  uint64                  `json:"traceSampled,omitempty"`
+	TraceOutcomes map[string]uint64       `json:"traceOutcomes,omitempty"`
+	HopLatencyMs  map[string]HopQuantiles `json:"hopLatencyMs,omitempty"`
+
+	// Collector holds the run's completed traces for JSONL export
+	// (cmd/lasthop-loadgen -trace-out); not part of the JSON report.
+	Collector *trace.Collector `json:"-"`
+}
+
+// HopQuantiles summarizes one segment of the delivery path across all
+// traces that observed it, in milliseconds.
+type HopQuantiles struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	N   int     `json:"n"`
+}
+
+// quantileMs interpolates a quantile from a sorted slice of durations.
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	i := int(pos)
+	if i >= len(sorted)-1 {
+		return float64(sorted[len(sorted)-1]) / float64(time.Millisecond)
+	}
+	frac := pos - float64(i)
+	lo, hi := float64(sorted[i]), float64(sorted[i+1])
+	return (lo + (hi-lo)*frac) / float64(time.Millisecond)
+}
+
+// hopSummary reduces the completed traces to per-segment quantiles.
+func hopSummary(traces []trace.NotificationTrace) map[string]HopQuantiles {
+	segs := map[string][]time.Duration{}
+	for i := range traces {
+		b := traces[i].LatencyBreakdown()
+		for name, d := range map[string]time.Duration{
+			"broker":     b.Broker,
+			"federation": b.Federation,
+			"proxyQueue": b.ProxyQueue,
+			"lastHop":    b.LastHop,
+		} {
+			if d >= 0 {
+				segs[name] = append(segs[name], d)
+			}
+		}
+	}
+	out := make(map[string]HopQuantiles, len(segs))
+	for name, ds := range segs {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		out[name] = HopQuantiles{
+			P50: quantileMs(ds, 0.50),
+			P95: quantileMs(ds, 0.95),
+			P99: quantileMs(ds, 0.99),
+			N:   len(ds),
+		}
+	}
+	return out
 }
 
 // node is one device leg: a dedicated last-hop proxy and its device.
@@ -132,8 +211,22 @@ func Run(cfg Config) (*Report, error) {
 		"End-to-end delivery latency from publish to device receipt or user read.",
 		obs.LatencyBuckets())
 
+	// One collector for the whole in-process topology: the broker mints
+	// contexts, proxies and devices record against them, and every trace
+	// is a complete end-to-end timeline.
+	var collector *trace.Collector
+	if cfg.TraceSample > 0 {
+		ring := cfg.TraceRing
+		if ring <= 0 {
+			ring = cfg.Notifications + 16
+		}
+		collector = trace.NewCollector("loadgen", trace.NewSampler(cfg.TraceSample), ring)
+		collector.RegisterMetrics(reg)
+	}
+
 	if cfg.ObsAddr != "" {
-		srv, err := obs.Serve(cfg.ObsAddr, reg)
+		srv, err := obs.Serve(cfg.ObsAddr, reg,
+			obs.Route{Pattern: "/debug/traces", Handler: collector.Handler()})
 		if err != nil {
 			return nil, fmt.Errorf("obs endpoint: %w", err)
 		}
@@ -147,6 +240,9 @@ func Run(cfg Config) (*Report, error) {
 	}
 	broker := pubsub.NewBroker("loadgen")
 	broker.RegisterMetrics(reg)
+	if collector != nil {
+		broker.SetTracer(collector)
+	}
 	bs := wire.NewBrokerServerOpts(broker, wire.ServerOptions{Metrics: wm})
 	go func() { _ = bs.Serve(blis) }()
 	defer bs.Close()
@@ -176,7 +272,7 @@ func Run(cfg Config) (*Report, error) {
 		mode = "on-demand"
 	}
 	for i := range nodes {
-		nd, err := newNode(brokerAddr, i, topics[i%cfg.Topics], mode, reg, wm)
+		nd, err := newNode(brokerAddr, i, topics[i%cfg.Topics], mode, reg, wm, collector)
 		if err != nil {
 			return nil, err
 		}
@@ -276,6 +372,18 @@ func Run(cfg Config) (*Report, error) {
 
 	delivered, err := awaitDeliveries(nodes, cfg, deadline, latency)
 	deliverElapsed := time.Since(start)
+	if collector != nil && err == nil && !cfg.OnDemand {
+		// Final read pass: consume what was pushed so every delivered
+		// trace terminates in a user read instead of being written off as
+		// waste when the run ends. (On-demand devices already read.)
+		for _, nd := range nodes {
+			if _, rerr := nd.dev.Read(nd.topic, 0); rerr != nil {
+				cfg.Logf("loadgen: final read on %s: %v", nd.topic, rerr)
+				break
+			}
+		}
+	}
+	collector.FinishActive(time.Now())
 	rep := &Report{
 		Config:         cfg,
 		Published:      cfg.Notifications,
@@ -292,6 +400,16 @@ func Run(cfg Config) (*Report, error) {
 	if s := rep.DeliverSeconds; s > 0 {
 		rep.DeliverPerSec = float64(rep.Delivered) / s
 	}
+	if collector != nil {
+		st := collector.Stats()
+		rep.TraceSampled = st.Sampled
+		rep.TraceOutcomes = make(map[string]uint64, len(st.Outcomes))
+		for o, c := range st.Outcomes {
+			rep.TraceOutcomes[string(o)] = c
+		}
+		rep.HopLatencyMs = hopSummary(collector.Completed())
+		rep.Collector = collector
+	}
 	if err == nil && cfg.Linger > 0 {
 		cfg.Logf("loadgen: run complete, lingering %v for scrapers", cfg.Linger)
 		time.Sleep(cfg.Linger)
@@ -299,12 +417,13 @@ func Run(cfg Config) (*Report, error) {
 	return rep, err
 }
 
-func newNode(brokerAddr string, i int, topic, mode string, reg *obs.Registry, wm *wire.Metrics) (*node, error) {
+func newNode(brokerAddr string, i int, topic, mode string, reg *obs.Registry, wm *wire.Metrics, collector *trace.Collector) (*node, error) {
 	name := fmt.Sprintf("lg-proxy-%d", i)
 	ps, err := wire.NewProxyServerOpts(wire.ProxyOptions{
 		BrokerAddr: brokerAddr,
 		Name:       name,
 		Metrics:    wm,
+		Trace:      collector,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("proxy %d: %w", i, err)
@@ -319,7 +438,7 @@ func newNode(brokerAddr string, i int, topic, mode string, reg *obs.Registry, wm
 	nd.plis = lis
 	go func() { _ = ps.Serve(lis) }()
 	devName := fmt.Sprintf("lg-dev-%d", i)
-	dev, err := wire.DialProxyOpts(lis.Addr().String(), devName, wire.ClientOptions{Metrics: wm})
+	dev, err := wire.DialProxyOpts(lis.Addr().String(), devName, wire.ClientOptions{Metrics: wm, Trace: collector})
 	if err != nil {
 		ps.Close()
 		return nil, fmt.Errorf("device %d: %w", i, err)

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"lasthop/internal/trace"
 )
 
 func TestRunOnline(t *testing.T) {
@@ -156,5 +158,65 @@ func TestRunOnDemand(t *testing.T) {
 	}
 	if rep.Delivered != 40 {
 		t.Fatalf("delivered %d, want 40", rep.Delivered)
+	}
+}
+
+// TestRunTraced drives a fully-sampled run and checks the tentpole
+// invariant: every sampled notification is attributed to exactly one
+// terminal outcome with a complete causal timeline, and the report carries
+// per-hop latency quantiles.
+func TestRunTraced(t *testing.T) {
+	const n = 80
+	rep, err := Run(Config{
+		Publishers:    2,
+		Devices:       2,
+		Topics:        2,
+		Notifications: n,
+		OnDemand:      true,
+		TraceSample:   1,
+		Timeout:       30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TraceSampled != n {
+		t.Fatalf("sampled %d traces, want %d", rep.TraceSampled, n)
+	}
+	var completed uint64
+	for outcome, count := range rep.TraceOutcomes {
+		if outcome == "" {
+			t.Errorf("%d traces completed without an outcome", count)
+		}
+		completed += count
+	}
+	if completed != n {
+		t.Fatalf("outcomes cover %d traces, want %d: %v", completed, n, rep.TraceOutcomes)
+	}
+	if rep.Collector == nil {
+		t.Fatal("report carries no collector")
+	}
+	if st := rep.Collector.Stats(); st.Active != 0 {
+		t.Fatalf("%d traces still active after the run", st.Active)
+	}
+	for _, nt := range rep.Collector.Completed() {
+		if nt.Outcome == "" {
+			t.Fatalf("trace %s has no terminal outcome", nt.TraceID)
+		}
+		if len(nt.Events) < 2 {
+			t.Errorf("trace %s timeline too short: %d events", nt.TraceID, len(nt.Events))
+		}
+		if nt.Events[0].Kind != trace.KindPublish {
+			t.Errorf("trace %s does not start at publish accept: %s", nt.TraceID, nt.Events[0].Kind)
+		}
+	}
+	for _, hop := range []string{"broker", "proxyQueue", "lastHop"} {
+		q, ok := rep.HopLatencyMs[hop]
+		if !ok || q.N == 0 {
+			t.Errorf("per-hop latency missing segment %s: %+v", hop, rep.HopLatencyMs)
+			continue
+		}
+		if q.P50 < 0 || q.P99 < q.P50 {
+			t.Errorf("segment %s quantiles inconsistent: %+v", hop, q)
+		}
 	}
 }

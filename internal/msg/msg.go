@@ -87,6 +87,64 @@ type Notification struct {
 	Expires time.Time `json:"expires,omitempty"`
 	// Payload is the opaque application content.
 	Payload []byte `json:"payload,omitempty"`
+	// Trace is the optional distributed-tracing context attached to
+	// sampled notifications. It is deliberately excluded from the
+	// notification's own JSON form (journals and legacy peers never see
+	// it); the wire layer moves it between nodes as an explicit,
+	// capability-gated frame field. The pointer may be shared between
+	// fan-out clones — treat the pointed-to context as immutable and use
+	// TraceContext.WithHop to extend it.
+	Trace *TraceContext `json:"-"`
+}
+
+// TraceContext is the compact per-notification tracing context that
+// travels with a sampled notification across the stack: a stable trace ID,
+// the node that minted it, and one timestamped hop per node traversed.
+// It lives in msg (rather than internal/trace) so the notification can
+// carry it without an import cycle.
+type TraceContext struct {
+	// TraceID identifies the trace; by convention it is the notification
+	// ID, which the broker guarantees unique at publish time.
+	TraceID string `json:"id"`
+	// Origin names the node that sampled the notification and minted the
+	// context (normally the accepting broker).
+	Origin string `json:"origin,omitempty"`
+	// Hops records each node the notification traversed, in order.
+	Hops []TraceHop `json:"hops,omitempty"`
+}
+
+// TraceHop is one node traversal: where and when (unix nanoseconds).
+type TraceHop struct {
+	Node string `json:"node"`
+	At   int64  `json:"at"`
+}
+
+// WithHop returns a copy of the context with one hop appended. The
+// receiver is never mutated: fan-out clones share the pointer, so each
+// delivery branch must extend its own copy.
+func (t *TraceContext) WithHop(node string, at time.Time) *TraceContext {
+	if t == nil {
+		return nil
+	}
+	c := *t
+	c.Hops = make([]TraceHop, len(t.Hops), len(t.Hops)+1)
+	copy(c.Hops, t.Hops)
+	c.Hops = append(c.Hops, TraceHop{Node: node, At: at.UnixNano()})
+	return &c
+}
+
+// HopAt returns the timestamp of the first hop recorded by the named
+// node, or the zero time when the node never stamped the context.
+func (t *TraceContext) HopAt(node string) time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	for _, h := range t.Hops {
+		if h.Node == node {
+			return time.Unix(0, h.At)
+		}
+	}
+	return time.Time{}
 }
 
 // NeverExpires reports whether the notification has no expiration.

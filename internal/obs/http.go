@@ -9,12 +9,19 @@ import (
 )
 
 // Server is the observability HTTP endpoint of a daemon: /metrics in
-// Prometheus text format, /healthz as a JSON liveness probe, and the full
-// net/http/pprof suite under /debug/pprof/.
+// Prometheus text format, /healthz as a JSON liveness probe, the full
+// net/http/pprof suite under /debug/pprof/, and any extra routes the
+// daemon registers (e.g. /debug/traces).
 type Server struct {
 	ln    net.Listener
 	srv   *http.Server
 	start time.Time
+}
+
+// Route is an extra handler a daemon mounts on its observability server.
+type Route struct {
+	Pattern string
+	Handler http.Handler
 }
 
 // Handler returns an http.Handler serving the registry as Prometheus text.
@@ -27,8 +34,9 @@ func Handler(reg *Registry) http.Handler {
 
 // Serve starts the observability server on addr (e.g. ":6060") and returns
 // once the listener is bound, so a following scrape cannot race startup.
-// A nil registry serves health and pprof only.
-func Serve(addr string, reg *Registry) (*Server, error) {
+// A nil registry serves health and pprof only. Extra routes are mounted
+// verbatim onto the mux.
+func Serve(addr string, reg *Registry, extras ...Route) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -51,6 +59,11 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, ex := range extras {
+		if ex.Pattern != "" && ex.Handler != nil {
+			mux.Handle(ex.Pattern, ex.Handler)
+		}
+	}
 
 	s.srv = &http.Server{Handler: mux}
 	go func() { _ = s.srv.Serve(ln) }()

@@ -25,9 +25,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lasthop/internal/msg"
 	"lasthop/internal/obs"
+	"lasthop/internal/trace"
 )
 
 // Well-known errors callers can match with errors.Is.
@@ -164,6 +166,12 @@ type Broker struct {
 	peerForwards atomic.Int64
 	peerDrops    atomic.Int64
 	fanoutHist   atomic.Pointer[obs.Histogram]
+
+	// tracer, when set, makes this broker a trace origin: accepted
+	// publishes are head-sampled and minted a context, and routing events
+	// are recorded against sampled notifications. Nil (the default) keeps
+	// the publish path free of tracing work beyond one atomic load.
+	tracer atomic.Pointer[trace.Collector]
 }
 
 var _ Peer = (*Broker)(nil)
@@ -179,6 +187,11 @@ func NewBroker(name string) *Broker {
 
 // Name returns the broker's node name.
 func (b *Broker) Name() string { return b.name }
+
+// SetTracer installs (or, with nil, removes) the trace collector that makes
+// this broker a distributed-trace origin. Safe to call concurrently with
+// publishes.
+func (b *Broker) SetTracer(c *trace.Collector) { b.tracer.Store(c) }
 
 // shard selects the lock stripe owning a topic.
 func (b *Broker) shard(topic string) *shard {
@@ -504,6 +517,15 @@ func (b *Broker) Publish(n *msg.Notification) error {
 	if !st.seen.Add(n.ID) {
 		sh.mu.Unlock()
 		b.duplicates.Add(1)
+		if c := b.tracer.Load(); c != nil {
+			// Anomaly: always traced, even when the original publish was
+			// not head-sampled.
+			c.Record(trace.Event{
+				At: time.Now(), Kind: trace.KindDuplicate, Topic: n.Topic,
+				ID: n.ID, Rank: n.Rank, Node: b.name,
+				Cause: "duplicate notification ID rejected at ingress",
+			})
+		}
 		return fmt.Errorf("publish: %w: %q", ErrDuplicateID, n.ID)
 	}
 	subs := st.subsList
@@ -511,6 +533,9 @@ func (b *Broker) Publish(n *msg.Notification) error {
 	sh.mu.Unlock()
 	sh.publishes.Add(1)
 
+	if c := b.tracer.Load(); c != nil {
+		c.PublishAccepted(n, b.name, time.Now())
+	}
 	b.fanOut(n, nil, subs, peers)
 	return nil
 }
@@ -521,6 +546,35 @@ func (b *Broker) Publish(n *msg.Notification) error {
 // whole local fan-out come from a single allocation; each subscriber still
 // owns an isolated copy, including its own payload bytes.
 func (b *Broker) fanOut(n *msg.Notification, from Peer, subs []*subscription, peers []Peer) {
+	// Trace events are recorded before the deliveries and forwards they
+	// describe so that timelines stay causally ordered even when a peer is
+	// an in-process broker whose own routing runs synchronously.
+	traced := n.Trace != nil
+	var tracer *trace.Collector
+	if traced {
+		tracer = b.tracer.Load()
+	}
+	forwards := 0
+	for _, p := range peers {
+		if p != from {
+			forwards++
+		}
+	}
+	if tracer != nil {
+		now := time.Now()
+		tracer.Record(trace.Event{
+			At: now, Kind: trace.KindRoute, Topic: n.Topic, ID: n.ID,
+			Rank: n.Rank, TraceID: n.Trace.TraceID, Node: b.name,
+			Count: len(subs),
+		})
+		if forwards > 0 {
+			tracer.Record(trace.Event{
+				At: now, Kind: trace.KindFederate, Topic: n.Topic,
+				ID: n.ID, Rank: n.Rank, TraceID: n.Trace.TraceID,
+				Node: b.name, Count: forwards,
+			})
+		}
+	}
 	if len(subs) > 0 {
 		clones := make([]msg.Notification, len(subs))
 		for i := range clones {
@@ -533,11 +587,9 @@ func (b *Broker) fanOut(n *msg.Notification, from Peer, subs []*subscription, pe
 			s.sub.Deliver(&clones[i])
 		}
 	}
-	forwards := 0
 	for _, p := range peers {
 		if p != from {
 			p.Route(n, b)
-			forwards++
 		}
 	}
 	if forwards > 0 {
@@ -566,6 +618,11 @@ func (b *Broker) Route(n *msg.Notification, from Peer) {
 	sh.mu.Unlock()
 	sh.routed.Add(1)
 
+	if n.Trace != nil && b.tracer.Load() != nil {
+		// Stamp the federation ingress onto the context so per-hop
+		// timestamps survive across brokers; fanOut records the event.
+		n.Trace = n.Trace.WithHop(b.name, time.Now())
+	}
 	b.fanOut(n, from, subs, peers)
 }
 

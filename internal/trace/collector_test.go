@@ -1,0 +1,382 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lasthop/internal/msg"
+)
+
+var tc0 = time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+
+// feed records a sequence of events for one notification, spacing them a
+// millisecond apart.
+func feed(c *Collector, id msg.ID, events ...Event) {
+	for i, e := range events {
+		e.At = tc0.Add(time.Duration(i) * time.Millisecond)
+		e.ID = id
+		if e.TraceID == "" {
+			e.TraceID = string(id)
+		}
+		c.Record(e)
+	}
+}
+
+func lastCompleted(t *testing.T, c *Collector) NotificationTrace {
+	t.Helper()
+	done := c.Completed()
+	if len(done) == 0 {
+		t.Fatal("no completed traces")
+	}
+	return done[len(done)-1]
+}
+
+func TestSamplerDeterministicAndBounded(t *testing.T) {
+	s := NewSampler(0.5)
+	if NewSampler(0).Sample("t", "any") {
+		t.Error("rate 0 sampled")
+	}
+	if !NewSampler(1).Sample("t", "any") {
+		t.Error("rate 1 did not sample")
+	}
+	hits := 0
+	for i := 0; i < 2000; i++ {
+		id := msg.ID("n-" + string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune('A'+i/260)))
+		first := s.Sample("t", id)
+		if first != s.Sample("t", id) {
+			t.Fatalf("sampling of %s not deterministic", id)
+		}
+		if first {
+			hits++
+		}
+	}
+	if hits < 600 || hits > 1400 {
+		t.Errorf("rate 0.5 sampled %d of 2000", hits)
+	}
+
+	s.SetTopicRate("muted", 0)
+	if s.Rate("muted") != 0 || s.Sample("muted", "x") {
+		t.Error("per-topic override not applied")
+	}
+	if s.Rate("other") != 0.5 {
+		t.Error("base rate lost after override")
+	}
+	var nilSampler *Sampler
+	if nilSampler.Rate("t") != 0 || nilSampler.Sample("t", "x") {
+		t.Error("nil sampler must sample nothing")
+	}
+}
+
+// TestAttributionOutcomes drives each terminal path and checks the
+// outcome classification and that the cause names the responsible queue
+// decision with the tuner values in effect.
+func TestAttributionOutcomes(t *testing.T) {
+	cases := []struct {
+		name    string
+		events  []Event
+		outcome Outcome
+		cause   string // substring
+	}{
+		{
+			name: "read",
+			events: []Event{
+				{Kind: KindPublish}, {Kind: KindProxyRecv},
+				{Kind: KindEnqueue, Queue: "outgoing"},
+				{Kind: KindForward, Queue: "outgoing"},
+				{Kind: KindDeviceRecv}, {Kind: KindRead},
+			},
+			outcome: OutcomeRead,
+		},
+		{
+			name: "forwarded but never read",
+			events: []Event{
+				{Kind: KindPublish},
+				{Kind: KindEnqueue, Queue: "prefetch", Limit: 16},
+				{Kind: KindForward, Queue: "prefetch", Limit: 16},
+				{Kind: KindDeviceRecv},
+				{Kind: KindExpire, Queue: "device"},
+			},
+			outcome: OutcomeWasted,
+			cause:   "prefetch_limit=16",
+		},
+		{
+			name: "expired in outgoing while link down",
+			events: []Event{
+				{Kind: KindPublish},
+				{Kind: KindEnqueue, Queue: "outgoing"},
+				{Kind: KindExpire, Queue: "outgoing", ThresholdS: 30},
+			},
+			outcome: OutcomeLost,
+			cause:   "outgoing",
+		},
+		{
+			name: "expired in holding before transfer",
+			events: []Event{
+				{Kind: KindPublish},
+				{Kind: KindEnqueue, Queue: "holding", ThresholdS: 30},
+				{Kind: KindExpire, Queue: "holding"},
+			},
+			outcome: OutcomeExpired,
+			cause:   "exp_threshold=30s",
+		},
+		{
+			name: "rank retracted before transfer",
+			events: []Event{
+				{Kind: KindPublish},
+				{Kind: KindEnqueue, Queue: "prefetch"},
+				{Kind: KindDrop, Queue: "prefetch", Cause: "rank retracted below the subscription threshold"},
+			},
+			outcome: OutcomeExpired,
+			cause:   "rank retracted",
+		},
+		{
+			name: "lost in flight at reconnect",
+			events: []Event{
+				{Kind: KindPublish}, {Kind: KindForward, Queue: "outgoing"},
+				{Kind: KindLost, Cause: "lost in flight across a reconnect; content no longer recoverable"},
+			},
+			outcome: OutcomeLost,
+			cause:   "reconnect",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewCollector("n1", nil, 8)
+			feed(c, msg.ID(tc.name), tc.events...)
+			if st := c.Stats(); st.Completed != 1 || st.Active != 0 {
+				t.Fatalf("completed=%d active=%d, want 1/0", st.Completed, st.Active)
+			}
+			nt := lastCompleted(t, c)
+			if nt.Outcome != tc.outcome {
+				t.Fatalf("outcome %q, want %q (cause %q)", nt.Outcome, tc.outcome, nt.Cause)
+			}
+			if tc.cause != "" && !strings.Contains(nt.Cause, tc.cause) {
+				t.Errorf("cause %q does not mention %q", nt.Cause, tc.cause)
+			}
+		})
+	}
+}
+
+// TestDuplicateAnnotatesLiveTrace: a duplicate-ID rejection terminates a
+// fresh trace (publisher retry with no original in flight here) but only
+// annotates a trace that already has history — the original is still live.
+func TestDuplicateAnnotatesLiveTrace(t *testing.T) {
+	c := NewCollector("n1", nil, 8)
+	feed(c, "fresh", Event{Kind: KindDuplicate, Cause: "duplicate notification ID rejected at ingress"})
+	if nt := lastCompleted(t, c); nt.Outcome != OutcomeDuplicate {
+		t.Fatalf("fresh duplicate classified %q, want duplicate", nt.Outcome)
+	}
+
+	feed(c, "live", Event{Kind: KindPublish}, Event{Kind: KindDuplicate}, Event{Kind: KindRead})
+	if st := c.Stats(); st.Active != 0 {
+		t.Fatalf("live trace still active after read: %+v", st)
+	}
+	nt := lastCompleted(t, c)
+	if nt.Outcome != OutcomeRead {
+		t.Fatalf("live trace classified %q, want read", nt.Outcome)
+	}
+	if len(nt.Events) != 3 {
+		t.Errorf("duplicate annotation lost: %d events, want 3", len(nt.Events))
+	}
+}
+
+// TestLateEventAppendsWithoutReclassifying: an event arriving after the
+// terminal (device read racing proxy expiry) lands on the completed
+// timeline but cannot change the outcome.
+func TestLateEventAppendsWithoutReclassifying(t *testing.T) {
+	c := NewCollector("n1", nil, 8)
+	feed(c, "n", Event{Kind: KindPublish}, Event{Kind: KindForward, Queue: "outgoing"},
+		Event{Kind: KindExpire, Queue: "device"})
+	c.Record(Event{At: tc0.Add(time.Second), Kind: KindRead, ID: "n", TraceID: "n"})
+	if st := c.Stats(); st.Completed != 1 || st.Active != 0 {
+		t.Fatalf("late event reopened the trace: %+v", st)
+	}
+	nt := lastCompleted(t, c)
+	if nt.Outcome != OutcomeWasted {
+		t.Fatalf("late read reclassified the trace to %q", nt.Outcome)
+	}
+	if nt.Events[len(nt.Events)-1].Kind != KindRead {
+		t.Error("late read missing from the completed timeline")
+	}
+}
+
+func TestUnsampledEventsDropCheaply(t *testing.T) {
+	c := NewCollector("n1", nil, 8)
+	c.Record(Event{At: tc0, Kind: KindForward, ID: "u"}) // no TraceID, not an anomaly
+	st := c.Stats()
+	if st.Active != 0 || st.DroppedEvents != 1 {
+		t.Fatalf("unsampled event not dropped: %+v", st)
+	}
+	// An anomaly on an unsampled notification opens a partial trace.
+	c.Record(Event{At: tc0, Kind: KindExpire, ID: "u", Queue: "holding"})
+	if st := c.Stats(); st.Completed != 1 {
+		t.Fatalf("anomaly did not open a trace: %+v", st)
+	}
+	if nt := lastCompleted(t, c); nt.Sampled {
+		t.Error("anomaly-opened trace marked head-sampled")
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	c := NewCollector("n1", nil, 3)
+	for i := 0; i < 5; i++ {
+		id := msg.ID("n" + string(rune('0'+i)))
+		feed(c, id, Event{Kind: KindPublish}, Event{Kind: KindRead})
+	}
+	st := c.Stats()
+	if st.Ring != 3 || st.Evicted != 2 || st.Completed != 5 {
+		t.Fatalf("ring=%d evicted=%d completed=%d, want 3/2/5", st.Ring, st.Evicted, st.Completed)
+	}
+	done := c.Completed()
+	if done[0].ID != "n2" || done[len(done)-1].ID != "n4" {
+		t.Errorf("ring kept wrong window: first=%s last=%s", done[0].ID, done[len(done)-1].ID)
+	}
+}
+
+func TestPublishAcceptedMintsAndKeepsContexts(t *testing.T) {
+	c := NewCollector("broker-1", NewSampler(1), 8)
+	n := &msg.Notification{ID: "a", Topic: "t", Rank: 2}
+	c.PublishAccepted(n, "broker-1", tc0)
+	if n.Trace == nil || n.Trace.TraceID != "a" || n.Trace.Origin != "broker-1" {
+		t.Fatalf("context not minted: %+v", n.Trace)
+	}
+	// A re-routed notification keeps its upstream context.
+	m := &msg.Notification{ID: "b", Topic: "t", Trace: &Context{TraceID: "b", Origin: "other"}}
+	c.PublishAccepted(m, "broker-1", tc0)
+	if m.Trace.Origin != "other" {
+		t.Errorf("re-accept replaced the upstream context: %+v", m.Trace)
+	}
+
+	unsampled := NewCollector("broker-1", nil, 8)
+	u := &msg.Notification{ID: "c", Topic: "t"}
+	unsampled.PublishAccepted(u, "broker-1", tc0)
+	if u.Trace != nil {
+		t.Error("nil sampler still minted a context")
+	}
+}
+
+func TestFinishActiveClassifiesStragglers(t *testing.T) {
+	c := NewCollector("n1", nil, 8)
+	feed(c, "fwd", Event{Kind: KindPublish}, Event{Kind: KindForward, Queue: "outgoing"})
+	feed(c, "queued", Event{Kind: KindPublish}, Event{Kind: KindEnqueue, Queue: "holding"})
+	c.FinishActive(tc0.Add(time.Minute))
+	st := c.Stats()
+	if st.Active != 0 || st.Completed != 2 {
+		t.Fatalf("finish left active=%d completed=%d", st.Active, st.Completed)
+	}
+	byID := map[msg.ID]NotificationTrace{}
+	for _, nt := range c.Completed() {
+		byID[nt.ID] = nt
+	}
+	if nt := byID["fwd"]; nt.Outcome != OutcomeWasted || !strings.Contains(nt.Cause, "unread at end of run") {
+		t.Errorf("forwarded straggler: outcome=%q cause=%q", nt.Outcome, nt.Cause)
+	}
+	if nt := byID["queued"]; nt.Outcome != OutcomeLost || !strings.Contains(nt.Cause, "still queued") {
+		t.Errorf("queued straggler: outcome=%q cause=%q", nt.Outcome, nt.Cause)
+	}
+}
+
+func TestHandlerServesRingAndJSONL(t *testing.T) {
+	c := NewCollector("n1", nil, 8)
+	feed(c, "n", Event{Kind: KindPublish}, Event{Kind: KindRead})
+
+	rec := httptest.NewRecorder()
+	c.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var payload struct {
+		Node      string              `json:"node"`
+		Completed uint64              `json:"completed"`
+		Traces    []NotificationTrace `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatalf("payload: %v", err)
+	}
+	if payload.Node != "n1" || payload.Completed != 1 || len(payload.Traces) != 1 {
+		t.Fatalf("unexpected payload: %+v", payload)
+	}
+
+	rec = httptest.NewRecorder()
+	c.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?format=jsonl", nil))
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("jsonl lines = %d, want 1", len(lines))
+	}
+	var nt NotificationTrace
+	if err := json.Unmarshal([]byte(lines[0]), &nt); err != nil || nt.Outcome != OutcomeRead {
+		t.Fatalf("jsonl line bad (err=%v): %+v", err, nt)
+	}
+
+	var disabled *Collector
+	rec = httptest.NewRecorder()
+	disabled.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 404 {
+		t.Errorf("nil collector handler returned %d, want 404", rec.Code)
+	}
+}
+
+// TestDumpIncludesActivePartialViews: a daemon whose terminal events land
+// on another node (the broker never observes the device read) must still
+// export its hops — the JSONL dump appends active traces, outcome-less,
+// after the completed ring so cross-node merges recover full timelines.
+func TestDumpIncludesActivePartialViews(t *testing.T) {
+	c := NewCollector("broker-1", nil, 8)
+	feed(c, "done", Event{Kind: KindPublish}, Event{Kind: KindRead})
+	feed(c, "partial", Event{Kind: KindPublish}, Event{Kind: KindRoute})
+
+	act := c.Active()
+	if len(act) != 1 || act[0].TraceID != "partial" || act[0].Outcome != "" {
+		t.Fatalf("Active() = %+v, want one outcome-less trace for partial", act)
+	}
+
+	var buf strings.Builder
+	if err := c.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("dump lines = %d, want 2 (completed + active)", len(lines))
+	}
+	var first, second NotificationTrace
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.TraceID != "done" || first.Outcome != OutcomeRead {
+		t.Errorf("first dump line = %+v, want the completed trace", first)
+	}
+	if second.TraceID != "partial" || second.Outcome != "" || len(second.Events) != 2 {
+		t.Errorf("second dump line = %+v, want the active partial view with 2 events", second)
+	}
+}
+
+// TestDisabledTracingIsAllocationFree pins the disabled-path cost the hot
+// loops rely on: a nil Tracer through the Record helper and a nil
+// *Collector through every exported entry point must not allocate.
+func TestDisabledTracingIsAllocationFree(t *testing.T) {
+	n := &msg.Notification{ID: "a", Topic: "t", Rank: 1}
+	e := Event{Kind: KindForward, Topic: "t", ID: "a"}
+
+	if avg := testing.AllocsPerRun(1000, func() {
+		Record(nil, e)
+	}); avg != 0 {
+		t.Errorf("nil Tracer Record allocates %.1f per run", avg)
+	}
+	var c *Collector
+	if avg := testing.AllocsPerRun(1000, func() {
+		c.Record(e)
+		c.PublishAccepted(n, "b", tc0)
+		c.Hop(KindProxyRecv, "p", n, tc0)
+	}); avg != 0 {
+		t.Errorf("nil *Collector paths allocate %.1f per run", avg)
+	}
+	var tr Tracer = c
+	if avg := testing.AllocsPerRun(1000, func() {
+		Record(tr, e)
+	}); avg != 0 {
+		t.Errorf("typed-nil Collector via Record allocates %.1f per run", avg)
+	}
+}

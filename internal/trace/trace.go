@@ -1,8 +1,12 @@
-// Package trace records the observable timeline of a simulation run —
+// Package trace records the observable timeline of notifications —
 // arrivals, transfers, reads, retractions, link transitions — for
 // debugging and for inspecting why a policy wasted or lost a particular
-// message. Tracing is optional and costs nothing when disabled (the nil
-// Tracer records nothing).
+// message. It serves both the simulator (Buffer/Writer tracers over
+// simulated time) and the live networked stack (Collector, which follows
+// sampled notifications publisher → broker → federation → proxy queues →
+// device and attributes each terminal outcome to the queue decision that
+// caused it). Tracing is optional and costs nothing when disabled (the
+// nil Tracer records nothing).
 package trace
 
 import (
@@ -17,7 +21,9 @@ import (
 // Kind classifies trace events.
 type Kind string
 
-// Trace event kinds.
+// Trace event kinds. The first block is shared between the simulator and
+// the live stack; the second block exists only on the live path, where a
+// notification's lifecycle spans several processes.
 const (
 	KindArrival  Kind = "arrival"
 	KindRetract  Kind = "retract"
@@ -25,6 +31,40 @@ const (
 	KindRead     Kind = "read"
 	KindLinkUp   Kind = "link-up"
 	KindLinkDown Kind = "link-down"
+
+	// KindPublish marks the broker accepting a publish (trace origin).
+	KindPublish Kind = "publish-accept"
+	// KindRoute marks the broker routing the notification through its
+	// topic shard to local subscribers (Count = fan-out width).
+	KindRoute Kind = "broker-route"
+	// KindFederate marks a forward over a broker-to-broker overlay edge.
+	KindFederate Kind = "federation-forward"
+	// KindProxyRecv marks the last-hop proxy receiving the notification
+	// from its upstream broker.
+	KindProxyRecv Kind = "proxy-recv"
+	// KindEnqueue marks the Figure 7 queue decision: Queue names the
+	// stage (outgoing, prefetch, holding, delayed) and Limit/ThresholdS/
+	// DelayS snapshot the tuner values in effect.
+	KindEnqueue Kind = "enqueue"
+	// KindTune marks an auto-tuner adjustment of the prefetch limit or
+	// expiration threshold (no notification ID; topic-scoped).
+	KindTune Kind = "tune"
+	// KindDeviceRecv marks the device storing a forwarded notification.
+	KindDeviceRecv Kind = "device-recv"
+	// KindExpire marks expiration; Queue names where the notification
+	// died (a proxy stage, or "device").
+	KindExpire Kind = "expire"
+	// KindDrop marks removal without delivery value: a rank retraction
+	// purge, or rejection below the subscription threshold.
+	KindDrop Kind = "drop"
+	// KindDuplicate marks a duplicate-ID rejection at the broker.
+	KindDuplicate Kind = "duplicate"
+	// KindLost marks an irrecoverable in-flight loss discovered by §3.5
+	// resume reconciliation.
+	KindLost Kind = "lost"
+	// KindResume marks a recoverable resume event (in-flight notification
+	// re-queued after a last-hop reconnect).
+	KindResume Kind = "resume-requeue"
 )
 
 // Event is one timeline record.
@@ -39,8 +79,27 @@ type Event struct {
 	ID msg.ID `json:"id,omitempty"`
 	// Rank is the notification's rank at the event.
 	Rank float64 `json:"rank,omitempty"`
-	// Count carries a quantity (messages returned by a read).
+	// Count carries a quantity (messages returned by a read, fan-out
+	// width, or the size of the batch a forward traveled in).
 	Count int `json:"count,omitempty"`
+	// TraceID links the event to a distributed trace when the
+	// notification carried a context; empty for unsampled notifications.
+	TraceID string `json:"trace,omitempty"`
+	// Node names the process that recorded the event (broker, proxy, or
+	// device name). The Collector fills it in when left empty.
+	Node string `json:"node,omitempty"`
+	// Queue names the proxy stage the event concerns: outgoing, prefetch,
+	// holding, delayed, or "device" for device-side storage events.
+	Queue string `json:"queue,omitempty"`
+	// Cause qualifies the event with the decision that produced it
+	// (e.g. "quiet-window", "daily-cap", "rank-retraction").
+	Cause string `json:"cause,omitempty"`
+	// Limit is the prefetch limit in effect at the event, when relevant.
+	Limit int `json:"limit,omitempty"`
+	// ThresholdS is the expiration threshold (seconds) in effect.
+	ThresholdS float64 `json:"thresholdS,omitempty"`
+	// DelayS is the forwarding delay (seconds) in effect.
+	DelayS float64 `json:"delayS,omitempty"`
 }
 
 // String renders the event as one log line.

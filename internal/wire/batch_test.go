@@ -164,6 +164,24 @@ func TestAppendFrameMatchesEncodingJSON(t *testing.T) {
 		// Push carrying extra framing fields must not take the bare-push
 		// fast path.
 		{Type: TypePush, Seq: 9, Notification: &msg.Notification{ID: "n8", Topic: "t", Rank: 1, Published: at}},
+		// Push carrying a trace context (CapTrace peer negotiated).
+		{Type: TypePush, Notification: &msg.Notification{ID: "n9", Topic: "t", Rank: 1, Published: at},
+			Trace: &msg.TraceContext{TraceID: "n9", Origin: "broker-1",
+				Hops: []msg.TraceHop{{Node: "broker-1", At: 1700000000123456789}, {Node: "proxy-1", At: 1700000000123999999}}}},
+		// Trace context whose strings need escaping, with no hops yet.
+		{Type: TypePush, Notification: &msg.Notification{ID: "n10", Topic: "t", Rank: 1, Published: at},
+			Trace: &msg.TraceContext{TraceID: `id "quoted" <&>`, Origin: "nö"}},
+		// Batch with 1:1 trace contexts, including a nil gap where an
+		// unsampled notification sits between sampled ones.
+		{Type: TypePushBatch, Batch: []*msg.Notification{
+			{ID: "a", Topic: "t", Rank: 1, Published: at},
+			{ID: "b", Topic: "t", Rank: 2, Published: at},
+			{ID: "c", Topic: "t", Rank: 3, Published: at},
+		}, Traces: []*msg.TraceContext{
+			{TraceID: "a", Origin: "o", Hops: []msg.TraceHop{{Node: "b1", At: 42}, {Node: "p1", At: 43}}},
+			nil,
+			{TraceID: "c"},
+		}},
 	}
 	for i, f := range frames {
 		enc, err := appendFrame(nil, f)

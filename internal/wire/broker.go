@@ -119,9 +119,12 @@ func (s *BrokerServer) Close() {
 	s.wg.Wait()
 }
 
-// connSubscriber adapts a wire connection to pubsub.Subscriber.
+// connSubscriber adapts a wire connection to pubsub.Subscriber. trace
+// records whether the subscriber's hello advertised CapTrace; contexts on
+// sampled notifications are only lifted into the frame for such peers.
 type connSubscriber struct {
-	conn *Conn
+	conn  *Conn
+	trace bool
 }
 
 var _ pubsub.Subscriber = connSubscriber{}
@@ -130,6 +133,9 @@ func (cs connSubscriber) Deliver(n *msg.Notification) {
 	f := getPushFrame()
 	f.Type = TypePush
 	f.Notification = n
+	if cs.trace {
+		f.Trace = n.Trace
+	}
 	_ = cs.conn.Send(f)
 	putPushFrame(f)
 }
@@ -146,6 +152,7 @@ func (s *BrokerServer) handle(conn *Conn) {
 		_ = conn.Close()
 	}()
 	clientName := conn.RemoteAddr()
+	var clientCaps []string
 	var subscribed []string
 	defer func() {
 		for _, topic := range subscribed {
@@ -163,8 +170,13 @@ func (s *BrokerServer) handle(conn *Conn) {
 		case TypePeerHello:
 			// The connection is a federating broker, not a client:
 			// attach it as an overlay edge and switch to peer framing
-			// for the rest of its life.
+			// for the rest of its life. The dialer's hello carries its
+			// caps; answering with our own peer-hello completes the
+			// symmetric capability exchange (legacy dialers log and
+			// ignore the unexpected frame — harmless).
 			edge := &peerEdge{conn: conn, logf: s.logf, drop: s.broker.NotePeerDrop}
+			edge.traceOK.Store(hasCap(f.Caps, CapTrace))
+			_ = conn.Send(&Frame{Type: TypePeerHello, Name: s.broker.Name(), Caps: localCaps()})
 			if err := s.broker.AttachPeer(edge); err != nil {
 				s.logf("broker: attach peer %s: %v", conn.RemoteAddr(), err)
 				return
@@ -175,6 +187,7 @@ func (s *BrokerServer) handle(conn *Conn) {
 			if f.Name != "" {
 				clientName = f.Name
 			}
+			clientCaps = f.Caps
 			ok := OK(f)
 			ok.Caps = localCaps()
 			s.respond(conn, ok)
@@ -189,6 +202,9 @@ func (s *BrokerServer) handle(conn *Conn) {
 				s.respond(conn, Err(f, errors.New("publish frame without notification")))
 				continue
 			}
+			// A publisher may pre-attach a trace context; otherwise the
+			// broker's head sampler decides at accept time.
+			f.Notification.Trace = f.Trace
 			s.respondErr(conn, f, s.broker.Publish(f.Notification))
 		case TypeRankUpdate:
 			if f.RankUpdate == nil {
@@ -207,7 +223,7 @@ func (s *BrokerServer) handle(conn *Conn) {
 			}
 			// Re-subscribing with the same subscriber name rebinds delivery
 			// to this connection — exactly what a resuming client needs.
-			err := s.broker.Subscribe(sub, connSubscriber{conn: conn})
+			err := s.broker.Subscribe(sub, connSubscriber{conn: conn, trace: hasCap(clientCaps, CapTrace)})
 			if err == nil {
 				subscribed = append(subscribed, sub.Topic)
 			}
@@ -417,6 +433,7 @@ func (c *BrokerClient) dispatchPush(f *Frame) {
 		push := c.onPush
 		c.cbmu.Unlock()
 		if push != nil && f.Notification != nil {
+			f.Notification.Trace = f.Trace
 			push(f.Notification)
 		}
 	case TypePushBatch:
@@ -426,6 +443,7 @@ func (c *BrokerClient) dispatchPush(f *Frame) {
 		if push == nil {
 			return
 		}
+		adoptBatchTraces(f)
 		for _, n := range f.Batch {
 			if n != nil {
 				push(n)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lasthop/internal/retry"
+	"lasthop/internal/trace"
 )
 
 // DefaultDialTimeout bounds connection establishment when the options do
@@ -47,6 +48,10 @@ type ClientOptions struct {
 	// Metrics aggregates wire-level instrumentation (frames, bytes, flush
 	// coalescing, heartbeat RTT, reconnects); nil disables it.
 	Metrics *Metrics
+	// Trace collects per-notification trace events on clients that handle
+	// notifications locally (DeviceClient records receive/read/expire
+	// events against arriving contexts). Nil disables tracing.
+	Trace *trace.Collector
 }
 
 // withDefaults resolves the derived settings.

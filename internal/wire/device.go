@@ -9,6 +9,7 @@ import (
 
 	"lasthop/internal/msg"
 	"lasthop/internal/rankedq"
+	"lasthop/internal/trace"
 )
 
 // DeviceClient is the mobile client of a ProxyServer: it keeps a local
@@ -99,9 +100,11 @@ func (d *DeviceClient) handshake(conn *Conn) error {
 		switch f.Type {
 		case TypePush:
 			if f.Notification != nil {
+				f.Notification.Trace = f.Trace
 				d.storeAndNotify(f.Notification)
 			}
 		case TypePushBatch:
+			adoptBatchTraces(f)
 			for _, n := range f.Batch {
 				if n != nil {
 					d.storeAndNotify(n)
@@ -202,9 +205,11 @@ func (d *DeviceClient) readFrames(conn *Conn) error {
 		switch f.Type {
 		case TypePush:
 			if f.Notification != nil {
+				f.Notification.Trace = f.Trace
 				d.storeAndNotify(f.Notification)
 			}
 		case TypePushBatch:
+			adoptBatchTraces(f)
 			for _, n := range f.Batch {
 				if n != nil {
 					d.storeAndNotify(n)
@@ -269,6 +274,7 @@ func (d *DeviceClient) store(n *msg.Notification) bool {
 		if n.Rank < d.thresholds[n.Topic] {
 			q.Remove(n.ID)
 			d.drops++
+			d.traceEvent(trace.KindDrop, n, "device", "rank retracted below threshold on the device")
 			return false
 		}
 		q.UpdateRank(n.ID, n.Rank)
@@ -276,11 +282,37 @@ func (d *DeviceClient) store(n *msg.Notification) bool {
 	}
 	if n.Expired(time.Now()) || n.Rank < d.thresholds[n.Topic] {
 		d.received++
+		d.traceHop(trace.KindDeviceRecv, n)
 		return true
 	}
 	d.received++
 	_ = q.Push(n)
+	d.traceHop(trace.KindDeviceRecv, n)
 	return true
+}
+
+// traceHop stamps the device hop onto a sampled notification's context and
+// records the event; no-op when tracing is off or the notification is
+// unsampled.
+func (d *DeviceClient) traceHop(kind trace.Kind, n *msg.Notification) {
+	d.opts.Trace.Hop(kind, d.name, n, time.Now())
+}
+
+// traceEvent records a device-side trace event for n; no-op when tracing
+// is off.
+func (d *DeviceClient) traceEvent(kind trace.Kind, n *msg.Notification, queue, cause string) {
+	c := d.opts.Trace
+	if c == nil {
+		return
+	}
+	e := trace.Event{
+		At: time.Now(), Kind: kind, Topic: n.Topic, ID: n.ID, Rank: n.Rank,
+		Node: d.name, Queue: queue, Cause: cause,
+	}
+	if n.Trace != nil {
+		e.TraceID = n.Trace.TraceID
+	}
+	c.Record(e)
 }
 
 // storeAndNotify stores a pushed notification and, when it was a
@@ -413,6 +445,7 @@ func (d *DeviceClient) readOnce(topic string, n int) ([]*msg.Notification, error
 	batch := q.TakeBestN(take)
 	for _, b := range batch {
 		d.read[topic].Add(b.ID)
+		d.traceEvent(trace.KindRead, b, "", "")
 	}
 	sort.Slice(batch, func(i, j int) bool { return batch[i].Before(batch[j]) })
 	return batch, nil
@@ -424,14 +457,15 @@ func (d *DeviceClient) purgeExpiredLocked(topic string) {
 		return
 	}
 	now := time.Now()
-	var stale []msg.ID
+	var stale []*msg.Notification
 	q.Each(func(n *msg.Notification) {
 		if n.Expired(now) {
-			stale = append(stale, n.ID)
+			stale = append(stale, n)
 		}
 	})
-	for _, id := range stale {
-		q.Remove(id)
+	for _, n := range stale {
+		q.Remove(n.ID)
+		d.traceEvent(trace.KindExpire, n, "device", "expired in the device queue before a read")
 	}
 }
 

@@ -40,12 +40,16 @@ func putPushFrame(f *Frame) {
 func appendFrame(dst []byte, f *Frame) ([]byte, error) {
 	switch {
 	case f.Type == TypePush && f.Notification != nil && f.Batch == nil &&
-		f.bareAsidePayload() && encodable(f.Notification):
+		f.Traces == nil && f.bareAsidePayload() && encodable(f.Notification):
 		dst = append(dst, `{"type":"push","notification":`...)
 		dst = appendNotification(dst, f.Notification)
+		if f.Trace != nil {
+			dst = append(dst, `,"trace":`...)
+			dst = appendTraceContext(dst, f.Trace)
+		}
 		return append(dst, '}', '\n'), nil
 	case f.Type == TypePushBatch && len(f.Batch) > 0 && f.Notification == nil &&
-		f.bareAsidePayload() && allEncodable(f.Batch):
+		f.Trace == nil && f.bareAsidePayload() && allEncodable(f.Batch):
 		dst = append(dst, `{"type":"push-batch","batch":[`...)
 		for i, n := range f.Batch {
 			if i > 0 {
@@ -53,7 +57,22 @@ func appendFrame(dst []byte, f *Frame) ([]byte, error) {
 			}
 			dst = appendNotification(dst, n)
 		}
-		return append(dst, ']', '}', '\n'), nil
+		dst = append(dst, ']')
+		if len(f.Traces) > 0 {
+			dst = append(dst, `,"traces":[`...)
+			for i, t := range f.Traces {
+				if i > 0 {
+					dst = append(dst, ',')
+				}
+				if t == nil {
+					dst = append(dst, `null`...)
+				} else {
+					dst = appendTraceContext(dst, t)
+				}
+			}
+			dst = append(dst, ']')
+		}
+		return append(dst, '}', '\n'), nil
 	}
 	b, err := json.Marshal(f)
 	if err != nil {
@@ -63,8 +82,9 @@ func appendFrame(dst []byte, f *Frame) ([]byte, error) {
 }
 
 // bareAsidePayload reports whether every frame field other than Type,
-// Notification, and Batch is zero — the shape the hand-rolled encoders
-// emit. Anything else routes through json.Marshal.
+// Notification, Batch, and the trace contexts (Trace/Traces, which the
+// hand-rolled cases emit themselves) is zero — the shape the hand-rolled
+// encoders emit. Anything else routes through json.Marshal.
 func (f *Frame) bareAsidePayload() bool {
 	return f.Seq == 0 && f.Re == 0 && f.Name == "" && f.Topic == "" &&
 		f.Publisher == "" && f.RankUpdate == nil && f.Subscription == nil &&
@@ -124,6 +144,35 @@ func appendNotification(dst []byte, n *msg.Notification) []byte {
 	return append(dst, '}')
 }
 
+// appendTraceContext appends the JSON object for a trace context,
+// mirroring the field order and omitempty behavior of msg.TraceContext.
+// Strings route through appendJSONString (exact escaping) and hop
+// timestamps are integers, so every context is representable — no
+// encodable() gate is needed.
+func appendTraceContext(dst []byte, t *msg.TraceContext) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = appendJSONString(dst, t.TraceID)
+	if t.Origin != "" {
+		dst = append(dst, `,"origin":`...)
+		dst = appendJSONString(dst, t.Origin)
+	}
+	if len(t.Hops) > 0 {
+		dst = append(dst, `,"hops":[`...)
+		for i, h := range t.Hops {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, `{"node":`...)
+			dst = appendJSONString(dst, h.Node)
+			dst = append(dst, `,"at":`...)
+			dst = strconv.AppendInt(dst, h.At, 10)
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	return append(dst, '}')
+}
+
 // appendJSONString appends s as a JSON string. The fast path covers plain
 // ASCII without characters needing escapes — every ID and topic the system
 // mints; anything else defers to json.Marshal for exact escaping.
@@ -175,6 +224,13 @@ func appendBase64(dst []byte, p []byte) []byte {
 // notification inside a batch frame, for chunking below maxFrameBytes.
 func encodedSizeHint(n *msg.Notification) int {
 	const fixed = 192 // braces, keys, rank, two RFC 3339 timestamps
-	return fixed + 2*(len(n.ID)+len(n.Topic)+len(n.Publisher)) +
+	hint := fixed + 2*(len(n.ID)+len(n.Topic)+len(n.Publisher)) +
 		base64.StdEncoding.EncodedLen(len(n.Payload))
+	if t := n.Trace; t != nil {
+		hint += 64 + 2*(len(t.TraceID)+len(t.Origin))
+		for _, h := range t.Hops {
+			hint += 48 + 2*len(h.Node)
+		}
+	}
+	return hint
 }

@@ -3,6 +3,7 @@ package wire
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lasthop/internal/msg"
@@ -34,6 +35,11 @@ type peerEdge struct {
 	// drop records a frame lost on this edge (nil disables); wired to the
 	// owning broker's peer-forward-drop counter.
 	drop func()
+	// traceOK records whether the remote broker advertised CapTrace in
+	// its peer-hello; trace contexts are only lifted into peer-publish
+	// frames for such peers. Atomic because the hello that sets it races
+	// forwards already in flight on the edge.
+	traceOK atomic.Bool
 }
 
 var _ pubsub.Peer = (*peerEdge)(nil)
@@ -59,7 +65,11 @@ func (e *peerEdge) UnsubscribeRemote(topic string, from pubsub.Peer) {
 
 // Route implements pubsub.Peer.
 func (e *peerEdge) Route(n *msg.Notification, from pubsub.Peer) {
-	e.send(&Frame{Type: TypePeerPublish, Notification: n})
+	f := &Frame{Type: TypePeerPublish, Notification: n}
+	if e.traceOK.Load() {
+		f.Trace = n.Trace
+	}
+	e.send(f)
 }
 
 // RouteUpdate implements pubsub.Peer.
@@ -77,12 +87,18 @@ func servePeerFrames(broker *pubsub.Broker, conn *Conn, edge *peerEdge, logf fun
 			return
 		}
 		switch f.Type {
+		case TypePeerHello:
+			// The remote side's half of the symmetric capability
+			// exchange (the accepting broker answers a dialer's hello
+			// with its own; see BrokerServer.handle).
+			edge.traceOK.Store(hasCap(f.Caps, CapTrace))
 		case TypePeerSubscribe:
 			broker.SubscribeRemote(f.Topic, edge)
 		case TypePeerUnsubscribe:
 			broker.UnsubscribeRemote(f.Topic, edge)
 		case TypePeerPublish:
 			if f.Notification != nil {
+				f.Notification.Trace = f.Trace
 				broker.Route(f.Notification, edge)
 			}
 		case TypePeerRankUpdate:
@@ -156,7 +172,7 @@ func (f *Federation) connect() (*Conn, *peerEdge, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("federate: %w", err)
 	}
-	if err := conn.Send(&Frame{Type: TypePeerHello, Name: f.name}); err != nil {
+	if err := conn.Send(&Frame{Type: TypePeerHello, Name: f.name, Caps: localCaps()}); err != nil {
 		_ = conn.Close()
 		return nil, nil, fmt.Errorf("federate: %w", err)
 	}

@@ -68,10 +68,16 @@ const (
 const (
 	// CapPushBatch marks a peer that understands TypePushBatch frames.
 	CapPushBatch = "push-batch"
+	// CapTrace marks a peer that understands the optional trace-context
+	// frame fields (Frame.Trace and Frame.Traces). Contexts are only
+	// attached toward peers that advertised it; legacy peers receive the
+	// same frames minus the context, and a context arriving anyway would
+	// be ignored as an unknown JSON field.
+	CapTrace = "trace-ctx"
 )
 
 // localCaps is what this build advertises and understands.
-func localCaps() []string { return []string{CapPushBatch} }
+func localCaps() []string { return []string{CapPushBatch, CapTrace} }
 
 // hasCap reports whether a hello's capability list names c.
 func hasCap(caps []string, c string) bool {
@@ -114,6 +120,13 @@ type Frame struct {
 	// Batch carries the notifications of a TypePushBatch frame.
 	Batch []*msg.Notification `json:"batch,omitempty"`
 
+	// Trace carries the distributed-tracing context of Notification on
+	// publish/push frames; Traces aligns 1:1 with Batch on push-batch
+	// frames (null entries mark unsampled notifications). Both are only
+	// sent to peers that advertised CapTrace in their hello.
+	Trace  *msg.TraceContext   `json:"trace,omitempty"`
+	Traces []*msg.TraceContext `json:"traces,omitempty"`
+
 	// Caps lists protocol capabilities on hello frames and their OK
 	// responses; see the Cap* constants.
 	Caps []string `json:"caps,omitempty"`
@@ -134,6 +147,21 @@ type Frame struct {
 	// Error message and machine-readable code for TypeErr.
 	Message string `json:"message,omitempty"`
 	Code    string `json:"code,omitempty"`
+}
+
+// adoptBatchTraces reattaches the trace contexts of a push-batch frame to
+// its notifications. Entries are matched by index; a short, missing, or
+// hostile-length Traces slice simply leaves the remaining notifications
+// unsampled.
+func adoptBatchTraces(f *Frame) {
+	if len(f.Traces) == 0 {
+		return
+	}
+	for i, n := range f.Batch {
+		if n != nil && i < len(f.Traces) {
+			n.Trace = f.Traces[i]
+		}
+	}
 }
 
 // TopicPolicy is the device-facing subset of core.TopicConfig a device may

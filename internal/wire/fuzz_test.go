@@ -7,6 +7,7 @@ package wire
 import (
 	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -23,6 +24,10 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add([]byte(`{"type":"push-batch","batch":[{"id":"a","topic":"t","rank":1},{"id":"b","topic":"t","rank":2,"payload":"aGk="}]}`))
 	f.Add([]byte(`{"type":"push-batch","batch":[null,{"id":"c","topic":"t","rank":3},null]}`))
 	f.Add([]byte(`{"type":"push-batch","batch":[]}`))
+	f.Add([]byte(`{"type":"push","notification":{"id":"a","topic":"t","rank":1},"trace":{"id":"a","origin":"b1","hops":[{"node":"b1","at":1700000000000000000}]}}`))
+	f.Add([]byte(`{"type":"push-batch","batch":[{"id":"a","topic":"t","rank":1},{"id":"b","topic":"t","rank":2}],"traces":[{"id":"a"},null]}`))
+	// Traces longer than the batch: adoptBatchTraces must ignore the tail.
+	f.Add([]byte(`{"type":"push-batch","batch":[{"id":"a","topic":"t","rank":1}],"traces":[{"id":"a"},{"id":"ghost"},null]}`))
 	// Oversized-but-legal frames: a payload that pushes the encoded frame
 	// near (but under) maxFrameBytes, and one batch of many small entries.
 	f.Add([]byte(`{"type":"push","notification":{"id":"big","topic":"t","rank":1,"payload":"` +
@@ -59,6 +64,9 @@ func FuzzFrameDecode(f *testing.F) {
 				_ = n.Validate()
 			}
 		}
+		// Hostile Traces lengths (longer or shorter than Batch) must never
+		// panic the reattachment the receive path performs.
+		adoptBatchTraces(&fr)
 		// Re-encoding must always succeed.
 		if _, err := json.Marshal(&fr); err != nil {
 			t.Fatalf("re-encode: %v", err)
@@ -96,6 +104,9 @@ func FuzzBatchFrameEncode(f *testing.F) {
 	f.Add(3, "id", "topic/a", "pub", 4.5, []byte("payload"), int64(1_700_000_000))
 	f.Add(1, "", "", "", -0.0, []byte(nil), int64(0))
 	f.Add(8, "nö\x00n", "t<a>&b", "svc\"q\\", 1e21, []byte{0x00, 0xff}, int64(4_000_000_000))
+	// Even batch sizes attach per-entry trace contexts (with nil gaps), so
+	// the seed corpus exercises the trace-field encoder too.
+	f.Add(5, "tr-1", "node/x", `origin "o"`, 2.5, []byte("p"), int64(123_456_789))
 	f.Fuzz(func(t *testing.T, count int, id, topic, publisher string, rank float64, payload []byte, sec int64) {
 		if math.IsNaN(rank) || math.IsInf(rank, 0) {
 			t.Skip("non-finite ranks are rejected at encode time")
@@ -124,6 +135,20 @@ func FuzzBatchFrameEncode(f *testing.F) {
 			batch[i] = n
 		}
 		fr := &Frame{Type: TypePushBatch, Batch: batch}
+		// Even batch sizes carry aligned trace contexts, with every third
+		// entry left nil the way an unsampled notification would be.
+		if count%2 == 0 {
+			fr.Traces = make([]*msg.TraceContext, len(batch))
+			for i := range fr.Traces {
+				if i%3 == 2 {
+					continue
+				}
+				fr.Traces[i] = &msg.TraceContext{
+					TraceID: id, Origin: publisher,
+					Hops: []msg.TraceHop{{Node: topic, At: sec}},
+				}
+			}
+		}
 		enc, err := appendFrame(nil, fr)
 		if err != nil {
 			t.Fatalf("appendFrame: %v", err)
@@ -152,6 +177,10 @@ func FuzzBatchFrameEncode(f *testing.F) {
 				!g.Expires.Equal(w.Expires) || string(g.Payload) != string(w.Payload) {
 				t.Fatalf("entry %d diverged\n got: %+v\nwant: %+v\n enc: %s\n ref: %s", i, g, w, enc, ref)
 			}
+		}
+		if !reflect.DeepEqual(got.Traces, want.Traces) {
+			t.Fatalf("trace contexts diverged\n got: %+v\nwant: %+v\n enc: %s\n ref: %s",
+				got.Traces, want.Traces, enc, ref)
 		}
 	})
 }

@@ -11,6 +11,7 @@ import (
 	"lasthop/internal/journal"
 	"lasthop/internal/msg"
 	"lasthop/internal/simtime"
+	"lasthop/internal/trace"
 )
 
 // proxyAPI is the input surface ProxyServer drives: either a bare
@@ -80,6 +81,10 @@ type ProxyOptions struct {
 	// connections; it also propagates to the upstream client unless
 	// Upstream.Metrics is set explicitly. Nil disables it.
 	Metrics *Metrics
+	// Trace collects per-notification traces: arriving contexts are
+	// stamped with this proxy's hop, and the core queue decisions are
+	// recorded against them. Nil disables tracing entirely.
+	Trace *trace.Collector
 }
 
 // DeviceSession is the per-device state a proxy retains across
@@ -123,6 +128,10 @@ type ProxyServer struct {
 	// CapPushBatch in its hello; devices speaking the pre-batch protocol
 	// get single-frame pushes.
 	deviceBatch bool
+	// deviceTrace records whether the connected device advertised
+	// CapTrace; trace contexts are only lifted into push frames for such
+	// devices.
+	deviceTrace bool
 	sessions    map[string]*DeviceSession
 	lis         net.Listener
 	closed      bool
@@ -188,8 +197,15 @@ func NewProxyServerOpts(opts ProxyOptions) (*ProxyServer, error) {
 		ps.schedC.Close()
 		return nil, fmt.Errorf("proxy: %w", err)
 	}
+	if opts.Trace != nil {
+		// Stamp this proxy's name onto core events so shared collectors
+		// (the load generator uses one for the whole topology) attribute
+		// queue decisions to the right node.
+		ps.proxy.SetTracer(nodeTracer{node: ps.name, t: opts.Trace})
+	}
 	upstream.OnPush(
 		func(n *msg.Notification) {
+			ps.opts.Trace.Hop(trace.KindProxyRecv, ps.name, n, time.Now())
 			ps.sched.Run(func() {
 				if err := ps.api.Notify(n); err != nil {
 					ps.logf("proxy: journal notify: %v", err)
@@ -216,15 +232,30 @@ func NewProxyServerOpts(opts ProxyOptions) (*ProxyServer, error) {
 	return ps, nil
 }
 
+// nodeTracer fills the recording node's name into events that do not name
+// one before handing them to the underlying tracer.
+type nodeTracer struct {
+	node string
+	t    trace.Tracer
+}
+
+func (nt nodeTracer) Record(e trace.Event) {
+	if e.Node == "" {
+		e.Node = nt.node
+	}
+	nt.t.Record(e)
+}
+
 // Forward implements core.Forwarder by pushing to the connected device.
 func (ps *ProxyServer) Forward(n *msg.Notification) error {
 	ps.mu.Lock()
 	dev := ps.device
+	withTrace := ps.deviceTrace
 	ps.mu.Unlock()
 	if dev == nil {
 		return errors.New("no device connected")
 	}
-	return sendPush(dev, n)
+	return sendPush(dev, n, withTrace)
 }
 
 // ForwardBatch implements core.BatchForwarder: a burst of forwards — a
@@ -235,13 +266,14 @@ func (ps *ProxyServer) ForwardBatch(batch []*msg.Notification) error {
 	ps.mu.Lock()
 	dev := ps.device
 	batching := ps.deviceBatch
+	withTrace := ps.deviceTrace
 	ps.mu.Unlock()
 	if dev == nil {
 		return errors.New("no device connected")
 	}
 	if !batching {
 		for _, n := range batch {
-			if err := sendPush(dev, n); err != nil {
+			if err := sendPush(dev, n, withTrace); err != nil {
 				return err
 			}
 		}
@@ -253,26 +285,29 @@ func (ps *ProxyServer) ForwardBatch(batch []*msg.Notification) error {
 	for i, n := range batch {
 		est := encodedSizeHint(n)
 		if i > start && size+est > budget {
-			if err := sendBatch(dev, batch[start:i]); err != nil {
+			if err := sendBatch(dev, batch[start:i], withTrace); err != nil {
 				return err
 			}
 			start, size = i, 0
 		}
 		size += est
 	}
-	return sendBatch(dev, batch[start:])
+	return sendBatch(dev, batch[start:], withTrace)
 }
 
-func sendPush(dev *Conn, n *msg.Notification) error {
+func sendPush(dev *Conn, n *msg.Notification, withTrace bool) error {
 	f := getPushFrame()
 	f.Type = TypePush
 	f.Notification = n
+	if withTrace {
+		f.Trace = n.Trace
+	}
 	err := dev.Send(f)
 	putPushFrame(f)
 	return err
 }
 
-func sendBatch(dev *Conn, batch []*msg.Notification) error {
+func sendBatch(dev *Conn, batch []*msg.Notification, withTrace bool) error {
 	if len(batch) == 0 {
 		return nil
 	}
@@ -280,11 +315,24 @@ func sendBatch(dev *Conn, batch []*msg.Notification) error {
 		dev.m.BatchSize.Observe(float64(len(batch)))
 	}
 	if len(batch) == 1 {
-		return sendPush(dev, batch[0])
+		return sendPush(dev, batch[0], withTrace)
 	}
 	f := getPushFrame()
 	f.Type = TypePushBatch
 	f.Batch = batch
+	if withTrace {
+		var traces []*msg.TraceContext
+		for i, n := range batch {
+			if n.Trace == nil {
+				continue
+			}
+			if traces == nil {
+				traces = make([]*msg.TraceContext, len(batch))
+			}
+			traces[i] = n.Trace
+		}
+		f.Traces = traces
+	}
 	err := dev.Send(f)
 	putPushFrame(f)
 	return err
@@ -324,6 +372,7 @@ func (ps *ProxyServer) Serve(lis net.Listener) error {
 		ps.device = conn
 		ps.deviceName = ""
 		ps.deviceBatch = false
+		ps.deviceTrace = false
 		ps.wg.Add(1)
 		ps.mu.Unlock()
 		ps.sched.Run(func() {
@@ -378,6 +427,7 @@ func (ps *ProxyServer) handleDevice(conn *Conn) {
 			}
 			ps.deviceName = ""
 			ps.deviceBatch = false
+			ps.deviceTrace = false
 			ps.mu.Unlock()
 			ps.sched.Run(func() {
 				if err := ps.api.SetNetwork(false); err != nil {
@@ -439,6 +489,7 @@ func (ps *ProxyServer) attachSession(conn *Conn, hello *Frame) {
 	}
 	ps.deviceName = name
 	ps.deviceBatch = hasCap(hello.Caps, CapPushBatch)
+	ps.deviceTrace = hasCap(hello.Caps, CapTrace)
 	s := ps.sessions[name]
 	if s == nil {
 		s = &DeviceSession{Name: name}

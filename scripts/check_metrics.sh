@@ -12,7 +12,7 @@ SCRAPE="$(mktemp)"
 trap 'rm -f "$OUT" "$SCRAPE"' EXIT
 
 go run ./cmd/lasthop-loadgen -publishers 2 -devices 2 -n 500 \
-  -obs-addr "$ADDR" -linger 10s -q -out "$OUT" &
+  -trace-sample 1 -obs-addr "$ADDR" -linger 10s -q -out "$OUT" &
 LG=$!
 
 # Poll until a scrape shows completed deliveries (the run lingers after
@@ -47,6 +47,11 @@ lasthop_wire_frames_out_total
 lasthop_wire_batch_size_bucket
 lasthop_wire_flush_frames_bucket
 lasthop_loadgen_delivery_latency_seconds_bucket
+lasthop_trace_sampled_total
+lasthop_trace_completed_total
+lasthop_trace_dropped_events_total
+lasthop_trace_ring_occupancy
+lasthop_trace_active
 "
 missing=0
 for fam in $required; do
