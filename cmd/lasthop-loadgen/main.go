@@ -1,13 +1,15 @@
 // Command lasthop-loadgen measures end-to-end notification throughput
 // through a real broker → proxy → device topology: P publisher
 // connections push a configurable volume through an in-process broker
-// server, one last-hop proxy per device forwards across TCP, and the run
-// reports publish and delivery rates as JSON.
+// server, last-hop proxies forward across TCP — one per device, or a
+// single multi-tenant host carrying every session — and the run reports
+// publish and delivery rates as JSON.
 //
 // Examples:
 //
 //	lasthop-loadgen -publishers 8 -devices 16 -n 20000
 //	lasthop-loadgen -devices 4 -on-demand -payload 512 -out run.json
+//	lasthop-loadgen -multi-tenant -devices 1000 -topics 100 -n 50000
 package main
 
 import (
@@ -36,6 +38,8 @@ func run() error {
 		count      = flag.Int("n", 10000, "total notifications to publish")
 		payload    = flag.Int("payload", 128, "payload bytes per notification")
 		onDemand   = flag.Bool("on-demand", false, "consume with READ requests instead of on-line pushes")
+		multi      = flag.Bool("multi-tenant", false, "run every device against one shared host instead of one proxy per device")
+		hostWk     = flag.Int("host-workers", 0, "host worker count in multi-tenant mode (0 = GOMAXPROCS)")
 		timeout    = flag.Duration("timeout", time.Minute, "abort the run after this long")
 		out        = flag.String("out", "", "write the JSON report here (default stdout)")
 		quiet      = flag.Bool("q", false, "suppress progress logging")
@@ -58,6 +62,8 @@ func run() error {
 		Notifications: *count,
 		PayloadBytes:  *payload,
 		OnDemand:      *onDemand,
+		MultiTenant:   *multi,
+		HostWorkers:   *hostWk,
 		ObsAddr:       *obsAddr,
 		Linger:        *linger,
 		Timeout:       *timeout,

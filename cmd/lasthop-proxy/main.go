@@ -4,18 +4,26 @@
 // disconnected the proxy spools notifications exactly as during a
 // simulated network outage.
 //
-// Example:
+// With -multi-tenant it instead runs a proxy host serving any number of
+// devices on one listener: sessions shard across -workers event-loop
+// workers (each with its own timing wheel) and all upstream traffic
+// shares one multiplexed broker connection.
+//
+// Examples:
 //
 //	lasthop-proxy -broker localhost:7470 -listen :7471 -name alice-proxy -obs-addr :9471
+//	lasthop-proxy -multi-tenant -broker localhost:7470 -listen :7471 -name edge-host
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"time"
 
+	"lasthop/internal/host"
 	"lasthop/internal/metrics"
 	"lasthop/internal/obs"
 	"lasthop/internal/retry"
@@ -43,6 +51,9 @@ func run() error {
 		devReadTO    = flag.Duration("device-read-timeout", 0, "max silence tolerated on the device connection (0 = unlimited)")
 		devWriteTO   = flag.Duration("device-write-timeout", 10*time.Second, "max time for one write to the device (0 = unlimited)")
 		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "max time for one write to the broker (0 = unlimited)")
+		multi        = flag.Bool("multi-tenant", false, "serve many device sessions as one proxy host instead of a single-device proxy")
+		workers      = flag.Int("workers", 0, "multi-tenant event-loop workers (0 = GOMAXPROCS)")
+		wheelTick    = flag.Duration("wheel-tick", 10*time.Millisecond, "multi-tenant timing-wheel resolution")
 
 		obsAddr     = flag.String("obs-addr", "", "serve /metrics, /healthz, /debug/pprof, and /debug/traces on this address (empty = disabled)")
 		traceSample = flag.Float64("trace-sample", 0, "head-sample this fraction of locally published traffic (the proxy mostly records events against contexts minted upstream; anomalies are always traced)")
@@ -64,16 +75,57 @@ func run() error {
 	collector := trace.NewCollector(*name, trace.NewSampler(*traceSample), *traceRing)
 	collector.RegisterMetrics(reg)
 
+	upstream := wire.ClientOptions{
+		AutoReconnect:     *reconnect,
+		Backoff:           retry.Policy{Initial: *backoffInit, Max: *backoffMax},
+		HeartbeatInterval: *heartbeat,
+		WriteTimeout:      *writeTimeout,
+	}
+
+	if *multi {
+		if *journalPath != "" {
+			return errors.New("-journal is not supported in -multi-tenant mode")
+		}
+		h, err := host.New(host.Options{
+			BrokerAddr:         *broker,
+			Name:               *name,
+			Workers:            *workers,
+			WheelTick:          *wheelTick,
+			Upstream:           upstream,
+			DeviceReadTimeout:  *devReadTO,
+			DeviceWriteTimeout: *devWriteTO,
+			Logf:               logf,
+			Metrics:            wm,
+			Trace:              collector,
+		})
+		if err != nil {
+			return err
+		}
+		defer h.Close()
+		h.RegisterMetrics(reg, *name)
+		if *obsAddr != "" {
+			osrv, err := obs.Serve(*obsAddr, reg,
+				obs.Route{Pattern: "/debug/traces", Handler: collector.Handler()})
+			if err != nil {
+				return err
+			}
+			defer func() { _ = osrv.Close() }()
+			logger.Info("observability endpoint up", "component", "host", "addr", osrv.Addr())
+		}
+		lis, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		logger.Info("serving", "component", "host", "name", *name,
+			"broker", *broker, "addr", lis.Addr().String(), "workers", h.Workers())
+		return h.Serve(lis)
+	}
+
 	srv, err := wire.NewProxyServerOpts(wire.ProxyOptions{
 		BrokerAddr:  *broker,
 		Name:        *name,
 		JournalPath: *journalPath,
-		Upstream: wire.ClientOptions{
-			AutoReconnect:     *reconnect,
-			Backoff:           retry.Policy{Initial: *backoffInit, Max: *backoffMax},
-			HeartbeatInterval: *heartbeat,
-			WriteTimeout:      *writeTimeout,
-		},
+		Upstream:    upstream,
 		DeviceReadTimeout:  *devReadTO,
 		DeviceWriteTimeout: *devWriteTO,
 		Logf:               logf,

@@ -8,7 +8,6 @@ import (
 	"lasthop/internal/device"
 	"lasthop/internal/link"
 	"lasthop/internal/msg"
-	"lasthop/internal/simtime"
 )
 
 // flapLink forwards proxy pushes into a real device.Device over a
@@ -41,7 +40,7 @@ func (f *flapLink) Forward(n *msg.Notification) error {
 // down, and replay the queue exactly once after the link returns. This
 // is the wiring sim.Run uses, with the flap injected at the forwarder.
 func TestLinkFlapMidRead(t *testing.T) {
-	sched := simtime.NewVirtual(t0)
+	sched := newTestClock(t0)
 	lnk := link.New(sched, true)
 	fwd := &flapLink{lnk: lnk, dropAfter: 3}
 	proxy := New(sched, fwd)
@@ -142,7 +141,7 @@ func TestLinkFlapMidRead(t *testing.T) {
 // crosses exactly one notification before the radio dies again. However
 // hostile the schedule, every notification must arrive exactly once.
 func TestLinkFlapRepeated(t *testing.T) {
-	sched := simtime.NewVirtual(t0)
+	sched := newTestClock(t0)
 	lnk := link.New(sched, true)
 	fwd := &flapLink{lnk: lnk}
 	proxy := New(sched, fwd)

@@ -11,7 +11,6 @@ import (
 	"time"
 
 	"lasthop/internal/msg"
-	"lasthop/internal/simtime"
 )
 
 // checkInvariants asserts the proxy's structural invariants for a topic.
@@ -105,7 +104,7 @@ func checkInvariants(t *testing.T, p *Proxy, topic string, step int) {
 
 // applyRandomOp drives one random proxy input, returning the device's
 // notion of its queue so reads can be plausible.
-func applyRandomOp(t *testing.T, rng *rand.Rand, clock *simtime.Virtual, p *Proxy, dev *fakeDevice, next *int) {
+func applyRandomOp(t *testing.T, rng *rand.Rand, clock testClock, p *Proxy, dev *fakeDevice, next *int) {
 	t.Helper()
 	switch rng.Intn(10) {
 	case 0, 1, 2, 3: // arrival
@@ -164,7 +163,7 @@ func TestProxyInvariantsUnderRandomOps(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			for seed := int64(0); seed < 4; seed++ {
 				rng := rand.New(rand.NewSource(seed))
-				clock := simtime.NewVirtual(t0)
+				clock := newTestClock(t0)
 				dev := &fakeDevice{}
 				p := New(clock, dev)
 				if err := p.AddTopic(cfg); err != nil {
@@ -185,7 +184,7 @@ func TestProxyInvariantsUnderRandomOps(t *testing.T) {
 // network-down transitions.
 func TestProxyInvariantsWithFailingDevice(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	clock := simtime.NewVirtual(t0)
+	clock := newTestClock(t0)
 	dev := &fakeDevice{}
 	p := New(clock, dev)
 	if err := p.AddTopic(BufferConfig("t", 8, 16)); err != nil {

@@ -14,7 +14,6 @@ import (
 	"time"
 
 	"lasthop/internal/msg"
-	"lasthop/internal/simtime"
 )
 
 // fakeBatchDevice is a BatchForwarder with all-or-nothing batches; like
@@ -36,7 +35,7 @@ func (d *fakeBatchDevice) ForwardBatch(batch []*msg.Notification) error {
 // parityDriver runs one proxy (per-event or batch) through a scripted
 // scenario.
 type parityDriver struct {
-	sched   *simtime.Virtual
+	sched   testClock
 	proxy   *Proxy
 	setFail func(bool)
 	ids     func() []msg.ID
@@ -44,7 +43,7 @@ type parityDriver struct {
 
 func newParityDriver(t *testing.T, cfg TopicConfig, batch bool) *parityDriver {
 	t.Helper()
-	sched := simtime.NewVirtual(t0)
+	sched := newTestClock(t0)
 	var fwd Forwarder
 	var setFail func(bool)
 	var ids func() []msg.ID

@@ -201,11 +201,18 @@ func (p *Proxy) RemoveTopic(name string) error {
 	if !ok {
 		return fmt.Errorf("remove topic: %q not registered", name)
 	}
-	for _, t := range ts.delayed {
+	// Cancel AND clear both timer maps: under a wall-clock scheduler a
+	// timer can have fired (but not yet run) before Cancel, in which case
+	// its callback still executes later. The callbacks guard on map
+	// membership, so clearing the maps turns those late fires into no-ops
+	// instead of mutating queues of an unregistered topic.
+	for id, t := range ts.delayed {
 		t.Cancel()
+		delete(ts.delayed, id)
 	}
-	for _, t := range ts.expiryTimer {
+	for id, t := range ts.expiryTimer {
 		t.Cancel()
+		delete(ts.expiryTimer, id)
 	}
 	delete(p.topics, name)
 	return nil
@@ -521,6 +528,9 @@ func (p *Proxy) scheduleExpiry(ts *topicState, n *msg.Notification) {
 
 // expirationTimeout removes an expired event from all queues (Figure 7).
 func (p *Proxy) expirationTimeout(ts *topicState, id msg.ID) {
+	if _, ok := ts.expiryTimer[id]; !ok {
+		return // cancelled (topic removed or event forgotten) after firing
+	}
 	delete(ts.expiryTimer, id)
 	// queue remembers where the event died; outgoing wins when an ID sits
 	// in two queues at once, because dying there means a missed delivery.

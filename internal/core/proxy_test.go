@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -38,15 +39,34 @@ func (d *fakeDevice) ids() []msg.ID {
 	return out
 }
 
+// testClock is the driver surface the core tests need from a scheduler.
+// Both simtime.Virtual and the manual simtime.Wheel satisfy it, which is
+// how the wheel's drop-in claim is enforced: LASTHOP_CORE_SCHED=wheel
+// reruns this entire package against the timing wheel.
+type testClock interface {
+	simtime.Scheduler
+	Advance(time.Duration)
+	Pending() int
+}
+
+func newTestClock(start time.Time) testClock {
+	if os.Getenv("LASTHOP_CORE_SCHED") == "wheel" {
+		// 1ms ticks: fine enough that the tests' second-granularity
+		// schedules stay tick-aligned and fire at their exact instants.
+		return simtime.NewWheel(start, time.Millisecond)
+	}
+	return simtime.NewVirtual(start)
+}
+
 type fixture struct {
-	sched *simtime.Virtual
+	sched testClock
 	dev   *fakeDevice
 	proxy *Proxy
 }
 
 func newFixture(t *testing.T, cfg TopicConfig) *fixture {
 	t.Helper()
-	sched := simtime.NewVirtual(t0)
+	sched := newTestClock(t0)
 	dev := &fakeDevice{}
 	p := New(sched, dev)
 	if err := p.AddTopic(cfg); err != nil {

@@ -1,0 +1,105 @@
+package host
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lasthop/internal/msg"
+	"lasthop/internal/pubsub"
+	"lasthop/internal/wire"
+)
+
+// BenchmarkHostForwardPath measures the multi-tenant pipeline: publisher →
+// broker server → host (sharded sessions, multiplexed upstream, wheel
+// timers) → device clients. Notifications round-robin across per-device
+// topics, so each op is one end-to-end delivery; the run only completes
+// once every device holds everything published to its topic.
+func BenchmarkHostForwardPath(b *testing.B) {
+	const devices = 8
+
+	bl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bs := wire.NewBrokerServer(pubsub.NewBroker("bench-broker"), nil)
+	go func() { _ = bs.Serve(bl) }()
+	defer bs.Close()
+
+	h, err := New(Options{BrokerAddr: bl.Addr().String(), Name: "bench-host"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	hl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = h.Serve(hl) }()
+
+	devs := make([]*wire.DeviceClient, devices)
+	topics := make([]string, devices)
+	for i := range devs {
+		topics[i] = fmt.Sprintf("bench/online-%d", i)
+		dev, err := wire.DialProxy(hl.Addr().String(), fmt.Sprintf("bench-dev-%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() { _ = dev.Close() }()
+		if err := dev.Subscribe(topics[i], wire.TopicPolicy{Mode: "on-line"}); err != nil {
+			b.Fatal(err)
+		}
+		devs[i] = dev
+	}
+
+	pub, err := wire.DialBroker(bl.Addr().String(), "bench-pub")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = pub.Close() }()
+	for _, t := range topics {
+		if err := pub.Advertise(t, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	base := time.Unix(1700000000, 0).UTC()
+	var ctr atomic.Int64
+	var perTopic [devices]atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := ctr.Add(1)
+			slot := int(i) % devices
+			perTopic[slot].Add(1)
+			n := &msg.Notification{
+				ID:        msg.ID("fwd-" + strconv.FormatInt(i, 10)),
+				Topic:     topics[slot],
+				Rank:      3,
+				Published: base,
+			}
+			if err := pub.Publish(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for i, dev := range devs {
+		want := int(perTopic[i].Load())
+		for {
+			received, _, _ := dev.Stats()
+			if received >= want {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatalf("device %d received %d of %d", i, received, want)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	b.StopTimer()
+}

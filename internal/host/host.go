@@ -1,0 +1,567 @@
+// Package host runs many last-hop proxies in one process: a multi-tenant
+// proxy host. Where wire.ProxyServer dedicates a process (scheduler,
+// upstream broker connection, listener) to a single device, Host shards
+// device sessions across a small set of event-loop workers — each worker
+// owns one hierarchical timing wheel (simtime.Wheel) that serializes every
+// core.Proxy call of the sessions assigned to it — and multiplexes all
+// upstream traffic over one ref-counted broker connection holding exactly
+// one subscription per distinct topic, however many sessions share it.
+//
+// The paper's deployment model (§4) puts one proxy per mobile user at the
+// edge; a realistic edge node serves thousands of users. The host is that
+// node: per-session state stays the unmodified core.Proxy (Figure 7), and
+// the host only changes where the proxies run and how they reach the
+// broker.
+package host
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"lasthop/internal/core"
+	"lasthop/internal/msg"
+	"lasthop/internal/simtime"
+	"lasthop/internal/trace"
+	"lasthop/internal/wire"
+)
+
+// Options configures a Host.
+type Options struct {
+	// BrokerAddr is the upstream broker's address.
+	BrokerAddr string
+	// Name is the host's subscriber name at the broker; all multiplexed
+	// subscriptions are held under it.
+	Name string
+	// Workers is the number of event-loop workers device sessions are
+	// sharded across. Zero means GOMAXPROCS.
+	Workers int
+	// WheelTick is the timing-wheel resolution of each worker; proxy
+	// timers (delays, expirations, quiet windows) fire at most ~two ticks
+	// late. Zero means 10ms.
+	WheelTick time.Duration
+	// Upstream tunes the broker-facing client: enable AutoReconnect and
+	// heartbeats there to survive broker restarts.
+	Upstream wire.ClientOptions
+	// DeviceReadTimeout bounds the silence tolerated on each device
+	// connection (heartbeats count). Zero disables it.
+	DeviceReadTimeout time.Duration
+	// DeviceWriteTimeout bounds each push or response write to a device.
+	// Zero disables it.
+	DeviceWriteTimeout time.Duration
+	// Logf receives diagnostics; nil silences them.
+	Logf func(string, ...any)
+	// Metrics aggregates wire-level instrumentation for device
+	// connections; it also propagates to the upstream client unless
+	// Upstream.Metrics is set explicitly. Nil disables it.
+	Metrics *wire.Metrics
+	// Trace collects per-notification traces. On a multicast topic only
+	// the first session's copy carries the context onward; the other legs
+	// are untraced clones, so each sampled trace stays one linear
+	// publisher → device timeline. Nil disables tracing.
+	Trace *trace.Collector
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.WheelTick <= 0 {
+		o.WheelTick = 10 * time.Millisecond
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	if o.Upstream.Logf == nil {
+		o.Upstream.Logf = o.Logf
+	}
+	if o.Upstream.Metrics == nil {
+		o.Upstream.Metrics = o.Metrics
+	}
+	return o
+}
+
+// worker is one event loop: a live timing wheel whose callback mutex
+// serializes the core.Proxy calls of every session assigned to it.
+type worker struct {
+	id    int
+	wheel *simtime.Wheel
+}
+
+// topicSub is the ref-counted state of one multiplexed upstream
+// subscription: however many sessions subscribe to the topic, the broker
+// sees exactly one subscriber (the host).
+type topicSub struct {
+	refs     int
+	sessions map[*Session]struct{}
+	// ready is closed once the upstream subscribe resolved; err (set
+	// before the close, immutable after) tells latecomers whether it
+	// failed. Sessions piggybacking on an in-flight subscribe wait on it
+	// instead of racing a second upstream call.
+	ready chan struct{}
+	err   error
+}
+
+// Host is the multi-tenant proxy server. It accepts any number of
+// concurrent device connections; each hello routes the connection to its
+// (possibly new) session, and sessions survive disconnects exactly like
+// wire.ProxyServer's single session does — the proxy spools while the
+// device is away and reconciles on resume.
+type Host struct {
+	name     string
+	opts     Options
+	logf     func(string, ...any)
+	upstream *wire.BrokerClient
+	workers  []*worker
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	topics   map[string]*topicSub
+	lis      net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New dials the upstream broker and assembles a host with the given
+// options. Close releases the upstream connection and the workers.
+func New(opts Options) (*Host, error) {
+	opts = opts.withDefaults()
+	h := &Host{
+		name:     opts.Name,
+		opts:     opts,
+		logf:     opts.Logf,
+		sessions: make(map[string]*Session),
+		topics:   make(map[string]*topicSub),
+	}
+	h.workers = make([]*worker, opts.Workers)
+	for i := range h.workers {
+		h.workers[i] = &worker{id: i, wheel: simtime.NewWallWheel(opts.WheelTick)}
+	}
+	upstream, err := wire.DialBrokerOpts(opts.BrokerAddr, opts.Name, opts.Upstream)
+	if err != nil {
+		for _, w := range h.workers {
+			w.wheel.Close()
+		}
+		return nil, fmt.Errorf("host: %w", err)
+	}
+	upstream.OnPush(h.dispatchPush, h.dispatchRank)
+	h.upstream = upstream
+	return h, nil
+}
+
+// workerFor shards a session name onto a worker.
+func (h *Host) workerFor(name string) *worker {
+	f := fnv.New32a()
+	_, _ = f.Write([]byte(name))
+	return h.workers[int(f.Sum32())%len(h.workers)]
+}
+
+// dispatchPush fans one upstream notification out to every session
+// subscribed to its topic. Sessions beyond the first receive clones:
+// core.Proxy takes ownership of the pointer it is notified with (queues it,
+// revises its rank in place), so concurrent sessions must not share one.
+func (h *Host) dispatchPush(n *msg.Notification) {
+	h.mu.Lock()
+	ts := h.topics[n.Topic]
+	var targets []*Session
+	if ts != nil {
+		targets = make([]*Session, 0, len(ts.sessions))
+		for s := range ts.sessions {
+			targets = append(targets, s)
+		}
+	}
+	h.mu.Unlock()
+	if len(targets) == 0 {
+		return
+	}
+	h.opts.Trace.Hop(trace.KindProxyRecv, h.name, n, time.Now())
+	for i, s := range targets {
+		m := n
+		if i > 0 {
+			clone := *n
+			clone.Trace = nil // the trace timeline follows the first leg
+			m = &clone
+		}
+		sess := s
+		sess.w.wheel.Run(func() { sess.proxy.Notify(m) })
+	}
+}
+
+// dispatchRank fans an upstream rank revision out to the topic's sessions.
+func (h *Host) dispatchRank(u msg.RankUpdate) {
+	h.mu.Lock()
+	ts := h.topics[u.Topic]
+	var targets []*Session
+	if ts != nil {
+		targets = make([]*Session, 0, len(ts.sessions))
+		for s := range ts.sessions {
+			targets = append(targets, s)
+		}
+	}
+	h.mu.Unlock()
+	for _, s := range targets {
+		sess := s
+		sess.w.wheel.Run(func() { sess.proxy.ApplyRankUpdate(u) })
+	}
+}
+
+// Serve accepts device connections until the listener closes. After an
+// explicit Close it returns nil; otherwise it returns the accept error.
+func (h *Host) Serve(lis net.Listener) error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return errors.New("host closed")
+	}
+	h.lis = lis
+	h.mu.Unlock()
+	for {
+		c, err := lis.Accept()
+		if err != nil {
+			if h.isClosed() {
+				return nil
+			}
+			return err
+		}
+		conn := wire.NewConn(c)
+		conn.SetTimeouts(h.opts.DeviceReadTimeout, h.opts.DeviceWriteTimeout)
+		conn.SetMetrics(h.opts.Metrics)
+		h.mu.Lock()
+		if h.closed {
+			h.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		h.wg.Add(1)
+		h.mu.Unlock()
+		go func() {
+			defer h.wg.Done()
+			h.handleConn(conn)
+		}()
+	}
+}
+
+func (h *Host) isClosed() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.closed
+}
+
+// Close stops the listener, every device connection, the upstream client,
+// and the workers. Sessions are discarded. It is idempotent.
+func (h *Host) Close() {
+	h.mu.Lock()
+	already := h.closed
+	h.closed = true
+	lis := h.lis
+	sessions := make([]*Session, 0, len(h.sessions))
+	for _, s := range h.sessions {
+		sessions = append(sessions, s)
+	}
+	h.mu.Unlock()
+	if already {
+		return
+	}
+	if lis != nil {
+		_ = lis.Close()
+	}
+	for _, s := range sessions {
+		s.closeConn()
+	}
+	h.wg.Wait()
+	if h.upstream != nil {
+		_ = h.upstream.Close()
+	}
+	for _, w := range h.workers {
+		w.wheel.Close()
+	}
+}
+
+// handleConn serves one device connection: the hello routes it to its
+// session; subsequent frames drive that session's proxy.
+func (h *Host) handleConn(conn *wire.Conn) {
+	var sess *Session
+	defer func() {
+		if sess != nil {
+			sess.detach(conn)
+		}
+		_ = conn.Close()
+	}()
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if sess == nil && f.Type != wire.TypeHello && f.Type != wire.TypePing {
+			h.respond(conn, wire.Err(f, errors.New("hello required before other frames")))
+			continue
+		}
+		switch f.Type {
+		case wire.TypeHello:
+			s, err := h.attach(conn, f)
+			if err != nil {
+				h.respond(conn, wire.Err(f, err))
+				return
+			}
+			sess = s
+			ok := wire.OK(f)
+			ok.Caps = wire.LocalCaps()
+			h.respond(conn, ok)
+		case wire.TypePing:
+			h.respond(conn, &wire.Frame{Type: wire.TypePong, Re: f.Seq})
+		case wire.TypeSubscribe:
+			h.respondErr(conn, f, h.subscribe(sess, f))
+		case wire.TypeUnsubscribe:
+			h.respondErr(conn, f, h.unsubscribe(sess, f.Topic))
+		case wire.TypeResume:
+			h.respondErr(conn, f, sess.resume(f))
+		case wire.TypeRead:
+			if f.Read == nil {
+				h.respond(conn, wire.Err(f, errors.New("read frame without request")))
+				continue
+			}
+			var rerr error
+			req := *f.Read
+			sess.w.wheel.Run(func() { rerr = sess.proxy.Read(req) })
+			h.respondErr(conn, f, rerr)
+		default:
+			h.respond(conn, wire.Err(f, fmt.Errorf("unsupported frame type %q", f.Type)))
+		}
+	}
+}
+
+// attach routes a connection to its session, creating the session on first
+// contact. A session that already has a live connection is superseded: the
+// stale connection is closed, exactly as a reconnecting device expects.
+func (h *Host) attach(conn *wire.Conn, hello *wire.Frame) (*Session, error) {
+	name := hello.Name
+	if name == "" {
+		name = conn.RemoteAddr()
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, errors.New("host closed")
+	}
+	s := h.sessions[name]
+	if s == nil {
+		s = newSession(h, name, h.workerFor(name))
+		h.sessions[name] = s
+	}
+	h.mu.Unlock()
+	s.attach(conn, wire.HasCap(hello.Caps, wire.CapPushBatch), wire.HasCap(hello.Caps, wire.CapTrace))
+	return s, nil
+}
+
+// subscribe adds the topic to the session's proxy and takes one reference
+// on the multiplexed upstream subscription, subscribing at the broker only
+// for the first session on the topic.
+func (h *Host) subscribe(sess *Session, f *wire.Frame) error {
+	if f.Topic == "" {
+		return errors.New("subscribe frame without topic")
+	}
+	var pol wire.TopicPolicy
+	if f.TopicPolicy != nil {
+		pol = *f.TopicPolicy
+	}
+	cfg, err := pol.ToConfig(f.Topic)
+	if err != nil {
+		return err
+	}
+	// Reasserting a topic on reconnect is idempotent; the session keeps
+	// its spooled state and its single upstream reference.
+	if sess.hasTopic(f.Topic) {
+		return nil
+	}
+	var addErr error
+	sess.w.wheel.Run(func() { addErr = sess.proxy.AddTopic(cfg) })
+	if addErr != nil {
+		return addErr
+	}
+
+	h.mu.Lock()
+	ts := h.topics[f.Topic]
+	first := ts == nil
+	if first {
+		ts = &topicSub{sessions: make(map[*Session]struct{}), ready: make(chan struct{})}
+		h.topics[f.Topic] = ts
+	}
+	ts.refs++
+	ts.sessions[sess] = struct{}{}
+	h.mu.Unlock()
+
+	if first {
+		// The host subscribes with no volume options: every per-session
+		// limit (threshold, max, quiet windows…) is enforced by that
+		// session's core.Proxy, so the shared subscription must deliver
+		// the superset.
+		err = h.upstream.Subscribe(msg.Subscription{Topic: f.Topic, Subscriber: h.name})
+		h.mu.Lock()
+		ts.err = err
+		close(ts.ready)
+		if err != nil {
+			delete(h.topics, f.Topic)
+		}
+		h.mu.Unlock()
+	} else {
+		<-ts.ready
+		err = ts.err
+	}
+	if err != nil {
+		h.dropRef(sess, f.Topic, ts)
+		sess.w.wheel.Run(func() {
+			if rerr := sess.proxy.RemoveTopic(f.Topic); rerr != nil {
+				h.logf("host: rollback topic %q: %v", f.Topic, rerr)
+			}
+		})
+		return err
+	}
+	sess.addTopic(f.Topic)
+	return nil
+}
+
+// dropRef releases one session's reference on a topic subscription and
+// reports nothing; the caller decides about the upstream unsubscribe via
+// unsubscribe(). Used on subscribe rollback, where the upstream sub either
+// failed (nothing to release) or is shared (refs only).
+func (h *Host) dropRef(sess *Session, topic string, ts *topicSub) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ts.refs--
+	delete(ts.sessions, sess)
+	if ts.refs <= 0 && h.topics[topic] == ts {
+		delete(h.topics, topic)
+	}
+}
+
+// unsubscribe removes the topic from the session's proxy and releases its
+// reference; the last reference drops the broker subscription.
+func (h *Host) unsubscribe(sess *Session, topic string) error {
+	if topic == "" {
+		return errors.New("unsubscribe frame without topic")
+	}
+	var remErr error
+	sess.w.wheel.Run(func() { remErr = sess.proxy.RemoveTopic(topic) })
+	if remErr != nil {
+		return remErr
+	}
+	sess.removeTopic(topic)
+	h.mu.Lock()
+	ts := h.topics[topic]
+	last := false
+	if ts != nil {
+		if _, held := ts.sessions[sess]; held {
+			ts.refs--
+			delete(ts.sessions, sess)
+			if ts.refs <= 0 {
+				last = true
+				delete(h.topics, topic)
+			}
+		}
+	}
+	h.mu.Unlock()
+	if last {
+		return h.upstream.Unsubscribe(topic)
+	}
+	return nil
+}
+
+func (h *Host) respond(conn *wire.Conn, f *wire.Frame) {
+	if err := conn.Send(f); err != nil {
+		h.logf("host: send response: %v", err)
+	}
+}
+
+func (h *Host) respondErr(conn *wire.Conn, req *wire.Frame, err error) {
+	if err != nil {
+		h.respond(conn, wire.Err(req, err))
+		return
+	}
+	h.respond(conn, wire.OK(req))
+}
+
+// TopicRefs reports how many sessions hold a reference on the topic's
+// multiplexed upstream subscription (0 when the host is not subscribed).
+func (h *Host) TopicRefs(topic string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ts := h.topics[topic]
+	if ts == nil {
+		return 0
+	}
+	return ts.refs
+}
+
+// UpstreamTopics lists the topics the host currently holds one broker
+// subscription each for.
+func (h *Host) UpstreamTopics() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.topics))
+	for t := range h.topics {
+		out = append(out, t)
+	}
+	return out
+}
+
+// SessionInfo is a snapshot of one device session for tooling and tests.
+type SessionInfo struct {
+	Name      string
+	Worker    int
+	Connected bool
+	Connects  int
+	Resumes   int
+	Topics    int
+}
+
+// Sessions returns a snapshot of every session.
+func (h *Host) Sessions() []SessionInfo {
+	h.mu.Lock()
+	sessions := make([]*Session, 0, len(h.sessions))
+	for _, s := range h.sessions {
+		sessions = append(sessions, s)
+	}
+	h.mu.Unlock()
+	out := make([]SessionInfo, 0, len(sessions))
+	for _, s := range sessions {
+		out = append(out, s.info())
+	}
+	return out
+}
+
+// SessionStats returns the core counters of one session's proxy.
+func (h *Host) SessionStats(name string) (core.Stats, bool) {
+	h.mu.Lock()
+	s := h.sessions[name]
+	h.mu.Unlock()
+	if s == nil {
+		return core.Stats{}, false
+	}
+	var st core.Stats
+	s.w.wheel.Run(func() { st = s.proxy.Stats() })
+	return st, true
+}
+
+// SessionSnapshot returns one topic snapshot of one session's proxy.
+func (h *Host) SessionSnapshot(name, topic string) (core.TopicSnapshot, bool) {
+	h.mu.Lock()
+	s := h.sessions[name]
+	h.mu.Unlock()
+	if s == nil {
+		return core.TopicSnapshot{}, false
+	}
+	var (
+		snap core.TopicSnapshot
+		ok   bool
+	)
+	s.w.wheel.Run(func() { snap, ok = s.proxy.Snapshot(topic) })
+	return snap, ok
+}
+
+// Workers reports the worker count (for tooling and the load generator's
+// run metadata).
+func (h *Host) Workers() int { return len(h.workers) }

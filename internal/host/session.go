@@ -1,0 +1,182 @@
+package host
+
+import (
+	"errors"
+	"sync"
+
+	"lasthop/internal/core"
+	"lasthop/internal/msg"
+	"lasthop/internal/trace"
+	"lasthop/internal/wire"
+)
+
+// Session is one device's last-hop state inside a host: an unmodified
+// core.Proxy scheduled on its worker's timing wheel, plus the currently
+// attached connection (nil while the device is away — the proxy then
+// spools, exactly as during a simulated outage).
+//
+// All proxy calls are serialized by the worker wheel's callback mutex
+// (wheel.Run), so a session's core state is single-threaded even though
+// device frames, upstream pushes, and wheel timers arrive on different
+// goroutines.
+type Session struct {
+	host *Host
+	name string
+	w    *worker
+
+	proxy *core.Proxy
+
+	mu      sync.Mutex
+	conn    *wire.Conn
+	batch   bool
+	traceOK bool
+	topics  map[string]struct{}
+
+	connects int
+	resumes  int
+}
+
+var (
+	_ core.Forwarder      = (*Session)(nil)
+	_ core.BatchForwarder = (*Session)(nil)
+)
+
+func newSession(h *Host, name string, w *worker) *Session {
+	s := &Session{host: h, name: name, w: w, topics: make(map[string]struct{})}
+	w.wheel.Run(func() {
+		s.proxy = core.New(w.wheel, s)
+		if h.opts.Trace != nil {
+			s.proxy.SetTracer(sessionTracer{node: name, t: h.opts.Trace})
+		}
+		s.proxy.SetNetwork(false) // no device yet
+	})
+	return s
+}
+
+// sessionTracer fills the session's name into core events that do not name
+// a node, so one shared collector attributes queue decisions per device.
+type sessionTracer struct {
+	node string
+	t    trace.Tracer
+}
+
+func (st sessionTracer) Record(e trace.Event) {
+	if e.Node == "" {
+		e.Node = st.node
+	}
+	st.t.Record(e)
+}
+
+// attach binds a (re)connecting device connection to the session,
+// superseding a stale one.
+func (s *Session) attach(conn *wire.Conn, batch, traceOK bool) {
+	s.mu.Lock()
+	old := s.conn
+	s.conn = conn
+	s.batch = batch
+	s.traceOK = traceOK
+	s.connects++
+	s.mu.Unlock()
+	if old != nil && old != conn {
+		_ = old.Close()
+	}
+	s.w.wheel.Run(func() { s.proxy.SetNetwork(true) })
+}
+
+// detach marks the device gone if conn is still the session's connection;
+// a connection superseded by a reconnect detaches as a no-op.
+func (s *Session) detach(conn *wire.Conn) {
+	s.mu.Lock()
+	if s.conn != conn {
+		s.mu.Unlock()
+		return
+	}
+	s.conn = nil
+	s.mu.Unlock()
+	s.w.wheel.Run(func() { s.proxy.SetNetwork(false) })
+}
+
+// closeConn drops the session's connection (host shutdown).
+func (s *Session) closeConn() {
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// Forward implements core.Forwarder by pushing to the attached device.
+func (s *Session) Forward(n *msg.Notification) error {
+	s.mu.Lock()
+	conn, withTrace := s.conn, s.traceOK
+	s.mu.Unlock()
+	if conn == nil {
+		return errors.New("no device connected")
+	}
+	return wire.PushNotification(conn, n, withTrace)
+}
+
+// ForwardBatch implements core.BatchForwarder with chunked batch frames.
+func (s *Session) ForwardBatch(batch []*msg.Notification) error {
+	s.mu.Lock()
+	conn, batching, withTrace := s.conn, s.batch, s.traceOK
+	s.mu.Unlock()
+	if conn == nil {
+		return errors.New("no device connected")
+	}
+	return wire.PushBatch(conn, batch, batching, withTrace)
+}
+
+// resume reconciles a reconnecting device's per-topic read/queue ID sets.
+func (s *Session) resume(f *wire.Frame) error {
+	if f.Topic == "" {
+		return errors.New("resume frame without topic")
+	}
+	have := msg.NewIDSet(f.HaveIDs...)
+	read := msg.NewIDSet(f.ReadIDs...)
+	var rerr error
+	s.w.wheel.Run(func() { rerr = s.proxy.Resume(f.Topic, have, read) })
+	if rerr != nil {
+		return rerr
+	}
+	s.mu.Lock()
+	s.resumes++
+	s.mu.Unlock()
+	if s.host.opts.Metrics != nil {
+		s.host.opts.Metrics.ResumeReconciliations.Inc()
+	}
+	return nil
+}
+
+func (s *Session) hasTopic(topic string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.topics[topic]
+	return ok
+}
+
+func (s *Session) addTopic(topic string) {
+	s.mu.Lock()
+	s.topics[topic] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Session) removeTopic(topic string) {
+	s.mu.Lock()
+	delete(s.topics, topic)
+	s.mu.Unlock()
+}
+
+func (s *Session) info() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionInfo{
+		Name:      s.name,
+		Worker:    s.w.id,
+		Connected: s.conn != nil,
+		Connects:  s.connects,
+		Resumes:   s.resumes,
+		Topics:    len(s.topics),
+	}
+}

@@ -1,10 +1,13 @@
 // Package loadgen drives a real broker → proxy → device topology at
 // configurable scale and measures end-to-end throughput: P concurrent
-// publishers push notifications through a wire.BrokerServer, one
-// wire.ProxyServer per device subscribes and forwards across the last
-// hop, and the run completes when every device holds everything it was
-// owed. It is the measurement harness behind cmd/lasthop-loadgen and the
-// BENCH_PR2 trajectory.
+// publishers push notifications through a wire.BrokerServer, last-hop
+// proxies subscribe and forward across the last hop, and the run
+// completes when every device holds everything it was owed. The proxy
+// tier is either one wire.ProxyServer per device (the paper's
+// one-proxy-per-user deployment) or, with Config.MultiTenant, a single
+// host.Host carrying every device session over sharded workers and one
+// multiplexed broker connection. It is the measurement harness behind
+// cmd/lasthop-loadgen and the BENCH_PR2/BENCH_PR5 trajectories.
 package loadgen
 
 import (
@@ -14,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"lasthop/internal/host"
 	"lasthop/internal/metrics"
 	"lasthop/internal/msg"
 	"lasthop/internal/obs"
@@ -41,6 +45,14 @@ type Config struct {
 	// OnDemand switches the devices to on-demand topics consumed with
 	// §3.5 READ requests; the default is on-line forwarding.
 	OnDemand bool `json:"onDemand"`
+	// MultiTenant runs all devices against one host.Host instead of one
+	// wire.ProxyServer per device: sessions shard across the host's
+	// workers and all upstream traffic shares one multiplexed broker
+	// connection.
+	MultiTenant bool `json:"multiTenant"`
+	// HostWorkers is the host's worker count in MultiTenant mode. Zero
+	// means GOMAXPROCS.
+	HostWorkers int `json:"hostWorkers,omitempty"`
 	// ObsAddr, when set, serves /metrics, /healthz, /debug/pprof, and
 	// /debug/traces for the whole topology on this address for the
 	// duration of the run.
@@ -102,6 +114,12 @@ type Report struct {
 	// (on-demand) the devices.
 	Published int `json:"published"`
 	Delivered int `json:"delivered"`
+
+	// Duplicates counts pushes that revised a notification a device
+	// already held. The load publishes no rank revisions, so any nonzero
+	// value is a duplicate delivery — the multi-tenant fan-out must keep
+	// this at zero.
+	Duplicates int `json:"duplicates"`
 
 	// PublishSeconds is the wall-clock time until the last publish was
 	// acknowledged; DeliverSeconds until the last device delivery.
@@ -186,7 +204,9 @@ func hopSummary(traces []trace.NotificationTrace) map[string]HopQuantiles {
 	return out
 }
 
-// node is one device leg: a dedicated last-hop proxy and its device.
+// node is one device leg: its device client plus, in per-device mode, a
+// dedicated last-hop proxy (nil in multi-tenant mode, where every device
+// shares the host).
 type node struct {
 	proxy  *wire.ProxyServer
 	plis   net.Listener
@@ -271,8 +291,35 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.OnDemand {
 		mode = "on-demand"
 	}
+	var hostAddr string
+	if cfg.MultiTenant {
+		h, err := host.New(host.Options{
+			BrokerAddr: brokerAddr,
+			Name:       "lg-host",
+			Workers:    cfg.HostWorkers,
+			Metrics:    wm,
+			Trace:      collector,
+			Logf:       cfg.Logf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("host: %w", err)
+		}
+		defer h.Close()
+		h.RegisterMetrics(reg, "lg-host")
+		hlis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		go func() { _ = h.Serve(hlis) }()
+		hostAddr = hlis.Addr().String()
+	}
 	for i := range nodes {
-		nd, err := newNode(brokerAddr, i, topics[i%cfg.Topics], mode, reg, wm, collector)
+		var nd *node
+		if cfg.MultiTenant {
+			nd, err = newHostNode(hostAddr, i, topics[i%cfg.Topics], mode, reg, wm, collector)
+		} else {
+			nd, err = newNode(brokerAddr, i, topics[i%cfg.Topics], mode, reg, wm, collector)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -285,7 +332,11 @@ func Run(cfg Config) (*Report, error) {
 		}
 		nodes[i] = nd
 	}
-	cfg.Logf("loadgen: %d devices attached through their proxies", cfg.Devices)
+	if cfg.MultiTenant {
+		cfg.Logf("loadgen: %d device sessions attached to one host", cfg.Devices)
+	} else {
+		cfg.Logf("loadgen: %d devices attached through their proxies", cfg.Devices)
+	}
 
 	pubs := make([]*wire.BrokerClient, cfg.Publishers)
 	defer func() {
@@ -372,6 +423,11 @@ func Run(cfg Config) (*Report, error) {
 
 	delivered, err := awaitDeliveries(nodes, cfg, deadline, latency)
 	deliverElapsed := time.Since(start)
+	duplicates := 0
+	for _, nd := range nodes {
+		_, updates, _ := nd.dev.Stats()
+		duplicates += updates
+	}
 	if collector != nil && err == nil && !cfg.OnDemand {
 		// Final read pass: consume what was pushed so every delivered
 		// trace terminates in a user read instead of being written off as
@@ -388,6 +444,7 @@ func Run(cfg Config) (*Report, error) {
 		Config:         cfg,
 		Published:      cfg.Notifications,
 		Delivered:      delivered,
+		Duplicates:     duplicates,
 		PublishSeconds: publishElapsed.Seconds(),
 		DeliverSeconds: deliverElapsed.Seconds(),
 		LatencyP50Ms:   latency.Quantile(0.50) * 1000,
@@ -448,6 +505,23 @@ func newNode(brokerAddr string, i int, topic, mode string, reg *obs.Registry, wm
 	if err := dev.Subscribe(topic, wire.TopicPolicy{Mode: mode}); err != nil {
 		_ = dev.Close()
 		ps.Close()
+		return nil, fmt.Errorf("subscribe %d: %w", i, err)
+	}
+	return nd, nil
+}
+
+// newHostNode attaches one device session to the shared multi-tenant
+// host instead of spinning up a dedicated proxy.
+func newHostNode(hostAddr string, i int, topic, mode string, reg *obs.Registry, wm *wire.Metrics, collector *trace.Collector) (*node, error) {
+	devName := fmt.Sprintf("lg-dev-%d", i)
+	dev, err := wire.DialProxyOpts(hostAddr, devName, wire.ClientOptions{Metrics: wm, Trace: collector})
+	if err != nil {
+		return nil, fmt.Errorf("device %d: %w", i, err)
+	}
+	dev.RegisterMetrics(reg, devName)
+	nd := &node{dev: dev, topic: topic}
+	if err := dev.Subscribe(topic, wire.TopicPolicy{Mode: mode}); err != nil {
+		_ = dev.Close()
 		return nil, fmt.Errorf("subscribe %d: %w", i, err)
 	}
 	return nd, nil

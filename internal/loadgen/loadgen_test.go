@@ -220,3 +220,57 @@ func TestRunTraced(t *testing.T) {
 		}
 	}
 }
+
+// TestRunMultiTenant runs the same on-line load through one shared host
+// instead of per-device proxies: deliveries must be exactly-once across
+// the fan-out (Duplicates == 0) and volume-complete.
+func TestRunMultiTenant(t *testing.T) {
+	rep, err := Run(Config{
+		Publishers:    2,
+		Devices:       12,
+		Topics:        4,
+		Notifications: 120,
+		PayloadBytes:  64,
+		MultiTenant:   true,
+		HostWorkers:   4,
+		Timeout:       30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 120 notifications over 4 topics = 30 each; 12 devices, 3 per topic:
+	// 360 deliveries.
+	if rep.Delivered != 360 {
+		t.Fatalf("delivered %d, want 360", rep.Delivered)
+	}
+	if rep.Duplicates != 0 {
+		t.Fatalf("%d duplicate deliveries through the host", rep.Duplicates)
+	}
+	if rep.LatencyP50Ms <= 0 {
+		t.Fatalf("latency quantiles not computed: %+v", rep)
+	}
+}
+
+// TestRunMultiTenantOnDemand checks §3.5 READs work through the shared
+// host path as well.
+func TestRunMultiTenantOnDemand(t *testing.T) {
+	rep, err := Run(Config{
+		Publishers:    1,
+		Devices:       4,
+		Topics:        4,
+		Notifications: 40,
+		OnDemand:      true,
+		MultiTenant:   true,
+		HostWorkers:   2,
+		Timeout:       30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delivered != 40 {
+		t.Fatalf("delivered %d, want 40", rep.Delivered)
+	}
+	if rep.Duplicates != 0 {
+		t.Fatalf("%d duplicate deliveries", rep.Duplicates)
+	}
+}

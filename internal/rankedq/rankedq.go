@@ -58,6 +58,30 @@ func (q *queueHeap) Pop() any {
 	return n
 }
 
+// shrinkFloor is the smallest backing capacity worth releasing: queues
+// that never grew past it keep their array forever.
+const shrinkFloor = 64
+
+// maybeShrink releases the backing array (and the index map, which Go
+// never shrinks on its own) once the queue drains below a quarter of its
+// capacity, so a burst does not pin its high-water memory for the rest of
+// the session. The new capacity is half the old one — still at least twice
+// the live length — so push/pop traffic around the boundary cannot thrash.
+func (q *queueHeap) maybeShrink() {
+	c := cap(q.items)
+	if c < shrinkFloor || len(q.items) > c/4 {
+		return
+	}
+	items := make([]*msg.Notification, len(q.items), c/2)
+	copy(items, q.items)
+	q.items = items
+	index := make(map[msg.ID]int, len(items))
+	for i, n := range items {
+		index[n.ID] = i
+	}
+	q.index = index
+}
+
 // NewQueue returns an empty rank-ordered queue.
 func NewQueue() *Queue {
 	return &Queue{h: queueHeap{index: make(map[msg.ID]int)}}
@@ -108,6 +132,7 @@ func (q *Queue) PopBest() (*msg.Notification, bool) {
 		return nil, false
 	}
 	n, ok := heap.Pop(&q.h).(*msg.Notification)
+	q.h.maybeShrink()
 	return n, ok
 }
 
@@ -119,6 +144,7 @@ func (q *Queue) Remove(id msg.ID) (*msg.Notification, bool) {
 		return nil, false
 	}
 	n, ok := heap.Remove(&q.h, i).(*msg.Notification)
+	q.h.maybeShrink()
 	return n, ok
 }
 

@@ -1,6 +1,7 @@
 package rankedq
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -449,4 +450,85 @@ func ids(notes []*msg.Notification) []msg.ID {
 		out[i] = n.ID
 	}
 	return out
+}
+
+func TestQueueShrinksAfterBurst(t *testing.T) {
+	q := NewQueue()
+	const burst = 1024
+	for i := 0; i < burst; i++ {
+		if err := q.Push(note(msg.ID(fmt.Sprintf("n%04d", i)), float64(i%7))); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+	grown := cap(q.h.items)
+	if grown < burst {
+		t.Fatalf("expected capacity >= %d after burst, got %d", burst, grown)
+	}
+	// Drain below a quarter of the high-water capacity: the backing array
+	// must be released rather than pinned at burst size forever.
+	for q.Len() > grown/8 {
+		if _, ok := q.PopBest(); !ok {
+			t.Fatal("queue drained early")
+		}
+	}
+	if c := cap(q.h.items); c >= grown/2+1 {
+		t.Fatalf("backing array not released: len=%d cap=%d (burst cap %d)", q.Len(), c, grown)
+	}
+	// Shrinking must preserve the index: every remaining ID resolves and
+	// pops in rank order.
+	seen := 0
+	for {
+		n, ok := q.PeekBest()
+		if !ok {
+			break
+		}
+		if got, ok := q.Get(n.ID); !ok || got != n {
+			t.Fatalf("index broken after shrink for %q", n.ID)
+		}
+		if popped, ok := q.PopBest(); !ok || popped != n {
+			t.Fatalf("pop mismatch after shrink for %q", n.ID)
+		}
+		seen++
+	}
+	if seen == 0 {
+		t.Fatal("expected survivors after partial drain")
+	}
+}
+
+func TestQueueSmallNeverShrinks(t *testing.T) {
+	q := NewQueue()
+	for i := 0; i < shrinkFloor/4; i++ {
+		if err := q.Push(note(msg.ID(fmt.Sprintf("s%02d", i)), float64(i))); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+	before := cap(q.h.items)
+	for q.Len() > 0 {
+		q.PopBest()
+	}
+	if c := cap(q.h.items); c != before {
+		t.Fatalf("small queue shrank below floor: cap %d -> %d", before, c)
+	}
+}
+
+func TestQueueRemoveShrinks(t *testing.T) {
+	q := NewQueue()
+	const burst = 512
+	all := make([]msg.ID, 0, burst)
+	for i := 0; i < burst; i++ {
+		id := msg.ID(fmt.Sprintf("r%04d", i))
+		all = append(all, id)
+		if err := q.Push(note(id, float64(i))); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+	grown := cap(q.h.items)
+	for _, id := range all[:burst-burst/16] {
+		if _, ok := q.Remove(id); !ok {
+			t.Fatalf("remove %q failed", id)
+		}
+	}
+	if c := cap(q.h.items); c >= grown {
+		t.Fatalf("Remove path did not shrink: cap still %d (burst cap %d)", c, grown)
+	}
 }

@@ -1,0 +1,560 @@
+// Hierarchical timing wheel (Varghese & Lauck) backing the multi-tenant
+// proxy host. Wall arms one runtime timer per scheduled callback, which is
+// what the host is trying to escape: a node with a million queued
+// notifications would hold a million entries in the runtime timer heap.
+// The wheel stores timers in coarse-tick buckets instead — O(1) arm and
+// cancel with zero steady-state allocation, one ticker goroutine per wheel
+// — at the cost of quantizing fire times up to one tick late.
+package simtime
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits // 64 slots per level
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 8 // 64^8 ticks of horizon; beyond that clamps to the top level
+)
+
+// Wheel is a hierarchical timing wheel implementing Scheduler. It runs in
+// one of two modes:
+//
+//   - Live (NewWallWheel): a ticker goroutine advances the wheel against
+//     the wall clock. Callbacks run serialized with Run, exactly like Wall,
+//     but arming a timer only links a recycled list node into a bucket —
+//     no runtime timer, no allocation in steady state.
+//   - Manual (NewWheel): a deterministic driver (RunUntil / Advance) fires
+//     due callbacks in the same (deadline, arm-order) order Virtual uses,
+//     so simulations and property tests can compare the two directly.
+//
+// Fire times are quantized. In manual mode a callback scheduled for
+// instant T runs at the first tick boundary at or after T: never early, at
+// most one tick late. In live mode Schedule charges one extra tick of
+// slack (it reads the coarse tick counter, not the wall clock), so a
+// callback runs no earlier than its requested instant and at most two
+// ticks late, plus whatever the ticker goroutine is delayed by.
+//
+// Timer handles and recycling: timer nodes return to a free list when
+// they fire or are cancelled, so arming under churn does not allocate.
+// The price is a contract on stale handles — Cancel must only be called
+// on a handle that is serialized with the wheel's callbacks (from inside
+// a callback or a Run closure). Within that discipline Cancel is always
+// safe, including on a timer already collected into the currently firing
+// batch (it wins, as under Virtual). Cancelling a handle whose callback
+// has already run returns false until the node is re-armed for a new
+// timer; callers that drop handles once their callback runs (as the
+// proxy's timer maps do) never observe a re-armed node.
+type Wheel struct {
+	// cbMu serializes callbacks and Run closures (the role Wall.mu plays).
+	// Lock order: cbMu before mu; Schedule/Cancel take only mu so timer
+	// management from inside callbacks cannot deadlock.
+	cbMu sync.Mutex
+	// mu guards the bucket structure, the free list, and timer state. It
+	// is a spinlock: critical sections are a handful of pointer writes,
+	// and the host arms/cancels one timer per notification on its hot
+	// path, where sync.Mutex overhead is measurable.
+	mu wheelLock
+
+	start   time.Time
+	tickNs  int64
+	cur     int64 // last processed tick; logical now >= start + cur*tick
+	nowNs   int64 // manual mode: simulated now, nanoseconds since start
+	seq     uint64
+	pending int
+	closed  bool
+	free    *wheelTimer // recycled nodes, linked through next
+	buckets [wheelLevels][wheelSlots]wheelList
+
+	live   bool
+	ticker *time.Ticker
+	done   chan struct{}
+}
+
+var _ Scheduler = (*Wheel)(nil)
+
+// wheelLock is a test-and-set spinlock. Hold times are tens of
+// nanoseconds (pointer splices under mu), so spinning beats parking; the
+// Gosched fallback keeps a pre-empted holder from starving spinners.
+type wheelLock struct {
+	v atomic.Int32
+}
+
+func (l *wheelLock) lock() {
+	if l.v.CompareAndSwap(0, 1) {
+		return
+	}
+	for spins := 0; ; spins++ {
+		if l.v.Load() == 0 && l.v.CompareAndSwap(0, 1) {
+			return
+		}
+		if spins >= 64 {
+			runtime.Gosched()
+			spins = 0
+		}
+	}
+}
+
+func (l *wheelLock) unlock() {
+	l.v.Store(0)
+}
+
+type wheelList struct {
+	head, tail *wheelTimer
+}
+
+func (l *wheelList) push(t *wheelTimer) {
+	t.prev = l.tail
+	t.next = nil
+	if l.tail != nil {
+		l.tail.next = t
+	} else {
+		l.head = t
+	}
+	l.tail = t
+	t.list = l
+}
+
+func (l *wheelList) remove(t *wheelTimer) {
+	if t.prev != nil {
+		t.prev.next = t.next
+	} else {
+		l.head = t.next
+	}
+	if t.next != nil {
+		t.next.prev = t.prev
+	} else {
+		l.tail = t.prev
+	}
+	t.prev, t.next, t.list = nil, nil, nil
+}
+
+const (
+	wtFree      = iota // on the free list (or the dead sentinel)
+	wtPending          // linked into a bucket
+	wtStaged           // collected for firing, callback not yet run
+	wtCancelled        // Cancel won after staging; runner will recycle
+)
+
+type wheelTimer struct {
+	w          *Wheel
+	fn         func()
+	prev, next *wheelTimer
+	list       *wheelList
+	atNs       int64 // requested instant, nanoseconds since w.start
+	tickN      int64 // boundary tick the callback fires on
+	seq        uint64
+	state      uint8
+}
+
+// Cancel stops the timer, reporting whether the callback had not yet run.
+// Like Virtual — and unlike Wall — cancelling a timer that is due in the
+// current batch but whose callback has not started yet still wins. See
+// the Wheel doc for the serialization contract on stale handles.
+func (t *wheelTimer) Cancel() bool {
+	w := t.w
+	if w == nil {
+		return false // dead handle from a closed wheel
+	}
+	w.mu.lock()
+	switch t.state {
+	case wtPending:
+		t.list.remove(t)
+		w.pending--
+		w.recycle(t)
+		w.mu.unlock()
+		return true
+	case wtStaged:
+		// The batch runner skips and recycles cancelled entries; freeing
+		// here would hand the node to a new owner while the runner still
+		// holds it.
+		t.state = wtCancelled
+		w.mu.unlock()
+		return true
+	default:
+		w.mu.unlock()
+		return false
+	}
+}
+
+// node returns a free timer node, allocating only when the free list is
+// empty. Callers hold mu.
+func (w *Wheel) node() *wheelTimer {
+	t := w.free
+	if t == nil {
+		return &wheelTimer{w: w}
+	}
+	w.free = t.next
+	t.next = nil
+	return t
+}
+
+// recycle returns the node to the free list. Callers hold mu.
+func (w *Wheel) recycle(t *wheelTimer) {
+	t.fn = nil
+	t.prev, t.list = nil, nil
+	t.state = wtFree
+	t.next = w.free
+	w.free = t
+}
+
+// NewWheel returns a manual-mode wheel starting at the given instant. The
+// caller drives it with RunUntil / Advance, like Virtual.
+func NewWheel(start time.Time, tick time.Duration) *Wheel {
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	return &Wheel{start: start, tickNs: int64(tick)}
+}
+
+// NewWallWheel returns a live wheel driven against the wall clock by its
+// own ticker goroutine. Close releases the goroutine.
+func NewWallWheel(tick time.Duration) *Wheel {
+	if tick <= 0 {
+		tick = 10 * time.Millisecond
+	}
+	w := &Wheel{start: time.Now(), tickNs: int64(tick), live: true}
+	w.ticker = time.NewTicker(tick)
+	w.done = make(chan struct{})
+	go w.tickLoop()
+	return w
+}
+
+// Tick returns the wheel's resolution, which bounds how late a callback
+// can fire relative to its requested instant (one tick in manual mode,
+// two in live mode).
+func (w *Wheel) Tick() time.Duration { return time.Duration(w.tickNs) }
+
+// Now returns the wall clock (live mode) or the simulated instant (manual
+// mode).
+func (w *Wheel) Now() time.Time {
+	if w.live {
+		return time.Now()
+	}
+	w.mu.lock()
+	ns := w.nowNs
+	w.mu.unlock()
+	return w.start.Add(time.Duration(ns))
+}
+
+// deadTimer is returned by Schedule on a closed wheel; its nil wheel makes
+// Cancel a no-op.
+var deadTimer = &wheelTimer{}
+
+// Schedule arms fn to run after d. Arming is O(1) — a list insert under a
+// spinlock — regardless of how many timers are outstanding, and recycles
+// timer nodes so steady-state arming does not touch the allocator.
+func (w *Wheel) Schedule(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	w.mu.lock()
+	if w.closed {
+		w.mu.unlock()
+		return deadTimer
+	}
+	t := w.node()
+	t.fn = fn
+	t.seq = w.seq
+	t.state = wtPending
+	w.seq++
+	if w.live {
+		// Tick arithmetic instead of the wall clock: the walk has
+		// processed tick cur, so "now" is inside (cur, cur+1]; charging
+		// from cur+1 means the callback can never run early, at the cost
+		// of up to one extra tick of slack.
+		t.tickN = w.cur + 1 + ceilDiv(int64(d), w.tickNs)
+		t.atNs = t.tickN * w.tickNs
+	} else {
+		t.atNs = w.nowNs + int64(d)
+		t.tickN = ceilDiv(t.atNs, w.tickNs)
+		if t.tickN < w.cur {
+			t.tickN = w.cur
+		}
+	}
+	w.place(t)
+	w.pending++
+	w.mu.unlock()
+	return t
+}
+
+func ceilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
+}
+
+// place links a pending timer into the level whose span covers its delta
+// from the current tick. Callers hold mu.
+func (w *Wheel) place(t *wheelTimer) {
+	delta := t.tickN - w.cur
+	if delta < 0 {
+		delta = 0
+	}
+	level := 0
+	for level < wheelLevels-1 && delta >= int64(1)<<(wheelBits*(level+1)) {
+		level++
+	}
+	slot := int((t.tickN >> (wheelBits * uint(level))) & wheelMask)
+	w.buckets[level][slot].push(t)
+}
+
+// Run executes fn serialized with callbacks. After Close it is a no-op.
+func (w *Wheel) Run(fn func()) {
+	w.cbMu.Lock()
+	defer w.cbMu.Unlock()
+	w.mu.lock()
+	closed := w.closed
+	w.mu.unlock()
+	if !closed {
+		fn()
+	}
+}
+
+// Pending returns the number of armed, uncancelled timers.
+func (w *Wheel) Pending() int {
+	w.mu.lock()
+	n := w.pending
+	w.mu.unlock()
+	return n
+}
+
+// Close stops the wheel: pending callbacks are dropped, the ticker
+// goroutine (live mode) exits, and Close blocks until any currently
+// running callback finishes.
+func (w *Wheel) Close() {
+	w.cbMu.Lock()
+	defer w.cbMu.Unlock()
+	w.mu.lock()
+	if w.closed {
+		w.mu.unlock()
+		return
+	}
+	w.closed = true
+	w.mu.unlock()
+	if w.live {
+		w.ticker.Stop()
+		close(w.done)
+	}
+}
+
+// tickLoop drives a live wheel: each ticker wake advances the walk to the
+// tick the wall clock has reached, cascading higher levels down and firing
+// due buckets.
+func (w *Wheel) tickLoop() {
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-w.ticker.C:
+			w.advanceLive()
+		}
+	}
+}
+
+func (w *Wheel) advanceLive() {
+	w.cbMu.Lock()
+	defer w.cbMu.Unlock()
+	w.mu.lock()
+	target := int64(time.Since(w.start)) / w.tickNs
+	var batch []*wheelTimer
+	for !w.closed && w.cur < target {
+		k := w.cur + 1
+		w.cascade(k)
+		batch = w.takeSlot(&w.buckets[0][k&wheelMask], batch[:0])
+		w.cur = k
+		if len(batch) > 0 {
+			sortWheelBatch(batch)
+			w.mu.unlock()
+			w.runBatch(batch)
+			w.mu.lock()
+		}
+	}
+	w.mu.unlock()
+}
+
+// cascade moves entries whose horizon has arrived down one or more levels.
+// At tick k, level L's slot holds exactly the entries with tickN in
+// [k, k+64^L) when k is a multiple of 64^L; re-placing them lands them in
+// a lower level (or level 0's due slot).
+func (w *Wheel) cascade(k int64) {
+	for level := wheelLevels - 1; level >= 1; level-- {
+		span := int64(1) << (wheelBits * uint(level))
+		if k%span != 0 {
+			continue
+		}
+		slot := int((k >> (wheelBits * uint(level))) & wheelMask)
+		l := &w.buckets[level][slot]
+		for t := l.head; t != nil; {
+			next := t.next
+			l.remove(t)
+			w.place(t)
+			t = next
+		}
+	}
+}
+
+// takeSlot unlinks and stages every entry in the bucket. Callers hold mu.
+func (w *Wheel) takeSlot(l *wheelList, batch []*wheelTimer) []*wheelTimer {
+	for t := l.head; t != nil; {
+		next := t.next
+		l.remove(t)
+		t.state = wtStaged
+		w.pending--
+		batch = append(batch, t)
+		t = next
+	}
+	return batch
+}
+
+// sortWheelBatch orders a due batch the way Virtual would fire it: by
+// requested instant, then arm order.
+func sortWheelBatch(batch []*wheelTimer) {
+	sort.Slice(batch, func(i, j int) bool {
+		if batch[i].atNs != batch[j].atNs {
+			return batch[i].atNs < batch[j].atNs
+		}
+		return batch[i].seq < batch[j].seq
+	})
+}
+
+// runBatch executes staged callbacks, honoring cancellations that landed
+// after staging (a callback earlier in the batch may cancel a later one,
+// exactly as it could under Virtual). Callers hold cbMu but not mu.
+func (w *Wheel) runBatch(batch []*wheelTimer) {
+	for i, t := range batch {
+		batch[i] = nil
+		w.mu.lock()
+		if t.state != wtStaged || w.closed {
+			// Cancelled after staging (or wheel closed): the runner owns
+			// the node, so this is where it returns to the free list.
+			w.recycle(t)
+			w.mu.unlock()
+			continue
+		}
+		fn := t.fn
+		w.recycle(t)
+		w.mu.unlock()
+		fn()
+	}
+}
+
+// --- manual-mode driver (mirrors Virtual's API) ---
+
+// RunUntil fires, in deadline order, every callback whose tick boundary is
+// at or before the given instant, then advances the clock to it. Manual
+// mode only. Firing scans the buckets for the earliest due tick rather
+// than walking tick-by-tick, so jumping a simulated year over a sparse
+// schedule stays cheap.
+func (w *Wheel) RunUntil(at time.Time) {
+	if w.live {
+		panic("simtime: RunUntil on a live wheel")
+	}
+	w.cbMu.Lock()
+	defer w.cbMu.Unlock()
+	w.mu.lock()
+	targetNs := int64(at.Sub(w.start))
+	if w.closed || targetNs < w.nowNs {
+		w.mu.unlock()
+		return
+	}
+	targetTick := targetNs / w.tickNs
+	for !w.closed {
+		tickN, ok := w.minTick()
+		if !ok || tickN > targetTick {
+			break
+		}
+		batch := w.collectTick(tickN)
+		w.cur = tickN
+		if boundary := tickN * w.tickNs; boundary > w.nowNs {
+			w.nowNs = boundary
+		}
+		sortWheelBatch(batch)
+		w.mu.unlock()
+		w.runBatch(batch)
+		w.mu.lock()
+	}
+	if targetNs > w.nowNs {
+		w.nowNs = targetNs
+	}
+	w.mu.unlock()
+}
+
+// Advance is RunUntil(Now()+d).
+func (w *Wheel) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	w.RunUntil(w.Now().Add(d))
+}
+
+// NextDeadline returns the earliest pending callback's requested instant.
+func (w *Wheel) NextDeadline() (time.Time, bool) {
+	w.mu.lock()
+	defer w.mu.unlock()
+	tickN, ok := w.minTick()
+	if !ok {
+		return time.Time{}, false
+	}
+	var best *wheelTimer
+	w.eachPending(func(t *wheelTimer) {
+		if t.tickN != tickN {
+			return
+		}
+		if best == nil || t.atNs < best.atNs || (t.atNs == best.atNs && t.seq < best.seq) {
+			best = t
+		}
+	})
+	return w.start.Add(time.Duration(best.atNs)), true
+}
+
+// minTick scans every bucket for the earliest pending tick. O(buckets +
+// pending); manual mode trades per-batch scan cost for determinism.
+// Callers hold mu.
+func (w *Wheel) minTick() (int64, bool) {
+	var (
+		min   int64
+		found bool
+	)
+	w.eachPending(func(t *wheelTimer) {
+		if !found || t.tickN < min {
+			min, found = t.tickN, true
+		}
+	})
+	return min, found
+}
+
+// collectTick unlinks and stages every pending entry due at the tick.
+// Callers hold mu.
+func (w *Wheel) collectTick(tickN int64) []*wheelTimer {
+	var batch []*wheelTimer
+	for level := range w.buckets {
+		for slot := range w.buckets[level] {
+			l := &w.buckets[level][slot]
+			for t := l.head; t != nil; {
+				next := t.next
+				if t.tickN == tickN {
+					l.remove(t)
+					t.state = wtStaged
+					w.pending--
+					batch = append(batch, t)
+				}
+				t = next
+			}
+		}
+	}
+	return batch
+}
+
+func (w *Wheel) eachPending(fn func(*wheelTimer)) {
+	for level := range w.buckets {
+		for slot := range w.buckets[level] {
+			for t := w.buckets[level][slot].head; t != nil; t = t.next {
+				fn(t)
+			}
+		}
+	}
+}

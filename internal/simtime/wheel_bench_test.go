@@ -1,0 +1,65 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkTimerWheel measures arming + cancelling one timer while 100k
+// timers stay outstanding — the host's steady state, where every queued
+// notification holds a delay or expiry timer. Sub-benchmarks compare the
+// wheel against the two runtime-timer baselines it replaces: raw
+// time.AfterFunc and the Wall scheduler's wrapped AfterFunc.
+func BenchmarkTimerWheel(b *testing.B) {
+	const outstanding = 100_000
+	nop := func() {}
+
+	b.Run("Wheel", func(b *testing.B) {
+		w := NewWallWheel(10 * time.Millisecond)
+		defer w.Close()
+		for i := 0; i < outstanding; i++ {
+			w.Schedule(time.Hour, nop)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Schedule(time.Hour, nop).Cancel()
+		}
+	})
+
+	b.Run("AfterFunc", func(b *testing.B) {
+		timers := make([]*time.Timer, outstanding)
+		for i := range timers {
+			timers[i] = time.AfterFunc(time.Hour, nop)
+		}
+		defer func() {
+			for _, t := range timers {
+				t.Stop()
+			}
+		}()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			time.AfterFunc(time.Hour, nop).Stop()
+		}
+	})
+
+	b.Run("Wall", func(b *testing.B) {
+		w := NewWall()
+		defer w.Close()
+		pinned := make([]Timer, outstanding)
+		for i := range pinned {
+			pinned[i] = w.Schedule(time.Hour, nop)
+		}
+		defer func() {
+			for _, t := range pinned {
+				t.Cancel()
+			}
+		}()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Schedule(time.Hour, nop).Cancel()
+		}
+	})
+}

@@ -1,0 +1,388 @@
+package simtime
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+var w0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// TestWheelFireOrderMatchesVirtual is the PR 5 property test: for identical
+// schedules (same delays, same arm order, same cancellations), the manual
+// wheel fires callbacks in exactly the order Virtual does.
+func TestWheelFireOrderMatchesVirtual(t *testing.T) {
+	const rounds = 50
+	for round := 0; round < rounds; round++ {
+		rng := rand.New(rand.NewSource(int64(round)))
+		n := 5 + rng.Intn(60)
+		delays := make([]time.Duration, n)
+		for i := range delays {
+			// Sub-tick jitter on purpose: ordering must survive several
+			// deadlines collapsing into the same bucket.
+			delays[i] = time.Duration(rng.Int63n(int64(500 * time.Millisecond)))
+		}
+		cancel := make([]bool, n)
+		for i := range cancel {
+			cancel[i] = rng.Float64() < 0.2
+		}
+		horizon := time.Second
+
+		run := func(s Scheduler, drive func(time.Duration)) []int {
+			var order []int
+			timers := make([]Timer, n)
+			for i, d := range delays {
+				i := i
+				timers[i] = s.Schedule(d, func() { order = append(order, i) })
+			}
+			for i, c := range cancel {
+				if c {
+					timers[i].Cancel()
+				}
+			}
+			drive(horizon)
+			return order
+		}
+
+		v := NewVirtual(w0)
+		want := run(v, v.Advance)
+		w := NewWheel(w0, 10*time.Millisecond)
+		got := run(w, w.Advance)
+		w.Close()
+
+		if len(got) != len(want) {
+			t.Fatalf("round %d: wheel fired %d callbacks, virtual fired %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: fire order diverged at %d: wheel %v, virtual %v", round, i, got, want)
+			}
+		}
+	}
+}
+
+// TestWheelAccuracyBoundedByOneTick pins the acceptance criterion: a
+// callback never fires before its requested instant and at most one tick
+// after it.
+func TestWheelAccuracyBoundedByOneTick(t *testing.T) {
+	const tick = 10 * time.Millisecond
+	w := NewWheel(w0, tick)
+	defer w.Close()
+	rng := rand.New(rand.NewSource(7))
+	type obs struct {
+		want  time.Time
+		fired time.Time
+	}
+	var seen []obs
+	for i := 0; i < 500; i++ {
+		d := time.Duration(rng.Int63n(int64(3 * time.Second)))
+		at := w0.Add(d)
+		w.Schedule(d, func() { seen = append(seen, obs{want: at, fired: w.Now()}) })
+	}
+	w.Advance(4 * time.Second)
+	if len(seen) != 500 {
+		t.Fatalf("fired %d of 500 callbacks", len(seen))
+	}
+	for _, o := range seen {
+		if o.fired.Before(o.want) {
+			t.Fatalf("fired early: want >= %v, fired %v", o.want, o.fired)
+		}
+		if late := o.fired.Sub(o.want); late > tick {
+			t.Fatalf("fired %v late, tick is %v", late, tick)
+		}
+	}
+}
+
+// TestWheelFarFutureAndCascade exercises deadlines spanning every wheel
+// level, including beyond the level-0 horizon, plus a year-scale jump.
+func TestWheelFarFutureAndCascade(t *testing.T) {
+	w := NewWheel(w0, time.Millisecond)
+	defer w.Close()
+	delays := []time.Duration{
+		0,
+		time.Millisecond,
+		63 * time.Millisecond,
+		64 * time.Millisecond, // first level-1 bucket
+		5 * time.Second,
+		10 * time.Minute, // level 3 at 1ms ticks
+		24 * time.Hour,
+		365 * 24 * time.Hour, // top levels
+	}
+	fired := make([]bool, len(delays))
+	for i, d := range delays {
+		i := i
+		w.Schedule(d, func() { fired[i] = true })
+	}
+	w.Advance(366 * 24 * time.Hour)
+	for i, f := range fired {
+		if !f {
+			t.Errorf("delay %v never fired", delays[i])
+		}
+	}
+	if got := w.Pending(); got != 0 {
+		t.Errorf("pending after drain: %d", got)
+	}
+}
+
+// TestWheelCancelSemantics pins Cancel's contract, including the case that
+// distinguishes the wheel from Wall: a callback already collected into the
+// due batch but not yet run can still be cancelled (matching Virtual).
+func TestWheelCancelSemantics(t *testing.T) {
+	w := NewWheel(w0, 10*time.Millisecond)
+	defer w.Close()
+
+	ran := false
+	tm := w.Schedule(50*time.Millisecond, func() { ran = true })
+	if !tm.Cancel() {
+		t.Fatal("first cancel should report pending")
+	}
+	if tm.Cancel() {
+		t.Fatal("second cancel should report not pending")
+	}
+	w.Advance(time.Second)
+	if ran {
+		t.Fatal("cancelled callback ran")
+	}
+
+	// Same-batch cancellation: both timers land in one bucket; the first
+	// callback cancels the second, which must then be skipped.
+	var secondRan bool
+	var second Timer
+	w.Schedule(5*time.Millisecond, func() { second.Cancel() })
+	second = w.Schedule(6*time.Millisecond, func() { secondRan = true })
+	w.Advance(time.Second)
+	if secondRan {
+		t.Fatal("same-batch cancellation did not stop the later callback")
+	}
+
+	done := false
+	t3 := w.Schedule(time.Millisecond, func() { done = true })
+	w.Advance(time.Second)
+	if !done {
+		t.Fatal("timer did not fire")
+	}
+	if t3.Cancel() {
+		t.Fatal("cancel after fire should report not pending")
+	}
+}
+
+// TestWheelScheduleInsideCallback covers proxy-style rescheduling: a
+// callback arming the next timeout from inside the wheel's callback
+// context, including zero-delay chains.
+func TestWheelScheduleInsideCallback(t *testing.T) {
+	w := NewWheel(w0, 10*time.Millisecond)
+	defer w.Close()
+	var hops []time.Time
+	var hop func()
+	hop = func() {
+		hops = append(hops, w.Now())
+		if len(hops) < 5 {
+			w.Schedule(30*time.Millisecond, hop)
+		}
+	}
+	w.Schedule(0, hop)
+	w.Advance(time.Second)
+	if len(hops) != 5 {
+		t.Fatalf("chained reschedule fired %d of 5 hops", len(hops))
+	}
+	for i := 1; i < len(hops); i++ {
+		if !hops[i].After(hops[i-1]) {
+			t.Fatalf("hops not monotonic: %v", hops)
+		}
+	}
+	if w.Pending() != 0 {
+		t.Fatalf("pending after chain: %d", w.Pending())
+	}
+}
+
+// TestWallWheelLive exercises the ticker-driven mode end to end: timers
+// fire near their deadlines, cancellation holds, and Close drops pending
+// callbacks without firing them.
+func TestWallWheelLive(t *testing.T) {
+	w := NewWallWheel(time.Millisecond)
+	defer w.Close()
+
+	var mu sync.Mutex
+	fired := 0
+	var wg sync.WaitGroup
+	const n = 100
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		d := time.Duration(i%20) * time.Millisecond
+		w.Schedule(d, func() {
+			mu.Lock()
+			fired++
+			mu.Unlock()
+			wg.Done()
+		})
+	}
+	donech := make(chan struct{})
+	go func() { wg.Wait(); close(donech) }()
+	select {
+	case <-donech:
+	case <-time.After(5 * time.Second):
+		mu.Lock()
+		t.Fatalf("live wheel fired %d of %d within 5s", fired, n)
+	}
+
+	// A cancelled timer must not fire.
+	var cancelledRan bool
+	tm := w.Schedule(50*time.Millisecond, func() { cancelledRan = true })
+	if !tm.Cancel() {
+		t.Fatal("cancel of pending live timer failed")
+	}
+	// A long timer pending at Close must be dropped.
+	var afterClose bool
+	w.Schedule(time.Hour, func() { afterClose = true })
+	time.Sleep(100 * time.Millisecond)
+	w.Close()
+	if cancelledRan {
+		t.Fatal("cancelled live timer fired")
+	}
+	if afterClose {
+		t.Fatal("timer fired after Close")
+	}
+}
+
+// TestWallWheelRunSerialized checks that Run closures and callbacks never
+// overlap (the single-threaded discipline core.Proxy depends on).
+func TestWallWheelRunSerialized(t *testing.T) {
+	w := NewWallWheel(time.Millisecond)
+	defer w.Close()
+	var inCritical int32
+	check := func() {
+		if inCritical != 0 {
+			t.Error("callback overlapped with Run closure")
+		}
+		inCritical++
+		time.Sleep(100 * time.Microsecond)
+		inCritical--
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		w.Schedule(time.Duration(i%10)*time.Millisecond, check)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(check)
+		}()
+	}
+	wg.Wait()
+	time.Sleep(50 * time.Millisecond)
+}
+
+// TestWheelStress races Schedule/Cancel/fire on a live wheel under -race.
+func TestWheelStress(t *testing.T) {
+	w := NewWallWheel(time.Millisecond)
+	defer w.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			var timers []Timer
+			for i := 0; i < 500; i++ {
+				d := time.Duration(rng.Int63n(int64(10 * time.Millisecond)))
+				timers = append(timers, w.Schedule(d, func() {}))
+				if rng.Float64() < 0.5 {
+					timers[rng.Intn(len(timers))].Cancel()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	time.Sleep(30 * time.Millisecond)
+}
+
+// --- simtime.Wall race coverage (PR 5 satellite) ---
+
+// TestWallScheduleCancelCloseRaces hammers Wall's Schedule/Cancel/Close
+// paths concurrently; -race verifies the serialization claims in the
+// package doc.
+func TestWallScheduleCancelCloseRaces(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		w := NewWall()
+		var counter int // written only under w's serialization
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(round*10 + g)))
+				var timers []Timer
+				for i := 0; i < 50; i++ {
+					d := time.Duration(rng.Int63n(int64(2 * time.Millisecond)))
+					timers = append(timers, w.Schedule(d, func() { counter++ }))
+					switch {
+					case rng.Float64() < 0.3 && len(timers) > 0:
+						timers[rng.Intn(len(timers))].Cancel()
+					case rng.Float64() < 0.1:
+						w.Run(func() { counter++ })
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		w.Close()
+		// Late fires after Close must be dropped, not crash or race.
+		time.Sleep(3 * time.Millisecond)
+	}
+}
+
+// TestWallCancelFireRace pins the contract on the Cancel/fire boundary:
+// for every timer, either Cancel reports true and the callback must not
+// have run its effect yet... or Cancel reports false. Wall's known
+// wrinkle — a fired-but-not-yet-run callback reports Cancel()==false and
+// still runs — is allowed; what is never allowed is Cancel()==true AND
+// the callback running.
+func TestWallCancelFireRace(t *testing.T) {
+	w := NewWall()
+	defer w.Close()
+	var mu sync.Mutex
+	ran := make(map[int]bool)
+	var wg sync.WaitGroup
+	const n = 500
+	cancelled := make([]bool, n)
+	for i := 0; i < n; i++ {
+		i := i
+		tm := w.Schedule(time.Duration(i%3)*time.Millisecond, func() {
+			mu.Lock()
+			ran[i] = true
+			mu.Unlock()
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cancelled[i] = tm.Cancel()
+		}()
+	}
+	wg.Wait()
+	time.Sleep(10 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < n; i++ {
+		if cancelled[i] && ran[i] {
+			t.Fatalf("timer %d: Cancel reported success but callback ran", i)
+		}
+	}
+}
+
+// TestWallCloseDuringCallbacks verifies Close blocks until in-flight
+// callbacks finish and drops everything after.
+func TestWallCloseDuringCallbacks(t *testing.T) {
+	w := NewWall()
+	started := make(chan struct{})
+	var finished int32
+	w.Schedule(0, func() {
+		close(started)
+		time.Sleep(5 * time.Millisecond)
+		finished = 1 // safe: Close must not return before this line
+	})
+	<-started
+	w.Close()
+	if finished != 1 {
+		t.Fatal("Close returned before the in-flight callback finished")
+	}
+}

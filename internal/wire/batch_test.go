@@ -93,7 +93,7 @@ func publishBurst(t *testing.T, h *harness, topic string, count int) {
 // on-demand READ burst coalesced into batch frames, not n single pushes.
 func TestReadBurstArrivesBatched(t *testing.T) {
 	h := newHarness(t)
-	dev := dialRawDevice(t, h.proxyAddr, localCaps())
+	dev := dialRawDevice(t, h.proxyAddr, LocalCaps())
 	dev.subscribe(t, "news", TopicPolicy{Policy: "on-demand", Max: 64})
 	publishBurst(t, h, "news", 10)
 

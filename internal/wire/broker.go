@@ -175,8 +175,8 @@ func (s *BrokerServer) handle(conn *Conn) {
 			// symmetric capability exchange (legacy dialers log and
 			// ignore the unexpected frame — harmless).
 			edge := &peerEdge{conn: conn, logf: s.logf, drop: s.broker.NotePeerDrop}
-			edge.traceOK.Store(hasCap(f.Caps, CapTrace))
-			_ = conn.Send(&Frame{Type: TypePeerHello, Name: s.broker.Name(), Caps: localCaps()})
+			edge.traceOK.Store(HasCap(f.Caps, CapTrace))
+			_ = conn.Send(&Frame{Type: TypePeerHello, Name: s.broker.Name(), Caps: LocalCaps()})
 			if err := s.broker.AttachPeer(edge); err != nil {
 				s.logf("broker: attach peer %s: %v", conn.RemoteAddr(), err)
 				return
@@ -189,7 +189,7 @@ func (s *BrokerServer) handle(conn *Conn) {
 			}
 			clientCaps = f.Caps
 			ok := OK(f)
-			ok.Caps = localCaps()
+			ok.Caps = LocalCaps()
 			s.respond(conn, ok)
 		case TypePing:
 			s.respond(conn, &Frame{Type: TypePong, Re: f.Seq})
@@ -223,7 +223,7 @@ func (s *BrokerServer) handle(conn *Conn) {
 			}
 			// Re-subscribing with the same subscriber name rebinds delivery
 			// to this connection — exactly what a resuming client needs.
-			err := s.broker.Subscribe(sub, connSubscriber{conn: conn, trace: hasCap(clientCaps, CapTrace)})
+			err := s.broker.Subscribe(sub, connSubscriber{conn: conn, trace: HasCap(clientCaps, CapTrace)})
 			if err == nil {
 				subscribed = append(subscribed, sub.Topic)
 			}
@@ -333,7 +333,7 @@ func (c *BrokerClient) handshake(conn *Conn) error {
 	conn.setRawDeadline(time.Now().Add(c.opts.DialTimeout))
 	defer conn.setRawDeadline(time.Time{})
 	onFrame := func(f *Frame) { c.dispatchPush(f) }
-	if err := syncExchange(conn, &Frame{Type: TypeHello, Name: c.name, Caps: localCaps()}, onFrame); err != nil {
+	if err := syncExchange(conn, &Frame{Type: TypeHello, Name: c.name, Caps: LocalCaps()}, onFrame); err != nil {
 		return fmt.Errorf("hello: %w", err)
 	}
 	type claim struct{ topic, publisher string }

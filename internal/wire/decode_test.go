@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"lasthop/internal/msg"
+)
+
+// TestDecodeFrameFastPath pins the frames the hand-rolled decoder must
+// handle itself: the shapes the hand-rolled encoders emit for pushes,
+// publishes, and responses. If one of these starts falling back to
+// encoding/json, the forward-path allocation budget regresses.
+func TestDecodeFrameFastPath(t *testing.T) {
+	n := &msg.Notification{
+		ID:        "n-1",
+		Topic:     "alerts/eu",
+		Publisher: "press",
+		Rank:      4.25,
+		Published: time.Date(2026, 8, 5, 12, 30, 45, 123456789, time.UTC),
+		Expires:   time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC),
+		Payload:   []byte("breaking"),
+	}
+	tc := &msg.TraceContext{
+		TraceID: "t-1",
+		Origin:  "b1",
+		Hops:    []msg.TraceHop{{Node: "b1", At: 1700000000000000000}},
+	}
+	frames := []*Frame{
+		{Type: TypePush, Notification: n},
+		{Type: TypePush, Notification: n, Trace: tc},
+		{Type: TypePushBatch, Batch: []*msg.Notification{n, n}, Traces: []*msg.TraceContext{tc, nil}},
+		{Type: TypePublish, Seq: 7, Notification: n},
+		{Type: TypeOK, Re: 7},
+	}
+	for _, f := range frames {
+		enc, err := appendFrame(nil, f)
+		if err != nil {
+			t.Fatalf("encode %s: %v", f.Type, err)
+		}
+		enc = enc[:len(enc)-1] // Recv strips the newline
+		var fast Frame
+		if !decodeFrame(enc, &fast) {
+			t.Fatalf("fast decoder refused canonical %s frame: %s", f.Type, enc)
+		}
+		var std Frame
+		if err := json.Unmarshal(enc, &std); err != nil {
+			t.Fatalf("std decode %s: %v", f.Type, err)
+		}
+		if !reflect.DeepEqual(&fast, &std) {
+			t.Fatalf("decoders disagree on %s frame:\nfast: %+v\nstd:  %+v", f.Type, fast, std)
+		}
+	}
+}
+
+// TestDecodeFrameBailsOnColdShapes checks the strict decoder refuses the
+// frame shapes it does not model instead of mis-decoding them.
+func TestDecodeFrameBailsOnColdShapes(t *testing.T) {
+	for _, line := range []string{
+		`{"type":"hello","name":"x","caps":["push-batch"]}`,
+		`{"type":"subscribe","subscription":{"topic":"t","subscriber":"s","options":{}}}`,
+		`{"type":"resume","topic":"t","haveIDs":["a"],"readIDs":["b"]}`,
+		`{"type":"rank-update","rankUpdate":{"topic":"t","id":"a","newRank":2}}`,
+		`{"type":"read","read":{"topic":"t","n":8}}`,
+		`{"type":"push","notification":{"id":"é","topic":"t","rank":1,"published":"2026-01-01T00:00:00Z","expires":"0001-01-01T00:00:00Z"}}`,
+		`{"type":"push","notification":{"id":"a","topic":"t","rank":1e3,"published":"2026-01-01T00:00:00Z","expires":"0001-01-01T00:00:00Z"}}`,
+	} {
+		var f Frame
+		if decodeFrame([]byte(line), &f) {
+			t.Errorf("fast decoder accepted cold shape: %s", line)
+		}
+	}
+}

@@ -112,7 +112,7 @@ func (d *DeviceClient) handshake(conn *Conn) error {
 			}
 		}
 	}
-	if err := syncExchange(conn, &Frame{Type: TypeHello, Name: d.name, Caps: localCaps()}, onFrame); err != nil {
+	if err := syncExchange(conn, &Frame{Type: TypeHello, Name: d.name, Caps: LocalCaps()}, onFrame); err != nil {
 		return fmt.Errorf("hello: %w", err)
 	}
 

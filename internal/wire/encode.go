@@ -48,6 +48,26 @@ func appendFrame(dst []byte, f *Frame) ([]byte, error) {
 			dst = appendTraceContext(dst, f.Trace)
 		}
 		return append(dst, '}', '\n'), nil
+	case f.Type == TypePublish && f.Notification != nil && f.Seq != 0 &&
+		f.Batch == nil && f.Traces == nil && f.bareAsideSeqPayload() &&
+		encodable(f.Notification):
+		dst = append(dst, `{"type":"publish","seq":`...)
+		dst = strconv.AppendUint(dst, f.Seq, 10)
+		dst = append(dst, `,"notification":`...)
+		dst = appendNotification(dst, f.Notification)
+		if f.Trace != nil {
+			dst = append(dst, `,"trace":`...)
+			dst = appendTraceContext(dst, f.Trace)
+		}
+		return append(dst, '}', '\n'), nil
+	case f.Type == TypeOK && f.Notification == nil && f.Batch == nil &&
+		f.Trace == nil && f.Traces == nil && f.Seq == 0 && f.bareCore():
+		dst = append(dst, `{"type":"ok"`...)
+		if f.Re != 0 {
+			dst = append(dst, `,"re":`...)
+			dst = strconv.AppendUint(dst, f.Re, 10)
+		}
+		return append(dst, '}', '\n'), nil
 	case f.Type == TypePushBatch && len(f.Batch) > 0 && f.Notification == nil &&
 		f.Trace == nil && f.bareAsidePayload() && allEncodable(f.Batch):
 		dst = append(dst, `{"type":"push-batch","batch":[`...)
@@ -86,7 +106,20 @@ func appendFrame(dst []byte, f *Frame) ([]byte, error) {
 // hand-rolled cases emit themselves) is zero — the shape the hand-rolled
 // encoders emit. Anything else routes through json.Marshal.
 func (f *Frame) bareAsidePayload() bool {
-	return f.Seq == 0 && f.Re == 0 && f.Name == "" && f.Topic == "" &&
+	return f.Seq == 0 && f.bareAsideSeqPayload()
+}
+
+// bareAsideSeqPayload additionally tolerates a sequence number (publish
+// requests).
+func (f *Frame) bareAsideSeqPayload() bool {
+	return f.Re == 0 && f.bareCore()
+}
+
+// bareCore checks every field the hand-rolled cases do not emit
+// themselves (Type, Seq, Re, payloads, and trace contexts are the
+// callers' business).
+func (f *Frame) bareCore() bool {
+	return f.Name == "" && f.Topic == "" &&
 		f.Publisher == "" && f.RankUpdate == nil && f.Subscription == nil &&
 		f.TopicPolicy == nil && f.Read == nil && f.Count == 0 &&
 		f.HaveIDs == nil && f.ReadIDs == nil && f.Message == "" &&

@@ -91,7 +91,7 @@ func servePeerFrames(broker *pubsub.Broker, conn *Conn, edge *peerEdge, logf fun
 			// The remote side's half of the symmetric capability
 			// exchange (the accepting broker answers a dialer's hello
 			// with its own; see BrokerServer.handle).
-			edge.traceOK.Store(hasCap(f.Caps, CapTrace))
+			edge.traceOK.Store(HasCap(f.Caps, CapTrace))
 		case TypePeerSubscribe:
 			broker.SubscribeRemote(f.Topic, edge)
 		case TypePeerUnsubscribe:
@@ -172,7 +172,7 @@ func (f *Federation) connect() (*Conn, *peerEdge, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("federate: %w", err)
 	}
-	if err := conn.Send(&Frame{Type: TypePeerHello, Name: f.name, Caps: localCaps()}); err != nil {
+	if err := conn.Send(&Frame{Type: TypePeerHello, Name: f.name, Caps: LocalCaps()}); err != nil {
 		_ = conn.Close()
 		return nil, nil, fmt.Errorf("federate: %w", err)
 	}

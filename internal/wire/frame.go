@@ -76,11 +76,11 @@ const (
 	CapTrace = "trace-ctx"
 )
 
-// localCaps is what this build advertises and understands.
-func localCaps() []string { return []string{CapPushBatch, CapTrace} }
+// LocalCaps is what this build advertises and understands.
+func LocalCaps() []string { return []string{CapPushBatch, CapTrace} }
 
-// hasCap reports whether a hello's capability list names c.
-func hasCap(caps []string, c string) bool {
+// HasCap reports whether a hello's capability list names c.
+func HasCap(caps []string, c string) bool {
 	for _, v := range caps {
 		if v == c {
 			return true
@@ -435,15 +435,20 @@ func (c *Conn) Recv() (*Frame, error) {
 		}
 		return nil, fmt.Errorf("connection closed")
 	}
-	var f Frame
-	if err := json.Unmarshal(c.r.Bytes(), &f); err != nil {
-		return nil, fmt.Errorf("bad frame: %w", err)
+	f := new(Frame)
+	if !decodeFrame(c.r.Bytes(), f) {
+		// Not one of the hot shapes (or not exactly so): reset whatever
+		// the strict decoder partially filled and take the general path.
+		*f = Frame{}
+		if err := json.Unmarshal(c.r.Bytes(), f); err != nil {
+			return nil, fmt.Errorf("bad frame: %w", err)
+		}
 	}
 	if c.m != nil {
 		c.m.FramesIn.Inc()
 		c.m.BytesIn.Add(int64(len(c.r.Bytes())))
 	}
-	return &f, nil
+	return f, nil
 }
 
 // OK builds a success response to the given request frame.

@@ -184,3 +184,39 @@ func FuzzBatchFrameEncode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeFrameEquivalence holds the hand-rolled frame decoder to
+// encoding/json's semantics: whenever the fast path accepts a line, the
+// general path must accept it too and produce a frame that re-encodes to
+// the identical JSON. (The fast path is allowed to bail — leniency, not
+// strictness, is the bug class.)
+func FuzzDecodeFrameEquivalence(f *testing.F) {
+	f.Add([]byte(`{"type":"push","notification":{"id":"a","topic":"t","rank":4.25,"published":"2026-08-05T12:30:45.123456789Z","expires":"0001-01-01T00:00:00Z","payload":"aGk="}}`))
+	f.Add([]byte(`{"type":"push","notification":{"id":"a","topic":"t","rank":-1,"published":"2026-08-05T12:30:45+02:00","expires":"0001-01-01T00:00:00Z"},"trace":{"id":"t1","origin":"b1","hops":[{"node":"b1","at":1700000000000000000}]}}`))
+	f.Add([]byte(`{"type":"push-batch","batch":[{"id":"a","topic":"t","rank":1,"published":"2026-01-01T00:00:00Z","expires":"0001-01-01T00:00:00Z"}],"traces":[null]}`))
+	f.Add([]byte(`{"type":"publish","seq":12,"notification":{"id":"a","topic":"t","rank":0,"published":"2026-01-01T00:00:00Z","expires":"0001-01-01T00:00:00Z"}}`))
+	f.Add([]byte(`{"type":"ok","re":3}`))
+	f.Add([]byte(`{"type":"error","re":3,"message":"no","code":"duplicate-id"}`))
+	f.Add([]byte(`{"type":"ping","seq":1}`))
+	f.Add([]byte(`{"type":"ok","re":03}`))
+	f.Add([]byte(`{"type":"ok","re":3} trailing`))
+	f.Add([]byte(`{"type":"push","notification":{"id":"\u00e9","topic":"t","rank":1,"published":"2026-01-01T00:00:00Z","expires":"0001-01-01T00:00:00Z"}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fast Frame
+		if !decodeFrame(data, &fast) {
+			return
+		}
+		var std Frame
+		if err := json.Unmarshal(data, &std); err != nil {
+			t.Fatalf("fast decoder accepted input encoding/json rejects (%v): %q", err, data)
+		}
+		fj, err1 := json.Marshal(&fast)
+		sj, err2 := json.Marshal(&std)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("re-encode: %v / %v", err1, err2)
+		}
+		if string(fj) != string(sj) {
+			t.Fatalf("decoders disagree on %q:\nfast: %s\nstd:  %s", data, fj, sj)
+		}
+	})
+}

@@ -271,28 +271,42 @@ func (ps *ProxyServer) ForwardBatch(batch []*msg.Notification) error {
 	if dev == nil {
 		return errors.New("no device connected")
 	}
+	return PushBatch(dev, batch, batching, withTrace)
+}
+
+// PushNotification sends one notification as a push frame on conn. The
+// trace context is lifted into the frame only when withTrace says the peer
+// advertised CapTrace. It is the building block multi-tenant hosts use to
+// implement core.Forwarder per device session.
+func PushNotification(conn *Conn, n *msg.Notification, withTrace bool) error {
+	return sendPush(conn, n, withTrace)
+}
+
+// PushBatch sends a burst of notifications, chunked so every frame stays
+// safely below the 1 MiB frame bound. Peers that did not advertise
+// CapPushBatch (batching false) get the frames one by one.
+func PushBatch(conn *Conn, batch []*msg.Notification, batching, withTrace bool) error {
 	if !batching {
 		for _, n := range batch {
-			if err := sendPush(dev, n, withTrace); err != nil {
+			if err := sendPush(conn, n, withTrace); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	// Chunk so each frame stays safely below maxFrameBytes.
 	const budget = maxFrameBytes - 8*1024
 	start, size := 0, 0
 	for i, n := range batch {
 		est := encodedSizeHint(n)
 		if i > start && size+est > budget {
-			if err := sendBatch(dev, batch[start:i], withTrace); err != nil {
+			if err := sendBatch(conn, batch[start:i], withTrace); err != nil {
 				return err
 			}
 			start, size = i, 0
 		}
 		size += est
 	}
-	return sendBatch(dev, batch[start:], withTrace)
+	return sendBatch(conn, batch[start:], withTrace)
 }
 
 func sendPush(dev *Conn, n *msg.Notification, withTrace bool) error {
@@ -448,7 +462,7 @@ func (ps *ProxyServer) handleDevice(conn *Conn) {
 		case TypeHello:
 			ps.attachSession(conn, f)
 			ok := OK(f)
-			ok.Caps = localCaps()
+			ok.Caps = LocalCaps()
 			ps.respond(conn, ok)
 		case TypePing:
 			ps.respond(conn, &Frame{Type: TypePong, Re: f.Seq})
@@ -488,8 +502,8 @@ func (ps *ProxyServer) attachSession(conn *Conn, hello *Frame) {
 		return // superseded before the hello was processed
 	}
 	ps.deviceName = name
-	ps.deviceBatch = hasCap(hello.Caps, CapPushBatch)
-	ps.deviceTrace = hasCap(hello.Caps, CapTrace)
+	ps.deviceBatch = HasCap(hello.Caps, CapPushBatch)
+	ps.deviceTrace = HasCap(hello.Caps, CapTrace)
 	s := ps.sessions[name]
 	if s == nil {
 		s = &DeviceSession{Name: name}

@@ -61,7 +61,7 @@ func (d *rawDevice) readTraced(t *testing.T, topic string, n int) (withCtx, tota
 func TestTraceContextReachesCapableDevice(t *testing.T) {
 	h := newHarness(t)
 	traceBroker(t, h)
-	dev := dialRawDevice(t, h.proxyAddr, localCaps())
+	dev := dialRawDevice(t, h.proxyAddr, LocalCaps())
 	dev.subscribe(t, "news", TopicPolicy{Policy: "on-demand", Max: 64})
 	publishBurst(t, h, "news", 6)
 
@@ -124,7 +124,7 @@ func TestLegacySubscriberDropsTraceContext(t *testing.T) {
 		return conn
 	}
 	legacy := dial("legacy-sub", nil)
-	capable := dial("capable-sub", localCaps())
+	capable := dial("capable-sub", LocalCaps())
 
 	pub, err := DialBroker(h.brokerAddr, "publisher")
 	if err != nil {
