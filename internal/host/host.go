@@ -104,6 +104,13 @@ type topicSub struct {
 	// instead of racing a second upstream call.
 	ready chan struct{}
 	err   error
+	// draining is non-nil once the last reference dropped and the upstream
+	// unsubscribe is in flight; it closes after the unsubscribe resolved
+	// and the entry left h.topics. New subscribers wait for it before
+	// issuing their own upstream subscribe — otherwise the broker could
+	// process the fresh Subscribe before the older Unsubscribe and leave
+	// the host unsubscribed while sessions hold references.
+	draining chan struct{}
 }
 
 // Host is the multi-tenant proxy server. It accepts any number of
@@ -124,6 +131,11 @@ type Host struct {
 	lis      net.Listener
 	closed   bool
 	wg       sync.WaitGroup
+
+	// testHookUnsubscribeGap, when non-nil, runs between the last
+	// reference dropping and the upstream Unsubscribe call; tests use it
+	// to widen that window and pin the subscribe/unsubscribe ordering.
+	testHookUnsubscribeGap func(topic string)
 }
 
 // New dials the upstream broker and assembles a host with the given
@@ -307,6 +319,13 @@ func (h *Host) handleConn(conn *wire.Conn) {
 				h.respond(conn, wire.Err(f, err))
 				return
 			}
+			// A repeated hello that renames the connection moves it to
+			// another session; release the old one first or it would keep
+			// believing it owns this connection (network up, never spooling)
+			// and the deferred detach on disconnect would miss it.
+			if sess != nil && sess != s {
+				sess.detach(conn)
+			}
 			sess = s
 			ok := wire.OK(f)
 			ok.Caps = wire.LocalCaps()
@@ -385,6 +404,16 @@ func (h *Host) subscribe(sess *Session, f *wire.Frame) error {
 
 	h.mu.Lock()
 	ts := h.topics[f.Topic]
+	// A draining entry still owns the broker subscription until its
+	// unsubscribe resolves; wait it out and re-check rather than racing a
+	// fresh Subscribe past the in-flight Unsubscribe.
+	for ts != nil && ts.draining != nil {
+		drained := ts.draining
+		h.mu.Unlock()
+		<-drained
+		h.mu.Lock()
+		ts = h.topics[f.Topic]
+	}
 	first := ts == nil
 	if first {
 		ts = &topicSub{sessions: make(map[*Session]struct{}), ready: make(chan struct{})}
@@ -452,22 +481,36 @@ func (h *Host) unsubscribe(sess *Session, topic string) error {
 	sess.removeTopic(topic)
 	h.mu.Lock()
 	ts := h.topics[topic]
-	last := false
+	var drained chan struct{}
 	if ts != nil {
 		if _, held := ts.sessions[sess]; held {
 			ts.refs--
 			delete(ts.sessions, sess)
 			if ts.refs <= 0 {
-				last = true
-				delete(h.topics, topic)
+				// Last reference: keep the entry in h.topics, marked
+				// draining, until the upstream unsubscribe resolves, so a
+				// concurrent new subscriber serializes behind it instead of
+				// sending a Subscribe the broker may process first.
+				drained = make(chan struct{})
+				ts.draining = drained
 			}
 		}
 	}
 	h.mu.Unlock()
-	if last {
-		return h.upstream.Unsubscribe(topic)
+	if drained == nil {
+		return nil
 	}
-	return nil
+	if h.testHookUnsubscribeGap != nil {
+		h.testHookUnsubscribeGap(topic)
+	}
+	err := h.upstream.Unsubscribe(topic)
+	h.mu.Lock()
+	if h.topics[topic] == ts {
+		delete(h.topics, topic)
+	}
+	h.mu.Unlock()
+	close(drained)
+	return err
 }
 
 func (h *Host) respond(conn *wire.Conn, f *wire.Frame) {

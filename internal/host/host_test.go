@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -169,6 +170,150 @@ func TestHostMultiplexesUpstreamSubscriptions(t *testing.T) {
 	if got := tt.broker.Subscribers(topic); len(got) != 1 {
 		t.Fatalf("broker subscribers after re-churn = %v, want 1", got)
 	}
+}
+
+// TestHostSubscribeUnsubscribeOrdering pins the drain handshake on the
+// multiplexed subscription: when the last session unsubscribes while a new
+// session subscribes concurrently, the fresh upstream Subscribe must
+// serialize behind the in-flight Unsubscribe. Without the draining state
+// the broker could process them in the wrong order, leaving the host
+// unsubscribed while the new session holds a reference — every
+// notification on the topic silently lost.
+func TestHostSubscribeUnsubscribeOrdering(t *testing.T) {
+	tt := newTopology(t, Options{Workers: 1})
+	h := tt.host
+	const topic = "order/t"
+	s1 := newSession(h, "order-1", h.workers[0])
+	s2 := newSession(h, "order-2", h.workers[0])
+	subFrame := func() *wire.Frame {
+		return &wire.Frame{Type: wire.TypeSubscribe, Topic: topic,
+			TopicPolicy: &wire.TopicPolicy{Mode: "on-line"}}
+	}
+	// Deterministic interleaving: park the unsubscriber in the window
+	// between dropping the last reference and sending the upstream
+	// Unsubscribe, and start the new subscriber inside it. The subscriber
+	// must block on the drain (and resubscribe after) rather than racing
+	// its Subscribe past the parked Unsubscribe at the broker.
+	if err := h.subscribe(s1, subFrame()); err != nil {
+		t.Fatal(err)
+	}
+	gapEntered := make(chan struct{})
+	s2returned := make(chan struct{})
+	var s2err error
+	h.testHookUnsubscribeGap = func(string) {
+		close(gapEntered)
+		select {
+		case <-s2returned:
+			// Buggy ordering: the subscribe overtook us. Fall through and
+			// let the assertions below report it.
+		case <-time.After(250 * time.Millisecond):
+			// Fixed ordering: the subscribe is parked on the drain.
+		}
+	}
+	unsubDone := make(chan error, 1)
+	go func() { unsubDone <- h.unsubscribe(s1, topic) }()
+	<-gapEntered
+	go func() { s2err = h.subscribe(s2, subFrame()); close(s2returned) }()
+	if err := <-unsubDone; err != nil {
+		t.Fatalf("unsubscribe s1: %v", err)
+	}
+	<-s2returned
+	if s2err != nil {
+		t.Fatalf("subscribe s2: %v", s2err)
+	}
+	h.testHookUnsubscribeGap = nil
+	if refs := h.TopicRefs(topic); refs != 1 {
+		t.Fatalf("TopicRefs = %d, want 1", refs)
+	}
+	if got := tt.broker.Subscribers(topic); len(got) != 1 {
+		t.Fatalf("broker subscribers = %v with 1 ref held: the concurrent subscribe was lost", got)
+	}
+	if err := h.unsubscribe(s2, topic); err != nil {
+		t.Fatal(err)
+	}
+	if got := tt.broker.Subscribers(topic); len(got) != 0 {
+		t.Fatalf("broker still subscribed after last ref: %v", got)
+	}
+
+	// Churn the same pair concurrently (race coverage; the deterministic
+	// interleaving above pins the ordering itself).
+	for i := 0; i < 100; i++ {
+		if err := h.subscribe(s1, subFrame()); err != nil {
+			t.Fatalf("iter %d: subscribe s1: %v", i, err)
+		}
+		var wg sync.WaitGroup
+		var subErr, unsubErr error
+		wg.Add(2)
+		go func() { defer wg.Done(); subErr = h.subscribe(s2, subFrame()) }()
+		go func() { defer wg.Done(); unsubErr = h.unsubscribe(s1, topic) }()
+		wg.Wait()
+		if subErr != nil || unsubErr != nil {
+			t.Fatalf("iter %d: subscribe s2: %v, unsubscribe s1: %v", i, subErr, unsubErr)
+		}
+		if refs := h.TopicRefs(topic); refs != 1 {
+			t.Fatalf("iter %d: TopicRefs = %d, want 1", i, refs)
+		}
+		if got := tt.broker.Subscribers(topic); len(got) != 1 {
+			t.Fatalf("iter %d: broker subscribers = %v with 1 ref held", i, got)
+		}
+		if err := h.unsubscribe(s2, topic); err != nil {
+			t.Fatalf("iter %d: unsubscribe s2: %v", i, err)
+		}
+		if got := tt.broker.Subscribers(topic); len(got) != 0 {
+			t.Fatalf("iter %d: broker still subscribed after last ref: %v", i, got)
+		}
+	}
+}
+
+// TestHostHelloRenameDetachesOldSession: a second hello with a different
+// name moves the connection to the new session and releases the old one;
+// the old session must not keep believing the device is reachable.
+func TestHostHelloRenameDetachesOldSession(t *testing.T) {
+	tt := newTopology(t, Options{Workers: 1})
+	nc, err := net.Dial("tcp", tt.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := wire.NewConn(nc)
+	defer func() { _ = conn.Close() }()
+	hello := func(name string) {
+		t.Helper()
+		seq, err := conn.SendRequest(&wire.Frame{Type: wire.TypeHello, Name: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := conn.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != wire.TypeOK || f.Re != seq {
+			t.Fatalf("hello %q: got %+v, want ok", name, f)
+		}
+	}
+	hello("rebind-a")
+	hello("rebind-b")
+	// The detach runs before the second hello's response, so the snapshot
+	// is already consistent here.
+	connected := map[string]bool{}
+	for _, s := range tt.host.Sessions() {
+		connected[s.Name] = s.Connected
+	}
+	if connected["rebind-a"] {
+		t.Fatal("old session rebind-a still marked connected after rename")
+	}
+	if !connected["rebind-b"] {
+		t.Fatal("new session rebind-b not connected after rename")
+	}
+	// Disconnecting releases only the session that owns the connection.
+	_ = conn.Close()
+	waitFor(t, "rebind-b detach", func() bool {
+		for _, s := range tt.host.Sessions() {
+			if s.Name == "rebind-b" {
+				return !s.Connected
+			}
+		}
+		return false
+	})
 }
 
 // TestHostFanOutSharedTopic: one published notification reaches every

@@ -363,9 +363,14 @@ func (w *Wheel) advanceLive() {
 	var batch []*wheelTimer
 	for !w.closed && w.cur < target {
 		k := w.cur + 1
+		// cur must advance to k before the cascade: place() computes level
+		// deltas relative to cur, and with cur still at k-1 an entry due on
+		// the last tick of a slot span (tickN = k+64^L-1, delta exactly
+		// 64^L) would be re-placed into the level it was just drained from
+		// and miss its deadline by a full higher-level wrap.
+		w.cur = k
 		w.cascade(k)
 		batch = w.takeSlot(&w.buckets[0][k&wheelMask], batch[:0])
-		w.cur = k
 		if len(batch) > 0 {
 			sortWheelBatch(batch)
 			w.mu.unlock()
@@ -379,7 +384,8 @@ func (w *Wheel) advanceLive() {
 // cascade moves entries whose horizon has arrived down one or more levels.
 // At tick k, level L's slot holds exactly the entries with tickN in
 // [k, k+64^L) when k is a multiple of 64^L; re-placing them lands them in
-// a lower level (or level 0's due slot).
+// a lower level (or level 0's due slot). Callers hold mu and must have
+// advanced w.cur to k already so place() sees deltas < 64^L.
 func (w *Wheel) cascade(k int64) {
 	for level := wheelLevels - 1; level >= 1; level-- {
 		span := int64(1) << (wheelBits * uint(level))

@@ -245,6 +245,53 @@ func TestWallWheelLive(t *testing.T) {
 	}
 }
 
+// TestWallWheelCascadeBoundary is the regression test for the live-mode
+// cascade off-by-one: cascade(k) used to run while cur was still k-1, so a
+// timer due on the last tick of a slot span (tickN = k+64^L-1, delta
+// exactly 64^L) was re-placed into the level it was drained from and did
+// not fire until the next higher-level wrap. The test drives advanceLive
+// deterministically — a live wheel whose ticker never fires within the
+// test, with start moved into the past by hand — and pins that every
+// timer, including the tickN%64==63 boundary cases, fires exactly on its
+// tick.
+func TestWallWheelCascadeBoundary(t *testing.T) {
+	const tick = time.Hour // the ticker goroutine stays asleep for the whole test
+	w := NewWallWheel(tick)
+	defer w.Close()
+
+	// Deltas chosen so tickN = 1+ceil(d/tick) lands on and around slot
+	// boundaries of levels 0–2; 191 is the empirically-late case from the
+	// bug report (191%64 == 63, armed >= 64 ticks ahead).
+	ticks := []int64{1, 63, 64, 127, 128, 191, 192, 4095, 4096, 4159, 8191}
+	firedAt := make(map[int64]int64, len(ticks))
+	for _, n := range ticks {
+		n := n
+		w.Schedule(time.Duration(n-1)*tick, func() { firedAt[n] = w.cur })
+	}
+
+	// Drive the walk directly: move start into the past so the wall clock
+	// has "reached" the target tick, then advance. No concurrency — the
+	// callbacks run on this goroutine inside advanceLive.
+	w.mu.lock()
+	w.start = w.start.Add(-8300 * tick)
+	w.mu.unlock()
+	w.advanceLive()
+
+	for _, n := range ticks {
+		at, ok := firedAt[n]
+		if !ok {
+			t.Errorf("timer due at tick %d never fired (pending=%d)", n, w.Pending())
+			continue
+		}
+		if at != n {
+			t.Errorf("timer due at tick %d fired at tick %d", n, at)
+		}
+	}
+	if got := w.Pending(); got != 0 {
+		t.Errorf("pending after drain: %d", got)
+	}
+}
+
 // TestWallWheelRunSerialized checks that Run closures and callbacks never
 // overlap (the single-threaded discipline core.Proxy depends on).
 func TestWallWheelRunSerialized(t *testing.T) {

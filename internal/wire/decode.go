@@ -515,7 +515,15 @@ func (d *frameDecoder) traceHop(h *msg.TraceHop) bool {
 			if !ok {
 				return false
 			}
-			h.At = int64(v)
+			// uint's overflow guard runs before the final multiply, so v
+			// can reach 1<<63+9; anything int64 cannot represent must bail
+			// so the slow path rejects it with its out-of-range error
+			// instead of the cast wrapping negative here. 1<<63 itself is
+			// valid only as -9223372036854775808.
+			if v > 1<<63 || (!neg && v == 1<<63) {
+				return false
+			}
+			h.At = int64(v) // v == 1<<63 wraps to MinInt64, which negation below preserves
 			if neg {
 				h.At = -h.At
 			}

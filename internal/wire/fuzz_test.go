@@ -201,6 +201,14 @@ func FuzzDecodeFrameEquivalence(f *testing.F) {
 	f.Add([]byte(`{"type":"ok","re":03}`))
 	f.Add([]byte(`{"type":"ok","re":3} trailing`))
 	f.Add([]byte(`{"type":"push","notification":{"id":"\u00e9","topic":"t","rank":1,"published":"2026-01-01T00:00:00Z","expires":"0001-01-01T00:00:00Z"}}`))
+	// Hop timestamps at and beyond the int64 range: encoding/json rejects
+	// anything past MaxInt64 (or below MinInt64), so the fast path must
+	// bail rather than wrap. MinInt64 itself is in range and must agree.
+	f.Add([]byte(`{"type":"push","notification":{"id":"a","topic":"t","rank":1},"trace":{"id":"t1","origin":"b1","hops":[{"node":"b1","at":9223372036854775807}]}}`))
+	f.Add([]byte(`{"type":"push","notification":{"id":"a","topic":"t","rank":1},"trace":{"id":"t1","origin":"b1","hops":[{"node":"b1","at":9223372036854775808}]}}`))
+	f.Add([]byte(`{"type":"push","notification":{"id":"a","topic":"t","rank":1},"trace":{"id":"t1","origin":"b1","hops":[{"node":"b1","at":9223372036854775809}]}}`))
+	f.Add([]byte(`{"type":"push","notification":{"id":"a","topic":"t","rank":1},"trace":{"id":"t1","origin":"b1","hops":[{"node":"b1","at":-9223372036854775808}]}}`))
+	f.Add([]byte(`{"type":"push","notification":{"id":"a","topic":"t","rank":1},"trace":{"id":"t1","origin":"b1","hops":[{"node":"b1","at":-9223372036854775809}]}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var fast Frame
 		if !decodeFrame(data, &fast) {
