@@ -10,6 +10,14 @@
 //	lasthop-loadgen -publishers 8 -devices 16 -n 20000
 //	lasthop-loadgen -devices 4 -on-demand -payload 512 -out run.json
 //	lasthop-loadgen -multi-tenant -devices 1000 -topics 100 -n 50000
+//	lasthop-loadgen -recovery -devices 10000 -topics 500 -n 100000 -spool-dir /tmp/spool
+//
+// With -recovery the run becomes the kill/restart chaos drill: every
+// session subscribes and disconnects (at most -concurrent connected at
+// once), half the load is published into hibernated sessions, the host
+// is killed abruptly and restarted on the same spool, the rest is
+// published, and the devices reconnect in waves to read everything back.
+// The report's "recovered" and "lost" fields gate zero-loss recovery.
 package main
 
 import (
@@ -40,6 +48,12 @@ func run() error {
 		onDemand   = flag.Bool("on-demand", false, "consume with READ requests instead of on-line pushes")
 		multi      = flag.Bool("multi-tenant", false, "run every device against one shared host instead of one proxy per device")
 		hostWk     = flag.Int("host-workers", 0, "host worker count in multi-tenant mode (0 = GOMAXPROCS)")
+		recovery   = flag.Bool("recovery", false, "run the kill/restart chaos drill instead of a plain throughput run (implies -multi-tenant -on-demand)")
+		spoolDir   = flag.String("spool-dir", "", "hibernation spool directory for the multi-tenant host (empty = hibernation off; -recovery uses a temp dir)")
+		hibAfter   = flag.Duration("hibernate-after", 0, "spool disconnected sessions after this long (0 = default)")
+		commitEv   = flag.Duration("spool-commit-every", 0, "spool group-commit interval (0 = default)")
+		spoolFsync = flag.String("spool-fsync", "", "spool fsync policy: always, commit, or never (empty = commit)")
+		concurrent = flag.Int("concurrent", 0, "max simultaneously connected devices in the -recovery drill (0 = 5% of -devices)")
 		timeout    = flag.Duration("timeout", time.Minute, "abort the run after this long")
 		out        = flag.String("out", "", "write the JSON report here (default stdout)")
 		quiet      = flag.Bool("q", false, "suppress progress logging")
@@ -55,21 +69,35 @@ func run() error {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
-	rep, err := loadgen.Run(loadgen.Config{
-		Publishers:    *publishers,
-		Devices:       *devices,
-		Topics:        *topics,
-		Notifications: *count,
-		PayloadBytes:  *payload,
-		OnDemand:      *onDemand,
-		MultiTenant:   *multi,
-		HostWorkers:   *hostWk,
-		ObsAddr:       *obsAddr,
-		Linger:        *linger,
-		Timeout:       *timeout,
-		Logf:          logf,
-		TraceSample:   *traceSample,
-	})
+	cfg := loadgen.Config{
+		Publishers:       *publishers,
+		Devices:          *devices,
+		Topics:           *topics,
+		Notifications:    *count,
+		PayloadBytes:     *payload,
+		OnDemand:         *onDemand,
+		MultiTenant:      *multi,
+		HostWorkers:      *hostWk,
+		SpoolDir:         *spoolDir,
+		HibernateAfter:   *hibAfter,
+		SpoolCommitEvery: *commitEv,
+		SpoolFsync:       *spoolFsync,
+		Concurrent:       *concurrent,
+		ObsAddr:          *obsAddr,
+		Linger:           *linger,
+		Timeout:          *timeout,
+		Logf:             logf,
+		TraceSample:      *traceSample,
+	}
+	var (
+		rep *loadgen.Report
+		err error
+	)
+	if *recovery {
+		rep, err = loadgen.RunRecovery(cfg)
+	} else {
+		rep, err = loadgen.Run(cfg)
+	}
 	if err != nil {
 		return err
 	}

@@ -7,12 +7,15 @@
 // With -multi-tenant it instead runs a proxy host serving any number of
 // devices on one listener: sessions shard across -workers event-loop
 // workers (each with its own timing wheel) and all upstream traffic
-// shares one multiplexed broker connection.
+// shares one multiplexed broker connection. With -spool-dir the host
+// hibernates disconnected sessions onto a checksummed write-ahead spool
+// and recovers every spooled session on restart, even after SIGKILL.
 //
 // Examples:
 //
 //	lasthop-proxy -broker localhost:7470 -listen :7471 -name alice-proxy -obs-addr :9471
 //	lasthop-proxy -multi-tenant -broker localhost:7470 -listen :7471 -name edge-host
+//	lasthop-proxy -multi-tenant -spool-dir /var/lib/lasthop/spool -hibernate-after 30s -name edge-host
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"lasthop/internal/metrics"
 	"lasthop/internal/obs"
 	"lasthop/internal/retry"
+	"lasthop/internal/spool"
 	"lasthop/internal/trace"
 	"lasthop/internal/wire"
 )
@@ -54,6 +58,12 @@ func run() error {
 		multi        = flag.Bool("multi-tenant", false, "serve many device sessions as one proxy host instead of a single-device proxy")
 		workers      = flag.Int("workers", 0, "multi-tenant event-loop workers (0 = GOMAXPROCS)")
 		wheelTick    = flag.Duration("wheel-tick", 10*time.Millisecond, "multi-tenant timing-wheel resolution")
+		spoolDir     = flag.String("spool-dir", "", "multi-tenant hibernation spool directory: disconnected sessions serialize here and survive kill/restart (empty = sessions stay in memory)")
+		hibAfter     = flag.Duration("hibernate-after", time.Minute, "spool a disconnected session after this long")
+		segBytes     = flag.Int64("spool-segment-bytes", 0, "roll spool segments at this size (0 = default)")
+		commitEvery  = flag.Duration("spool-commit-every", 100*time.Millisecond, "spool group-commit interval")
+		spoolFsync   = flag.String("spool-fsync", "commit", "spool fsync policy: always, commit, or never")
+		compactSegs  = flag.Int("spool-compact-segments", 0, "compact a worker's spool once it exceeds this many segments (0 = default)")
 
 		obsAddr     = flag.String("obs-addr", "", "serve /metrics, /healthz, /debug/pprof, and /debug/traces on this address (empty = disabled)")
 		traceSample = flag.Float64("trace-sample", 0, "head-sample this fraction of locally published traffic (the proxy mostly records events against contexts minted upstream; anomalies are always traced)")
@@ -84,19 +94,29 @@ func run() error {
 
 	if *multi {
 		if *journalPath != "" {
-			return errors.New("-journal is not supported in -multi-tenant mode")
+			return errors.New("-journal is not supported in -multi-tenant mode (use -spool-dir)")
+		}
+		fsync, err := spool.ParseFsyncPolicy(*spoolFsync)
+		if err != nil {
+			return err
 		}
 		h, err := host.New(host.Options{
-			BrokerAddr:         *broker,
-			Name:               *name,
-			Workers:            *workers,
-			WheelTick:          *wheelTick,
-			Upstream:           upstream,
-			DeviceReadTimeout:  *devReadTO,
-			DeviceWriteTimeout: *devWriteTO,
-			Logf:               logf,
-			Metrics:            wm,
-			Trace:              collector,
+			BrokerAddr:           *broker,
+			Name:                 *name,
+			Workers:              *workers,
+			WheelTick:            *wheelTick,
+			Upstream:             upstream,
+			DeviceReadTimeout:    *devReadTO,
+			DeviceWriteTimeout:   *devWriteTO,
+			SpoolDir:             *spoolDir,
+			HibernateAfter:       *hibAfter,
+			SpoolSegmentBytes:    *segBytes,
+			SpoolFsync:           fsync,
+			SpoolCommitEvery:     *commitEvery,
+			SpoolCompactSegments: *compactSegs,
+			Logf:                 logf,
+			Metrics:              wm,
+			Trace:                collector,
 		})
 		if err != nil {
 			return err

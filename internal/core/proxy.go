@@ -96,7 +96,7 @@ type topicState struct {
 	prefetch *rankedq.Queue // passed expiration checks and the delay stage
 	holding  *rankedq.Queue // expires too soon to prefetch; read-only access
 
-	delayed     map[msg.ID]simtime.Timer // delay stage (§3.4)
+	delayed     map[msg.ID]delayedTimer // delay stage (§3.4) and quiet windows
 	expiryTimer map[msg.ID]simtime.Timer
 
 	history   *rankedq.History             // topic.history with GC
@@ -119,6 +119,17 @@ type topicState struct {
 	// Daily on-line delivery cap accounting (§2.2 refinement).
 	onlineDay  int
 	onlineSent int
+}
+
+// delayedTimer is one armed delay-stage or quiet-window timer plus the
+// state a hibernating proxy must persist to re-arm it on rehydration: the
+// instant it would fire and which release path (quietTimeout vs
+// delayTimeout) it is on. The timer handle itself cannot cross a
+// hibernation boundary.
+type delayedTimer struct {
+	timer  simtime.Timer
+	fireAt time.Time
+	quiet  bool
 }
 
 // quietRemaining reports whether the topic is inside a quiet window at the
@@ -164,7 +175,7 @@ func (p *Proxy) AddTopic(cfg TopicConfig) error {
 		outgoing:     rankedq.NewQueue(),
 		prefetch:     rankedq.NewQueue(),
 		holding:      rankedq.NewQueue(),
-		delayed:      make(map[msg.ID]simtime.Timer),
+		delayed:      make(map[msg.ID]delayedTimer),
 		expiryTimer:  make(map[msg.ID]simtime.Timer),
 		history:      rankedq.NewHistory(cfg.HistoryLimit),
 		known:        make(map[msg.ID]*msg.Notification),
@@ -207,7 +218,7 @@ func (p *Proxy) RemoveTopic(name string) error {
 	// membership, so clearing the maps turns those late fires into no-ops
 	// instead of mutating queues of an unregistered topic.
 	for id, t := range ts.delayed {
-		t.Cancel()
+		t.timer.Cancel()
 		delete(ts.delayed, id)
 	}
 	for id, t := range ts.expiryTimer {
@@ -392,7 +403,11 @@ func (p *Proxy) enqueue(ts *topicState, n *msg.Notification, now time.Time) {
 				p.traceEvent(e)
 			}
 			id := n.ID
-			ts.delayed[id] = p.sched.Schedule(rem, func() { p.quietTimeout(ts, id) })
+			ts.delayed[id] = delayedTimer{
+				timer:  p.sched.Schedule(rem, func() { p.quietTimeout(ts, id) }),
+				fireAt: now.Add(rem),
+				quiet:  true,
+			}
 			return
 		}
 		if ts.chargeOnlineCap(now) {
@@ -450,7 +465,10 @@ func (p *Proxy) enqueueStaged(ts *topicState, n *msg.Notification, now time.Time
 			p.traceEvent(e)
 		}
 		id := n.ID
-		ts.delayed[id] = p.sched.Schedule(d, func() { p.delayTimeout(ts, id) })
+		ts.delayed[id] = delayedTimer{
+			timer:  p.sched.Schedule(d, func() { p.delayTimeout(ts, id) }),
+			fireAt: now.Add(d),
+		}
 		return
 	}
 	p.traceDecision(trace.KindEnqueue, ts, n, "prefetch", cause)
@@ -470,7 +488,11 @@ func (p *Proxy) quietTimeout(ts *topicState, id msg.ID) {
 		return
 	}
 	if quiet, rem := ts.quietRemaining(now); quiet {
-		ts.delayed[id] = p.sched.Schedule(rem, func() { p.quietTimeout(ts, id) })
+		ts.delayed[id] = delayedTimer{
+			timer:  p.sched.Schedule(rem, func() { p.quietTimeout(ts, id) }),
+			fireAt: now.Add(rem),
+			quiet:  true,
+		}
 		return
 	}
 	// The daily cap is charged at release time: a window crossing
@@ -508,7 +530,7 @@ func (p *Proxy) forget(ts *topicState, id msg.ID) {
 	ts.prefetch.Remove(id)
 	ts.holding.Remove(id)
 	if t, ok := ts.delayed[id]; ok {
-		t.Cancel()
+		t.timer.Cancel()
 		delete(ts.delayed, id)
 	}
 	if t, ok := ts.expiryTimer[id]; ok {
@@ -545,7 +567,7 @@ func (p *Proxy) expirationTimeout(ts *topicState, id msg.ID) {
 		queue = "holding"
 	}
 	if t, ok := ts.delayed[id]; ok {
-		t.Cancel()
+		t.timer.Cancel()
 		delete(ts.delayed, id)
 		if queue == "" {
 			queue = "delayed"
@@ -618,7 +640,7 @@ func (p *Proxy) applyRank(ts *topicState, id msg.ID, rank float64) {
 			purged = "prefetch"
 		}
 		if t, ok := ts.delayed[id]; ok {
-			t.Cancel()
+			t.timer.Cancel()
 			delete(ts.delayed, id)
 			purged = "delayed"
 		}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"lasthop/internal/msg"
+	"lasthop/internal/rankedq"
+	"lasthop/internal/stats"
+)
+
+// TopicDurable pairs a topic's configuration with its durable runtime
+// state. The configuration rides along so a recovered host can re-register
+// the topic without consulting any other source.
+type TopicDurable struct {
+	Config TopicConfig    `json:"config"`
+	State  msg.TopicState `json:"state"`
+}
+
+// ProxySnapshot is the complete durable state of one proxy: cumulative
+// accounting plus every subscribed topic. Export produces it; Import
+// rebuilds an empty proxy from it. Round-tripping through JSON is lossless
+// up to timer identity — timers are re-armed from their recorded deadlines.
+type ProxySnapshot struct {
+	Stats  Stats          `json:"stats"`
+	Topics []TopicDurable `json:"topics,omitempty"`
+}
+
+// Export captures the proxy's durable state. Like every entry point it must
+// run on the owning scheduler. The snapshot shares Notification pointers
+// with the live proxy; serialize it before mutating the proxy further.
+func (p *Proxy) Export() *ProxySnapshot {
+	snap := &ProxySnapshot{Stats: p.stats}
+	for _, name := range p.Topics() {
+		ts := p.topics[name]
+		st := msg.TopicState{
+			Topic:         name,
+			Outgoing:      ts.outgoing.IDs(),
+			Prefetch:      ts.prefetch.IDs(),
+			Holding:       ts.holding.IDs(),
+			History:       ts.history.IDs(),
+			QueueSize:     ts.queueSize,
+			PrefetchLimit: ts.prefetchLimit,
+			ExpThreshold:  ts.expThreshold,
+			Delay:         ts.delay,
+			ReadSizes:     exportWindow(ts.readSizes),
+			ExpTimes:      exportWindow(ts.expTimes),
+			DropLags:      exportWindow(ts.dropLags),
+			ReadTimes:     exportInterval(ts.readTimes),
+			ArrivalTimes:  exportInterval(ts.arrivalTimes),
+			RateTokens:    ts.rateTokens,
+			OnlineDay:     ts.onlineDay,
+			OnlineSent:    ts.onlineSent,
+		}
+		for id, t := range ts.delayed {
+			st.Delayed = append(st.Delayed, msg.DelayedEntry{ID: id, FireAt: t.fireAt, Quiet: t.quiet})
+		}
+		sort.Slice(st.Delayed, func(i, j int) bool { return st.Delayed[i].ID < st.Delayed[j].ID })
+		// History order carries the content list so Import can replay
+		// remember() calls and reproduce the same eviction order.
+		for _, id := range st.History {
+			n, ok := ts.known[id]
+			if !ok {
+				continue // history and known are kept in lockstep; be safe
+			}
+			st.Notifications = append(st.Notifications, n)
+			if n.Trace != nil {
+				if st.Traces == nil {
+					st.Traces = make(map[msg.ID]*msg.TraceContext)
+				}
+				st.Traces[id] = n.Trace
+			}
+		}
+		st.Forwarded = sortedIDs(ts.forwarded)
+		for id := range ts.expiryTimer {
+			st.ExpiryArmed = append(st.ExpiryArmed, id)
+		}
+		sort.Slice(st.ExpiryArmed, func(i, j int) bool { return st.ExpiryArmed[i] < st.ExpiryArmed[j] })
+		snap.Topics = append(snap.Topics, TopicDurable{Config: ts.cfg, State: st})
+	}
+	return snap
+}
+
+func exportWindow(m *stats.MovingAverage) msg.WindowSnapshot {
+	return msg.WindowSnapshot{Size: m.Size(), Samples: m.Samples()}
+}
+
+func exportInterval(ia *stats.IntervalAverage) msg.IntervalSnapshot {
+	size, diffs, last, hasLast := ia.Export()
+	return msg.IntervalSnapshot{
+		Window:  msg.WindowSnapshot{Size: size, Samples: diffs},
+		Last:    last,
+		HasLast: hasLast,
+	}
+}
+
+func sortedIDs(set msg.IDSet) []msg.ID {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]msg.ID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Import rebuilds the proxy from a snapshot. The proxy must be freshly
+// constructed (no topics registered); the caller decides the network state
+// — a rehydrating host imports with the network marked down and raises it
+// only once the device connection is attached. Timers re-arm from their
+// recorded deadlines: deadlines that passed while the state was spooled
+// fire on the next scheduler tick, so nothing is lost to the gap.
+func (p *Proxy) Import(snap *ProxySnapshot) error {
+	if len(p.topics) != 0 {
+		return fmt.Errorf("import: proxy already has %d topics", len(p.topics))
+	}
+	p.stats = snap.Stats
+	now := p.sched.Now()
+	for _, td := range snap.Topics {
+		if err := p.AddTopic(td.Config); err != nil {
+			return fmt.Errorf("import: %w", err)
+		}
+		ts := p.topics[td.Config.Name]
+		st := &td.State
+
+		byID := make(map[msg.ID]*msg.Notification, len(st.Notifications))
+		for _, n := range st.Notifications {
+			if tc, ok := st.Traces[n.ID]; ok {
+				n.Trace = tc
+			}
+			byID[n.ID] = n
+		}
+		// Replay the history in insertion order so the GC evicts in the
+		// same order the live proxy would have.
+		for _, id := range st.History {
+			n, ok := byID[id]
+			if !ok {
+				return fmt.Errorf("import: topic %q history ID %s has no content", st.Topic, id)
+			}
+			p.remember(ts, n)
+		}
+		for _, id := range st.Forwarded {
+			ts.forwarded.Add(id)
+		}
+		for _, q := range []struct {
+			ids  []msg.ID
+			dst  *rankedq.Queue
+			name string
+		}{
+			{st.Outgoing, ts.outgoing, "outgoing"},
+			{st.Prefetch, ts.prefetch, "prefetch"},
+			{st.Holding, ts.holding, "holding"},
+		} {
+			for _, id := range q.ids {
+				n, ok := ts.known[id]
+				if !ok {
+					return fmt.Errorf("import: topic %q %s queue ID %s not in history", st.Topic, q.name, id)
+				}
+				p.mustPush(q.dst, n)
+			}
+		}
+		for _, e := range st.Delayed {
+			id := e.ID
+			if _, ok := ts.known[id]; !ok {
+				return fmt.Errorf("import: topic %q delayed ID %s not in history", st.Topic, id)
+			}
+			d := e.FireAt.Sub(now) // Schedule clamps negatives to zero
+			var t delayedTimer
+			if e.Quiet {
+				t = delayedTimer{timer: p.sched.Schedule(d, func() { p.quietTimeout(ts, id) }), fireAt: e.FireAt, quiet: true}
+			} else {
+				t = delayedTimer{timer: p.sched.Schedule(d, func() { p.delayTimeout(ts, id) }), fireAt: e.FireAt}
+			}
+			ts.delayed[id] = t
+		}
+		for _, id := range st.ExpiryArmed {
+			n, ok := ts.known[id]
+			if !ok {
+				return fmt.Errorf("import: topic %q expiry ID %s not in history", st.Topic, id)
+			}
+			id := id
+			ts.expiryTimer[id] = p.sched.Schedule(n.Expires.Sub(now), func() { p.expirationTimeout(ts, id) })
+		}
+
+		ts.queueSize = st.QueueSize
+		ts.prefetchLimit = st.PrefetchLimit
+		ts.expThreshold = st.ExpThreshold
+		ts.delay = st.Delay
+		ts.readSizes = restoreWindow(st.ReadSizes, ts.cfg.StatsWindow)
+		ts.expTimes = restoreWindow(st.ExpTimes, ts.cfg.StatsWindow)
+		ts.dropLags = restoreWindow(st.DropLags, ts.cfg.StatsWindow)
+		ts.readTimes = restoreInterval(st.ReadTimes, ts.cfg.StatsWindow)
+		ts.arrivalTimes = restoreInterval(st.ArrivalTimes, ts.cfg.StatsWindow)
+		ts.rateTokens = st.RateTokens
+		ts.onlineDay = st.OnlineDay
+		ts.onlineSent = st.OnlineSent
+	}
+	return nil
+}
+
+func restoreWindow(ws msg.WindowSnapshot, fallbackSize int) *stats.MovingAverage {
+	size := ws.Size
+	if size <= 0 {
+		size = fallbackSize
+	}
+	return stats.RestoreMovingAverage(size, ws.Samples)
+}
+
+func restoreInterval(is msg.IntervalSnapshot, fallbackSize int) *stats.IntervalAverage {
+	size := is.Window.Size
+	if size <= 0 {
+		size = fallbackSize
+	}
+	return stats.RestoreIntervalAverage(size, is.Window.Samples, is.Last, is.HasLast)
+}
+
+// Shutdown cancels every armed timer so a proxy being dropped (hibernated
+// or replaced) leaks no scheduler state. The proxy must not be used
+// afterwards. Like every entry point it must run on the owning scheduler.
+func (p *Proxy) Shutdown() {
+	for _, ts := range p.topics {
+		for id, t := range ts.delayed {
+			t.timer.Cancel()
+			delete(ts.delayed, id)
+		}
+		for id, t := range ts.expiryTimer {
+			t.Cancel()
+			delete(ts.expiryTimer, id)
+		}
+	}
+	p.topics = make(map[string]*topicState)
+}

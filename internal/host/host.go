@@ -19,13 +19,17 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net"
+	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lasthop/internal/core"
 	"lasthop/internal/msg"
+	"lasthop/internal/obs"
 	"lasthop/internal/simtime"
+	"lasthop/internal/spool"
 	"lasthop/internal/trace"
 	"lasthop/internal/wire"
 )
@@ -64,6 +68,31 @@ type Options struct {
 	// are untraced clones, so each sampled trace stays one linear
 	// publisher → device timeline. Nil disables tracing.
 	Trace *trace.Collector
+
+	// SpoolDir enables session hibernation: each worker writes hibernated
+	// session state into SpoolDir/worker-N, and New recovers every
+	// session spooled by a previous run (any worker count). Empty
+	// disables the lifecycle — sessions then stay fully resident forever,
+	// as before.
+	SpoolDir string
+	// HibernateAfter is how long a session may sit disconnected before
+	// its state is serialized to the spool and dropped from memory. Zero
+	// means 1 minute. Ignored without SpoolDir.
+	HibernateAfter time.Duration
+	// SpoolSegmentBytes, SpoolMaxRecordBytes, and SpoolFsync pass through
+	// to spool.Options (zero values take the spool defaults).
+	SpoolSegmentBytes   int64
+	SpoolMaxRecordBytes int
+	SpoolFsync          spool.FsyncPolicy
+	// SpoolCommitEvery is the group-commit interval: each worker's wheel
+	// runs one spool Commit per interval, batching the fsync (policy
+	// permitting) and the memory-drop callbacks of every hibernation in
+	// that window. Zero means 100ms.
+	SpoolCommitEvery time.Duration
+	// SpoolCompactSegments triggers compaction when a worker's spool
+	// exceeds this many segments (and has appended since the last
+	// compaction). Zero means 8.
+	SpoolCompactSegments int
 }
 
 func (o Options) withDefaults() Options {
@@ -82,14 +111,32 @@ func (o Options) withDefaults() Options {
 	if o.Upstream.Metrics == nil {
 		o.Upstream.Metrics = o.Metrics
 	}
+	if o.HibernateAfter <= 0 {
+		o.HibernateAfter = time.Minute
+	}
+	if o.SpoolCommitEvery <= 0 {
+		o.SpoolCommitEvery = 100 * time.Millisecond
+	}
+	if o.SpoolCompactSegments <= 0 {
+		o.SpoolCompactSegments = 8
+	}
 	return o
 }
 
 // worker is one event loop: a live timing wheel whose callback mutex
-// serializes the core.Proxy calls of every session assigned to it.
+// serializes the core.Proxy calls of every session assigned to it, plus
+// (with hibernation enabled) the worker's private write-ahead spool.
 type worker struct {
 	id    int
 	wheel *simtime.Wheel
+	// spool is nil when hibernation is disabled. All appends and the
+	// group-commit tick run wheel-serialized, so per-worker spool
+	// mutations never interleave.
+	spool *spool.Writer
+	// lastCompactAppends is the spool's append count after the previous
+	// compaction; compaction is skipped while it hasn't advanced.
+	// Wheel-serialized.
+	lastCompactAppends int64
 }
 
 // topicSub is the ref-counted state of one multiplexed upstream
@@ -136,10 +183,23 @@ type Host struct {
 	// reference dropping and the upstream Unsubscribe call; tests use it
 	// to widen that window and pin the subscribe/unsubscribe ordering.
 	testHookUnsubscribeGap func(topic string)
+
+	// Lifecycle totals (atomics: bumped inside wheel callbacks, read by
+	// the metric samplers and tests without entering the wheels).
+	hibernations      atomic.Int64
+	rehydrations      atomic.Int64
+	rehydrateFailures atomic.Int64
+	spooledDeltas     atomic.Int64
+	// rehydrateHist observes rehydration latency once RegisterMetrics
+	// installed it (atomic: registration may race live traffic).
+	rehydrateHist atomic.Pointer[obs.Histogram]
 }
 
 // New dials the upstream broker and assembles a host with the given
-// options. Close releases the upstream connection and the workers.
+// options. With SpoolDir set it also opens each worker's spool, recovers
+// every session hibernated by a previous run (re-subscribing their topics
+// upstream), and starts the group-commit ticks. Close releases the
+// upstream connection and the workers.
 func New(opts Options) (*Host, error) {
 	opts = opts.withDefaults()
 	h := &Host{
@@ -153,15 +213,54 @@ func New(opts Options) (*Host, error) {
 	for i := range h.workers {
 		h.workers[i] = &worker{id: i, wheel: simtime.NewWallWheel(opts.WheelTick)}
 	}
-	upstream, err := wire.DialBrokerOpts(opts.BrokerAddr, opts.Name, opts.Upstream)
-	if err != nil {
+	fail := func(err error) (*Host, error) {
 		for _, w := range h.workers {
 			w.wheel.Close()
+			if w.spool != nil {
+				w.spool.Abort()
+			}
+		}
+		if h.upstream != nil {
+			_ = h.upstream.Close()
 		}
 		return nil, fmt.Errorf("host: %w", err)
 	}
+	if opts.SpoolDir != "" {
+		for _, w := range h.workers {
+			sw, err := spool.Open(spool.Options{
+				Dir:            filepath.Join(opts.SpoolDir, fmt.Sprintf("worker-%d", w.id)),
+				SegmentBytes:   opts.SpoolSegmentBytes,
+				MaxRecordBytes: opts.SpoolMaxRecordBytes,
+				Fsync:          opts.SpoolFsync,
+				Logf:           opts.Logf,
+			})
+			if err != nil {
+				return fail(err)
+			}
+			w.spool = sw
+		}
+		if err := h.recoverSpooled(); err != nil {
+			return fail(err)
+		}
+	}
+	upstream, err := wire.DialBrokerOpts(opts.BrokerAddr, opts.Name, opts.Upstream)
+	if err != nil {
+		return fail(err)
+	}
 	upstream.OnPush(h.dispatchPush, h.dispatchRank)
 	h.upstream = upstream
+	// Recovered sessions' topics need their multiplexed upstream
+	// subscriptions back before any publisher traffic can reach them.
+	for _, topic := range h.UpstreamTopics() {
+		if err := upstream.Subscribe(msg.Subscription{Topic: topic, Subscriber: h.name}); err != nil {
+			return fail(fmt.Errorf("recover subscription %q: %w", topic, err))
+		}
+	}
+	if opts.SpoolDir != "" {
+		for _, w := range h.workers {
+			h.scheduleCommit(w)
+		}
+	}
 	return h, nil
 }
 
@@ -199,7 +298,7 @@ func (h *Host) dispatchPush(n *msg.Notification) {
 			m = &clone
 		}
 		sess := s
-		sess.w.wheel.Run(func() { sess.proxy.Notify(m) })
+		sess.w.wheel.Run(func() { sess.deliverNotify(m) })
 	}
 }
 
@@ -217,7 +316,7 @@ func (h *Host) dispatchRank(u msg.RankUpdate) {
 	h.mu.Unlock()
 	for _, s := range targets {
 		sess := s
-		sess.w.wheel.Run(func() { sess.proxy.ApplyRankUpdate(u) })
+		sess.w.wheel.Run(func() { sess.deliverRank(u) })
 	}
 }
 
@@ -290,7 +389,52 @@ func (h *Host) Close() {
 	}
 	for _, w := range h.workers {
 		w.wheel.Close()
+		if w.spool != nil {
+			// The wheel is closed, so no further appends are possible;
+			// sync what is there and seal the segment.
+			if err := w.spool.Close(); err != nil {
+				h.logf("host: close spool %d: %v", w.id, err)
+			}
+		}
 	}
+}
+
+// Kill simulates a process crash for the chaos tests: every file
+// descriptor is dropped without syncing, pending group-commit callbacks
+// are discarded, and nothing is flushed. State appended to the spool
+// before Kill must survive — exactly what a SIGKILL leaves behind (the
+// page cache outlives the process). Production shutdown is Close.
+func (h *Host) Kill() {
+	h.mu.Lock()
+	already := h.closed
+	h.closed = true
+	lis := h.lis
+	sessions := make([]*Session, 0, len(h.sessions))
+	for _, s := range h.sessions {
+		sessions = append(sessions, s)
+	}
+	h.mu.Unlock()
+	if already {
+		return
+	}
+	if lis != nil {
+		_ = lis.Close()
+	}
+	for _, s := range sessions {
+		s.closeConn()
+	}
+	// Wheels first: drops every pending commit tick and hibernation
+	// callback, the way a dead process would.
+	for _, w := range h.workers {
+		w.wheel.Close()
+		if w.spool != nil {
+			w.spool.Abort()
+		}
+	}
+	if h.upstream != nil {
+		_ = h.upstream.Close()
+	}
+	h.wg.Wait()
 }
 
 // handleConn serves one device connection: the hello routes it to its
@@ -392,9 +536,24 @@ func (h *Host) subscribe(sess *Session, f *wire.Frame) error {
 		return err
 	}
 	// Reasserting a topic on reconnect is idempotent; the session keeps
-	// its spooled state and its single upstream reference.
+	// its spooled state and its single upstream reference. The exception
+	// is a session that restarted empty after an unreadable snapshot: its
+	// proxy lost the topic while the reference survived, so the reassert
+	// re-adds the config without touching the subscription table.
 	if sess.hasTopic(f.Topic) {
-		return nil
+		var addErr error
+		sess.w.wheel.Run(func() {
+			if sess.proxy == nil {
+				return
+			}
+			for _, t := range sess.proxy.Topics() {
+				if t == f.Topic {
+					return
+				}
+			}
+			addErr = sess.proxy.AddTopic(cfg)
+		})
+		return addErr
 	}
 	var addErr error
 	sess.w.wheel.Run(func() { addErr = sess.proxy.AddTopic(cfg) })
@@ -556,6 +715,7 @@ type SessionInfo struct {
 	Name      string
 	Worker    int
 	Connected bool
+	State     string // resident | hibernating | hibernated
 	Connects  int
 	Resumes   int
 	Topics    int
@@ -576,7 +736,9 @@ func (h *Host) Sessions() []SessionInfo {
 	return out
 }
 
-// SessionStats returns the core counters of one session's proxy.
+// SessionStats returns the core counters of one session's proxy. It
+// reports false for unknown names and for hibernated sessions — stats must
+// never force a rehydration.
 func (h *Host) SessionStats(name string) (core.Stats, bool) {
 	h.mu.Lock()
 	s := h.sessions[name]
@@ -584,9 +746,17 @@ func (h *Host) SessionStats(name string) (core.Stats, bool) {
 	if s == nil {
 		return core.Stats{}, false
 	}
-	var st core.Stats
-	s.w.wheel.Run(func() { st = s.proxy.Stats() })
-	return st, true
+	var (
+		st core.Stats
+		ok bool
+	)
+	s.w.wheel.Run(func() {
+		if s.proxy != nil {
+			st = s.proxy.Stats()
+			ok = true
+		}
+	})
+	return st, ok
 }
 
 // SessionSnapshot returns one topic snapshot of one session's proxy.
@@ -601,8 +771,61 @@ func (h *Host) SessionSnapshot(name, topic string) (core.TopicSnapshot, bool) {
 		snap core.TopicSnapshot
 		ok   bool
 	)
-	s.w.wheel.Run(func() { snap, ok = s.proxy.Snapshot(topic) })
+	s.w.wheel.Run(func() {
+		if s.proxy != nil {
+			snap, ok = s.proxy.Snapshot(topic)
+		}
+	})
 	return snap, ok
+}
+
+// LifecycleStats reports the host's hibernation totals since start.
+type LifecycleStats struct {
+	Hibernations      int64
+	Rehydrations      int64
+	RehydrateFailures int64
+	// SpooledDeltas counts delta records appended for non-resident
+	// sessions since start; phased drills use it to know when a publish
+	// wave is fully on disk.
+	SpooledDeltas int64
+	Resident      int
+	Hibernated    int
+	SpoolSegments int64
+	SpoolBytes    int64
+}
+
+// Lifecycle snapshots the hibernation counters, the resident/hibernated
+// split, and the spool footprint across workers.
+func (h *Host) Lifecycle() LifecycleStats {
+	st := LifecycleStats{
+		Hibernations:      h.hibernations.Load(),
+		Rehydrations:      h.rehydrations.Load(),
+		RehydrateFailures: h.rehydrateFailures.Load(),
+		SpooledDeltas:     h.spooledDeltas.Load(),
+	}
+	h.mu.Lock()
+	sessions := make([]*Session, 0, len(h.sessions))
+	for _, s := range h.sessions {
+		sessions = append(sessions, s)
+	}
+	h.mu.Unlock()
+	for _, s := range sessions {
+		s.mu.Lock()
+		if s.state == stateHibernated {
+			st.Hibernated++
+		} else {
+			st.Resident++
+		}
+		s.mu.Unlock()
+	}
+	for _, w := range h.workers {
+		if w.spool != nil {
+			ws := w.spool.Stats()
+			st.SpoolSegments += int64(ws.Segments)
+			st.SpoolBytes += ws.Bytes
+		}
+	}
+	return st
 }
 
 // Workers reports the worker count (for tooling and the load generator's

@@ -105,6 +105,66 @@ func (h *Host) RegisterMetrics(reg *obs.Registry, host string) {
 	sessionCounter("lasthop_host_session_expirations_total",
 		"Notifications expired while queued in each session's proxy.",
 		func(st core.Stats) int { return st.Expirations })
+
+	// Hibernation lifecycle: the resident/hibernated split, the spool
+	// footprint, and the transition totals.
+	reg.SampleGauges("lasthop_host_sessions_by_state",
+		"Sessions fully in memory (resident) versus serialized to the spool (hibernated).",
+		[]string{"host", "state"}, func() []obs.Sample {
+			ls := h.Lifecycle()
+			return []obs.Sample{
+				{Labels: []string{host, "resident"}, Value: float64(ls.Resident)},
+				{Labels: []string{host, "hibernated"}, Value: float64(ls.Hibernated)},
+			}
+		})
+	reg.SampleGauges("lasthop_host_spool_bytes",
+		"On-disk size of each worker's write-ahead spool.",
+		[]string{"host", "worker"}, func() []obs.Sample {
+			out := make([]obs.Sample, 0, len(h.workers))
+			for i, w := range h.workers {
+				if w.spool == nil {
+					continue
+				}
+				out = append(out, obs.Sample{
+					Labels: []string{host, strconv.Itoa(i)},
+					Value:  float64(w.spool.Stats().Bytes),
+				})
+			}
+			return out
+		})
+	reg.SampleGauges("lasthop_host_spool_segments",
+		"Segment files in each worker's write-ahead spool.",
+		[]string{"host", "worker"}, func() []obs.Sample {
+			out := make([]obs.Sample, 0, len(h.workers))
+			for i, w := range h.workers {
+				if w.spool == nil {
+					continue
+				}
+				out = append(out, obs.Sample{
+					Labels: []string{host, strconv.Itoa(i)},
+					Value:  float64(w.spool.Stats().Segments),
+				})
+			}
+			return out
+		})
+	reg.SampleCounters("lasthop_host_hibernations_total",
+		"Sessions whose state was dropped to the spool after the idle threshold.",
+		[]string{"host"}, func() []obs.Sample {
+			return []obs.Sample{{Labels: []string{host}, Value: float64(h.hibernations.Load())}}
+		})
+	reg.SampleCounters("lasthop_host_rehydrations_total",
+		"Hibernated sessions rebuilt from the spool (hello or crash recovery).",
+		[]string{"host"}, func() []obs.Sample {
+			return []obs.Sample{{Labels: []string{host}, Value: float64(h.rehydrations.Load())}}
+		})
+	reg.SampleCounters("lasthop_host_rehydrate_failures_total",
+		"Rehydrations that hit an unreadable snapshot or delta (session restarted empty or lost a delta).",
+		[]string{"host"}, func() []obs.Sample {
+			return []obs.Sample{{Labels: []string{host}, Value: float64(h.rehydrateFailures.Load())}}
+		})
+	h.rehydrateHist.Store(reg.Histogram("lasthop_host_rehydrate_seconds",
+		"Latency of rebuilding one session from its spool chain on hello.",
+		obs.LatencyBuckets()))
 }
 
 // allSessionStats snapshots every session's core counters, grouped so each
@@ -127,6 +187,9 @@ func (h *Host) allSessionStats() ([]string, []core.Stats) {
 		local := sessions
 		h.workers[i].wheel.Run(func() {
 			for _, s := range local {
+				if s.proxy == nil {
+					continue // hibernated: sampling must not rehydrate
+				}
 				names = append(names, s.name)
 				stats = append(stats, s.proxy.Stats())
 			}

@@ -6,6 +6,8 @@ import (
 
 	"lasthop/internal/core"
 	"lasthop/internal/msg"
+	"lasthop/internal/simtime"
+	"lasthop/internal/spool"
 	"lasthop/internal/trace"
 	"lasthop/internal/wire"
 )
@@ -24,6 +26,8 @@ type Session struct {
 	name string
 	w    *worker
 
+	// proxy is nil while the session is hibernated (its state then lives
+	// in the spool chain below). Written only from wheel callbacks.
 	proxy *core.Proxy
 
 	mu      sync.Mutex
@@ -31,6 +35,18 @@ type Session struct {
 	batch   bool
 	traceOK bool
 	topics  map[string]struct{}
+
+	// Lifecycle (guarded by mu; transitions run on the wheel). snap and
+	// deltas are the session's spool chain: the latest snapshot plus every
+	// record appended since. A resident session keeps its last chain as
+	// the crash fallback until the next hibernation supersedes it.
+	state  sessionState
+	snap   spool.Loc
+	deltas []spool.Loc
+
+	// Hibernation countdown; touched only from wheel callbacks.
+	hibTimer simtime.Timer
+	hibArmed bool
 
 	connects int
 	resumes  int
@@ -80,7 +96,11 @@ func (s *Session) attach(conn *wire.Conn, batch, traceOK bool) {
 	if old != nil && old != conn {
 		_ = old.Close()
 	}
-	s.w.wheel.Run(func() { s.proxy.SetNetwork(true) })
+	s.w.wheel.Run(func() {
+		s.cancelHibernate()
+		s.ensureResident()
+		s.proxy.SetNetwork(true)
+	})
 }
 
 // detach marks the device gone if conn is still the session's connection;
@@ -93,7 +113,12 @@ func (s *Session) detach(conn *wire.Conn) {
 	}
 	s.conn = nil
 	s.mu.Unlock()
-	s.w.wheel.Run(func() { s.proxy.SetNetwork(false) })
+	s.w.wheel.Run(func() {
+		if s.proxy != nil {
+			s.proxy.SetNetwork(false)
+		}
+		s.armHibernate()
+	})
 }
 
 // closeConn drops the session's connection (host shutdown).
@@ -175,6 +200,7 @@ func (s *Session) info() SessionInfo {
 		Name:      s.name,
 		Worker:    s.w.id,
 		Connected: s.conn != nil,
+		State:     s.state.String(),
 		Connects:  s.connects,
 		Resumes:   s.resumes,
 		Topics:    len(s.topics),

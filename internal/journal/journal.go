@@ -18,9 +18,11 @@ package journal
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"time"
@@ -185,9 +187,24 @@ func (j *Journal) Close() error {
 }
 
 // ReadAll streams every entry of a journal file. A missing file yields no
-// entries. A torn final line (crash mid-append) is tolerated and dropped;
-// corruption anywhere else is an error.
+// entries. A torn final line (crash mid-append) is tolerated and dropped
+// silently; corruption anywhere else is an error. Use ReadAllOpts to log
+// the dropped tail.
 func ReadAll(path string, fn func(Entry) error) error {
+	return ReadAllOpts(path, nil, fn)
+}
+
+// ReadAllOpts streams every entry of a journal file. A missing file
+// yields no entries. A final line that fails to decode or validate is a
+// torn tail from a crash mid-append: it is skipped and reported to warnf
+// (nil discards the diagnostic) with its byte offset, so the truncation
+// point is recoverable by hand. A line that fails with more data after
+// it is corruption, not a tear, and is an error.
+//
+// Lines are framed with an unbounded reader rather than a fixed-capacity
+// scanner: an entry larger than any preset buffer (a huge payload) must
+// replay, not silently end the scan and drop everything after it.
+func ReadAllOpts(path string, warnf func(string, ...any), fn func(Entry) error) error {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
@@ -196,39 +213,40 @@ func ReadAll(path string, fn func(Entry) error) error {
 		return fmt.Errorf("read journal: %w", err)
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 64*1024), 1<<20)
-	var pendingErr error
-	torn := false
-	for sc.Scan() {
-		if torn {
-			// A decode error followed by more data is real corruption.
-			return pendingErr
+	r := bufio.NewReader(f)
+	var (
+		offset     int64 // file offset of the line about to be read
+		pendingErr error // decode failure awaiting the is-it-last verdict
+		pendingOff int64
+	)
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 {
+			if pendingErr != nil {
+				return fmt.Errorf("corrupt journal entry at byte %d: %w", pendingOff, pendingErr)
+			}
+			trimmed := bytes.TrimRight(line, "\r\n")
+			if len(trimmed) > 0 {
+				var e Entry
+				if derr := json.Unmarshal(trimmed, &e); derr != nil {
+					pendingErr, pendingOff = derr, offset
+				} else if verr := e.Validate(); verr != nil {
+					pendingErr, pendingOff = verr, offset
+				} else if ferr := fn(e); ferr != nil {
+					return ferr
+				}
+			}
+			offset += int64(len(line))
 		}
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+		if err == io.EOF {
+			break
 		}
-		var e Entry
-		if err := json.Unmarshal(line, &e); err != nil {
-			pendingErr = fmt.Errorf("corrupt journal entry: %w", err)
-			torn = true
-			continue
-		}
-		if err := e.Validate(); err != nil {
-			pendingErr = fmt.Errorf("invalid journal entry: %w", err)
-			torn = true
-			continue
-		}
-		if err := fn(e); err != nil {
-			return err
+		if err != nil {
+			return fmt.Errorf("read journal: %w", err)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		if errors.Is(err, bufio.ErrTooLong) && !torn {
-			return nil // oversized torn tail
-		}
-		return fmt.Errorf("read journal: %w", err)
+	if pendingErr != nil && warnf != nil {
+		warnf("journal %s: dropping torn final entry at byte %d: %v", path, pendingOff, pendingErr)
 	}
-	return nil // a torn tail (pendingErr set, no data after) is dropped
+	return nil
 }

@@ -285,7 +285,7 @@ func TestRecoverRebuildsState(t *testing.T) {
 	// virtual time to each entry's instant.
 	clock2 := simtime.NewVirtual(t0)
 	dev2 := &sink{}
-	rec2, err := Recover(clock2, func(at time.Time) { clock2.RunUntil(at) }, dev2, path)
+	rec2, err := Recover(clock2, func(at time.Time) { clock2.RunUntil(at) }, dev2, path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -346,7 +346,7 @@ func TestRecoverExpiredTimersFire(t *testing.T) {
 	// Recover "two hours later": the notification is already expired and
 	// the replayed expiry timer fires when the clock catches up.
 	clock2 := simtime.NewVirtual(t0)
-	rec2, err := Recover(clock2, func(at time.Time) { clock2.RunUntil(at) }, &sink{}, path)
+	rec2, err := Recover(clock2, func(at time.Time) { clock2.RunUntil(at) }, &sink{}, path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -388,7 +388,7 @@ func TestCompactShrinksAndPreservesState(t *testing.T) {
 	// recorded as forwarded, and the split is reconciled by the next
 	// read (§3.5). Expired messages are gone by design.
 	clock2 := simtime.NewVirtual(t0)
-	rec2, err := Recover(clock2, func(at time.Time) { clock2.RunUntil(at) }, &sink{}, path)
+	rec2, err := Recover(clock2, func(at time.Time) { clock2.RunUntil(at) }, &sink{}, path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -437,7 +437,7 @@ func TestCompactDropsRemovedTopics(t *testing.T) {
 		t.Fatal(err)
 	}
 	clock2 := simtime.NewVirtual(t0)
-	rec2, err := Recover(clock2, nil, &sink{}, path)
+	rec2, err := Recover(clock2, nil, &sink{}, path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -458,4 +458,108 @@ func countEntries(t *testing.T, path string) int {
 		t.Fatal(err)
 	}
 	return n
+}
+
+// TestReadAllTornTailEveryOffset truncates a journal at every byte
+// offset inside its final entry and asserts each truncation replays the
+// preceding entries cleanly, reporting the dropped tail through warnf.
+// This is the crash-mid-append model: a tear can land anywhere in the
+// last line, including on its trailing newline.
+func TestReadAllTornTailEveryOffset(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.OnlineConfig("t")
+	full := []Entry{
+		{At: t0, Kind: KindAddTopic, TopicConfig: &cfg},
+		{At: t0.Add(time.Minute), Kind: KindNotify, Notification: note("a", 3, t0, time.Hour)},
+		{At: t0.Add(2 * time.Minute), Kind: KindNotify, Notification: note("b", 2, t0, time.Hour)},
+	}
+	for _, e := range full {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastStart := strings.LastIndex(strings.TrimRight(string(raw), "\n"), "\n") + 1
+
+	for cut := lastStart; cut < len(raw); cut++ {
+		trunc := filepath.Join(t.TempDir(), fmt.Sprintf("cut-%d.journal", cut))
+		if err := os.WriteFile(trunc, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var warned []string
+		warnf := func(format string, args ...any) {
+			warned = append(warned, fmt.Sprintf(format, args...))
+		}
+		count := 0
+		if err := ReadAllOpts(trunc, warnf, func(Entry) error {
+			count++
+			return nil
+		}); err != nil {
+			t.Fatalf("cut at byte %d: %v", cut, err)
+		}
+		// Cutting exactly at the closing brace leaves a complete final
+		// line (only the newline is missing), which must still replay.
+		// Cutting at the line start leaves a clean, shorter journal —
+		// nothing torn, nothing to warn about.
+		wantCount := len(full) - 1
+		wantWarn := cut > lastStart
+		if cut == len(raw)-1 {
+			wantCount = len(full)
+			wantWarn = false
+		}
+		if count != wantCount {
+			t.Fatalf("cut at byte %d: replayed %d entries, want %d", cut, count, wantCount)
+		}
+		if wantWarn && len(warned) == 0 {
+			t.Fatalf("cut at byte %d: torn tail dropped without a warning", cut)
+		}
+		if !wantWarn && len(warned) != 0 {
+			t.Fatalf("cut at byte %d: spurious warning %q", cut, warned)
+		}
+	}
+}
+
+// TestReadAllOversizedEntry regression-tests the scanner-era failure
+// mode: one entry larger than any fixed line buffer must replay, and so
+// must everything after it, instead of the scan silently ending there.
+func TestReadAllOversizedEntry(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := note("big", 1, t0, time.Hour)
+	big.Payload = make([]byte, 2<<20) // 2 MiB: far beyond the old 1 MiB scanner cap once JSON-encoded
+	entries := []Entry{
+		{At: t0, Kind: KindNotify, Notification: big},
+		{At: t0.Add(time.Minute), Kind: KindNotify, Notification: note("after", 2, t0, time.Hour)},
+	}
+	for _, e := range entries {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []msg.ID
+	if err := ReadAll(path, func(e Entry) error {
+		got = append(got, e.Notification.ID)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "big" || got[1] != "after" {
+		t.Fatalf("replayed %v, want [big after]", got)
+	}
 }

@@ -127,12 +127,13 @@ func (m *mutedForwarder) Forward(n *msg.Notification) error {
 // to the same journal. The caller drives sched (an *simtime.Hybrid in
 // deployment, any scheduler in tests whose clock can be advanced to the
 // entries' timestamps via the advance callback) and must call GoLive-style
-// switching itself after Recover returns.
-func Recover(sched simtime.Scheduler, advance func(time.Time), out core.Forwarder, path string) (*Recorder, error) {
+// switching itself after Recover returns. A torn final entry (crash
+// mid-append) is skipped; warnf (nil to discard) receives the diagnostic.
+func Recover(sched simtime.Scheduler, advance func(time.Time), out core.Forwarder, path string, warnf func(string, ...any)) (*Recorder, error) {
 	muted := &mutedForwarder{out: out, muted: true}
 	proxy := core.New(sched, muted)
 	proxy.SetNetwork(false)
-	err := ReadAll(path, func(e Entry) error {
+	err := ReadAllOpts(path, warnf, func(e Entry) error {
 		if advance != nil && !e.At.IsZero() {
 			advance(e.At)
 		}

@@ -53,6 +53,26 @@ type Config struct {
 	// HostWorkers is the host's worker count in MultiTenant mode. Zero
 	// means GOMAXPROCS.
 	HostWorkers int `json:"hostWorkers,omitempty"`
+	// SpoolDir enables session hibernation on the multi-tenant host:
+	// disconnected sessions serialize into a write-ahead spool under this
+	// directory after HibernateAfter and are rebuilt on reconnect or
+	// restart. RunRecovery requires a spool; it creates a temporary one
+	// when this is empty.
+	SpoolDir string `json:"spoolDir,omitempty"`
+	// HibernateAfter is how long a disconnected session lingers in memory
+	// before spooling. Zero means the host default (1 minute) in Run and
+	// a fast drill default (100ms) in RunRecovery.
+	HibernateAfter time.Duration `json:"-"`
+	// SpoolCommitEvery is the spool group-commit interval. Zero means the
+	// host default (100ms) in Run and 20ms in RunRecovery.
+	SpoolCommitEvery time.Duration `json:"-"`
+	// SpoolFsync selects spool durability: "always", "commit", or
+	// "never". Empty means commit.
+	SpoolFsync string `json:"spoolFsync,omitempty"`
+	// Concurrent bounds how many device connections the phased recovery
+	// drill keeps open at once — the paper's "small connected fraction"
+	// regime. Zero means 5% of Devices, clamped to [1, 256].
+	Concurrent int `json:"concurrent,omitempty"`
 	// ObsAddr, when set, serves /metrics, /healthz, /debug/pprof, and
 	// /debug/traces for the whole topology on this address for the
 	// duration of the run.
@@ -120,6 +140,13 @@ type Report struct {
 	// value is a duplicate delivery — the multi-tenant fan-out must keep
 	// this at zero.
 	Duplicates int `json:"duplicates"`
+
+	// Recovered and Lost are set by RunRecovery: sessions rebuilt from
+	// the spool after the mid-run kill, and notifications a device was
+	// owed but never received before the deadline. A correct spool keeps
+	// Lost at zero; duplicates are permitted but bounded.
+	Recovered int `json:"recovered,omitempty"`
+	Lost      int `json:"lost,omitempty"`
 
 	// PublishSeconds is the wall-clock time until the last publish was
 	// acknowledged; DeliverSeconds until the last device delivery.
@@ -293,14 +320,11 @@ func Run(cfg Config) (*Report, error) {
 	}
 	var hostAddr string
 	if cfg.MultiTenant {
-		h, err := host.New(host.Options{
-			BrokerAddr: brokerAddr,
-			Name:       "lg-host",
-			Workers:    cfg.HostWorkers,
-			Metrics:    wm,
-			Trace:      collector,
-			Logf:       cfg.Logf,
-		})
+		hostOpts, err := cfg.hostOptions(brokerAddr, wm, collector)
+		if err != nil {
+			return nil, err
+		}
+		h, err := host.New(hostOpts)
 		if err != nil {
 			return nil, fmt.Errorf("host: %w", err)
 		}

@@ -1,0 +1,481 @@
+package loadgen
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"lasthop/internal/host"
+	"lasthop/internal/metrics"
+	"lasthop/internal/msg"
+	"lasthop/internal/obs"
+	"lasthop/internal/pubsub"
+	"lasthop/internal/spool"
+	"lasthop/internal/trace"
+	"lasthop/internal/wire"
+)
+
+// hostOptions translates the loadgen spool knobs into host.Options,
+// validating the fsync policy string.
+func (c Config) hostOptions(brokerAddr string, wm *wire.Metrics, collector *trace.Collector) (host.Options, error) {
+	fsync, err := spool.ParseFsyncPolicy(c.SpoolFsync)
+	if err != nil {
+		return host.Options{}, err
+	}
+	return host.Options{
+		BrokerAddr:       brokerAddr,
+		Name:             "lg-host",
+		Workers:          c.HostWorkers,
+		Metrics:          wm,
+		Trace:            collector,
+		Logf:             c.Logf,
+		SpoolDir:         c.SpoolDir,
+		HibernateAfter:   c.HibernateAfter,
+		SpoolCommitEvery: c.SpoolCommitEvery,
+		SpoolFsync:       fsync,
+	}, nil
+}
+
+// RunRecovery is the kill/restart chaos drill behind
+// scripts/check_recovery.sh. It drives the phased regime the spool
+// exists for — a node carrying far more sessions than connections — and
+// proves the zero-loss invariant across a crash:
+//
+//  1. Every device connects (at most Concurrent at once), subscribes to
+//     a pure on-demand topic, and disconnects; the host hibernates all
+//     of them onto the spool.
+//  2. Half the load is published into hibernated sessions; the drill
+//     waits until every copy is a durable spool delta.
+//  3. The host is killed abruptly (no shutdown path runs) and restarted
+//     on the same spool; every session must come back.
+//  4. The remaining load is published into the recovered sessions.
+//  5. Devices reconnect in Concurrent-sized waves and read; the report
+//     gates on every device holding every distinct ID it was owed
+//     (Lost == 0), with duplicates tallied but tolerated.
+//
+// Topics are pure on-demand so nothing transfers to a device before its
+// READ — the regime where the spool chain, not device-side state, is the
+// sole copy across the kill.
+func RunRecovery(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	cfg.MultiTenant = true
+	cfg.OnDemand = true
+	if cfg.HibernateAfter <= 0 {
+		cfg.HibernateAfter = 100 * time.Millisecond
+	}
+	if cfg.SpoolCommitEvery <= 0 {
+		cfg.SpoolCommitEvery = 20 * time.Millisecond
+	}
+	if cfg.SpoolDir == "" {
+		dir, err := os.MkdirTemp("", "lasthop-spool-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		cfg.SpoolDir = dir
+	}
+	concurrent := cfg.Concurrent
+	if concurrent <= 0 {
+		concurrent = cfg.Devices / 20
+	}
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	if concurrent > 256 {
+		concurrent = 256
+	}
+	deadline := time.Now().Add(cfg.Timeout)
+
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	metrics.Register(reg)
+	wm := wire.NewMetrics(reg)
+	latency := reg.Histogram("lasthop_loadgen_delivery_latency_seconds",
+		"End-to-end delivery latency from publish to user read.",
+		obs.LatencyBuckets())
+
+	var collector *trace.Collector
+	if cfg.TraceSample > 0 {
+		ring := cfg.TraceRing
+		if ring <= 0 {
+			ring = cfg.Notifications + 16
+		}
+		collector = trace.NewCollector("loadgen", trace.NewSampler(cfg.TraceSample), ring)
+		collector.RegisterMetrics(reg)
+	}
+	if cfg.ObsAddr != "" {
+		srv, err := obs.Serve(cfg.ObsAddr, reg,
+			obs.Route{Pattern: "/debug/traces", Handler: collector.Handler()})
+		if err != nil {
+			return nil, fmt.Errorf("obs endpoint: %w", err)
+		}
+		defer func() { _ = srv.Close() }()
+		cfg.Logf("loadgen: observability on http://%s/metrics", srv.Addr())
+	}
+
+	// The broker outlives the host kill: only the last-hop node crashes.
+	blis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	broker := pubsub.NewBroker("loadgen")
+	broker.RegisterMetrics(reg)
+	if collector != nil {
+		broker.SetTracer(collector)
+	}
+	bs := wire.NewBrokerServerOpts(broker, wire.ServerOptions{Metrics: wm})
+	go func() { _ = bs.Serve(blis) }()
+	defer bs.Close()
+	brokerAddr := blis.Addr().String()
+
+	hostOpts, err := cfg.hostOptions(brokerAddr, wm, collector)
+	if err != nil {
+		return nil, err
+	}
+	h, hostAddr, err := startHost(hostOpts)
+	if err != nil {
+		return nil, err
+	}
+	alive := h
+	defer func() {
+		if alive != nil {
+			alive.Close()
+		}
+	}()
+	h.RegisterMetrics(reg, "lg-host")
+
+	topics := make([]string, cfg.Topics)
+	for i := range topics {
+		topics[i] = fmt.Sprintf("load/t%03d", i)
+	}
+	// Notification i goes to topic i mod Topics; device i subscribes to
+	// topic i mod Topics. subsPerTopic lets the drill convert "published
+	// n into topic t" into an exact expected spool-delta count.
+	subsPerTopic := make([]int, cfg.Topics)
+	for i := 0; i < cfg.Devices; i++ {
+		subsPerTopic[i%cfg.Topics]++
+	}
+	perTopicTotal := make([]int, cfg.Topics)
+	for i := 0; i < cfg.Notifications; i++ {
+		perTopicTotal[i%cfg.Topics]++
+	}
+
+	// Pure on-demand: the session queues everything until a READ, so the
+	// spool snapshot/delta chain is the only copy while disconnected.
+	policy := wire.TopicPolicy{Mode: "on-demand", Policy: "on-demand"}
+
+	// Phase 1: subscribe-and-disconnect waves.
+	cfg.Logf("loadgen: phase 1: subscribing %d sessions, %d connected at a time", cfg.Devices, concurrent)
+	start := time.Now()
+	if err := inWaves(cfg.Devices, concurrent, func(i int) error {
+		dev, err := wire.DialProxyOpts(hostAddr, fmt.Sprintf("lg-dev-%d", i), wire.ClientOptions{Metrics: wm, Trace: collector})
+		if err != nil {
+			return fmt.Errorf("device %d: %w", i, err)
+		}
+		defer dev.Close()
+		if err := dev.Subscribe(topics[i%cfg.Topics], policy); err != nil {
+			return fmt.Errorf("subscribe %d: %w", i, err)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := waitUntil(deadline, "all sessions hibernated", func() bool {
+		return h.Lifecycle().Hibernated >= cfg.Devices
+	}); err != nil {
+		return nil, err
+	}
+	cfg.Logf("loadgen: phase 1: %d sessions hibernated onto %s", cfg.Devices, cfg.SpoolDir)
+
+	pubs, closePubs, err := dialPublishers(cfg, brokerAddr, wm, topics)
+	if err != nil {
+		return nil, err
+	}
+	defer closePubs()
+
+	payload := make([]byte, cfg.PayloadBytes)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+
+	// Phase 2: first half of the load lands in hibernated sessions.
+	firstHalf := cfg.Notifications / 2
+	wantDeltas := 0
+	for i := 0; i < firstHalf; i++ {
+		wantDeltas += subsPerTopic[i%cfg.Topics]
+	}
+	cfg.Logf("loadgen: phase 2: publishing %d notifications into hibernated sessions", firstHalf)
+	if err := publishRange(cfg, pubs, topics, payload, 0, firstHalf); err != nil {
+		return nil, err
+	}
+	if err := waitUntil(deadline, "first wave spooled", func() bool {
+		return h.Lifecycle().SpooledDeltas >= int64(wantDeltas)
+	}); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: crash. Kill drops every in-memory structure without
+	// running any shutdown path; the restarted host must rebuild every
+	// session and upstream subscription from the spool alone.
+	cfg.Logf("loadgen: phase 3: killing host with %d deltas on disk", wantDeltas)
+	h.Kill()
+	h, hostAddr, err = startHost(hostOpts)
+	if err != nil {
+		return nil, fmt.Errorf("restart after kill: %w", err)
+	}
+	alive = h
+	recovered := h.Lifecycle().Hibernated
+	cfg.Logf("loadgen: phase 3: restarted, %d of %d sessions recovered", recovered, cfg.Devices)
+	if recovered != cfg.Devices {
+		return nil, fmt.Errorf("recovery: %d of %d sessions survived the kill", recovered, cfg.Devices)
+	}
+
+	// Phase 4: remaining load into the recovered sessions. The restarted
+	// host's delta counter starts at zero.
+	secondHalf := cfg.Notifications - firstHalf
+	wantDeltas2 := 0
+	for i := firstHalf; i < cfg.Notifications; i++ {
+		wantDeltas2 += subsPerTopic[i%cfg.Topics]
+	}
+	cfg.Logf("loadgen: phase 4: publishing %d notifications into recovered sessions", secondHalf)
+	if err := publishRange(cfg, pubs, topics, payload, firstHalf, cfg.Notifications); err != nil {
+		return nil, err
+	}
+	if err := waitUntil(deadline, "second wave spooled", func() bool {
+		return h.Lifecycle().SpooledDeltas >= int64(wantDeltas2)
+	}); err != nil {
+		return nil, err
+	}
+	publishElapsed := time.Since(start)
+
+	// Phase 5: reconnect in waves and read everything back. Each device
+	// is owed every notification of its topic, from both sides of the
+	// kill; IDs are counted distinctly so redelivery shows up as
+	// duplicates, not progress.
+	cfg.Logf("loadgen: phase 5: draining %d sessions, %d connected at a time", cfg.Devices, concurrent)
+	var (
+		tallyMu    sync.Mutex
+		delivered  int
+		duplicates int
+		lost       int
+	)
+	drainErr := inWaves(cfg.Devices, concurrent, func(i int) error {
+		topic := topics[i%cfg.Topics]
+		expect := perTopicTotal[i%cfg.Topics]
+		dev, err := wire.DialProxyOpts(hostAddr, fmt.Sprintf("lg-dev-%d", i), wire.ClientOptions{Metrics: wm, Trace: collector})
+		if err != nil {
+			return fmt.Errorf("drain device %d: %w", i, err)
+		}
+		defer dev.Close()
+		if err := dev.Subscribe(topic, policy); err != nil {
+			return fmt.Errorf("drain subscribe %d: %w", i, err)
+		}
+		seen := make(map[msg.ID]bool, expect)
+		dups := 0
+		for len(seen) < expect && time.Now().Before(deadline) {
+			batch, err := dev.Read(topic, 0)
+			if err != nil {
+				return fmt.Errorf("drain read %d: %w", i, err)
+			}
+			for _, n := range batch {
+				if seen[n.ID] {
+					dups++
+					continue
+				}
+				seen[n.ID] = true
+				latency.Observe(time.Since(n.Published).Seconds())
+			}
+			if len(batch) == 0 {
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+		tallyMu.Lock()
+		delivered += len(seen)
+		duplicates += dups
+		lost += expect - len(seen)
+		tallyMu.Unlock()
+		if len(seen) < expect {
+			return fmt.Errorf("device %d: read %d of %d before deadline", i, len(seen), expect)
+		}
+		return nil
+	})
+	deliverElapsed := time.Since(start)
+
+	if collector != nil {
+		collector.FinishActive(time.Now())
+	}
+	rep := &Report{
+		Config:         cfg,
+		Published:      cfg.Notifications,
+		Delivered:      delivered,
+		Duplicates:     duplicates,
+		Recovered:      recovered,
+		Lost:           lost,
+		PublishSeconds: publishElapsed.Seconds(),
+		DeliverSeconds: deliverElapsed.Seconds(),
+		LatencyP50Ms:   latency.Quantile(0.50) * 1000,
+		LatencyP95Ms:   latency.Quantile(0.95) * 1000,
+		LatencyP99Ms:   latency.Quantile(0.99) * 1000,
+	}
+	if s := rep.PublishSeconds; s > 0 {
+		rep.PublishPerSec = float64(rep.Published) / s
+	}
+	if s := rep.DeliverSeconds; s > 0 {
+		rep.DeliverPerSec = float64(rep.Delivered) / s
+	}
+	if collector != nil {
+		st := collector.Stats()
+		rep.TraceSampled = st.Sampled
+		rep.TraceOutcomes = make(map[string]uint64, len(st.Outcomes))
+		for o, c := range st.Outcomes {
+			rep.TraceOutcomes[string(o)] = c
+		}
+		rep.HopLatencyMs = hopSummary(collector.Completed())
+		rep.Collector = collector
+	}
+	if drainErr == nil && cfg.Linger > 0 {
+		cfg.Logf("loadgen: drill complete, lingering %v for scrapers", cfg.Linger)
+		time.Sleep(cfg.Linger)
+	}
+	return rep, drainErr
+}
+
+// startHost boots a host on a fresh loopback listener and returns its
+// dial address.
+func startHost(opts host.Options) (*host.Host, string, error) {
+	h, err := host.New(opts)
+	if err != nil {
+		return nil, "", fmt.Errorf("host: %w", err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		h.Close()
+		return nil, "", err
+	}
+	go func() { _ = h.Serve(lis) }()
+	return h, lis.Addr().String(), nil
+}
+
+// dialPublishers connects the configured publisher pool, advertising
+// every topic under the shared "loadgen" identity.
+func dialPublishers(cfg Config, brokerAddr string, wm *wire.Metrics, topics []string) ([]*wire.BrokerClient, func(), error) {
+	pubs := make([]*wire.BrokerClient, 0, cfg.Publishers)
+	closeAll := func() {
+		for _, p := range pubs {
+			_ = p.Close()
+		}
+	}
+	for i := 0; i < cfg.Publishers; i++ {
+		pub, err := wire.DialBrokerOpts(brokerAddr, fmt.Sprintf("lg-pub-%d", i), wire.ClientOptions{Metrics: wm})
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("publisher %d: %w", i, err)
+		}
+		pubs = append(pubs, pub)
+		for _, t := range topics {
+			if err := pub.Advertise(t, "loadgen"); err != nil {
+				closeAll()
+				return nil, nil, fmt.Errorf("advertise %s: %w", t, err)
+			}
+		}
+	}
+	return pubs, closeAll, nil
+}
+
+// publishRange pushes notifications [from, to) through the publisher
+// pool, round-robin across topics exactly as Run does.
+func publishRange(cfg Config, pubs []*wire.BrokerClient, topics []string, payload []byte, from, to int) error {
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		pubErr error
+		next   = make(chan int, len(pubs))
+	)
+	go func() {
+		for i := from; i < to; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for _, pub := range pubs {
+		wg.Add(1)
+		go func(pub *wire.BrokerClient) {
+			defer wg.Done()
+			for i := range next {
+				n := &msg.Notification{
+					ID:        msg.ID(fmt.Sprintf("lg-%d", i)),
+					Topic:     topics[i%len(topics)],
+					Publisher: "loadgen",
+					Rank:      float64(1 + i%5),
+					Published: time.Now(),
+					Payload:   payload,
+				}
+				if err := pub.Publish(n); err != nil {
+					mu.Lock()
+					if pubErr == nil {
+						pubErr = fmt.Errorf("publish %s: %w", n.ID, err)
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(pub)
+	}
+	wg.Wait()
+	return pubErr
+}
+
+// inWaves runs fn(0..n-1) with at most width concurrent calls, stopping
+// new work after the first error (in-flight calls finish).
+func inWaves(n, width int, fn func(i int) error) error {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+		next  = make(chan int, width)
+	)
+	go func() {
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < width; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				mu.Lock()
+				stop := first != nil
+				mu.Unlock()
+				if stop {
+					continue
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(deadline time.Time, what string, cond func() bool) error {
+	for !cond() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timeout waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil
+}

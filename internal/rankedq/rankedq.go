@@ -414,6 +414,27 @@ func (h *History) compact() {
 	}
 }
 
+// IDs returns the remembered IDs in insertion order, oldest first.
+// Re-Adding them in this order into a fresh History of the same capacity
+// reproduces the eviction state exactly.
+func (h *History) IDs() []msg.ID {
+	// Walk backward so an ID Removed and later re-Added surfaces at its
+	// newest insertion slot, not its stale one, then reverse into
+	// insertion order.
+	out := make([]msg.ID, 0, len(h.set))
+	seen := make(msg.IDSet, len(h.set))
+	for i := len(h.order) - 1; i >= h.head; i-- {
+		id := h.order[i]
+		if id != msg.NoID && h.set.Contains(id) && seen.Add(id) {
+			out = append(out, id)
+		}
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
 // Oldest returns the oldest remembered ID, if any.
 func (h *History) Oldest() (msg.ID, bool) {
 	for i := h.head; i < len(h.order); i++ {

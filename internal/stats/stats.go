@@ -73,6 +73,34 @@ func (m *MovingAverage) Reset() {
 	}
 }
 
+// Size returns the configured window size.
+func (m *MovingAverage) Size() int { return len(m.window) }
+
+// Samples returns the retained samples, oldest first. The slice is a copy;
+// feeding it back through RestoreMovingAverage reproduces the estimator
+// exactly, which is how the proxy's tuner state survives hibernation.
+func (m *MovingAverage) Samples() []float64 {
+	out := make([]float64, 0, m.count)
+	if m.count < len(m.window) {
+		// The window never wrapped: samples occupy [0, count).
+		return append(out, m.window[:m.count]...)
+	}
+	out = append(out, m.window[m.head:]...)
+	return append(out, m.window[:m.head]...)
+}
+
+// RestoreMovingAverage rebuilds a moving average from a Samples() dump.
+// Samples beyond the window size contribute as if Added in order (the
+// oldest overflow is evicted), so a dump from a smaller window restores
+// losslessly into an equal-sized one.
+func RestoreMovingAverage(size int, samples []float64) *MovingAverage {
+	m := NewMovingAverage(size)
+	for _, v := range samples {
+		m.Add(v)
+	}
+	return m
+}
+
 // IntervalAverage computes the moving average of differences between
 // successive timestamps — the proxy uses it to estimate the time between
 // user reads (the pseudo-code's moving_average_difference(topic.old_times)).
@@ -122,6 +150,24 @@ func (ia *IntervalAverage) MeanOr(fallback time.Duration) time.Duration {
 
 // Count returns the number of retained intervals.
 func (ia *IntervalAverage) Count() int { return ia.diffs.Count() }
+
+// Export returns the estimator's durable state: the window size, the
+// retained inter-observation gaps (oldest first, in seconds), and the last
+// observed timestamp. hasLast distinguishes "never observed" from a zero
+// timestamp.
+func (ia *IntervalAverage) Export() (size int, diffs []float64, last time.Time, hasLast bool) {
+	return ia.diffs.Size(), ia.diffs.Samples(), ia.last, ia.hasLast
+}
+
+// RestoreIntervalAverage rebuilds an interval average from an Export()
+// dump.
+func RestoreIntervalAverage(size int, diffs []float64, last time.Time, hasLast bool) *IntervalAverage {
+	ia := NewIntervalAverage(size)
+	ia.diffs = RestoreMovingAverage(size, diffs)
+	ia.last = last
+	ia.hasLast = hasLast
+	return ia
+}
 
 // EWMA is an exponentially weighted moving average.
 type EWMA struct {

@@ -176,7 +176,7 @@ func NewProxyServerOpts(opts ProxyOptions) (*ProxyServer, error) {
 		ps.api = plainProxy{p: ps.proxy}
 	} else {
 		hybrid := simtime.NewHybrid(time.Now())
-		rec, err := journal.Recover(hybrid, hybrid.AdvanceTo, ps, opts.JournalPath)
+		rec, err := journal.Recover(hybrid, hybrid.AdvanceTo, ps, opts.JournalPath, logf)
 		if err != nil {
 			return nil, fmt.Errorf("proxy: %w", err)
 		}
