@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"lasthop/internal/burst"
 	"lasthop/internal/obs"
 	"lasthop/internal/pubsub"
 	"lasthop/internal/retry"
@@ -41,6 +42,9 @@ func run() error {
 		readTO      = flag.Duration("read-timeout", 0, "max silence tolerated on a client connection (0 = unlimited)")
 		writeTO     = flag.Duration("write-timeout", 10*time.Second, "max time for one client write (0 = unlimited)")
 
+		ringFrames = flag.Int("flush-ring-frames", 0, "max encoded frames buffered per connection before an inline flush (0 = default 64)")
+		ringBytes  = flag.Int("flush-ring-bytes", 0, "max encoded bytes buffered per connection before an inline flush (0 = default 256KiB)")
+
 		obsAddr     = flag.String("obs-addr", "", "serve /metrics, /healthz, /debug/pprof, and /debug/traces on this address (empty = disabled)")
 		traceSample = flag.Float64("trace-sample", 0, "head-sample this fraction of accepted publishes into end-to-end traces (0 = anomalies only)")
 		traceRing   = flag.Int("trace-ring", 0, "completed traces retained for /debug/traces (0 = default)")
@@ -55,9 +59,11 @@ func run() error {
 	}
 	logf := obs.Logf(logger, "broker")
 
+	wire.SetRingLimits(*ringFrames, *ringBytes)
 	broker := pubsub.NewBroker(*name)
 	reg := obs.NewRegistry()
 	wm := wire.NewMetrics(reg)
+	burst.RegisterMetrics(reg)
 	broker.RegisterMetrics(reg)
 	collector := trace.NewCollector(*name, trace.NewSampler(*traceSample), *traceRing)
 	collector.RegisterMetrics(reg)

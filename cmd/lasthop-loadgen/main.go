@@ -44,6 +44,7 @@ func run() error {
 		devices    = flag.Int("devices", 4, "device connections (one proxy each)")
 		topics     = flag.Int("topics", 0, "distinct topics (0 = one per device)")
 		count      = flag.Int("n", 10000, "total notifications to publish")
+		pubBatch   = flag.Int("publish-batch", 0, "notifications each publisher pipelines per batched round trip (0 = default 16, 1 = unbatched)")
 		payload    = flag.Int("payload", 128, "payload bytes per notification")
 		onDemand   = flag.Bool("on-demand", false, "consume with READ requests instead of on-line pushes")
 		multi      = flag.Bool("multi-tenant", false, "run every device against one shared host instead of one proxy per device")
@@ -74,6 +75,7 @@ func run() error {
 		Devices:          *devices,
 		Topics:           *topics,
 		Notifications:    *count,
+		PublishBatch:     *pubBatch,
 		PayloadBytes:     *payload,
 		OnDemand:         *onDemand,
 		MultiTenant:      *multi,

@@ -26,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"lasthop/internal/burst"
 	"lasthop/internal/host"
 	"lasthop/internal/metrics"
 	"lasthop/internal/obs"
@@ -65,6 +66,9 @@ func run() error {
 		spoolFsync   = flag.String("spool-fsync", "commit", "spool fsync policy: always, commit, or never")
 		compactSegs  = flag.Int("spool-compact-segments", 0, "compact a worker's spool once it exceeds this many segments (0 = default)")
 
+		ringFrames = flag.Int("flush-ring-frames", 0, "max encoded frames buffered per connection before an inline flush (0 = default 64)")
+		ringBytes  = flag.Int("flush-ring-bytes", 0, "max encoded bytes buffered per connection before an inline flush (0 = default 256KiB)")
+
 		obsAddr     = flag.String("obs-addr", "", "serve /metrics, /healthz, /debug/pprof, and /debug/traces on this address (empty = disabled)")
 		traceSample = flag.Float64("trace-sample", 0, "head-sample this fraction of locally published traffic (the proxy mostly records events against contexts minted upstream; anomalies are always traced)")
 		traceRing   = flag.Int("trace-ring", 0, "completed traces retained for /debug/traces (0 = default)")
@@ -79,8 +83,10 @@ func run() error {
 	}
 	logf := obs.Logf(logger, "proxy")
 
+	wire.SetRingLimits(*ringFrames, *ringBytes)
 	reg := obs.NewRegistry()
 	wm := wire.NewMetrics(reg)
+	burst.RegisterMetrics(reg)
 	metrics.Register(reg)
 	collector := trace.NewCollector(*name, trace.NewSampler(*traceSample), *traceRing)
 	collector.RegisterMetrics(reg)
@@ -142,10 +148,10 @@ func run() error {
 	}
 
 	srv, err := wire.NewProxyServerOpts(wire.ProxyOptions{
-		BrokerAddr:  *broker,
-		Name:        *name,
-		JournalPath: *journalPath,
-		Upstream:    upstream,
+		BrokerAddr:         *broker,
+		Name:               *name,
+		JournalPath:        *journalPath,
+		Upstream:           upstream,
 		DeviceReadTimeout:  *devReadTO,
 		DeviceWriteTimeout: *devWriteTO,
 		Logf:               logf,

@@ -1,0 +1,299 @@
+// Package burst provides the leak-accounted free pools behind the burst
+// datapath: notification objects and frame/encode byte buffers recycled
+// across the wire, host, and core layers instead of being re-allocated per
+// message.
+//
+// Both pools ride on sync.Pool for scalability but add an explicit
+// Get/Put lifecycle with provenance marks so ownership bugs are counted
+// instead of silently corrupting state:
+//
+//   - Get hands out an object marked checked-out; the holder owns it
+//     exclusively and must Put it back exactly once when the object's
+//     content is no longer referenced anywhere.
+//   - Put on a checked-out object resets it and returns it to the pool.
+//   - Put on a pool-foreign object (an ordinary heap allocation, e.g. a
+//     notification decoded by encoding/json or built by an application)
+//     is a counted no-op — release sites never need to know how an
+//     object was born.
+//   - Put on an already-free object is a counted no-op too (a double-Put
+//     is a lifecycle bug; tests assert the counter stays zero).
+//
+// Outstanding() = gets − puts-of-checked-out-objects is the pool's leak
+// account; tests assert it returns to zero after every run.
+package burst
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lasthop/internal/msg"
+	"lasthop/internal/obs"
+)
+
+// NotePool is a leak-accounted free pool of msg.Notification objects.
+// The zero value is ready to use.
+type NotePool struct {
+	pool sync.Pool
+
+	gets        atomic.Int64 // checked-out objects handed to callers
+	puts        atomic.Int64 // checked-out objects returned
+	misses      atomic.Int64 // gets that had to allocate
+	doublePuts  atomic.Int64 // puts of an object already free (bug)
+	foreignPuts atomic.Int64 // puts of a pool-foreign object (benign)
+}
+
+// Notes is the process-wide notification pool shared by the wire decode
+// path, the broker fan-out, and the host clone-per-target fan-out.
+var Notes = &NotePool{}
+
+// Get returns a checked-out notification with zeroed fields. The payload
+// slice is empty but may retain capacity from a previous life.
+func (p *NotePool) Get() *msg.Notification {
+	p.gets.Add(1)
+	if v := p.pool.Get(); v != nil {
+		n := v.(*msg.Notification)
+		n.SetPoolProvenance(msg.PoolCheckedOut)
+		return n
+	}
+	p.misses.Add(1)
+	n := &msg.Notification{}
+	n.SetPoolProvenance(msg.PoolCheckedOut)
+	return n
+}
+
+// Put releases a notification. Checked-out notifications are reset and
+// recycled; foreign and already-free notifications are counted no-ops, so
+// every release site can Put unconditionally. Put(nil) is a no-op.
+func (p *NotePool) Put(n *msg.Notification) {
+	if n == nil {
+		return
+	}
+	switch n.PoolProvenance() {
+	case msg.PoolCheckedOut:
+	case msg.PoolFree:
+		p.doublePuts.Add(1)
+		return
+	default:
+		p.foreignPuts.Add(1)
+		return
+	}
+	p.puts.Add(1)
+	payload := n.Payload
+	if cap(payload) > maxRetainedPayload {
+		payload = nil // don't pin huge payloads in the pool
+	}
+	*n = msg.Notification{Payload: payload[:0]}
+	n.SetPoolProvenance(msg.PoolFree)
+	p.pool.Put(n)
+}
+
+// maxRetainedPayload bounds the payload capacity a pooled notification
+// keeps across lives, so one giant message doesn't pin memory forever.
+const maxRetainedPayload = 64 << 10
+
+// CloneInto deep-copies src into a freshly checked-out notification,
+// reusing the pooled payload capacity. The clone shares src's trace
+// context pointer (immutable by contract).
+func (p *NotePool) CloneInto(src *msg.Notification) *msg.Notification {
+	dst := p.Get()
+	dst.CopyFrom(src)
+	return dst
+}
+
+// Outstanding returns the pool's leak account: checked-out objects not
+// yet returned. Zero after quiescence means no leaks.
+func (p *NotePool) Outstanding() int64 { return p.gets.Load() - p.puts.Load() }
+
+// DoublePuts returns the number of Put calls on already-free objects.
+func (p *NotePool) DoublePuts() int64 { return p.doublePuts.Load() }
+
+// ForeignPuts returns the number of Put calls on pool-foreign objects.
+func (p *NotePool) ForeignPuts() int64 { return p.foreignPuts.Load() }
+
+// Stats returns the pool's cumulative counters.
+func (p *NotePool) Stats() PoolStats {
+	return PoolStats{
+		Gets:        p.gets.Load(),
+		Puts:        p.puts.Load(),
+		Misses:      p.misses.Load(),
+		DoublePuts:  p.doublePuts.Load(),
+		ForeignPuts: p.foreignPuts.Load(),
+	}
+}
+
+// PoolStats is a point-in-time copy of one pool's counters.
+type PoolStats struct {
+	Gets        int64 `json:"gets"`
+	Puts        int64 `json:"puts"`
+	Misses      int64 `json:"misses"`
+	DoublePuts  int64 `json:"doublePuts"`
+	ForeignPuts int64 `json:"foreignPuts"`
+}
+
+// Outstanding returns gets − puts.
+func (s PoolStats) Outstanding() int64 { return s.Gets - s.Puts }
+
+// HitRate returns the fraction of gets served from the pool, 0 when no
+// gets happened yet.
+func (s PoolStats) HitRate() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Gets-s.Misses) / float64(s.Gets)
+}
+
+// Buf is one pooled byte buffer, used for encoded frames queued on a
+// connection's egress ring.
+type Buf struct {
+	B []byte
+
+	// state mirrors the notification provenance mark: 1 checked-out, 2
+	// free. Bufs are only ever born from the pool, so there is no
+	// foreign state.
+	state uint8
+}
+
+// BufPool is a leak-accounted free pool of byte buffers.
+// The zero value is ready to use.
+type BufPool struct {
+	pool sync.Pool
+
+	gets       atomic.Int64
+	puts       atomic.Int64
+	misses     atomic.Int64
+	doublePuts atomic.Int64
+}
+
+// Bufs is the process-wide frame/encode buffer pool.
+var Bufs = &BufPool{}
+
+// initialBufCap sizes fresh buffers for a typical encoded frame.
+const initialBufCap = 512
+
+// maxRetainedBufCap bounds the capacity a pooled buffer keeps.
+const maxRetainedBufCap = 256 << 10
+
+// Get returns a checked-out buffer with length zero.
+func (p *BufPool) Get() *Buf {
+	p.gets.Add(1)
+	if v := p.pool.Get(); v != nil {
+		b := v.(*Buf)
+		b.state = 1
+		b.B = b.B[:0]
+		return b
+	}
+	p.misses.Add(1)
+	return &Buf{B: make([]byte, 0, initialBufCap), state: 1}
+}
+
+// Put releases a buffer back to the pool. Double-Puts are counted no-ops;
+// Put(nil) is a no-op.
+func (p *BufPool) Put(b *Buf) {
+	if b == nil {
+		return
+	}
+	if b.state != 1 {
+		p.doublePuts.Add(1)
+		return
+	}
+	b.state = 2
+	if cap(b.B) > maxRetainedBufCap {
+		b.B = nil
+	}
+	p.puts.Add(1)
+	p.pool.Put(b)
+}
+
+// Outstanding returns checked-out buffers not yet returned.
+func (p *BufPool) Outstanding() int64 { return p.gets.Load() - p.puts.Load() }
+
+// DoublePuts returns the number of Put calls on already-free buffers.
+func (p *BufPool) DoublePuts() int64 { return p.doublePuts.Load() }
+
+// Stats returns the pool's cumulative counters.
+func (p *BufPool) Stats() PoolStats {
+	return PoolStats{
+		Gets:       p.gets.Load(),
+		Puts:       p.puts.Load(),
+		Misses:     p.misses.Load(),
+		DoublePuts: p.doublePuts.Load(),
+	}
+}
+
+// RegisterMetrics exposes the process-wide pools on a registry as
+// scrape-time samples: lasthop_burst_pool_ops_total{pool,op} counters and
+// the lasthop_burst_pool_outstanding{pool} leak gauge.
+func RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.SampleCounters("lasthop_burst_pool_ops_total",
+		"Cumulative pool operations by pool and op (get, put, miss, double_put, foreign_put).",
+		[]string{"pool", "op"}, func() []obs.Sample {
+			ns, bs := Notes.Stats(), Bufs.Stats()
+			return []obs.Sample{
+				{Labels: []string{"notes", "get"}, Value: float64(ns.Gets)},
+				{Labels: []string{"notes", "put"}, Value: float64(ns.Puts)},
+				{Labels: []string{"notes", "miss"}, Value: float64(ns.Misses)},
+				{Labels: []string{"notes", "double_put"}, Value: float64(ns.DoublePuts)},
+				{Labels: []string{"notes", "foreign_put"}, Value: float64(ns.ForeignPuts)},
+				{Labels: []string{"bufs", "get"}, Value: float64(bs.Gets)},
+				{Labels: []string{"bufs", "put"}, Value: float64(bs.Puts)},
+				{Labels: []string{"bufs", "miss"}, Value: float64(bs.Misses)},
+				{Labels: []string{"bufs", "double_put"}, Value: float64(bs.DoublePuts)},
+			}
+		})
+	reg.SampleGauges("lasthop_burst_pool_outstanding",
+		"Checked-out objects not yet returned (the leak account; zero at quiescence).",
+		[]string{"pool"}, func() []obs.Sample {
+			return []obs.Sample{
+				{Labels: []string{"notes"}, Value: float64(Notes.Outstanding())},
+				{Labels: []string{"bufs"}, Value: float64(Bufs.Outstanding())},
+			}
+		})
+}
+
+// CheckLeaks returns an error when the process-wide pools show a non-zero
+// leak account or any double-Put. Test mains call it after m.Run() so
+// every package run asserts zero net leaks.
+func CheckLeaks() error {
+	var errs []error
+	if n := Notes.Outstanding(); n != 0 {
+		errs = append(errs, fmt.Errorf("burst: %d notification(s) checked out but never returned", n))
+	}
+	if n := Notes.DoublePuts(); n != 0 {
+		errs = append(errs, fmt.Errorf("burst: %d double-Put(s) on the notification pool", n))
+	}
+	if n := Bufs.Outstanding(); n != 0 {
+		errs = append(errs, fmt.Errorf("burst: %d buffer(s) checked out but never returned", n))
+	}
+	if n := Bufs.DoublePuts(); n != 0 {
+		errs = append(errs, fmt.Errorf("burst: %d double-Put(s) on the buffer pool", n))
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	err := errs[0]
+	for _, e := range errs[1:] {
+		err = fmt.Errorf("%w; %w", err, e)
+	}
+	return err
+}
+
+// VerifyNoLeaks polls CheckLeaks until it passes or the wait elapses.
+// Teardown is asynchronous in places (flusher goroutines draining rings,
+// wheel callbacks releasing notes), so test mains give the account a
+// moment to settle instead of failing on a reference that is one
+// goroutine-schedule away from its Put.
+func VerifyNoLeaks(wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		err := CheckLeaks()
+		if err == nil || time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

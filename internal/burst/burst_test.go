@@ -1,0 +1,147 @@
+package burst
+
+import (
+	"strings"
+	"testing"
+
+	"lasthop/internal/msg"
+	"lasthop/internal/obs"
+)
+
+func TestNotePoolLifecycle(t *testing.T) {
+	p := &NotePool{}
+	n := p.Get()
+	if got := n.PoolProvenance(); got != msg.PoolCheckedOut {
+		t.Fatalf("fresh Get provenance = %v, want checked-out", got)
+	}
+	n.ID = "a"
+	n.Topic = "t"
+	n.Payload = append(n.Payload, []byte("hello")...)
+	p.Put(n)
+	if got := n.PoolProvenance(); got != msg.PoolFree {
+		t.Fatalf("after Put provenance = %v, want free", got)
+	}
+	if p.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d after balanced Get/Put", p.Outstanding())
+	}
+
+	n2 := p.Get()
+	if n2.ID != "" || n2.Topic != "" || len(n2.Payload) != 0 {
+		t.Fatalf("recycled note not reset: %+v", n2)
+	}
+	p.Put(n2)
+}
+
+func TestNotePoolDoublePut(t *testing.T) {
+	p := &NotePool{}
+	n := p.Get()
+	p.Put(n)
+	p.Put(n)
+	if p.DoublePuts() != 1 {
+		t.Fatalf("DoublePuts = %d, want 1", p.DoublePuts())
+	}
+	if p.Outstanding() != 0 {
+		t.Fatalf("double-Put changed the leak account: %d", p.Outstanding())
+	}
+}
+
+func TestNotePoolForeignPut(t *testing.T) {
+	p := &NotePool{}
+	foreign := &msg.Notification{ID: "x", Payload: []byte("keep")}
+	p.Put(foreign)
+	if p.ForeignPuts() != 1 {
+		t.Fatalf("ForeignPuts = %d, want 1", p.ForeignPuts())
+	}
+	if foreign.ID != "x" || string(foreign.Payload) != "keep" {
+		t.Fatalf("foreign Put mutated the object: %+v", foreign)
+	}
+	if p.Outstanding() != 0 {
+		t.Fatalf("foreign Put changed the leak account: %d", p.Outstanding())
+	}
+}
+
+func TestNotePoolLeakDetection(t *testing.T) {
+	p := &NotePool{}
+	_ = p.Get()
+	if p.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d after unbalanced Get", p.Outstanding())
+	}
+}
+
+func TestCloneIntoDeepCopies(t *testing.T) {
+	p := &NotePool{}
+	src := &msg.Notification{ID: "id1", Topic: "t", Publisher: "p", Rank: 3, Payload: []byte("payload")}
+	c := p.CloneInto(src)
+	if c.ID != src.ID || c.Topic != src.Topic || string(c.Payload) != "payload" {
+		t.Fatalf("clone mismatch: %+v", c)
+	}
+	if c.PoolProvenance() != msg.PoolCheckedOut {
+		t.Fatalf("clone provenance = %v", c.PoolProvenance())
+	}
+	src.Payload[0] = 'X'
+	if string(c.Payload) != "payload" {
+		t.Fatal("clone shares the source payload buffer")
+	}
+	p.Put(c)
+}
+
+func TestMsgCloneClearsMark(t *testing.T) {
+	p := &NotePool{}
+	n := p.Get()
+	n.ID = "id"
+	c := n.Clone()
+	if c.PoolProvenance() != msg.PoolForeign {
+		t.Fatalf("msg.Clone of a pooled note kept mark %v", c.PoolProvenance())
+	}
+	p.Put(n)
+	p.Put(c) // foreign no-op
+}
+
+func TestBufPoolLifecycle(t *testing.T) {
+	p := &BufPool{}
+	b := p.Get()
+	b.B = append(b.B, []byte("frame")...)
+	p.Put(b)
+	p.Put(b)
+	if p.DoublePuts() != 1 {
+		t.Fatalf("DoublePuts = %d, want 1", p.DoublePuts())
+	}
+	if p.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d", p.Outstanding())
+	}
+	b2 := p.Get()
+	if len(b2.B) != 0 {
+		t.Fatalf("recycled buf has length %d", len(b2.B))
+	}
+	p.Put(b2)
+}
+
+func TestHitRate(t *testing.T) {
+	p := &NotePool{}
+	n := p.Get() // miss
+	p.Put(n)
+	n = p.Get() // hit (single goroutine, so the sync.Pool keeps it local)
+	p.Put(n)
+	s := p.Stats()
+	if s.Misses == 0 || s.Gets != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if hr := s.HitRate(); hr <= 0 || hr > 1 {
+		t.Fatalf("HitRate = %v", hr)
+	}
+}
+
+func TestRegisterMetricsRenders(t *testing.T) {
+	reg := obs.NewRegistry()
+	RegisterMetrics(reg)
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"lasthop_burst_pool_ops_total", "lasthop_burst_pool_outstanding"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %s:\n%s", want, out)
+		}
+	}
+}

@@ -86,6 +86,19 @@ type Proxy struct {
 	// forward, expire, drop, tune) when set. Nil — the default — keeps
 	// every handler free of tracing work beyond one pointer comparison.
 	tracer trace.Tracer
+
+	// release is called exactly once per notification when the proxy
+	// drops its last reference to it — at history eviction (forget), when
+	// an arrival is discarded without being retained, and for every
+	// remembered notification on RemoveTopic/Shutdown. Hosts install
+	// burst.Notes.Put here so pooled notifications recycle; nil — the
+	// default — keeps ordinary garbage-collected lifetimes.
+	release func(*msg.Notification)
+
+	// fwdScratch backs tryForwardingBatch's assembly slice. The scheduler
+	// serialises every proxy entry point, and batch forwarders encode the
+	// slice before returning, so one buffer serves every batch.
+	fwdScratch []*msg.Notification
 }
 
 // topicState carries Figure 7's per-topic variables.
@@ -225,6 +238,10 @@ func (p *Proxy) RemoveTopic(name string) error {
 		t.Cancel()
 		delete(ts.expiryTimer, id)
 	}
+	for id, n := range ts.known {
+		delete(ts.known, id)
+		p.releaseNote(n)
+	}
 	delete(p.topics, name)
 	return nil
 }
@@ -260,6 +277,19 @@ func (p *Proxy) Stats() Stats { return p.stats }
 // per-notification queue-decision events. Like every other entry point it
 // must be invoked through the owning scheduler.
 func (p *Proxy) SetTracer(tr trace.Tracer) { p.tracer = tr }
+
+// SetReleaser installs the hook called exactly once per notification when
+// the proxy drops its last reference to it (see the release field). Like
+// every other entry point it must be invoked through the owning
+// scheduler, before any notification arrives.
+func (p *Proxy) SetReleaser(fn func(*msg.Notification)) { p.release = fn }
+
+// releaseNote hands a dropped notification to the releaser, if any.
+func (p *Proxy) releaseNote(n *msg.Notification) {
+	if p.release != nil && n != nil {
+		p.release(n)
+	}
+}
 
 // traceEvent stamps the scheduler clock onto the event and records it.
 // Callers check p.tracer != nil first so the disabled path constructs no
@@ -322,14 +352,17 @@ func queueLabel(ts *topicState, q *rankedq.Queue) string {
 func (p *Proxy) Notify(n *msg.Notification) {
 	ts, ok := p.topics[n.Topic]
 	if !ok {
-		return // not subscribed here
+		p.releaseNote(n) // not subscribed here
+		return
 	}
 	p.stats.Notifications++
 	now := p.sched.Now()
 
 	if _, seen := ts.known[n.ID]; seen {
-		// Re-arrival of a known ID is a rank revision.
+		// Re-arrival of a known ID is a rank revision; only the rank of
+		// the arriving copy is used, so it is dropped here.
 		p.applyRank(ts, n.ID, n.Rank)
+		p.releaseNote(n)
 		return
 	}
 	if n.Expired(now) {
@@ -340,6 +373,7 @@ func (p *Proxy) Notify(n *msg.Notification) {
 			e.Cause = "already expired on arrival at the proxy"
 			p.traceEvent(e)
 		}
+		p.releaseNote(n)
 		return
 	}
 
@@ -525,6 +559,8 @@ func (p *Proxy) remember(ts *topicState, n *msg.Notification) {
 }
 
 // forget removes every trace of an event: queues, timers, bookkeeping.
+// It is the single terminal point of a remembered notification's life on
+// this proxy, so the releaser fires here.
 func (p *Proxy) forget(ts *topicState, id msg.ID) {
 	ts.outgoing.Remove(id)
 	ts.prefetch.Remove(id)
@@ -537,7 +573,10 @@ func (p *Proxy) forget(ts *topicState, id msg.ID) {
 		t.Cancel()
 		delete(ts.expiryTimer, id)
 	}
-	delete(ts.known, id)
+	if n, ok := ts.known[id]; ok {
+		delete(ts.known, id)
+		p.releaseNote(n)
+	}
 	ts.forwarded.Remove(id)
 }
 
@@ -997,7 +1036,8 @@ func (p *Proxy) tryForwarding(ts *topicState) {
 // the buffer policy's room check uses the queue growth the batch will
 // cause, and rate tokens spent on a failed batch are refunded.
 func (p *Proxy) tryForwardingBatch(ts *topicState, bf BatchForwarder) {
-	var batch []*msg.Notification
+	batch := p.fwdScratch[:0]
+	defer func() { p.fwdScratch = batch[:0] }()
 	// newCount predicts the client-queue growth of the batch so far. Each
 	// ranked queue holds an ID at most once, so popping both queues cannot
 	// double-count except when an ID sits in outgoing and prefetch at

@@ -216,9 +216,11 @@ func restoreInterval(is msg.IntervalSnapshot, fallbackSize int) *stats.IntervalA
 	return stats.RestoreIntervalAverage(size, is.Window.Samples, is.Last, is.HasLast)
 }
 
-// Shutdown cancels every armed timer so a proxy being dropped (hibernated
-// or replaced) leaks no scheduler state. The proxy must not be used
-// afterwards. Like every entry point it must run on the owning scheduler.
+// Shutdown cancels every armed timer and releases every remembered
+// notification, so a proxy being dropped (hibernated or replaced) leaks
+// neither scheduler state nor pooled objects. The proxy must not be used
+// afterwards. Like every entry point it must run on the owning scheduler
+// (or after the scheduler has fully quiesced).
 func (p *Proxy) Shutdown() {
 	for _, ts := range p.topics {
 		for id, t := range ts.delayed {
@@ -228,6 +230,10 @@ func (p *Proxy) Shutdown() {
 		for id, t := range ts.expiryTimer {
 			t.Cancel()
 			delete(ts.expiryTimer, id)
+		}
+		for id, n := range ts.known {
+			delete(ts.known, id)
+			p.releaseNote(n)
 		}
 	}
 	p.topics = make(map[string]*topicState)

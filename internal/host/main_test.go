@@ -1,0 +1,24 @@
+package host
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"lasthop/internal/burst"
+)
+
+// TestMain gates the package run on the burst pools' leak account: every
+// pooled notification a host checked out (upstream decode, clone-per-target
+// fan-out) must be back in the pool once the hosts have closed.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := burst.VerifyNoLeaks(2 * time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, "host: pool leak check:", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

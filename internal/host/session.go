@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 
+	"lasthop/internal/burst"
 	"lasthop/internal/core"
 	"lasthop/internal/msg"
 	"lasthop/internal/simtime"
@@ -64,6 +65,9 @@ func newSession(h *Host, name string, w *worker) *Session {
 		if h.opts.Trace != nil {
 			s.proxy.SetTracer(sessionTracer{node: name, t: h.opts.Trace})
 		}
+		// Upstream arrivals are pooled; the proxy recycles every
+		// reference it drops (forwarding serializes onto the wire first).
+		s.proxy.SetReleaser(burst.Notes.Put)
 		s.proxy.SetNetwork(false) // no device yet
 	})
 	return s

@@ -13,10 +13,12 @@ package loadgen
 import (
 	"fmt"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
 
+	"lasthop/internal/burst"
 	"lasthop/internal/host"
 	"lasthop/internal/metrics"
 	"lasthop/internal/msg"
@@ -40,6 +42,11 @@ type Config struct {
 	// Notifications is the total number of notifications published,
 	// spread round-robin across topics.
 	Notifications int `json:"notifications"`
+	// PublishBatch is how many notifications each publisher pipelines into
+	// one batched round trip (wire.BrokerClient.PublishBatch): the whole
+	// chunk rides one vectored flush and the acknowledgements coalesce
+	// symmetrically. 1 publishes one-at-a-time; zero means 16.
+	PublishBatch int `json:"publishBatch"`
 	// PayloadBytes is the payload size of every notification.
 	PayloadBytes int `json:"payloadBytes"`
 	// OnDemand switches the devices to on-demand topics consumed with
@@ -113,6 +120,9 @@ func (c Config) withDefaults() Config {
 	if c.Notifications <= 0 {
 		c.Notifications = 1000
 	}
+	if c.PublishBatch <= 0 {
+		c.PublishBatch = 16
+	}
 	if c.PayloadBytes < 0 {
 		c.PayloadBytes = 0
 	}
@@ -157,6 +167,25 @@ type Report struct {
 	PublishPerSec float64 `json:"publishPerSec"`
 	DeliverPerSec float64 `json:"deliverPerSec"`
 
+	// PerPublisher breaks the publish side down per connection, so a
+	// publisher-side bottleneck (the pre-batching regime: publishPerSec an
+	// order of magnitude below deliverPerSec) is visible directly in the
+	// report rather than inferred.
+	PerPublisher []PublisherStats `json:"perPublisher,omitempty"`
+
+	// Runtime telemetry over the measured window (topology up → last
+	// delivery): allocation and GC pressure plus burst-pool effectiveness.
+	AllocObjects   uint64  `json:"allocObjects"`
+	AllocBytes     uint64  `json:"allocBytes"`
+	NumGC          uint32  `json:"numGC"`
+	GCPauseTotalMs float64 `json:"gcPauseTotalMs"`
+	// PoolHitRate is the fraction of notification-pool Gets served from
+	// the free pool; PoolOutstanding is the net checked-out count at
+	// report time (non-zero means references still in flight — the run's
+	// own topology is torn down after the report is built).
+	PoolHitRate     float64 `json:"poolHitRate"`
+	PoolOutstanding int64   `json:"poolOutstanding"`
+
 	// Delivery latency quantiles in milliseconds, from publish timestamp
 	// to device receipt (on-line) or user read (on-demand), interpolated
 	// from an HDR-style log-bucketed histogram.
@@ -176,6 +205,14 @@ type Report struct {
 	// Collector holds the run's completed traces for JSONL export
 	// (cmd/lasthop-loadgen -trace-out); not part of the JSON report.
 	Collector *trace.Collector `json:"-"`
+}
+
+// PublisherStats is one publisher connection's share of the load.
+type PublisherStats struct {
+	Publisher string  `json:"publisher"`
+	Published int     `json:"published"`
+	Batches   int     `json:"batches"`
+	PerSec    float64 `json:"perSec"`
 }
 
 // HopQuantiles summarizes one segment of the delivery path across all
@@ -253,6 +290,7 @@ func Run(cfg Config) (*Report, error) {
 		reg = obs.NewRegistry()
 	}
 	metrics.Register(reg)
+	burst.RegisterMetrics(reg)
 	wm := wire.NewMetrics(reg)
 	latency := reg.Histogram("lasthop_loadgen_delivery_latency_seconds",
 		"End-to-end delivery latency from publish to device receipt or user read.",
@@ -401,13 +439,18 @@ func Run(cfg Config) (*Report, error) {
 		payload[i] = byte('a' + i%26)
 	}
 
-	cfg.Logf("loadgen: publishing %d notifications from %d publishers", cfg.Notifications, cfg.Publishers)
+	cfg.Logf("loadgen: publishing %d notifications from %d publishers (batch %d)",
+		cfg.Notifications, cfg.Publishers, cfg.PublishBatch)
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+	poolBefore := burst.Notes.Stats()
 	start := time.Now()
 	var (
-		wg     sync.WaitGroup
-		pubMu  sync.Mutex
-		pubErr error
-		next   = make(chan int, cfg.Publishers)
+		wg       sync.WaitGroup
+		pubMu    sync.Mutex
+		pubErr   error
+		next     = make(chan int, cfg.Publishers*cfg.PublishBatch)
+		pubStats = make([]PublisherStats, cfg.Publishers)
 	)
 	go func() {
 		for i := 0; i < cfg.Notifications; i++ {
@@ -417,27 +460,57 @@ func Run(cfg Config) (*Report, error) {
 	}()
 	for w := 0; w < cfg.Publishers; w++ {
 		wg.Add(1)
-		go func(pub *wire.BrokerClient) {
+		go func(w int, pub *wire.BrokerClient) {
 			defer wg.Done()
-			for i := range next {
-				n := &msg.Notification{
-					ID:        msg.ID(fmt.Sprintf("lg-%d", i)),
-					Topic:     topics[i%cfg.Topics],
-					Publisher: "loadgen",
-					Rank:      float64(1 + i%5),
-					Published: time.Now(),
-					Payload:   payload,
-				}
-				if err := pub.Publish(n); err != nil {
-					pubMu.Lock()
-					if pubErr == nil {
-						pubErr = fmt.Errorf("publish %s: %w", n.ID, err)
+			st := &pubStats[w]
+			st.Publisher = fmt.Sprintf("lg-pub-%d", w)
+			// Each chunk is built from pooled notifications, pipelined as
+			// one PublishBatch round trip (single vectored flush on the
+			// wire), and recycled once the broker has acknowledged it.
+			batch := make([]*msg.Notification, 0, cfg.PublishBatch)
+			for {
+				batch = batch[:0]
+				for i := range next {
+					n := burst.Notes.Get()
+					n.ID = msg.ID(fmt.Sprintf("lg-%d", i))
+					n.Topic = topics[i%cfg.Topics]
+					n.Publisher = "loadgen"
+					n.Rank = float64(1 + i%5)
+					n.Published = time.Now()
+					n.Payload = append(n.Payload[:0], payload...)
+					batch = append(batch, n)
+					if len(batch) == cfg.PublishBatch {
+						break
 					}
-					pubMu.Unlock()
+				}
+				if len(batch) == 0 {
+					break
+				}
+				errs := pub.PublishBatch(batch)
+				failed := false
+				for k, err := range errs {
+					if err != nil {
+						failed = true
+						pubMu.Lock()
+						if pubErr == nil {
+							pubErr = fmt.Errorf("publish %s: %w", batch[k].ID, err)
+						}
+						pubMu.Unlock()
+					}
+				}
+				st.Published += len(batch)
+				st.Batches++
+				for _, n := range batch {
+					burst.Notes.Put(n)
+				}
+				if failed {
 					return
 				}
 			}
-		}(pubs[w])
+			if s := time.Since(start).Seconds(); s > 0 {
+				st.PerSec = float64(st.Published) / s
+			}
+		}(w, pubs[w])
 	}
 	wg.Wait()
 	if pubErr != nil {
@@ -447,6 +520,9 @@ func Run(cfg Config) (*Report, error) {
 
 	delivered, err := awaitDeliveries(nodes, cfg, deadline, latency)
 	deliverElapsed := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	poolAfter := burst.Notes.Stats()
 	duplicates := 0
 	for _, nd := range nodes {
 		_, updates, _ := nd.dev.Stats()
@@ -481,6 +557,18 @@ func Run(cfg Config) (*Report, error) {
 	if s := rep.DeliverSeconds; s > 0 {
 		rep.DeliverPerSec = float64(rep.Delivered) / s
 	}
+	rep.PerPublisher = pubStats
+	rep.AllocObjects = memAfter.Mallocs - memBefore.Mallocs
+	rep.AllocBytes = memAfter.TotalAlloc - memBefore.TotalAlloc
+	rep.NumGC = memAfter.NumGC - memBefore.NumGC
+	rep.GCPauseTotalMs = float64(memAfter.PauseTotalNs-memBefore.PauseTotalNs) / 1e6
+	window := burst.PoolStats{
+		Gets:   poolAfter.Gets - poolBefore.Gets,
+		Puts:   poolAfter.Puts - poolBefore.Puts,
+		Misses: poolAfter.Misses - poolBefore.Misses,
+	}
+	rep.PoolHitRate = window.HitRate()
+	rep.PoolOutstanding = poolAfter.Outstanding()
 	if collector != nil {
 		st := collector.Stats()
 		rep.TraceSampled = st.Sampled

@@ -1,0 +1,24 @@
+package loadgen
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"lasthop/internal/burst"
+)
+
+// TestMain gates the package run on the burst pools' leak account: a full
+// loadgen topology (publishers, broker, proxies or host, devices) must
+// return every pooled object by teardown.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := burst.VerifyNoLeaks(2 * time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: pool leak check:", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

@@ -95,7 +95,38 @@ type Notification struct {
 	// fan-out clones — treat the pointed-to context as immutable and use
 	// TraceContext.WithHop to extend it.
 	Trace *TraceContext `json:"-"`
+
+	// poolMark records the notification's free-pool provenance (see
+	// internal/burst). Unexported so encoding/json never sees it; a
+	// struct value-copy carries the mark with it, which is why every
+	// copy site that creates an independently owned notification must
+	// clear it back to PoolForeign.
+	poolMark PoolMark
 }
+
+// PoolMark is the tri-state provenance of a notification with respect to
+// the burst free pools. The zero value, PoolForeign, marks an ordinary
+// heap allocation that no pool will ever reclaim; returning a foreign
+// notification to a pool is a counted no-op, never corruption.
+type PoolMark uint8
+
+const (
+	// PoolForeign marks a plain heap allocation outside any pool.
+	PoolForeign PoolMark = iota
+	// PoolCheckedOut marks a pooled notification currently owned by
+	// exactly one holder, who must Put it back exactly once.
+	PoolCheckedOut
+	// PoolFree marks a pooled notification at rest in its pool; using or
+	// re-Putting one is a lifecycle bug that the pool counts.
+	PoolFree
+)
+
+// PoolProvenance returns the notification's pool mark.
+func (n *Notification) PoolProvenance() PoolMark { return n.poolMark }
+
+// SetPoolProvenance stamps the notification's pool mark. Only the burst
+// pools should call this; everything else treats the mark as read-only.
+func (n *Notification) SetPoolProvenance(m PoolMark) { n.poolMark = m }
 
 // TraceContext is the compact per-notification tracing context that
 // travels with a sampled notification across the stack: a stable trace ID,
@@ -167,14 +198,28 @@ func (n *Notification) RemainingLife(now time.Time) time.Duration {
 
 const maxDuration = time.Duration(1<<63 - 1)
 
-// Clone returns a deep copy of the notification.
+// Clone returns a deep copy of the notification. The copy is always
+// pool-foreign: cloning a pooled notification yields an ordinary heap
+// object with its own lifetime.
 func (n *Notification) Clone() *Notification {
 	c := *n
+	c.poolMark = PoolForeign
 	if n.Payload != nil {
 		c.Payload = make([]byte, len(n.Payload))
 		copy(c.Payload, n.Payload)
 	}
 	return &c
+}
+
+// CopyFrom deep-copies src's content into n, reusing n's payload
+// capacity and preserving n's own pool provenance. The trace context
+// pointer is shared (the pointed-to context is immutable by contract).
+func (n *Notification) CopyFrom(src *Notification) {
+	mark := n.poolMark
+	payload := append(n.Payload[:0], src.Payload...)
+	*n = *src
+	n.Payload = payload
+	n.poolMark = mark
 }
 
 // Validate checks structural invariants that the pubsub substrate enforces

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lasthop/internal/burst"
 	"lasthop/internal/msg"
 	"lasthop/internal/obs"
 	"lasthop/internal/trace"
@@ -44,7 +45,11 @@ var (
 // Implementations must not call back into the broker from inside the
 // callback; the proxy's handlers satisfy this by scheduling follow-up work.
 type Subscriber interface {
-	// Deliver hands over a notification on a subscribed topic.
+	// Deliver hands over a notification on a subscribed topic. The
+	// notification is the subscriber's to keep: it is an isolated clone
+	// checked out of burst.Notes, and the subscriber must release it with
+	// burst.Notes.Put exactly once when nothing references it anymore
+	// (retaining it forever merely leaks one pooled object).
 	Deliver(n *msg.Notification)
 	// DeliverRankUpdate hands over a rank revision for a notification
 	// previously published on a subscribed topic.
@@ -575,17 +580,14 @@ func (b *Broker) fanOut(n *msg.Notification, from Peer, subs []*subscription, pe
 			})
 		}
 	}
-	if len(subs) > 0 {
-		clones := make([]msg.Notification, len(subs))
-		for i := range clones {
-			clones[i] = *n
-			if n.Payload != nil {
-				clones[i].Payload = append([]byte(nil), n.Payload...)
-			}
-		}
-		for i, s := range subs {
-			s.sub.Deliver(&clones[i])
-		}
+	for _, s := range subs {
+		// Each subscriber owns an isolated pooled clone (payload bytes
+		// copied into the clone's retained buffer, zero steady-state
+		// allocations); ownership transfers with Deliver. Peers below
+		// keep receiving the caller-owned original: wire federation
+		// encodes it synchronously and in-process brokers run their
+		// routing synchronously, so no peer retains it past this call.
+		s.sub.Deliver(burst.Notes.CloneInto(n))
 	}
 	for _, p := range peers {
 		if p != from {

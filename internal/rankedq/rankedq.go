@@ -28,33 +28,92 @@ type queueHeap struct {
 	index map[msg.ID]int
 }
 
-var _ heap.Interface = (*queueHeap)(nil)
-
 func (q *queueHeap) Len() int { return len(q.items) }
 
-func (q *queueHeap) Less(i, j int) bool { return q.items[i].Before(q.items[j]) }
+// The sifts below are hole-based rather than swap-based: the item being
+// placed is held aside while ancestors or children slide into the hole, so
+// each displaced item's index entry is written once. container/heap's
+// Swap-driven sift would hash and write two index entries per level, and
+// the index map writes dominate this structure's cost on the forward path.
 
-func (q *queueHeap) Swap(i, j int) {
-	q.items[i], q.items[j] = q.items[j], q.items[i]
-	q.index[q.items[i].ID] = i
-	q.index[q.items[j].ID] = j
-}
-
-func (q *queueHeap) Push(x any) {
-	n, ok := x.(*msg.Notification)
-	if !ok {
-		return // guarded by the exported API; never reached
+// siftUp places n starting from the hole at i, sliding ancestors down.
+func (q *queueHeap) siftUp(i int, n *msg.Notification) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := q.items[parent]
+		if !n.Before(p) {
+			break
+		}
+		q.items[i] = p
+		q.index[p.ID] = i
+		i = parent
 	}
-	q.index[n.ID] = len(q.items)
-	q.items = append(q.items, n)
+	q.items[i] = n
+	q.index[n.ID] = i
 }
 
-func (q *queueHeap) Pop() any {
+// siftDown places n starting from the hole at i, sliding the best child up.
+func (q *queueHeap) siftDown(i int, n *msg.Notification) {
+	size := len(q.items)
+	for {
+		child := 2*i + 1
+		if child >= size {
+			break
+		}
+		if r := child + 1; r < size && q.items[r].Before(q.items[child]) {
+			child = r
+		}
+		c := q.items[child]
+		if !c.Before(n) {
+			break
+		}
+		q.items[i] = c
+		q.index[c.ID] = i
+		i = child
+	}
+	q.items[i] = n
+	q.index[n.ID] = i
+}
+
+// fix places n into the hole at i, restoring heap order in whichever
+// direction it violates it.
+func (q *queueHeap) fix(i int, n *msg.Notification) {
+	if i > 0 && n.Before(q.items[(i-1)/2]) {
+		q.siftUp(i, n)
+		return
+	}
+	q.siftDown(i, n)
+}
+
+func (q *queueHeap) push(n *msg.Notification) {
+	q.items = append(q.items, nil)
+	q.siftUp(len(q.items)-1, n)
+}
+
+func (q *queueHeap) pop() *msg.Notification {
+	n := q.items[0]
+	delete(q.index, n.ID)
 	last := len(q.items) - 1
-	n := q.items[last]
+	moved := q.items[last]
 	q.items[last] = nil
 	q.items = q.items[:last]
+	if last > 0 {
+		q.siftDown(0, moved)
+	}
+	return n
+}
+
+// removeAt deletes the item at i, refilling the hole with the last item.
+func (q *queueHeap) removeAt(i int) *msg.Notification {
+	n := q.items[i]
 	delete(q.index, n.ID)
+	last := len(q.items) - 1
+	moved := q.items[last]
+	q.items[last] = nil
+	q.items = q.items[:last]
+	if i < last {
+		q.fix(i, moved)
+	}
 	return n
 }
 
@@ -114,7 +173,7 @@ func (q *Queue) Push(n *msg.Notification) error {
 	if _, ok := q.h.index[n.ID]; ok {
 		return fmt.Errorf("duplicate notification %q", n.ID)
 	}
-	heap.Push(&q.h, n)
+	q.h.push(n)
 	return nil
 }
 
@@ -131,9 +190,9 @@ func (q *Queue) PopBest() (*msg.Notification, bool) {
 	if q.h.Len() == 0 {
 		return nil, false
 	}
-	n, ok := heap.Pop(&q.h).(*msg.Notification)
+	n := q.h.pop()
 	q.h.maybeShrink()
-	return n, ok
+	return n, true
 }
 
 // Remove deletes the notification with the given ID, returning it if it was
@@ -143,9 +202,9 @@ func (q *Queue) Remove(id msg.ID) (*msg.Notification, bool) {
 	if !ok {
 		return nil, false
 	}
-	n, ok := heap.Remove(&q.h, i).(*msg.Notification)
+	n := q.h.removeAt(i)
 	q.h.maybeShrink()
-	return n, ok
+	return n, true
 }
 
 // UpdateRank revises the rank of a queued notification in place and
@@ -155,8 +214,9 @@ func (q *Queue) UpdateRank(id msg.ID, rank float64) bool {
 	if !ok {
 		return false
 	}
-	q.h.items[i].Rank = rank
-	heap.Fix(&q.h, i)
+	n := q.h.items[i]
+	n.Rank = rank
+	q.h.fix(i, n)
 	return true
 }
 
@@ -174,7 +234,7 @@ func (q *Queue) BestN(n int) []*msg.Notification {
 	}
 	out := q.TakeBestN(n)
 	for _, item := range out {
-		heap.Push(&q.h, item)
+		q.h.push(item)
 	}
 	return out
 }
@@ -360,6 +420,9 @@ type History struct {
 	order    []msg.ID
 	head     int
 	set      msg.IDSet
+	// evictScratch backs Add's evicted return value so the steady-state
+	// add-evict cycle does not allocate a slice per insertion.
+	evictScratch []msg.ID
 }
 
 // NewHistory returns a history bounded to the given capacity; capacity <= 0
@@ -375,7 +438,8 @@ func (h *History) Len() int { return len(h.set) }
 func (h *History) Contains(id msg.ID) bool { return h.set.Contains(id) }
 
 // Add remembers an ID, evicting the oldest entries beyond capacity. It
-// returns the evicted IDs (usually empty) and whether id was new.
+// returns the evicted IDs (usually empty) and whether id was new. The
+// evicted slice is reused by the next Add: consume it before then.
 func (h *History) Add(id msg.ID) (evicted []msg.ID, added bool) {
 	if h.set.Contains(id) {
 		return nil, false
@@ -383,6 +447,7 @@ func (h *History) Add(id msg.ID) (evicted []msg.ID, added bool) {
 	h.set.Add(id)
 	h.order = append(h.order, id)
 	if h.capacity > 0 {
+		evicted = h.evictScratch[:0]
 		for len(h.set) > h.capacity {
 			old := h.order[h.head]
 			h.order[h.head] = msg.NoID
@@ -392,6 +457,7 @@ func (h *History) Add(id msg.ID) (evicted []msg.ID, added bool) {
 			}
 		}
 		h.compact()
+		h.evictScratch = evicted[:0]
 	}
 	return evicted, true
 }
@@ -406,10 +472,18 @@ func (h *History) Remove(id msg.ID) bool {
 }
 
 // compact reclaims the consumed prefix of the order slice once it dominates
-// the backing array, keeping Add amortized O(1).
+// the backing array, keeping Add amortized O(1). The shift is in place so
+// the steady-state add-evict cycle reuses one backing array instead of
+// reallocating it every half-rotation; the vacated tail is cleared so
+// evicted IDs do not pin their strings.
 func (h *History) compact() {
 	if h.head > len(h.order)/2 && h.head > 32 {
-		h.order = append([]msg.ID(nil), h.order[h.head:]...)
+		n := copy(h.order, h.order[h.head:])
+		tail := h.order[n:]
+		for i := range tail {
+			tail[i] = msg.NoID
+		}
+		h.order = h.order[:n]
 		h.head = 0
 	}
 }

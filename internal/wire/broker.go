@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"lasthop/internal/burst"
 	"lasthop/internal/msg"
 	"lasthop/internal/pubsub"
 )
@@ -77,6 +78,12 @@ func (s *BrokerServer) Serve(lis net.Listener) error {
 		conn := NewConn(c)
 		conn.SetTimeouts(s.opts.ReadTimeout, s.opts.WriteTimeout)
 		conn.SetMetrics(s.opts.Metrics)
+		// Server read loops consume each frame synchronously before the
+		// next Recv, so both ingest optimizations are safe here: decoded
+		// notifications come from the burst pool (handle/servePeerFrames
+		// release them) and the Frame itself is reused across reads.
+		conn.SetNotePool(true)
+		conn.SetRecvReuse(true)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -138,6 +145,9 @@ func (cs connSubscriber) Deliver(n *msg.Notification) {
 	}
 	_ = cs.conn.Send(f)
 	putPushFrame(f)
+	// Send encoded the notification into the egress ring synchronously;
+	// this subscriber owns the pooled clone and is done with it.
+	burst.Notes.Put(n)
 }
 
 func (cs connSubscriber) DeliverRankUpdate(u msg.RankUpdate) {
@@ -205,7 +215,14 @@ func (s *BrokerServer) handle(conn *Conn) {
 			// A publisher may pre-attach a trace context; otherwise the
 			// broker's head sampler decides at accept time.
 			f.Notification.Trace = f.Trace
-			s.respondErr(conn, f, s.broker.Publish(f.Notification))
+			err := s.broker.Publish(f.Notification)
+			// Publish is synchronous and retains nothing: subscribers got
+			// pooled clones and federation encoded inline. The ingress
+			// note goes back to the pool whether the publish was accepted,
+			// rejected as a duplicate by the seen set, or failed.
+			burst.Notes.Put(f.Notification)
+			f.Notification = nil
+			s.respondErr(conn, f, err)
 		case TypeRankUpdate:
 			if f.RankUpdate == nil {
 				s.respond(conn, Err(f, errors.New("rank-update frame without update")))
@@ -237,7 +254,7 @@ func (s *BrokerServer) handle(conn *Conn) {
 }
 
 func (s *BrokerServer) respond(conn *Conn, f *Frame) {
-	if err := conn.Send(f); err != nil {
+	if err := conn.SendRelease(f); err != nil {
 		s.logf("broker: send response: %v", err)
 	}
 }
@@ -318,6 +335,13 @@ func (c *BrokerClient) connect() (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Pushes decode into pooled notifications; dispatchPush transfers them
+	// to the registered callback (which inherits the release duty) or
+	// returns them itself. The frame is reused across pushes — responses,
+	// which escape to a concurrently running call(), relinquish it (see
+	// Conn.Recv).
+	conn.SetNotePool(true)
+	conn.SetRecvReuse(true)
 	if err := c.handshake(conn); err != nil {
 		_ = conn.Close()
 		return nil, err
@@ -432,15 +456,27 @@ func (c *BrokerClient) dispatchPush(f *Frame) {
 		c.cbmu.Lock()
 		push := c.onPush
 		c.cbmu.Unlock()
-		if push != nil && f.Notification != nil {
-			f.Notification.Trace = f.Trace
-			push(f.Notification)
+		if f.Notification == nil {
+			return
 		}
+		if push == nil {
+			// No callback registered: this client is the pooled note's
+			// last owner.
+			burst.Notes.Put(f.Notification)
+			f.Notification = nil
+			return
+		}
+		f.Notification.Trace = f.Trace
+		push(f.Notification)
 	case TypePushBatch:
 		c.cbmu.Lock()
 		push := c.onPush
 		c.cbmu.Unlock()
 		if push == nil {
+			for _, n := range f.Batch {
+				burst.Notes.Put(n)
+			}
+			f.Batch = f.Batch[:0]
 			return
 		}
 		adoptBatchTraces(f)
@@ -550,6 +586,69 @@ func (c *BrokerClient) Publish(n *msg.Notification) error {
 		if werr := c.awaitOnline(); werr != nil {
 			return werr
 		}
+		attempt++
+	}
+}
+
+// PublishBatch publishes a batch of notifications as one pipelined burst:
+// every publish frame is buffered before any response is awaited, so the
+// batch leaves in a single vectored flush and the broker's responses
+// coalesce the same way on the return path. Results are positional. With
+// AutoReconnect, frames lost to the transport are retried on the next
+// connection; as with Publish, a duplicate-ID rejection on a retry means
+// the earlier attempt landed and counts as success.
+func (c *BrokerClient) PublishBatch(ns []*msg.Notification) []error {
+	errs := make([]error, len(ns))
+	frames := make([]*Frame, len(ns))
+	idx := make([]int, len(ns))
+	for i, n := range ns {
+		f := getPushFrame()
+		f.Type = TypePublish
+		f.Notification = n
+		frames[i] = f
+		idx[i] = i
+	}
+	// The frames outlive retries (retry rounds resend subsets of the same
+	// pointers) but not this call: callBatch encodes synchronously, so
+	// they all go back to the pool on the way out.
+	all := frames
+	defer func() {
+		for _, f := range all {
+			putPushFrame(f)
+		}
+	}()
+	attempt := 0
+	for {
+		batchErrs := c.callBatch(frames)
+		var retryFrames []*Frame
+		var retryIdx []int
+		for k, err := range batchErrs {
+			if err == nil {
+				continue
+			}
+			var re *RemoteError
+			if attempt > 0 && errors.As(err, &re) && re.Code == CodeDuplicateID {
+				continue
+			}
+			if isConnLost(err) && c.opts.AutoReconnect {
+				f := frames[k]
+				f.Seq = 0
+				retryFrames = append(retryFrames, f)
+				retryIdx = append(retryIdx, idx[k])
+				continue
+			}
+			errs[idx[k]] = err
+		}
+		if len(retryFrames) == 0 {
+			return errs
+		}
+		if werr := c.awaitOnline(); werr != nil {
+			for _, i := range retryIdx {
+				errs[i] = werr
+			}
+			return errs
+		}
+		frames, idx = retryFrames, retryIdx
 		attempt++
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"lasthop/internal/burst"
 	"lasthop/internal/faultnet"
 	"lasthop/internal/msg"
 	"lasthop/internal/pubsub"
@@ -271,7 +272,7 @@ func TestFederationAutoReconnect(t *testing.T) {
 	}
 	defer sub.Close()
 	got := make(chan msg.ID, 64)
-	sub.OnPush(func(n *msg.Notification) { got <- n.ID }, nil)
+	sub.OnPush(func(n *msg.Notification) { got <- n.ID; burst.Notes.Put(n) }, nil)
 	if err := sub.Subscribe(msg.Subscription{Topic: "news", Options: msg.SubscriptionOptions{Max: 8}}); err != nil {
 		t.Fatal(err)
 	}

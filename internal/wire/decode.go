@@ -4,6 +4,7 @@ import (
 	"encoding/base64"
 	"time"
 
+	"lasthop/internal/burst"
 	"lasthop/internal/msg"
 )
 
@@ -17,12 +18,59 @@ import (
 // caller falls back to json.Unmarshal, so the two paths accept the same
 // frames and fill identical structs.
 
+// decodeOpts carries per-connection decode resources: the optional
+// notification free pool and the topic/publisher intern table. The zero
+// value (and a nil pointer) decodes exactly like the pre-pool path:
+// plain heap notifications, fresh strings.
+type decodeOpts struct {
+	pool  *burst.NotePool
+	names map[string]string
+}
+
+// maxInternedNames bounds the per-connection intern table so a hostile
+// peer cannot grow it without bound.
+const maxInternedNames = 1024
+
+// newNote allocates the next notification: from the pool when enabled
+// (ownership passes to the frame's consumer), otherwise from the heap.
+func (o *decodeOpts) newNote() *msg.Notification {
+	if o != nil && o.pool != nil {
+		return o.pool.Get()
+	}
+	return new(msg.Notification)
+}
+
+// intern returns a string with v's content, reusing a previously seen
+// copy so repeated topic and publisher names cost zero allocations.
+func (o *decodeOpts) intern(v []byte) string {
+	if o == nil || o.names == nil {
+		return string(v)
+	}
+	if s, ok := o.names[string(v)]; ok {
+		return s
+	}
+	s := string(v)
+	if len(o.names) < maxInternedNames {
+		o.names[s] = s
+	}
+	return s
+}
+
 // decodeFrame attempts the fast decode of one newline-stripped frame into
-// f. It reports false — with f possibly partially filled — when the frame
-// is not one of the recognized hot shapes; the caller must then reset f
-// and take the encoding/json path.
+// f with default options — plain heap notifications, no interning. The
+// fuzz parity tests pin this path against encoding/json.
 func decodeFrame(data []byte, f *Frame) bool {
-	d := frameDecoder{data: data}
+	return decodeFrameOpts(data, f, nil)
+}
+
+// decodeFrameOpts attempts the fast decode of one newline-stripped frame
+// into f. It reports false — with f possibly partially filled — when the
+// frame is not one of the recognized hot shapes; the caller must then
+// release any pooled notifications reachable from f (they are attached to
+// f before their content parses, precisely so the bail path can find
+// them), reset f, and take the encoding/json path.
+func decodeFrameOpts(data []byte, f *Frame, o *decodeOpts) bool {
+	d := frameDecoder{data: data, opts: o}
 	d.ws()
 	if !d.consume('{') {
 		return false
@@ -61,6 +109,8 @@ func decodeFrame(data []byte, f *Frame) bool {
 				f.Type = TypeErr
 			case TypePublish:
 				f.Type = TypePublish
+			case TypeRead:
+				f.Type = TypeRead
 			case TypePing:
 				f.Type = TypePing
 			case TypePong:
@@ -116,12 +166,18 @@ func decodeFrame(data []byte, f *Frame) bool {
 				return false
 			}
 			f.Count = int(v)
+		case "read":
+			r := new(msg.ReadRequest)
+			if !d.readRequest(r) {
+				return false
+			}
+			f.Read = r
 		case "notification":
-			n := new(msg.Notification)
+			n := d.opts.newNote()
+			f.Notification = n
 			if !d.notification(n) {
 				return false
 			}
-			f.Notification = n
 		case "batch":
 			if !d.consume('[') {
 				return false
@@ -129,11 +185,11 @@ func decodeFrame(data []byte, f *Frame) bool {
 			d.ws()
 			if !d.consume(']') {
 				for {
-					n := new(msg.Notification)
+					n := d.opts.newNote()
+					f.Batch = append(f.Batch, n)
 					if !d.notification(n) {
 						return false
 					}
-					f.Batch = append(f.Batch, n)
 					d.ws()
 					if d.consume(',') {
 						d.ws()
@@ -200,6 +256,7 @@ func decodeFrame(data []byte, f *Frame) bool {
 type frameDecoder struct {
 	data []byte
 	pos  int
+	opts *decodeOpts
 }
 
 func (d *frameDecoder) ws() {
@@ -326,6 +383,92 @@ func (d *frameDecoder) float() (float64, bool) {
 
 var pow10 = [16]float64{1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14, 1e15}
 
+// readRequest parses the object appendReadRequest emits. clientEvents is
+// the high-volume field — a device reports every ID it consumed since the
+// last read — so keeping read requests on the strict decoder spares the
+// ingest path a reflective parse of the bulkiest device→proxy frame.
+func (d *frameDecoder) readRequest(r *msg.ReadRequest) bool {
+	d.ws()
+	if !d.consume('{') {
+		return false
+	}
+	d.ws()
+	if d.consume('}') {
+		return true
+	}
+	for {
+		key, ok := d.str()
+		if !ok {
+			return false
+		}
+		d.ws()
+		if !d.consume(':') {
+			return false
+		}
+		d.ws()
+		switch string(key) {
+		case "topic":
+			v, ok := d.str()
+			if !ok {
+				return false
+			}
+			r.Topic = d.opts.intern(v)
+		case "n":
+			v, ok := d.uint()
+			if !ok || v > 1<<31 {
+				return false
+			}
+			r.N = int(v)
+		case "queueSize":
+			v, ok := d.uint()
+			if !ok || v > 1<<31 {
+				return false
+			}
+			r.QueueSize = int(v)
+		case "clientEvents":
+			if !d.consume('[') {
+				return false
+			}
+			d.ws()
+			if !d.consume(']') {
+				for {
+					v, ok := d.str()
+					if !ok {
+						return false
+					}
+					r.ClientEvents = append(r.ClientEvents, msg.ID(v))
+					d.ws()
+					if d.consume(',') {
+						d.ws()
+						continue
+					}
+					if d.consume(']') {
+						break
+					}
+					return false
+				}
+			}
+		case "peek":
+			switch {
+			case d.literal("true"):
+				r.Peek = true
+			case d.literal("false"):
+				r.Peek = false
+			default:
+				return false
+			}
+		default:
+			return false
+		}
+		d.ws()
+		if d.consume(',') {
+			d.ws()
+			continue
+		}
+		return d.consume('}')
+	}
+}
+
 // notification parses the object appendNotification emits. Unknown keys —
 // or known keys holding null — bail.
 func (d *frameDecoder) notification(n *msg.Notification) bool {
@@ -359,13 +502,13 @@ func (d *frameDecoder) notification(n *msg.Notification) bool {
 			if !ok {
 				return false
 			}
-			n.Topic = string(v)
+			n.Topic = d.opts.intern(v)
 		case "publisher":
 			v, ok := d.str()
 			if !ok {
 				return false
 			}
-			n.Publisher = string(v)
+			n.Publisher = d.opts.intern(v)
 		case "rank":
 			v, ok := d.float()
 			if !ok {
@@ -397,7 +540,16 @@ func (d *frameDecoder) notification(n *msg.Notification) bool {
 			if !ok {
 				return false
 			}
-			p := make([]byte, base64.StdEncoding.DecodedLen(len(v)))
+			// Decode straight from the read-buffer view into the
+			// notification's (possibly pool-retained) payload buffer: no
+			// intermediate copy.
+			need := base64.StdEncoding.DecodedLen(len(v))
+			p := n.Payload
+			if cap(p) < need {
+				p = make([]byte, need)
+			} else {
+				p = p[:need]
+			}
 			m, err := base64.StdEncoding.Decode(p, v)
 			if err != nil {
 				return false

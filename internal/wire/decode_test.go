@@ -33,6 +33,10 @@ func TestDecodeFrameFastPath(t *testing.T) {
 		{Type: TypePush, Notification: n, Trace: tc},
 		{Type: TypePushBatch, Batch: []*msg.Notification{n, n}, Traces: []*msg.TraceContext{tc, nil}},
 		{Type: TypePublish, Seq: 7, Notification: n},
+		{Type: TypeRead, Seq: 9, Read: &msg.ReadRequest{
+			Topic: "alerts/eu", N: 2, QueueSize: 5,
+			ClientEvents: []msg.ID{"n-1", "n-2"}, Peek: true,
+		}},
 		{Type: TypeOK, Re: 7},
 	}
 	for _, f := range frames {
@@ -63,7 +67,7 @@ func TestDecodeFrameBailsOnColdShapes(t *testing.T) {
 		`{"type":"subscribe","subscription":{"topic":"t","subscriber":"s","options":{}}}`,
 		`{"type":"resume","topic":"t","haveIDs":["a"],"readIDs":["b"]}`,
 		`{"type":"rank-update","rankUpdate":{"topic":"t","id":"a","newRank":2}}`,
-		`{"type":"read","read":{"topic":"t","n":8}}`,
+		`{"type":"read","read":{"topic":"t","n":8,"after":"x"}}`,
 		`{"type":"push","notification":{"id":"é","topic":"t","rank":1,"published":"2026-01-01T00:00:00Z","expires":"0001-01-01T00:00:00Z"}}`,
 		`{"type":"push","notification":{"id":"a","topic":"t","rank":1e3,"published":"2026-01-01T00:00:00Z","expires":"0001-01-01T00:00:00Z"}}`,
 	} {

@@ -80,6 +80,14 @@ func (d *DeviceClient) connect() (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Pushed notifications are retained by the device store, but the frame
+	// carrying them is done once storeAndNotify returns, so it is reused
+	// across pushes; read/subscribe responses escape to the waiting call
+	// and relinquish it (see Conn.Recv). Topic strings repeat on every
+	// push, so they are interned — the pool itself stays off because the
+	// store keeps the notifications.
+	conn.SetRecvReuse(true)
+	conn.SetInternNames(true)
 	if err := d.handshake(conn); err != nil {
 		_ = conn.Close()
 		return nil, err

@@ -20,13 +20,9 @@ import (
 // back to json.Marshal; the output of both paths is plain JSON and
 // indistinguishable to the receiver.
 
-// encBuf wraps a reusable encode buffer so sync.Pool stores a pointer.
-type encBuf struct{ b []byte }
-
-var encBufPool = sync.Pool{New: func() any { return &encBuf{b: make([]byte, 0, 512)} }}
-
 // framePool recycles the transient Frame values built for pushes, whose
-// lifetime ends when Send returns.
+// lifetime ends when Send returns. (Encode buffers live in burst.Bufs,
+// shared with the egress ring.)
 var framePool = sync.Pool{New: func() any { return new(Frame) }}
 
 func getPushFrame() *Frame { return framePool.Get().(*Frame) }
@@ -59,6 +55,12 @@ func appendFrame(dst []byte, f *Frame) ([]byte, error) {
 			dst = append(dst, `,"trace":`...)
 			dst = appendTraceContext(dst, f.Trace)
 		}
+		return append(dst, '}', '\n'), nil
+	case f.Type == TypeRead && f.Read != nil && f.Seq != 0 && f.bareAsideSeqRead():
+		dst = append(dst, `{"type":"read","seq":`...)
+		dst = strconv.AppendUint(dst, f.Seq, 10)
+		dst = append(dst, `,"read":`...)
+		dst = appendReadRequest(dst, f.Read)
 		return append(dst, '}', '\n'), nil
 	case f.Type == TypeOK && f.Notification == nil && f.Batch == nil &&
 		f.Trace == nil && f.Traces == nil && f.Seq == 0 && f.bareCore():
@@ -126,6 +128,19 @@ func (f *Frame) bareCore() bool {
 		f.Code == "" && f.Caps == nil
 }
 
+// bareAsideSeqRead reports whether everything other than Type, Seq, and
+// the Read payload is zero — the shape of a device read request, whose
+// clientEvents list makes it the bulkiest frame on the device→proxy
+// direction.
+func (f *Frame) bareAsideSeqRead() bool {
+	return f.Re == 0 && f.Notification == nil && f.Batch == nil &&
+		f.Trace == nil && f.Traces == nil && f.Name == "" &&
+		f.Topic == "" && f.Publisher == "" && f.RankUpdate == nil &&
+		f.Subscription == nil && f.TopicPolicy == nil && f.Count == 0 &&
+		f.HaveIDs == nil && f.ReadIDs == nil && f.Message == "" &&
+		f.Code == "" && f.Caps == nil
+}
+
 // encodable reports whether the hand-rolled notification encoder can
 // represent n exactly as json.Marshal would: a finite rank (JSON has no
 // NaN/Inf) and RFC 3339-representable times.
@@ -173,6 +188,31 @@ func appendNotification(dst []byte, n *msg.Notification) []byte {
 		dst = append(dst, `,"payload":"`...)
 		dst = appendBase64(dst, n.Payload)
 		dst = append(dst, '"')
+	}
+	return append(dst, '}')
+}
+
+// appendReadRequest appends the JSON object for a read request, mirroring
+// the field order and omitempty behavior of msg.ReadRequest's struct tags.
+func appendReadRequest(dst []byte, r *msg.ReadRequest) []byte {
+	dst = append(dst, `{"topic":`...)
+	dst = appendJSONString(dst, r.Topic)
+	dst = append(dst, `,"n":`...)
+	dst = strconv.AppendInt(dst, int64(r.N), 10)
+	dst = append(dst, `,"queueSize":`...)
+	dst = strconv.AppendInt(dst, int64(r.QueueSize), 10)
+	if len(r.ClientEvents) > 0 {
+		dst = append(dst, `,"clientEvents":[`...)
+		for i, id := range r.ClientEvents {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendJSONString(dst, string(id))
+		}
+		dst = append(dst, ']')
+	}
+	if r.Peek {
+		dst = append(dst, `,"peek":true`...)
 	}
 	return append(dst, '}')
 }

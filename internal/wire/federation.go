@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lasthop/internal/burst"
 	"lasthop/internal/msg"
 	"lasthop/internal/pubsub"
 	"lasthop/internal/retry"
@@ -100,6 +101,11 @@ func servePeerFrames(broker *pubsub.Broker, conn *Conn, edge *peerEdge, logf fun
 			if f.Notification != nil {
 				f.Notification.Trace = f.Trace
 				broker.Route(f.Notification, edge)
+				// Route is synchronous — local subscribers received pooled
+				// clones and downstream edges encoded inline — so this is
+				// the ingress note's last reference.
+				burst.Notes.Put(f.Notification)
+				f.Notification = nil
 			}
 		case TypePeerRankUpdate:
 			if f.RankUpdate != nil {

@@ -16,13 +16,16 @@
 package wire
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"lasthop/internal/burst"
 	"lasthop/internal/msg"
 )
 
@@ -199,16 +202,18 @@ type QuietWindowSpec struct {
 // numbering, and optional liveness deadlines. Reads must be performed by a
 // single goroutine.
 //
-// Writes are buffered: Send encodes into a bufio.Writer and signals a
-// per-connection flusher goroutine, so frames written while a flush
-// syscall is in flight coalesce into the next one (group commit). SendNow
-// and SendRequest flush before returning — a request's caller blocks on
-// the response anyway, so its frame should hit the wire immediately. A
-// write error is latched and reported by every subsequent send.
+// Writes ride a per-connection egress ring: Send encodes the frame into a
+// pooled buffer, appends it to the ring, and signals the flusher
+// goroutine, which drains the whole ring in one vectored write
+// (net.Buffers → writev on TCP). Frames queued while a flush syscall is
+// in flight coalesce into the next one (group commit) without ever being
+// copied into an intermediate write buffer. SendNow and SendRequest flush
+// before returning — a request's caller blocks on the response anyway, so
+// its frame should hit the wire immediately. A write error is latched and
+// reported by every subsequent send.
 type Conn struct {
-	c  net.Conn
-	r  *bufio.Scanner
-	bw *bufio.Writer
+	c net.Conn
+	r *lineReader
 
 	// readTimeout bounds the silence tolerated between frames: each Recv
 	// arms a deadline this far in the future, so a half-open connection
@@ -222,13 +227,26 @@ type Conn struct {
 	seq  uint64
 	werr error // first write/flush failure; latched
 
+	// The egress ring (wmu-guarded): encoded frames awaiting the next
+	// vectored flush. ring owns the pooled buffers; vecs is the scratch
+	// net.Buffers rebuilt for each writev (WriteTo consumes its slice in
+	// place, so ownership never rides on it).
+	ring      []*burst.Buf
+	ringBytes int
+	vecs      net.Buffers
+
 	// m aggregates wire metrics; nil disables instrumentation.
-	// pendingFrames and firstBuffered (wmu-guarded) track how many frames
-	// accumulated since the last flush and when the burst started, feeding
-	// the flush-coalescing histograms.
+	// firstBuffered (wmu-guarded) records when the current ring started
+	// filling, feeding the flush-coalescing histogram.
 	m             *Metrics
-	pendingFrames int
 	firstBuffered time.Time
+	flushes       atomic.Uint64 // socket flushes performed (tests: idle ⇒ no flushes)
+
+	// Receive-side options; single reader goroutine, no locking.
+	recvPooled bool   // decode notifications out of burst.Notes
+	recvReuse  bool   // reuse one Frame across Recv calls
+	recvFrame  *Frame // the reused frame when recvReuse is set
+	dec        decodeOpts
 
 	flushC    chan struct{} // kicks the flusher; capacity 1
 	done      chan struct{} // closed by Close; stops the flusher
@@ -239,19 +257,38 @@ type Conn struct {
 // unbounded lines.
 const maxFrameBytes = 1 << 20
 
-// writeBufferBytes sizes the per-connection write buffer. Large enough to
-// coalesce a burst of pushes into one syscall; once full, writes degrade
-// to synchronous flushes, which is the natural backpressure.
-const writeBufferBytes = 64 * 1024
+// readBufferBytes is the initial size of the per-connection read buffer;
+// it grows on demand up to maxFrameBytes.
+const readBufferBytes = 64 * 1024
+
+// Egress-ring bounds: once either is hit, the writer flushes inline,
+// which is the natural backpressure (matching the old write-buffer-full
+// degradation to a synchronous flush). Process-wide; see SetRingLimits.
+var (
+	maxRingFrames = 64
+	maxRingBytes  = 256 * 1024
+)
+
+// SetRingLimits tunes the process-wide egress-ring bounds: how many
+// encoded frames (and bytes) may accumulate per connection before the
+// writer flushes inline instead of waiting for the flusher's vectored
+// write. Zero or negative keeps the current value. Call once at startup,
+// before any connection exists — the bounds are read without
+// synchronization on the hot path.
+func SetRingLimits(frames, bytes int) {
+	if frames > 0 {
+		maxRingFrames = frames
+	}
+	if bytes > 0 {
+		maxRingBytes = bytes
+	}
+}
 
 // NewConn wraps an established network connection.
 func NewConn(c net.Conn) *Conn {
-	sc := bufio.NewScanner(c)
-	sc.Buffer(make([]byte, 64*1024), maxFrameBytes)
 	conn := &Conn{
 		c:      c,
-		r:      sc,
-		bw:     bufio.NewWriterSize(c, writeBufferBytes),
+		r:      newLineReader(c),
 		flushC: make(chan struct{}, 1),
 		done:   make(chan struct{}),
 	}
@@ -259,9 +296,10 @@ func NewConn(c net.Conn) *Conn {
 	return conn
 }
 
-// flushLoop is the connection's flusher goroutine: it sleeps until a Send
-// kicks it, then writes out whatever has accumulated. All frames buffered
-// between two wakeups leave in one syscall.
+// flushLoop is the connection's flusher goroutine: it parks until a Send
+// kicks it — no idle-timer wakeups — then writes out whatever has
+// accumulated. All frames queued between two wakeups leave in one
+// vectored syscall.
 func (c *Conn) flushLoop() {
 	for {
 		select {
@@ -275,23 +313,54 @@ func (c *Conn) flushLoop() {
 	}
 }
 
-// flushLocked drains the write buffer to the socket; wmu must be held.
+// flushLocked arms the write deadline and drains the egress ring; wmu
+// must be held.
 func (c *Conn) flushLocked() {
-	if c.m != nil && c.pendingFrames > 0 {
-		c.m.FlushFrames.Observe(float64(c.pendingFrames))
-		c.m.FlushCoalesce.Observe(time.Since(c.firstBuffered).Seconds())
-		c.pendingFrames = 0
-	}
-	if c.werr != nil || c.bw.Buffered() == 0 {
+	if len(c.ring) == 0 {
 		return
 	}
-	if c.writeTimeout > 0 {
+	if c.writeTimeout > 0 && c.werr == nil {
 		_ = c.c.SetWriteDeadline(time.Now().Add(c.writeTimeout))
 	}
-	if err := c.bw.Flush(); err != nil {
-		c.werr = err
-	}
+	c.flushRingLocked()
 }
+
+// flushRingLocked drains the egress ring in one vectored write under
+// whatever deadline the caller armed; wmu must be held. The pooled
+// buffers return to the pool afterwards, written or not (a latched error
+// drops them — the session-resume protocol tolerates the loss).
+func (c *Conn) flushRingLocked() {
+	if len(c.ring) == 0 {
+		return
+	}
+	if c.werr == nil {
+		if c.m != nil {
+			c.m.FlushFrames.Observe(float64(len(c.ring)))
+			c.m.FlushCoalesce.Observe(time.Since(c.firstBuffered).Seconds())
+		}
+		c.vecs = c.vecs[:0]
+		for _, b := range c.ring {
+			c.vecs = append(c.vecs, b.B)
+		}
+		// WriteTo advances vecs in place (one writev per IOV_MAX chunk on
+		// TCP); the backing buffers stay owned by the ring.
+		v := c.vecs
+		if _, err := v.WriteTo(c.c); err != nil {
+			c.werr = err
+		}
+		c.flushes.Add(1)
+	}
+	for i, b := range c.ring {
+		burst.Bufs.Put(b)
+		c.ring[i] = nil
+	}
+	c.ring = c.ring[:0]
+	c.ringBytes = 0
+	c.vecs = c.vecs[:0]
+}
+
+// Flushes returns the number of socket flushes this connection performed.
+func (c *Conn) Flushes() uint64 { return c.flushes.Load() }
 
 // kickFlush wakes the flusher without blocking; a pending kick suffices.
 func (c *Conn) kickFlush() {
@@ -311,24 +380,67 @@ func (c *Conn) SetTimeouts(read, write time.Duration) {
 
 // SetMetrics attaches a wire metrics set; nil leaves the connection
 // uninstrumented. Call before the connection is shared between goroutines.
-func (c *Conn) SetMetrics(m *Metrics) { c.m = m }
+func (c *Conn) SetMetrics(m *Metrics) {
+	c.m = m
+	c.r.m = m
+}
+
+// SetNotePool enables pooled notification decode: push and publish
+// notifications arriving on this connection are checked out of
+// burst.Notes (with per-connection topic/publisher string interning), and
+// ownership transfers to whoever consumes the frame — that consumer must
+// eventually burst.Notes.Put each one. Only enable on connections whose
+// read loop honors that contract (broker servers and broker clients, not
+// device clients, whose notifications are retained by the application).
+// Call before the connection is shared between goroutines.
+func (c *Conn) SetNotePool(on bool) {
+	c.recvPooled = on
+	if on {
+		c.dec.pool = burst.Notes
+		if c.dec.names == nil {
+			c.dec.names = make(map[string]string)
+		}
+	} else {
+		c.dec.pool = nil
+	}
+}
+
+// SetRecvReuse makes Recv return the same *Frame every call, resetting it
+// first. Only enable when the read loop finishes with each frame (and
+// everything reachable from it, notifications excepted — see SetNotePool)
+// before the next Recv. Call before the connection is shared between
+// goroutines.
+func (c *Conn) SetRecvReuse(on bool) { c.recvReuse = on }
+
+// SetInternNames gives the decoder a per-connection intern table for
+// topic and publisher strings without enabling the notification pool —
+// the right mode for device clients, which retain decoded notifications
+// (so pooling is wrong) but see the same few topics on every push. Call
+// before the connection is shared between goroutines.
+func (c *Conn) SetInternNames(on bool) {
+	if on {
+		if c.dec.names == nil {
+			c.dec.names = make(map[string]string)
+		}
+	} else if c.dec.pool == nil {
+		c.dec.names = nil
+	}
+}
 
 // closeFlushTimeout bounds the best-effort drain of buffered frames during
 // Close; a peer that stopped reading cannot stall teardown longer.
 const closeFlushTimeout = 100 * time.Millisecond
 
 // Close stops the flusher and closes the underlying connection, draining
-// any buffered frames first (briefly, best effort — an unresponsive peer
+// any queued frames first (briefly, best effort — an unresponsive peer
 // loses them, which the session-resume protocol already tolerates).
 func (c *Conn) Close() error {
 	c.closeOnce.Do(func() {
 		close(c.done)
 		c.wmu.Lock()
-		if c.werr == nil && c.bw.Buffered() > 0 {
+		if len(c.ring) > 0 {
 			_ = c.c.SetWriteDeadline(time.Now().Add(closeFlushTimeout))
-			if err := c.bw.Flush(); err != nil {
-				c.werr = err
-			}
+			c.flushRingLocked()
 		}
 		c.wmu.Unlock()
 	})
@@ -355,6 +467,16 @@ func (c *Conn) Send(f *Frame) error {
 	}
 	c.kickFlush()
 	return nil
+}
+
+// SendRelease sends a transient frame and returns it to the frame pool.
+// Send encodes synchronously, so the frame is free the moment it returns;
+// the caller must not touch f afterwards. Intended for responses built by
+// OK/Err and other fire-and-forget frames whose lifetime ends here.
+func (c *Conn) SendRelease(f *Frame) error {
+	err := c.Send(f)
+	putPushFrame(f)
+	return err
 }
 
 // SendNow writes one frame and flushes it to the wire before returning.
@@ -386,75 +508,204 @@ func (c *Conn) SendRequest(f *Frame) (uint64, error) {
 	return f.Seq, nil
 }
 
-// writeLocked encodes f into the write buffer; wmu must be held. When the
-// frame outgrows the buffer, bufio flushes inline, so the write deadline
-// is armed whenever a syscall may happen.
+// writeLocked encodes f into a pooled buffer and appends it to the egress
+// ring; wmu must be held. When the ring reaches its bounds the writer
+// flushes inline, which is the backpressure path.
 func (c *Conn) writeLocked(f *Frame) error {
 	if c.werr != nil {
 		return c.werr
 	}
-	eb := encBufPool.Get().(*encBuf)
-	b, err := appendFrame(eb.b[:0], f)
-	eb.b = b
+	buf := burst.Bufs.Get()
+	b, err := appendFrame(buf.B[:0], f)
+	buf.B = b
 	if err == nil && len(b)-1 > maxFrameBytes {
 		err = fmt.Errorf("frame exceeds %d bytes", maxFrameBytes)
 	}
 	if err != nil {
-		encBufPool.Put(eb)
-		return err
-	}
-	if c.writeTimeout > 0 && c.bw.Available() < len(b) {
-		_ = c.c.SetWriteDeadline(time.Now().Add(c.writeTimeout))
-	}
-	n := len(b)
-	_, err = c.bw.Write(b)
-	encBufPool.Put(eb)
-	if err != nil {
-		c.werr = err
+		burst.Bufs.Put(buf)
 		return err
 	}
 	if c.m != nil {
 		c.m.FramesOut.Inc()
-		c.m.BytesOut.Add(int64(n))
-		if c.pendingFrames == 0 {
+		c.m.BytesOut.Add(int64(len(b)))
+		if len(c.ring) == 0 {
 			c.firstBuffered = time.Now()
 		}
-		c.pendingFrames++
+	}
+	c.ring = append(c.ring, buf)
+	c.ringBytes += len(b)
+	if len(c.ring) >= maxRingFrames || c.ringBytes >= maxRingBytes {
+		c.flushLocked()
+		return c.werr
 	}
 	return nil
 }
 
-// Recv reads the next frame.
+// Recv reads the next frame. With SetRecvReuse the returned frame is only
+// valid until the next Recv; with SetNotePool its notifications are
+// pool-owned and the consumer must Put them.
 func (c *Conn) Recv() (*Frame, error) {
 	if c.readTimeout > 0 {
 		_ = c.c.SetReadDeadline(time.Now().Add(c.readTimeout))
 	}
-	if !c.r.Scan() {
-		if err := c.r.Err(); err != nil {
-			return nil, err
-		}
-		return nil, fmt.Errorf("connection closed")
+	line, err := c.r.next()
+	if err != nil {
+		return nil, err
 	}
-	f := new(Frame)
-	if !decodeFrame(c.r.Bytes(), f) {
-		// Not one of the hot shapes (or not exactly so): reset whatever
-		// the strict decoder partially filled and take the general path.
+	var f *Frame
+	if c.recvReuse {
+		if c.recvFrame == nil {
+			c.recvFrame = new(Frame)
+		}
+		f = c.recvFrame
+		resetFrame(f)
+	} else {
+		f = new(Frame)
+	}
+	if !decodeFrameOpts(line, f, &c.dec) {
+		// Not one of the hot shapes (or not exactly so): release any
+		// pooled notifications the strict decoder partially filled, reset,
+		// and take the general path.
+		releaseFrameNotes(f)
 		*f = Frame{}
-		if err := json.Unmarshal(c.r.Bytes(), f); err != nil {
+		if err := json.Unmarshal(line, f); err != nil {
 			return nil, fmt.Errorf("bad frame: %w", err)
 		}
 	}
 	if c.m != nil {
 		c.m.FramesIn.Inc()
-		c.m.BytesIn.Add(int64(len(c.r.Bytes())))
+		c.m.BytesIn.Add(int64(len(line)))
+	}
+	if f == c.recvFrame && f.Re != 0 {
+		// A response escapes the read loop to a cross-goroutine waiter
+		// (caller.resolve); give up the reusable frame instead of
+		// resetting it underneath that goroutine. Pushes — the high-volume
+		// traffic — keep reusing the same frame.
+		c.recvFrame = nil
 	}
 	return f, nil
 }
 
-// OK builds a success response to the given request frame.
-func OK(re *Frame) *Frame { return &Frame{Type: TypeOK, Re: re.Seq} }
+// resetFrame zeroes a frame for reuse, keeping the batch slices'
+// capacity. Notification pointers are simply dropped: ownership
+// transferred to the consumer on the previous iteration.
+func resetFrame(f *Frame) {
+	batch := f.Batch[:0]
+	traces := f.Traces[:0]
+	*f = Frame{}
+	f.Batch = batch
+	f.Traces = traces
+}
 
-// Err builds an error response to the given request frame.
+// releaseFrameNotes returns every notification reachable from a partially
+// decoded frame to the pool (no-ops for pool-foreign ones).
+func releaseFrameNotes(f *Frame) {
+	burst.Notes.Put(f.Notification)
+	for _, n := range f.Batch {
+		burst.Notes.Put(n)
+	}
+}
+
+// lineReader scans newline-delimited frames out of a growable read
+// buffer, one read syscall per refill: a burst that arrives in one TCP
+// segment yields N frames decoded directly from the same buffer, with no
+// intermediate copies. Lines returned by next are views into the buffer,
+// valid until the following call.
+type lineReader struct {
+	c          net.Conn
+	buf        []byte
+	start, end int
+	sinceFill  int      // frames returned since the last fill, for ReadBurst
+	m          *Metrics // nil disables instrumentation
+	sawEOF     bool
+}
+
+func newLineReader(c net.Conn) *lineReader {
+	return &lineReader{c: c, buf: make([]byte, readBufferBytes)}
+}
+
+// next returns the next line with its newline (and any trailing '\r')
+// stripped. At EOF a final non-terminated line is returned as-is, like
+// bufio.Scanner; the connection-closed error follows on the next call.
+func (r *lineReader) next() ([]byte, error) {
+	for {
+		if i := bytes.IndexByte(r.buf[r.start:r.end], '\n'); i >= 0 {
+			line := r.buf[r.start : r.start+i]
+			r.start += i + 1
+			if len(line) > 0 && line[len(line)-1] == '\r' {
+				line = line[:len(line)-1]
+			}
+			r.sinceFill++
+			return line, nil
+		}
+		if r.sawEOF {
+			if r.end > r.start {
+				line := r.buf[r.start:r.end]
+				r.start = r.end
+				if len(line) > 0 && line[len(line)-1] == '\r' {
+					line = line[:len(line)-1]
+				}
+				return line, nil
+			}
+			return nil, fmt.Errorf("connection closed")
+		}
+		if r.start > 0 {
+			copy(r.buf, r.buf[r.start:r.end])
+			r.end -= r.start
+			r.start = 0
+		}
+		if r.end == len(r.buf) {
+			if len(r.buf) > maxFrameBytes {
+				return nil, errFrameTooLong
+			}
+			grown := len(r.buf) * 2
+			if grown > maxFrameBytes+1 {
+				grown = maxFrameBytes + 1
+			}
+			nb := make([]byte, grown)
+			copy(nb, r.buf[:r.end])
+			r.buf = nb
+		}
+		if r.m != nil && r.sinceFill > 0 {
+			r.m.ReadBurst.Observe(float64(r.sinceFill))
+		}
+		r.sinceFill = 0
+		n, err := r.c.Read(r.buf[r.end:])
+		r.end += n
+		if err != nil {
+			if err == io.EOF {
+				r.sawEOF = true
+				continue
+			}
+			if n > 0 {
+				// Scan what arrived; a persistent error resurfaces on the
+				// next empty read.
+				continue
+			}
+			return nil, err
+		}
+	}
+}
+
+// errFrameTooLong rejects a line that outgrew the frame bound.
+var errFrameTooLong = fmt.Errorf("frame exceeds %d bytes", maxFrameBytes)
+
+// OK builds a success response to the given request frame. The frame
+// comes from the shared frame pool; send it with SendRelease to recycle
+// it (plain Send merely forgoes the reuse).
+func OK(re *Frame) *Frame {
+	f := getPushFrame()
+	f.Type = TypeOK
+	f.Re = re.Seq
+	return f
+}
+
+// Err builds an error response to the given request frame. Pooled like
+// OK; see SendRelease.
 func Err(re *Frame, err error) *Frame {
-	return &Frame{Type: TypeErr, Re: re.Seq, Message: err.Error()}
+	f := getPushFrame()
+	f.Type = TypeErr
+	f.Re = re.Seq
+	f.Message = err.Error()
+	return f
 }

@@ -1,0 +1,24 @@
+package wire
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"lasthop/internal/burst"
+)
+
+// TestMain gates the whole package run on the burst pools' leak account:
+// every notification and encode buffer checked out during the tests must
+// have been Put back exactly once by the time the topologies tear down.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := burst.VerifyNoLeaks(2 * time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, "wire: pool leak check:", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

@@ -17,10 +17,16 @@ type Metrics struct {
 	// FlushFrames is the number of frames coalesced into one flush
 	// syscall (group-commit width); FlushCoalesce is the time a frame
 	// burst waited in the write buffer before hitting the wire.
-	FlushFrames  *obs.Histogram
+	FlushFrames   *obs.Histogram
 	FlushCoalesce *obs.Histogram
 	// BatchSize is the notification count per push-batch frame.
 	BatchSize *obs.Histogram
+	// ReadBurst is the number of frames decoded out of one read syscall:
+	// the ingest-side batching width.
+	ReadBurst *obs.Histogram
+	// IngressBurst is the number of upstream arrivals applied per proxy
+	// scheduler wakeup.
+	IngressBurst *obs.Histogram
 	// HeartbeatRTT is the round-trip time of client liveness pings.
 	HeartbeatRTT *obs.Histogram
 	// Reconnects counts automatic session re-establishments.
@@ -43,6 +49,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Time frames waited in the write buffer before flushing.", obs.ExpBuckets(10e-6, 2, 20)),
 		BatchSize: reg.Histogram("lasthop_wire_batch_size",
 			"Notifications per push-batch frame.", obs.SizeBuckets()),
+		ReadBurst: reg.Histogram("lasthop_wire_read_burst_frames",
+			"Frames decoded out of one read syscall.", obs.SizeBuckets()),
+		IngressBurst: reg.Histogram("lasthop_wire_ingress_burst",
+			"Upstream arrivals applied per proxy scheduler wakeup.", obs.SizeBuckets()),
 		HeartbeatRTT: reg.Histogram("lasthop_wire_heartbeat_rtt_seconds",
 			"Round-trip time of liveness pings.", obs.LatencyBuckets()),
 		Reconnects: reg.Counter("lasthop_wire_reconnects_total",

@@ -7,12 +7,75 @@ import (
 	"sync"
 	"time"
 
+	"lasthop/internal/burst"
 	"lasthop/internal/core"
 	"lasthop/internal/journal"
 	"lasthop/internal/msg"
 	"lasthop/internal/simtime"
 	"lasthop/internal/trace"
 )
+
+// ingressItem is one upstream arrival awaiting the proxy scheduler: a
+// notification or (isRank) a rank revision. A single ordered slice keeps a
+// revision from overtaking the notification it revises.
+type ingressItem struct {
+	n      *msg.Notification
+	u      msg.RankUpdate
+	isRank bool
+}
+
+// ingressQueue batches upstream arrivals into scheduler wakeups: the push
+// callback appends under a short lock and schedules the preallocated drain
+// closure only when the queue was empty, so a burst of N pushes costs one
+// scheduler round trip and zero per-item closures instead of N of each.
+type ingressQueue struct {
+	mu        sync.Mutex
+	items     []ingressItem
+	free      []ingressItem // processed buffer awaiting reuse
+	scheduled bool
+	drain     func() // preallocated; must call take/recycle on the scheduler
+}
+
+// push enqueues one item, scheduling the drain if nobody has yet.
+func (q *ingressQueue) push(run func(func()), it ingressItem) {
+	q.mu.Lock()
+	if q.items == nil {
+		q.items = q.free[:0]
+		q.free = nil
+	}
+	q.items = append(q.items, it)
+	sched := !q.scheduled
+	q.scheduled = true
+	q.mu.Unlock()
+	if sched {
+		run(q.drain)
+	}
+}
+
+// take hands the accumulated burst to the drain. Items pushed after take
+// schedule a fresh drain.
+func (q *ingressQueue) take() []ingressItem {
+	q.mu.Lock()
+	items := q.items
+	q.items = nil
+	q.scheduled = false
+	q.mu.Unlock()
+	return items
+}
+
+// recycle returns a processed buffer for the next burst, clearing it so
+// the queue does not pin notifications that went back to the pool.
+func (q *ingressQueue) recycle(items []ingressItem) {
+	if items == nil {
+		return
+	}
+	clear(items)
+	q.mu.Lock()
+	if q.items == nil && q.free == nil {
+		q.free = items[:0]
+	}
+	q.mu.Unlock()
+}
 
 // proxyAPI is the input surface ProxyServer drives: either a bare
 // core.Proxy or a journaled recorder.
@@ -136,6 +199,9 @@ type ProxyServer struct {
 	lis         net.Listener
 	closed      bool
 	wg          sync.WaitGroup
+
+	// ingress batches upstream pushes into scheduler wakeups.
+	ingress ingressQueue
 }
 
 var (
@@ -187,10 +253,15 @@ func NewProxyServerOpts(opts ProxyOptions) (*ProxyServer, error) {
 		logf("proxy: recovered journal %s (%d topics)", opts.JournalPath, len(ps.proxy.Topics()))
 	}
 	ps.sched.Run(func() {
+		// Upstream pushes arrive as pooled notifications and their
+		// ownership ends inside the core (forwarding serializes onto the
+		// wire), so the proxy recycles every reference it drops.
+		ps.proxy.SetReleaser(burst.Notes.Put)
 		if err := ps.api.SetNetwork(false); err != nil { // no device yet
 			logf("proxy: initial network state: %v", err)
 		}
 	})
+	ps.ingress.drain = func() { ps.drainIngress() }
 
 	upstream, err := DialBrokerOpts(opts.BrokerAddr, opts.Name, opts.Upstream)
 	if err != nil {
@@ -205,19 +276,15 @@ func NewProxyServerOpts(opts ProxyOptions) (*ProxyServer, error) {
 	}
 	upstream.OnPush(
 		func(n *msg.Notification) {
-			ps.opts.Trace.Hop(trace.KindProxyRecv, ps.name, n, time.Now())
-			ps.sched.Run(func() {
-				if err := ps.api.Notify(n); err != nil {
-					ps.logf("proxy: journal notify: %v", err)
-				}
-			})
+			// Hop is nil-safe, but time.Now is not free on the hot path —
+			// only pay for it when a collector is actually attached.
+			if ps.opts.Trace != nil {
+				ps.opts.Trace.Hop(trace.KindProxyRecv, ps.name, n, time.Now())
+			}
+			ps.ingress.push(ps.sched.Run, ingressItem{n: n})
 		},
 		func(u msg.RankUpdate) {
-			ps.sched.Run(func() {
-				if err := ps.api.ApplyRankUpdate(u); err != nil {
-					ps.logf("proxy: journal rank update: %v", err)
-				}
-			})
+			ps.ingress.push(ps.sched.Run, ingressItem{u: u, isRank: true})
 		},
 	)
 	ps.upstream = upstream
@@ -230,6 +297,28 @@ func NewProxyServerOpts(opts ProxyOptions) (*ProxyServer, error) {
 		}
 	}
 	return ps, nil
+}
+
+// drainIngress applies the accumulated upstream burst on the scheduler.
+func (ps *ProxyServer) drainIngress() {
+	items := ps.ingress.take()
+	if len(items) == 0 {
+		return
+	}
+	if m := ps.opts.Metrics; m != nil {
+		m.IngressBurst.Observe(float64(len(items)))
+	}
+	for i := range items {
+		it := &items[i]
+		if it.isRank {
+			if err := ps.api.ApplyRankUpdate(it.u); err != nil {
+				ps.logf("proxy: journal rank update: %v", err)
+			}
+		} else if err := ps.api.Notify(it.n); err != nil {
+			ps.logf("proxy: journal notify: %v", err)
+		}
+	}
+	ps.ingress.recycle(items)
 }
 
 // nodeTracer fills the recording node's name into events that do not name
@@ -373,6 +462,10 @@ func (ps *ProxyServer) Serve(lis net.Listener) error {
 		conn := NewConn(c)
 		conn.SetTimeouts(ps.opts.DeviceReadTimeout, ps.opts.DeviceWriteTimeout)
 		conn.SetMetrics(ps.opts.Metrics)
+		// handleDevice consumes every frame before the next Recv, so the
+		// Frame can be reused. Devices send no notifications, so pooled
+		// decode stays off.
+		conn.SetRecvReuse(true)
 		ps.mu.Lock()
 		if ps.closed {
 			ps.mu.Unlock()
@@ -428,6 +521,10 @@ func (ps *ProxyServer) Close() {
 	if ps.upstream != nil {
 		_ = ps.upstream.Close()
 	}
+	// The upstream client is closed, so no new pushes can arrive; drop the
+	// core's remembered notifications back into the pool before stopping
+	// the scheduler.
+	ps.sched.Run(func() { ps.proxy.Shutdown() })
 	ps.schedC.Close()
 }
 
@@ -608,7 +705,7 @@ func (ps *ProxyServer) unsubscribeTopic(topic string) error {
 }
 
 func (ps *ProxyServer) respond(conn *Conn, f *Frame) {
-	if err := conn.Send(f); err != nil {
+	if err := conn.SendRelease(f); err != nil {
 		ps.logf("proxy: send response: %v", err)
 	}
 }

@@ -94,25 +94,122 @@ func (c *caller) call(f *Frame) error {
 	return nil
 }
 
-// resolve routes an OK/Err/Pong frame to its waiting call.
+// callBatch pipelines several requests over one connection: every frame is
+// registered and buffered before any response is awaited, so the whole
+// burst rides a single vectored flush (and the remote's responses coalesce
+// the same way coming back). Results are positional; a transport failure
+// mid-send fails that frame and every later one with ErrConnLost.
+func (c *caller) callBatch(fs []*Frame) []error {
+	errs := make([]error, len(fs))
+	failAll := func(err error) []error {
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+	// One response channel serves the whole batch: the sequences are
+	// allocated contiguously under the lock, so each response maps back to
+	// its request positionally (Re − first) and the burst costs one
+	// channel allocation, not one per frame.
+	ch := make(chan *Frame, len(fs))
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return failAll(errClientClosed)
+	}
+	if c.dead != nil {
+		err := c.dead
+		c.mu.Unlock()
+		return failAll(err)
+	}
+	if c.conn == nil || c.connErr != nil {
+		err := c.connErr
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("reconnecting")
+		}
+		return failAll(fmt.Errorf("%w: %v", ErrConnLost, err))
+	}
+	conn := c.conn
+	first := c.seq + 1
+	for i := range fs {
+		c.seq++
+		fs[i].Seq = c.seq
+		c.pending[c.seq] = ch
+	}
+	c.mu.Unlock()
+
+	sent := len(fs)
+	for i, f := range fs {
+		if err := conn.Send(f); err != nil {
+			sent = i
+			c.mu.Lock()
+			for _, g := range fs[i:] {
+				delete(c.pending, g.Seq)
+			}
+			c.mu.Unlock()
+			werr := fmt.Errorf("%w: send: %v", ErrConnLost, err)
+			for j := i; j < len(fs); j++ {
+				errs[j] = werr
+			}
+			break
+		}
+	}
+	resolved := make([]bool, sent)
+	for got := 0; got < sent; {
+		resp, ok := <-ch
+		if !ok || resp == nil {
+			// fail() closed the channel: every response still outstanding
+			// is lost with the connection.
+			lost := fmt.Errorf("%w: awaiting response", ErrConnLost)
+			for j := 0; j < sent; j++ {
+				if !resolved[j] {
+					errs[j] = lost
+				}
+			}
+			break
+		}
+		j := int(resp.Re - first)
+		if j < 0 || j >= sent || resolved[j] {
+			continue // stray response; not ours
+		}
+		resolved[j] = true
+		got++
+		if resp.Type == TypeErr {
+			errs[j] = &RemoteError{Code: resp.Code, Message: resp.Message}
+		}
+	}
+	return errs
+}
+
+// resolve routes an OK/Err/Pong frame to its waiting call. The send
+// happens under the lock so fail() cannot close a shared batch channel
+// between the lookup and the send; registration sizes every channel's
+// buffer to its outstanding responses, so the send never blocks.
 func (c *caller) resolve(f *Frame) {
 	c.mu.Lock()
 	ch := c.pending[f.Re]
 	delete(c.pending, f.Re)
-	c.mu.Unlock()
 	if ch != nil {
 		ch <- f
 	}
+	c.mu.Unlock()
 }
 
-// fail records a transport failure and wakes every waiting call.
+// fail records a transport failure and wakes every waiting call. A batch
+// registers one channel under many sequences, so closes are deduplicated.
 func (c *caller) fail(err error) {
 	c.mu.Lock()
 	c.connErr = err
 	if c.online == nil {
 		c.online = make(chan struct{})
 	}
+	closed := make(map[chan *Frame]struct{}, len(c.pending))
 	for _, ch := range c.pending {
+		if _, done := closed[ch]; done {
+			continue
+		}
+		closed[ch] = struct{}{}
 		close(ch)
 	}
 	c.pending = make(map[uint64]chan *Frame)

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"lasthop/internal/burst"
 	"lasthop/internal/mobility"
 	"lasthop/internal/msg"
 	"lasthop/internal/pubsub"
@@ -92,7 +93,9 @@ func TestBrokerClientRoundTrip(t *testing.T) {
 	var got []*msg.Notification
 	var updates []msg.RankUpdate
 	sub.OnPush(
-		func(n *msg.Notification) { mu.Lock(); got = append(got, n); mu.Unlock() },
+		// The pushed notification is pool-owned; a consumer that retains it
+		// keeps a clone and returns the original.
+		func(n *msg.Notification) { mu.Lock(); got = append(got, n.Clone()); mu.Unlock(); burst.Notes.Put(n) },
 		func(u msg.RankUpdate) { mu.Lock(); updates = append(updates, u); mu.Unlock() },
 	)
 	if err := sub.Subscribe(msg.Subscription{Topic: "news", Options: msg.SubscriptionOptions{Max: 8}}); err != nil {
@@ -527,7 +530,7 @@ func TestFederationOverTCP(t *testing.T) {
 	var got []*msg.Notification
 	var updates []msg.RankUpdate
 	sub.OnPush(
-		func(n *msg.Notification) { mu.Lock(); got = append(got, n); mu.Unlock() },
+		func(n *msg.Notification) { mu.Lock(); got = append(got, n.Clone()); mu.Unlock(); burst.Notes.Put(n) },
 		func(u msg.RankUpdate) { mu.Lock(); updates = append(updates, u); mu.Unlock() },
 	)
 	if err := sub.Subscribe(msg.Subscription{Topic: "news", Options: msg.SubscriptionOptions{Max: 8}}); err != nil {
@@ -577,7 +580,7 @@ func TestFederationQuenchOverTCP(t *testing.T) {
 	defer sub.Close()
 	var mu sync.Mutex
 	count := 0
-	sub.OnPush(func(*msg.Notification) { mu.Lock(); count++; mu.Unlock() }, nil)
+	sub.OnPush(func(n *msg.Notification) { mu.Lock(); count++; mu.Unlock(); burst.Notes.Put(n) }, nil)
 	if err := sub.Subscribe(msg.Subscription{Topic: "news", Options: msg.SubscriptionOptions{Max: 8}}); err != nil {
 		t.Fatal(err)
 	}
