@@ -18,6 +18,16 @@
 // is killed abruptly and restarted on the same spool, the rest is
 // published, and the devices reconnect in waves to read everything back.
 // The report's "recovered" and "lost" fields gate zero-loss recovery.
+//
+// With -scenario the run executes one entry of the regression scenario
+// atlas (or all of them) instead of a throughput sweep: a phase-scripted
+// workload with faultnet-injected pathologies, traced at 100% and judged
+// against the scenario's outcome budget. The process exits non-zero when
+// any verdict fails, so scripts/check_scenarios.sh can gate CI on it.
+//
+//	lasthop-loadgen -list-scenarios
+//	lasthop-loadgen -scenario flash-crowd
+//	lasthop-loadgen -scenario all -scenario-scale 4 -out verdicts.json
 package main
 
 import (
@@ -63,12 +73,25 @@ func run() error {
 
 		traceSample = flag.Float64("trace-sample", 0, "head-sample this fraction of notifications into end-to-end traces (0 = disabled)")
 		traceOut    = flag.String("trace-out", "", "write the completed traces as JSONL here (for lasthop-trace; requires -trace-sample > 0)")
+
+		scenario  = flag.String("scenario", "", "run this atlas scenario instead of a throughput sweep (\"all\" runs the whole atlas; see -list-scenarios)")
+		scScale   = flag.Float64("scenario-scale", 1, "multiply the scenario's device population and publish volumes")
+		listScens = flag.Bool("list-scenarios", false, "list the scenario atlas and exit")
 	)
 	flag.Parse()
 
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...any) {}
+	}
+	if *listScens {
+		for _, sc := range loadgen.Atlas() {
+			fmt.Printf("%-16s %s\n%-16s   failure mode: %s\n", sc.Name, sc.Description, "", sc.FailureMode)
+		}
+		return nil
+	}
+	if *scenario != "" {
+		return runScenarios(*scenario, *scScale, *timeout, *out, logf)
 	}
 	cfg := loadgen.Config{
 		Publishers:       *publishers,
@@ -127,4 +150,59 @@ func run() error {
 		return err
 	}
 	return os.WriteFile(*out, enc, 0o644)
+}
+
+// runScenarios executes one atlas entry ("all" = every entry in order),
+// writes the verdict-bearing reports as JSON, and fails the process when
+// any verdict does.
+func runScenarios(name string, scale float64, timeout time.Duration, out string, logf func(string, ...any)) error {
+	var scenarios []loadgen.Scenario
+	if name == "all" {
+		scenarios = loadgen.Atlas()
+	} else {
+		sc, err := loadgen.FindScenario(name)
+		if err != nil {
+			return err
+		}
+		scenarios = []loadgen.Scenario{sc}
+	}
+	var reports []*loadgen.Report
+	failed := 0
+	for _, sc := range scenarios {
+		rep, err := loadgen.RunScenario(sc, loadgen.ScenarioOptions{
+			Scale:   scale,
+			Timeout: timeout,
+			Logf:    logf,
+		})
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		if !rep.Verdict.Pass {
+			failed++
+			for _, f := range rep.Verdict.Failures {
+				fmt.Fprintf(os.Stderr, "lasthop-loadgen: scenario %s: %s\n", sc.Name, f)
+			}
+		}
+		reports = append(reports, rep)
+	}
+	var doc any = reports
+	if len(reports) == 1 {
+		doc = reports[0]
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		if _, err := os.Stdout.Write(enc); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(out, enc, 0o644); err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenario verdicts failed", failed, len(scenarios))
+	}
+	return nil
 }

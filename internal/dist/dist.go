@@ -244,6 +244,15 @@ func (c ReadScheduleConfig) withDefaults() ReadScheduleConfig {
 // ReadSchedule returns the sorted offsets of user reads over the horizon.
 // Fractional frequencies are honored in expectation by carrying the
 // fractional part across days.
+//
+// A late wake offset plus a 16–17 hour awake window can place a read past
+// dayStart + 24h (07:30 wake + 17h awake ends at 24:30): such reads land in
+// the early hours of the next day. The schedule is cyclic over the horizon,
+// so a read the last day would place beyond the horizon wraps around to the
+// corresponding early-morning offset of the first day — it stands in for the
+// read that the (unmodeled) day before day 0 would have contributed there.
+// Every drawn read appears exactly once: never silently dropped at the
+// horizon, never double-scheduled.
 func ReadSchedule(g *RNG, cfg ReadScheduleConfig, horizon time.Duration) []time.Duration {
 	if cfg.PerDay <= 0 || horizon <= 0 {
 		return nil
@@ -267,9 +276,7 @@ func ReadSchedule(g *RNG, cfg ReadScheduleConfig, horizon time.Duration) []time.
 		awake := time.Duration(g.Uniform(float64(cfg.AwakeMin), float64(cfg.AwakeMax)))
 		for i := 0; i < count; i++ {
 			t := dayStart + wake + time.Duration(g.Uniform(0, float64(awake)))
-			if t < horizon {
-				out = append(out, t)
-			}
+			out = append(out, t%horizon)
 		}
 	}
 	sortDurations(out)

@@ -237,6 +237,67 @@ func TestReadScheduleAwakeWindow(t *testing.T) {
 	}
 }
 
+// TestReadScheduleMidnightCrossing pins the day-boundary handling: a user
+// waking at 23:00 with a 2h awake window reads on both sides of midnight.
+// Reads past dayStart+24h must land in the next day, and reads the last day
+// would place beyond the horizon must wrap to the first day's early hours —
+// never be silently dropped (the pre-fix code lost roughly half this user's
+// reads at the horizon).
+func TestReadScheduleMidnightCrossing(t *testing.T) {
+	cfg := ReadScheduleConfig{
+		PerDay:     40,
+		PerDaySD:   1e-9, // effectively deterministic count, but not the 0 default
+		WakeStart:  23 * time.Hour,
+		WakeJitter: time.Nanosecond,
+		AwakeMin:   2 * time.Hour,
+		AwakeMax:   2*time.Hour + time.Nanosecond,
+	}
+	for _, days := range []int{1, 2} {
+		horizon := time.Duration(days) * Day
+		reads := ReadSchedule(New(21), cfg, horizon)
+		// Every drawn read must survive: ~half fall past midnight, and on
+		// the last day those crossed the horizon and were dropped pre-fix.
+		if got, want := len(reads), 35*days; got < want {
+			t.Fatalf("%d-day horizon: %d reads survived, want >= %d (midnight tail dropped?)", days, got, want)
+		}
+		afterMidnight := 0
+		for i, r := range reads {
+			if i > 0 && r < reads[i-1] {
+				t.Fatalf("%d-day horizon: reads not sorted", days)
+			}
+			if r < 0 || r >= horizon {
+				t.Fatalf("%d-day horizon: read at %v outside [0, %v)", days, r, horizon)
+			}
+			tod := r % Day
+			// Feasible times of day: [23:00-jitter, 24:00) before midnight,
+			// (0:00, 1:00+jitter] after the wrap.
+			late := tod >= 23*time.Hour-time.Microsecond
+			early := tod <= time.Hour+time.Microsecond
+			if !late && !early {
+				t.Fatalf("%d-day horizon: read at time-of-day %v outside the 23:00–01:00 awake window", days, tod)
+			}
+			if early {
+				afterMidnight++
+			}
+		}
+		if afterMidnight == 0 {
+			t.Fatalf("%d-day horizon: no read landed past midnight", days)
+		}
+	}
+	// With a multi-day horizon the day-0 tail lands inside day 1 directly
+	// (no wrap): there must be reads in (24h, 25h].
+	reads := ReadSchedule(New(21), cfg, 2*Day)
+	nextDayTail := 0
+	for _, r := range reads {
+		if r > Day && r <= Day+time.Hour+time.Microsecond {
+			nextDayTail++
+		}
+	}
+	if nextDayTail == 0 {
+		t.Fatal("2-day horizon: day 0's past-midnight reads did not land in day 1")
+	}
+}
+
 func TestOutageScheduleFraction(t *testing.T) {
 	for _, frac := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
 		g := New(13)

@@ -528,10 +528,7 @@ func (h *Host) handleConn(conn *wire.Conn) {
 				h.respond(conn, wire.Err(f, errors.New("read frame without request")))
 				continue
 			}
-			var rerr error
-			req := *f.Read
-			sess.w.wheel.Run(func() { rerr = sess.proxy.Read(req) })
-			h.respondErr(conn, f, rerr)
+			h.respondErr(conn, f, sess.read(*f.Read))
 		default:
 			h.respond(conn, wire.Err(f, fmt.Errorf("unsupported frame type %q", f.Type)))
 		}
@@ -597,7 +594,15 @@ func (h *Host) subscribe(sess *Session, f *wire.Frame) error {
 		return addErr
 	}
 	var addErr error
-	sess.w.wheel.Run(func() { addErr = sess.proxy.AddTopic(cfg) })
+	sess.w.wheel.Run(func() {
+		if sess.proxy == nil {
+			// Only a connection superseded by a reconnect can race the
+			// session into hibernation; its device must hello again.
+			addErr = errNotResident
+			return
+		}
+		addErr = sess.proxy.AddTopic(cfg)
+	})
 	if addErr != nil {
 		return addErr
 	}
@@ -643,6 +648,9 @@ func (h *Host) subscribe(sess *Session, f *wire.Frame) error {
 	if err != nil {
 		h.dropRef(sess, f.Topic, ts)
 		sess.w.wheel.Run(func() {
+			if sess.proxy == nil {
+				return
+			}
 			if rerr := sess.proxy.RemoveTopic(f.Topic); rerr != nil {
 				h.logf("host: rollback topic %q: %v", f.Topic, rerr)
 			}
@@ -650,6 +658,10 @@ func (h *Host) subscribe(sess *Session, f *wire.Frame) error {
 		return err
 	}
 	sess.addTopic(f.Topic)
+	// A session re-subscribing over an existing spool chain must correct the
+	// chain's membership, or a crash before the next snapshot would recover
+	// it without this topic.
+	sess.w.wheel.Run(func() { sess.spoolMembership(msg.SpoolDelta{Subscribe: f.Topic}) })
 	return nil
 }
 
@@ -668,13 +680,27 @@ func (h *Host) dropRef(sess *Session, topic string, ts *topicSub) {
 }
 
 // unsubscribe removes the topic from the session's proxy and releases its
-// reference; the last reference drops the broker subscription.
+// reference; the last reference drops the broker subscription. It tolerates
+// a session that hibernated under it (the proxy's copy of the topic then
+// lives in the spool chain, corrected by a membership delta instead), so a
+// ghost connection superseded mid-churn can never crash the host or leak
+// the reference.
 func (h *Host) unsubscribe(sess *Session, topic string) error {
 	if topic == "" {
 		return errors.New("unsubscribe frame without topic")
 	}
 	var remErr error
-	sess.w.wheel.Run(func() { remErr = sess.proxy.RemoveTopic(topic) })
+	sess.w.wheel.Run(func() {
+		switch {
+		case sess.proxy != nil:
+			remErr = sess.proxy.RemoveTopic(topic)
+		case !sess.hasTopic(topic):
+			remErr = fmt.Errorf("unknown topic %q", topic)
+		}
+		if remErr == nil {
+			sess.spoolMembership(msg.SpoolDelta{Unsubscribe: topic})
+		}
+	})
 	if remErr != nil {
 		return remErr
 	}

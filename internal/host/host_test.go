@@ -265,6 +265,112 @@ func TestHostSubscribeUnsubscribeOrdering(t *testing.T) {
 	}
 }
 
+// TestUnsubscribeWhileHibernatedDrainsCleanly is the spool-aware sibling of
+// TestHostSubscribeUnsubscribeOrdering: the unsubscribing session has
+// hibernated (proxy gone, state on the spool chain), its last reference
+// starts the upstream drain, and the device reconnects and re-subscribes
+// mid-drain — rehydrating from a chain whose snapshot still lists the
+// topic. The session must end with exactly one reference and one broker
+// subscription (no double-subscribe), and the rehydrated proxy must not
+// resurrect the unsubscribed topic (no lost unsubscribe). Pre-fix, the
+// unsubscribe dereferenced the hibernated session's nil proxy.
+func TestUnsubscribeWhileHibernatedDrainsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	tt := newTopology(t, hibOpts(dir))
+	h := tt.host
+	const topic = "gap/hib"
+	policy := wire.TopicPolicy{Mode: "on-demand", Policy: "on-demand"}
+
+	dev := tt.device("gap-hib-dev")
+	if err := dev.Subscribe(topic, policy); err != nil {
+		t.Fatal(err)
+	}
+	pub := tt.publisher("gap-hib-pub")
+	publishSeq(t, pub, topic, "g", 0, 2)
+	waitFor(t, "notes resident", func() bool {
+		st, ok := h.SessionStats("gap-hib-dev")
+		return ok && st.Notifications >= 2
+	})
+	_ = dev.Close()
+	waitFor(t, "session hibernated", func() bool {
+		info, ok := sessionInfoOf(h, "gap-hib-dev")
+		return ok && info.State == "hibernated"
+	})
+	if refs := h.TopicRefs(topic); refs != 1 {
+		t.Fatalf("TopicRefs after hibernation = %d, want 1 (hibernated sessions keep their reference)", refs)
+	}
+
+	gapEntered := make(chan struct{})
+	releaseGap := make(chan struct{})
+	h.testHookUnsubscribeGap = func(string) {
+		close(gapEntered)
+		<-releaseGap
+	}
+	defer func() { h.testHookUnsubscribeGap = nil }()
+
+	h.mu.Lock()
+	sess := h.sessions["gap-hib-dev"]
+	h.mu.Unlock()
+	unsubDone := make(chan error, 1)
+	go func() { unsubDone <- h.unsubscribe(sess, topic) }()
+	<-gapEntered
+
+	// Mid-drain: the device reconnects (hello rehydrates the session from
+	// the chain, which must honor the membership correction) and issues a
+	// fresh subscribe, which must park on the drain instead of racing its
+	// upstream Subscribe past the in-flight Unsubscribe.
+	dev2 := tt.device("gap-hib-dev")
+	waitFor(t, "session resident again", func() bool {
+		info, ok := sessionInfoOf(h, "gap-hib-dev")
+		return ok && info.State == "resident" && info.Connected
+	})
+	subDone := make(chan error, 1)
+	go func() { subDone <- dev2.Subscribe(topic, policy) }()
+	select {
+	case err := <-subDone:
+		t.Fatalf("subscribe completed mid-drain (err=%v); it must wait out the unsubscribe", err)
+	case <-time.After(250 * time.Millisecond):
+	}
+	close(releaseGap)
+	if err := <-unsubDone; err != nil {
+		t.Fatalf("unsubscribe on hibernated session: %v", err)
+	}
+	if err := <-subDone; err != nil {
+		t.Fatalf("subscribe after drain: %v", err)
+	}
+
+	if refs := h.TopicRefs(topic); refs != 1 {
+		t.Fatalf("TopicRefs after re-subscribe = %d, want 1", refs)
+	}
+	if subs := tt.broker.Subscribers(topic); len(subs) != 1 {
+		t.Fatalf("broker subscribers = %v, want exactly the host", subs)
+	}
+	// The unsubscribed copy must be gone: the fresh subscription starts
+	// empty and only new traffic reaches the device.
+	publishSeq(t, pub, topic, "g2", 0, 1)
+	deadline := time.Now().Add(10 * time.Second)
+	for seen := false; !seen; {
+		if time.Now().After(deadline) {
+			t.Fatal("g2-0 never arrived on the re-subscribed topic")
+		}
+		batch, err := dev2.Read(topic, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range batch {
+			switch n.ID {
+			case "g-0", "g-1":
+				t.Fatalf("pre-unsubscribe notification %s resurrected by rehydration", n.ID)
+			case "g2-0":
+				seen = true
+			}
+		}
+		if len(batch) == 0 {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
 // TestHostHelloRenameDetachesOldSession: a second hello with a different
 // name moves the connection to the new session and releases the old one;
 // the old session must not keep believing the device is reachable.

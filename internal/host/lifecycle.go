@@ -1,6 +1,7 @@
 package host
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"path/filepath"
@@ -107,6 +108,23 @@ func (s *Session) spoolDelta(d msg.SpoolDelta) {
 	s.deltas = append(s.deltas, loc)
 	s.mu.Unlock()
 	s.host.spooledDeltas.Add(1)
+}
+
+// spoolMembership appends a topic-membership correction to the session's
+// existing spool chain, making a subscribe or unsubscribe durable against
+// the snapshot it would otherwise silently contradict. Without a chain
+// there is nothing to correct — the next snapshot records the membership
+// wholesale. Runs on the wheel.
+func (s *Session) spoolMembership(d msg.SpoolDelta) {
+	if s.w.spool == nil {
+		return
+	}
+	s.mu.Lock()
+	hasChain := !s.snap.IsZero()
+	s.mu.Unlock()
+	if hasChain {
+		s.spoolDelta(d)
+	}
 }
 
 // armHibernate starts the idle countdown after a disconnect. Runs on the
@@ -279,7 +297,25 @@ func (s *Session) rehydrate() {
 				p.Notify(d.Notification)
 			case d.Rank != nil:
 				p.ApplyRankUpdate(*d.Rank)
+			case d.Unsubscribe != "":
+				// The session dropped the topic after the snapshot; the
+				// replayed copy must not resurrect it. An error here is
+				// normal when the import restarted empty.
+				_ = p.RemoveTopic(d.Unsubscribe)
+			case d.Subscribe != "":
+				// Membership-only correction for crash recovery; the
+				// proxy-side configuration returns with the device's
+				// reasserting subscribe.
 			}
+		}
+	}
+	// The session's live topic set is authoritative over the chain: drop
+	// any topic the replayed snapshot carries that the session has since
+	// unsubscribed (belt and braces for a membership delta that failed to
+	// append).
+	for _, topic := range p.Topics() {
+		if !s.hasTopic(topic) {
+			_ = p.RemoveTopic(topic)
 		}
 	}
 	s.proxy = p
@@ -313,13 +349,24 @@ func (h *Host) recoverSpooled() error {
 		loc spool.Loc
 		at  time.Time
 	}
-	type chain struct {
-		snap   spool.Loc
-		snapAt time.Time
-		tombAt time.Time
-		topics []string
-		deltas []timedLoc
+	type memberEvent struct {
+		topic string
+		add   bool
+		loc   spool.Loc
+		at    time.Time
 	}
+	type chain struct {
+		snap    spool.Loc
+		snapAt  time.Time
+		tombAt  time.Time
+		topics  []string
+		deltas  []timedLoc
+		members []memberEvent
+	}
+	// Membership corrections hide among ordinary deltas; the key probe
+	// avoids a JSON parse of every notification payload (both field names
+	// end in `subscribe"`, and a false positive only costs one parse).
+	memberHint := []byte(`subscribe"`)
 	chains := make(map[string]*chain)
 	for _, dir := range dirs {
 		err := spool.ScanDir(dir, h.opts.SpoolMaxRecordBytes, h.logf, func(loc spool.Loc, r spool.Record) error {
@@ -342,6 +389,17 @@ func (h *Host) recoverSpooled() error {
 				}
 			case spool.KindDelta:
 				c.deltas = append(c.deltas, timedLoc{loc, r.At})
+				if bytes.Contains(r.Payload, memberHint) {
+					var d msg.SpoolDelta
+					if err := json.Unmarshal(r.Payload, &d); err == nil {
+						if d.Subscribe != "" {
+							c.members = append(c.members, memberEvent{d.Subscribe, true, loc, r.At})
+						}
+						if d.Unsubscribe != "" {
+							c.members = append(c.members, memberEvent{d.Unsubscribe, false, loc, r.At})
+						}
+					}
+				}
 			case spool.KindTombstone:
 				if r.At.After(c.tombAt) {
 					c.tombAt = r.At
@@ -374,20 +432,51 @@ func (h *Host) recoverSpooled() error {
 			}
 			return a.loc.Offset < b.loc.Offset
 		})
+		// The snapshot's topic list plus every membership correction since
+		// it, in record order, is the session's true subscription set: a
+		// topic unsubscribed after the snapshot must not come back as a
+		// phantom upstream subscription, and one re-subscribed must not be
+		// dropped.
+		members := c.members[:0]
+		for _, m := range c.members {
+			if !m.at.Before(c.snapAt) {
+				members = append(members, m)
+			}
+		}
+		sort.Slice(members, func(i, j int) bool {
+			a, b := members[i], members[j]
+			if !a.at.Equal(b.at) {
+				return a.at.Before(b.at)
+			}
+			if a.loc.Path != b.loc.Path {
+				return a.loc.Path < b.loc.Path
+			}
+			return a.loc.Offset < b.loc.Offset
+		})
+		topicSet := make(map[string]struct{}, len(c.topics))
+		for _, t := range c.topics {
+			topicSet[t] = struct{}{}
+		}
+		for _, m := range members {
+			if m.add {
+				topicSet[m.topic] = struct{}{}
+			} else {
+				delete(topicSet, m.topic)
+			}
+		}
 		s := &Session{
 			host:   h,
 			name:   name,
 			w:      h.workerFor(name),
 			state:  stateHibernated,
 			snap:   c.snap,
-			topics: make(map[string]struct{}, len(c.topics)),
+			topics: topicSet,
 		}
 		s.deltas = make([]spool.Loc, len(live))
 		for i, d := range live {
 			s.deltas[i] = d.loc
 		}
-		for _, t := range c.topics {
-			s.topics[t] = struct{}{}
+		for t := range topicSet {
 			ts := h.topics[t]
 			if ts == nil {
 				ready := make(chan struct{})

@@ -427,3 +427,76 @@ func TestKillRestartRecovery(t *testing.T) {
 		t.Fatalf("lifecycle after drain = %+v", ls)
 	}
 }
+
+// TestKillRecoveryHonorsUnsubscribe pins the durability of topic
+// membership changes against a stale spool chain: a session hibernates
+// with two topics, reconnects, unsubscribes one, and the host is killed
+// before any fresh snapshot supersedes the chain. Recovery must apply the
+// membership correction — pre-fix it resurrected the unsubscribed topic
+// from the stale snapshot meta, re-took a reference, and re-subscribed the
+// host upstream, leaving a phantom subscription feeding traffic the device
+// explicitly dropped.
+func TestKillRecoveryHonorsUnsubscribe(t *testing.T) {
+	dir := t.TempDir()
+	tt := newTopology(t, hibOpts(dir))
+	const keep = "stale/keep"
+	const dropped = "stale/drop"
+	policy := wire.TopicPolicy{Mode: "on-demand", Policy: "on-demand"}
+
+	dev := tt.device("stale-dev")
+	for _, topic := range []string{keep, dropped} {
+		if err := dev.Subscribe(topic, policy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = dev.Close()
+	waitFor(t, "session hibernated with both topics", func() bool {
+		info, ok := sessionInfoOf(tt.host, "stale-dev")
+		return ok && info.State == "hibernated"
+	})
+
+	// Reconnect and unsubscribe one topic. The session stays connected
+	// afterwards, so no new snapshot is written: on disk, only the
+	// membership delta contradicts the snapshot's topic list.
+	dev2 := tt.device("stale-dev")
+	waitFor(t, "session resident", func() bool {
+		info, ok := sessionInfoOf(tt.host, "stale-dev")
+		return ok && info.State == "resident" && info.Connected
+	})
+	if err := dev2.Unsubscribe(dropped); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "upstream drained", func() bool {
+		return tt.host.TopicRefs(dropped) == 0 && len(tt.broker.Subscribers(dropped)) == 0
+	})
+
+	tt.host.Kill()
+	opts := hibOpts(dir)
+	opts.BrokerAddr = tt.brokerAddr
+	opts.Name = "test-host"
+	h2, err := New(opts)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	t.Cleanup(h2.Close)
+
+	info, ok := sessionInfoOf(h2, "stale-dev")
+	if !ok || info.State != "hibernated" {
+		t.Fatalf("session after recovery: %+v ok=%v", info, ok)
+	}
+	if info.Topics != 1 {
+		t.Fatalf("recovered session holds %d topics, want 1 (the unsubscribe was lost)", info.Topics)
+	}
+	if refs := h2.TopicRefs(keep); refs != 1 {
+		t.Fatalf("TopicRefs(%s) = %d, want 1", keep, refs)
+	}
+	if refs := h2.TopicRefs(dropped); refs != 0 {
+		t.Fatalf("TopicRefs(%s) = %d, want 0: recovery resurrected the unsubscribed topic", dropped, refs)
+	}
+	if subs := tt.broker.Subscribers(dropped); len(subs) != 0 {
+		t.Fatalf("broker subscribers for %s = %v, want none (phantom upstream subscription)", dropped, subs)
+	}
+	if subs := tt.broker.Subscribers(keep); len(subs) != 1 {
+		t.Fatalf("broker subscribers for %s = %v, want the host", keep, subs)
+	}
+}

@@ -157,6 +157,25 @@ func (s *Session) ForwardBatch(batch []*msg.Notification) error {
 	return wire.PushBatch(conn, batch, batching, withTrace)
 }
 
+// errNotResident rejects proxy-driving frames from a connection whose
+// session hibernated under it. Only a connection superseded by a reconnect
+// can observe this: the live connection's hello made the session resident
+// and keeps it so. The superseded device must hello again.
+var errNotResident = errors.New("session not resident")
+
+// read serves one §3.5 READ against the session's proxy.
+func (s *Session) read(req msg.ReadRequest) error {
+	var rerr error
+	s.w.wheel.Run(func() {
+		if s.proxy == nil {
+			rerr = errNotResident
+			return
+		}
+		rerr = s.proxy.Read(req)
+	})
+	return rerr
+}
+
 // resume reconciles a reconnecting device's per-topic read/queue ID sets.
 func (s *Session) resume(f *wire.Frame) error {
 	if f.Topic == "" {
@@ -165,7 +184,13 @@ func (s *Session) resume(f *wire.Frame) error {
 	have := msg.NewIDSet(f.HaveIDs...)
 	read := msg.NewIDSet(f.ReadIDs...)
 	var rerr error
-	s.w.wheel.Run(func() { rerr = s.proxy.Resume(f.Topic, have, read) })
+	s.w.wheel.Run(func() {
+		if s.proxy == nil {
+			rerr = errNotResident
+			return
+		}
+		rerr = s.proxy.Resume(f.Topic, have, read)
+	})
 	if rerr != nil {
 		return rerr
 	}

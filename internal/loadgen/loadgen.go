@@ -202,6 +202,18 @@ type Report struct {
 	TraceOutcomes map[string]uint64       `json:"traceOutcomes,omitempty"`
 	HopLatencyMs  map[string]HopQuantiles `json:"hopLatencyMs,omitempty"`
 
+	// WastePct is §3.1 waste among the sampled traces: last-hop transfers
+	// the user never read, as a percentage of all last-hop transfers.
+	// TraceConservation is empty on a clean run; with full sampling it
+	// reports any violation of the one-terminal-outcome-per-notification
+	// invariant instead of folding bad books into WastePct.
+	WastePct          float64 `json:"wastePct,omitempty"`
+	TraceConservation string  `json:"traceConservation,omitempty"`
+
+	// Verdict is the budget comparison of a scenario run (RunScenario
+	// only; nil for plain Run / RunRecovery reports).
+	Verdict *Verdict `json:"verdict,omitempty"`
+
 	// Collector holds the run's completed traces for JSONL export
 	// (cmd/lasthop-loadgen -trace-out); not part of the JSON report.
 	Collector *trace.Collector `json:"-"`
@@ -569,16 +581,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 	rep.PoolHitRate = window.HitRate()
 	rep.PoolOutstanding = poolAfter.Outstanding()
-	if collector != nil {
-		st := collector.Stats()
-		rep.TraceSampled = st.Sampled
-		rep.TraceOutcomes = make(map[string]uint64, len(st.Outcomes))
-		for o, c := range st.Outcomes {
-			rep.TraceOutcomes[string(o)] = c
-		}
-		rep.HopLatencyMs = hopSummary(collector.Completed())
-		rep.Collector = collector
-	}
+	finishTraces(rep, collector)
 	if err == nil && cfg.Linger > 0 {
 		cfg.Logf("loadgen: run complete, lingering %v for scrapers", cfg.Linger)
 		time.Sleep(cfg.Linger)

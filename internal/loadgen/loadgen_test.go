@@ -192,6 +192,14 @@ func TestRunTraced(t *testing.T) {
 	if completed != n {
 		t.Fatalf("outcomes cover %d traces, want %d: %v", completed, n, rep.TraceOutcomes)
 	}
+	// A clean fully-sampled run must never report a conservation
+	// violation, and the waste accounting must be a valid percentage.
+	if rep.TraceConservation != "" {
+		t.Fatalf("clean run reported a conservation violation: %s", rep.TraceConservation)
+	}
+	if rep.WastePct < 0 || rep.WastePct > 100 {
+		t.Fatalf("waste %.2f%% out of range", rep.WastePct)
+	}
 	if rep.Collector == nil {
 		t.Fatal("report carries no collector")
 	}

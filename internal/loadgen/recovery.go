@@ -327,16 +327,7 @@ func RunRecovery(cfg Config) (*Report, error) {
 	if s := rep.DeliverSeconds; s > 0 {
 		rep.DeliverPerSec = float64(rep.Delivered) / s
 	}
-	if collector != nil {
-		st := collector.Stats()
-		rep.TraceSampled = st.Sampled
-		rep.TraceOutcomes = make(map[string]uint64, len(st.Outcomes))
-		for o, c := range st.Outcomes {
-			rep.TraceOutcomes[string(o)] = c
-		}
-		rep.HopLatencyMs = hopSummary(collector.Completed())
-		rep.Collector = collector
-	}
+	finishTraces(rep, collector)
 	if drainErr == nil && cfg.Linger > 0 {
 		cfg.Logf("loadgen: drill complete, lingering %v for scrapers", cfg.Linger)
 		time.Sleep(cfg.Linger)

@@ -36,15 +36,26 @@ type DelayedEntry struct {
 
 // SpoolDelta is one incremental spool record for a hibernated session: a
 // notification that arrived (with its trace context, which Notification's
-// own JSON form omits) or a rank revision. Exactly one field group is set.
-// Rehydration replays deltas in record order through the proxy's normal
-// NOTIFICATION handling, which is idempotent for re-arrivals (a known ID
-// is treated as a rank revision), so duplicated deltas after a crashed
-// compaction are harmless.
+// own JSON form omits), a rank revision, or a topic-membership correction.
+// Exactly one field group is set. Rehydration replays deltas in record
+// order through the proxy's normal NOTIFICATION handling, which is
+// idempotent for re-arrivals (a known ID is treated as a rank revision),
+// so duplicated deltas after a crashed compaction are harmless.
+//
+// The membership corrections exist because a snapshot's SpoolMeta.Topics
+// goes stale the moment the session subscribes or unsubscribes afterwards:
+// without them, crash recovery would resurrect an unsubscribed topic (a
+// phantom upstream subscription) or drop a re-subscribed one. Unsubscribe
+// names a topic the session dropped after the snapshot; Subscribe names one
+// it re-added. Subscribe carries no per-topic configuration — it corrects
+// the membership set for recovery, and the proxy-side state returns with
+// the device's reasserting subscribe on reconnect.
 type SpoolDelta struct {
 	Notification *Notification `json:"notification,omitempty"`
 	Trace        *TraceContext `json:"trace,omitempty"`
 	Rank         *RankUpdate   `json:"rank,omitempty"`
+	Subscribe    string        `json:"subscribe,omitempty"`
+	Unsubscribe  string        `json:"unsubscribe,omitempty"`
 }
 
 // SpoolMeta is the metadata blob of a snapshot spool record: enough for
