@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"lasthop/internal/burst"
+	"lasthop/internal/flight"
 	"lasthop/internal/obs"
 	"lasthop/internal/pubsub"
 	"lasthop/internal/retry"
@@ -45,7 +46,11 @@ func run() error {
 		ringFrames = flag.Int("flush-ring-frames", 0, "max encoded frames buffered per connection before an inline flush (0 = default 64)")
 		ringBytes  = flag.Int("flush-ring-bytes", 0, "max encoded bytes buffered per connection before an inline flush (0 = default 256KiB)")
 
-		obsAddr     = flag.String("obs-addr", "", "serve /metrics, /healthz, /debug/pprof, and /debug/traces on this address (empty = disabled)")
+		flightRing  = flag.Int("flight-ring", flight.DefaultRingEvents, "flight-recorder events retained per subsystem (0 = disable recording)")
+		watchdogIvl = flag.Duration("watchdog", 2*time.Second, "stall-watchdog probe interval (0 = disabled)")
+		bundleDir   = flag.String("bundle-dir", "lasthop-bundles", "directory for post-mortem dump bundles (watchdog trips, SIGQUIT, /debug/flight/dump)")
+
+		obsAddr     = flag.String("obs-addr", "", "serve /metrics, /healthz, /debug/pprof, /debug/traces, and /debug/flight/dump on this address (empty = disabled)")
 		traceSample = flag.Float64("trace-sample", 0, "head-sample this fraction of accepted publishes into end-to-end traces (0 = anomalies only)")
 		traceRing   = flag.Int("trace-ring", 0, "completed traces retained for /debug/traces (0 = default)")
 		logFormat   = flag.String("log-format", "text", "log output format: text or json")
@@ -60,6 +65,7 @@ func run() error {
 	logf := obs.Logf(logger, "broker")
 
 	wire.SetRingLimits(*ringFrames, *ringBytes)
+	flight.Enable(*flightRing)
 	broker := pubsub.NewBroker(*name)
 	reg := obs.NewRegistry()
 	wm := wire.NewMetrics(reg)
@@ -68,9 +74,45 @@ func run() error {
 	collector := trace.NewCollector(*name, trace.NewSampler(*traceSample), *traceRing)
 	collector.RegisterMetrics(reg)
 	broker.SetTracer(collector)
+
+	// Post-mortem dumps: the broker has no workers or spools, so its
+	// watchdog covers the shared datapath stalls — a wedged egress
+	// flusher and pool drift.
+	bundleOpts := func(reason string) flight.BundleOptions {
+		return flight.BundleOptions{
+			Dir:      *bundleDir,
+			Node:     *name,
+			Reason:   reason,
+			Recorder: flight.Active(),
+			Metrics:  reg,
+			Traces:   collector,
+		}
+	}
+	stopSig := flight.DumpOnSignal(bundleOpts, logf)
+	defer stopSig()
+	watchdog := flight.NewWatchdog(*watchdogIvl)
+	watchdog.OnTrip(func(trips []flight.Trip) {
+		o := bundleOpts("watchdog")
+		o.Trips = trips
+		path, err := flight.WriteBundle(o)
+		if err != nil {
+			logf("watchdog tripped, bundle failed: %v", err)
+			return
+		}
+		for _, tr := range trips {
+			logf("watchdog tripped: %s (bundle: %s)", tr, path)
+		}
+	})
+	watchdog.Register(wire.FlusherStallProbe(5*time.Second, 1))
+	watchdog.Register(burst.DriftProbes(10, 100_000)...)
+	if *watchdogIvl > 0 {
+		watchdog.Start()
+	}
+	defer watchdog.Close()
 	if *obsAddr != "" {
 		srv, err := obs.Serve(*obsAddr, reg,
-			obs.Route{Pattern: "/debug/traces", Handler: collector.Handler()})
+			obs.Route{Pattern: "/debug/traces", Handler: collector.Handler()},
+			obs.Route{Pattern: "/debug/flight/dump", Handler: flight.DumpHandler(bundleOpts)})
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,76 @@
+// Command lasthop-doctor reads post-mortem flight bundles — written by a
+// daemon's stall watchdog, a SIGQUIT, or /debug/flight/dump — and turns
+// them into a diagnosis. Bundles from several nodes can be loaded at once:
+// their flight timelines merge on wall-clock time and watchdog trips are
+// cross-referenced against the bundled trace ring, so the output names the
+// stalled component, the window it went silent, and how many traces were
+// lost or wasted while it was down.
+//
+// Examples:
+//
+//	lasthop-doctor lasthop-bundles/flight-edge-host-1712345678
+//	lasthop-doctor -scan lasthop-bundles
+//	lasthop-doctor -scan lasthop-bundles -timeline 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lasthop/internal/flight"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lasthop-doctor:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scan     = flag.String("scan", "", "scan this directory tree for bundles instead of naming them as arguments")
+		timeline = flag.Int("timeline", 0, "also print the last N merged flight events across all bundles")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: lasthop-doctor [flags] <bundle-dir> [<bundle-dir>...]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	dirs := flag.Args()
+	if *scan != "" {
+		found, err := flight.FindBundles(*scan)
+		if err != nil {
+			return err
+		}
+		dirs = append(dirs, found...)
+	}
+	if len(dirs) == 0 {
+		flag.Usage()
+		return fmt.Errorf("no bundles: pass bundle directories or -scan a parent")
+	}
+
+	var bundles []*flight.Bundle
+	for _, dir := range dirs {
+		b, err := flight.LoadBundle(dir)
+		if err != nil {
+			return fmt.Errorf("load %s: %w", dir, err)
+		}
+		bundles = append(bundles, b)
+		fmt.Printf("loaded %s: node=%s reason=%s trips=%d events=%d traces=%d\n",
+			dir, b.Manifest.Node, b.Manifest.Reason, len(b.Manifest.Trips),
+			len(b.Events), len(b.Traces))
+	}
+	fmt.Println()
+
+	flight.WriteDiagnosisTable(os.Stdout, flight.Diagnose(bundles))
+
+	if *timeline > 0 {
+		fmt.Println()
+		flight.WriteTimeline(os.Stdout, bundles, *timeline)
+	}
+	return nil
+}

@@ -113,6 +113,7 @@ func run() error {
 		Timeout:          *timeout,
 		Logf:             logf,
 		TraceSample:      *traceSample,
+		BundleDir:        os.Getenv("LASTHOP_BUNDLE_DIR"),
 	}
 	var (
 		rep *loadgen.Report
@@ -170,9 +171,10 @@ func runScenarios(name string, scale float64, timeout time.Duration, out string,
 	failed := 0
 	for _, sc := range scenarios {
 		rep, err := loadgen.RunScenario(sc, loadgen.ScenarioOptions{
-			Scale:   scale,
-			Timeout: timeout,
-			Logf:    logf,
+			Scale:     scale,
+			Timeout:   timeout,
+			Logf:      logf,
+			BundleDir: os.Getenv("LASTHOP_BUNDLE_DIR"),
 		})
 		if err != nil {
 			return fmt.Errorf("scenario %s: %w", sc.Name, err)

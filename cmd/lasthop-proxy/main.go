@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"lasthop/internal/burst"
+	"lasthop/internal/flight"
 	"lasthop/internal/host"
 	"lasthop/internal/metrics"
 	"lasthop/internal/obs"
@@ -69,7 +70,11 @@ func run() error {
 		ringFrames = flag.Int("flush-ring-frames", 0, "max encoded frames buffered per connection before an inline flush (0 = default 64)")
 		ringBytes  = flag.Int("flush-ring-bytes", 0, "max encoded bytes buffered per connection before an inline flush (0 = default 256KiB)")
 
-		obsAddr     = flag.String("obs-addr", "", "serve /metrics, /healthz, /debug/pprof, and /debug/traces on this address (empty = disabled)")
+		flightRing  = flag.Int("flight-ring", flight.DefaultRingEvents, "flight-recorder events retained per subsystem (0 = disable recording)")
+		watchdogIvl = flag.Duration("watchdog", 2*time.Second, "stall-watchdog probe interval (0 = disabled)")
+		bundleDir   = flag.String("bundle-dir", "lasthop-bundles", "directory for post-mortem dump bundles (watchdog trips, SIGQUIT, /debug/flight/dump)")
+
+		obsAddr     = flag.String("obs-addr", "", "serve /metrics, /healthz, /debug/pprof, /debug/traces, and /debug/flight/dump on this address (empty = disabled)")
 		traceSample = flag.Float64("trace-sample", 0, "head-sample this fraction of locally published traffic (the proxy mostly records events against contexts minted upstream; anomalies are always traced)")
 		traceRing   = flag.Int("trace-ring", 0, "completed traces retained for /debug/traces (0 = default)")
 		logFormat   = flag.String("log-format", "text", "log output format: text or json")
@@ -84,12 +89,47 @@ func run() error {
 	logf := obs.Logf(logger, "proxy")
 
 	wire.SetRingLimits(*ringFrames, *ringBytes)
+	flight.Enable(*flightRing)
 	reg := obs.NewRegistry()
 	wm := wire.NewMetrics(reg)
 	burst.RegisterMetrics(reg)
 	metrics.Register(reg)
 	collector := trace.NewCollector(*name, trace.NewSampler(*traceSample), *traceRing)
 	collector.RegisterMetrics(reg)
+
+	// The post-mortem bundle: flight rings, metrics, pprof, and the trace
+	// ring, dumped by the watchdog, SIGQUIT, or /debug/flight/dump.
+	bundleOpts := func(reason string) flight.BundleOptions {
+		return flight.BundleOptions{
+			Dir:      *bundleDir,
+			Node:     *name,
+			Reason:   reason,
+			Recorder: flight.Active(),
+			Metrics:  reg,
+			Traces:   collector,
+		}
+	}
+	stopSig := flight.DumpOnSignal(bundleOpts, logf)
+	defer stopSig()
+	watchdog := flight.NewWatchdog(*watchdogIvl)
+	watchdog.OnTrip(func(trips []flight.Trip) {
+		o := bundleOpts("watchdog")
+		o.Trips = trips
+		path, err := flight.WriteBundle(o)
+		if err != nil {
+			logf("watchdog tripped, bundle failed: %v", err)
+			return
+		}
+		for _, tr := range trips {
+			logf("watchdog tripped: %s (bundle: %s)", tr, path)
+		}
+	})
+	watchdog.Register(wire.FlusherStallProbe(5*time.Second, 1))
+	watchdog.Register(burst.DriftProbes(10, 100_000)...)
+	if *watchdogIvl > 0 {
+		watchdog.Start()
+	}
+	defer watchdog.Close()
 
 	upstream := wire.ClientOptions{
 		AutoReconnect:     *reconnect,
@@ -129,9 +169,15 @@ func run() error {
 		}
 		defer h.Close()
 		h.RegisterMetrics(reg, *name)
+		// Worker heartbeats and spool group-commit stalls; generous bounds
+		// so only a genuine wedge (not load) trips. The watchdog closes
+		// before the host does (defers unwind in reverse), so shutdown
+		// cannot masquerade as a stall.
+		watchdog.Register(h.Probes(5*time.Second, 10**commitEvery+5*time.Second)...)
 		if *obsAddr != "" {
 			osrv, err := obs.Serve(*obsAddr, reg,
-				obs.Route{Pattern: "/debug/traces", Handler: collector.Handler()})
+				obs.Route{Pattern: "/debug/traces", Handler: collector.Handler()},
+				obs.Route{Pattern: "/debug/flight/dump", Handler: flight.DumpHandler(bundleOpts)})
 			if err != nil {
 				return err
 			}
@@ -165,7 +211,8 @@ func run() error {
 	srv.RegisterMetrics(reg, *name)
 	if *obsAddr != "" {
 		osrv, err := obs.Serve(*obsAddr, reg,
-			obs.Route{Pattern: "/debug/traces", Handler: collector.Handler()})
+			obs.Route{Pattern: "/debug/traces", Handler: collector.Handler()},
+			obs.Route{Pattern: "/debug/flight/dump", Handler: flight.DumpHandler(bundleOpts)})
 		if err != nil {
 			return err
 		}

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lasthop/internal/flight"
 	"lasthop/internal/msg"
 	"lasthop/internal/obs"
 )
@@ -295,5 +296,18 @@ func VerifyNoLeaks(wait time.Duration) error {
 			return err
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// DriftProbes returns watchdog probes over both pools' Outstanding
+// accounts: a pool whose checked-out count ratchets up on window
+// consecutive checks by at least minGrowth total is leaking toward OOM
+// (steady load plateaus; only a leak grows monotonically). Each check
+// also records the sample as a flight event, so the bundle carries the
+// drift curve.
+func DriftProbes(window int, minGrowth int64) []flight.Probe {
+	return []flight.Probe{
+		flight.GrowthProbe("pool-notes-drift", flight.SubPool.String(), Notes.Outstanding, window, minGrowth),
+		flight.GrowthProbe("pool-bufs-drift", flight.SubPool.String(), Bufs.Outstanding, window, minGrowth),
 	}
 }

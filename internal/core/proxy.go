@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"lasthop/internal/flight"
 	"lasthop/internal/msg"
 	"lasthop/internal/rankedq"
 	"lasthop/internal/simtime"
@@ -533,9 +534,11 @@ func (p *Proxy) quietTimeout(ts *topicState, id msg.ID) {
 	// midnight draws on the new day's budget, and overflow rides the
 	// staging path like any other capped arrival.
 	if ts.chargeOnlineCap(now) {
+		flight.Record(flight.SubCore, flight.KindQuietRelease, -1, flight.TopicHash(ts.cfg.Name), 1)
 		p.traceDecision(trace.KindEnqueue, ts, n, "outgoing", "quiet-window released")
 		p.mustPush(ts.outgoing, n)
 	} else {
+		flight.Record(flight.SubCore, flight.KindQuietRelease, -1, flight.TopicHash(ts.cfg.Name), 0)
 		p.enqueueStaged(ts, n, now, "daily-cap after quiet-window")
 	}
 	p.tryForwarding(ts)

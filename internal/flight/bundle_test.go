@@ -1,0 +1,194 @@
+package flight
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tracesStub stands in for a trace.Collector via the bundle's structural
+// Traces interface: it dumps a canned JSONL body.
+type tracesStub string
+
+func (s tracesStub) WriteJSONL(w io.Writer) error {
+	_, err := io.WriteString(w, string(s))
+	return err
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	rec := NewRecorder(64)
+	rec.Record(SubSpool, KindAppend, 1, 900, 128)
+	rec.Record(SubSpool, KindFsync, 1, 40_000, 3)
+	rec.Record(SubFlush, KindFlush, -1, 8, 4096)
+
+	trips := []Trip{{Probe: "worker-1-spool", Component: "spool", Error: "group commit pending for 2s", At: time.Now()}}
+	dir, err := WriteBundle(BundleOptions{
+		Dir:      t.TempDir(),
+		Node:     "edge host/1", // exercises sanitizing
+		Reason:   "watchdog",
+		Trips:    trips,
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatalf("WriteBundle: %v", err)
+	}
+	if base := filepath.Base(dir); strings.ContainsAny(base, " /") || !strings.HasPrefix(base, "flight-edge_host_1-") {
+		t.Errorf("bundle dir name not sanitized: %q", base)
+	}
+	for _, name := range []string{"flight.jsonl", "goroutines.txt", "heap.pprof", "manifest.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("bundle missing %s: %v", name, err)
+		}
+	}
+
+	b, err := LoadBundle(dir)
+	if err != nil {
+		t.Fatalf("LoadBundle: %v", err)
+	}
+	if b.Manifest.Node != "edge host/1" || b.Manifest.Reason != "watchdog" || len(b.Manifest.Trips) != 1 {
+		t.Errorf("manifest mangled: %+v", b.Manifest)
+	}
+	if len(b.Events) != 3 {
+		t.Fatalf("loaded %d events, want 3", len(b.Events))
+	}
+	var fsync *Event
+	for i := range b.Events {
+		if b.Events[i].Kind == KindFsync {
+			fsync = &b.Events[i]
+		}
+	}
+	if fsync == nil || fsync.Sub != SubSpool || fsync.A != 40_000 || fsync.B != 3 || fsync.Worker != 1 {
+		t.Errorf("fsync event did not survive the JSONL round trip: %+v", fsync)
+	}
+}
+
+func TestLoadBundleRejectsTornDump(t *testing.T) {
+	dir := t.TempDir()
+	// flight.jsonl without a manifest: the dump was cut off mid-write.
+	if err := os.WriteFile(filepath.Join(dir, "flight.jsonl"), []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundle(dir); err == nil {
+		t.Fatal("torn bundle (no manifest) loaded without error")
+	}
+}
+
+func TestFindBundles(t *testing.T) {
+	root := t.TempDir()
+	var want []string
+	for i := 0; i < 3; i++ {
+		dir, err := WriteBundle(BundleOptions{Dir: root, Node: "n", Reason: "http", SkipPprof: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, dir)
+	}
+	// A stray directory without a manifest is not a bundle.
+	if err := os.MkdirAll(filepath.Join(root, "not-a-bundle"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	got, err := FindBundles(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("found %d bundles, want %d: %v", len(got), len(want), got)
+	}
+}
+
+func TestDumpHandler(t *testing.T) {
+	dir := t.TempDir()
+	h := DumpHandler(func(reason string) BundleOptions {
+		if reason != "http" {
+			t.Errorf("handler reason %q, want http", reason)
+		}
+		return BundleOptions{Dir: dir, Node: "n1", Reason: reason, SkipPprof: true}
+	})
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flight/dump", nil))
+	if rr.Code != 200 {
+		t.Fatalf("dump handler status %d: %s", rr.Code, rr.Body)
+	}
+	var resp map[string]string
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("response not JSON: %v", err)
+	}
+	if _, err := LoadBundle(resp["bundle"]); err != nil {
+		t.Fatalf("handler's bundle does not load: %v", err)
+	}
+}
+
+func TestDiagnoseNamesStalledComponent(t *testing.T) {
+	rec := NewRecorder(64)
+	rec.Record(SubSpool, KindAppend, 0, 1000, 64)
+	rec.Record(SubWorker, KindLoop, 0, 100, 1)
+	time.Sleep(10 * time.Millisecond) // open a visible silence window
+	trips := []Trip{{Probe: "worker-0-spool", Component: "spool", Error: "group commit pending for 5s", At: time.Now()}}
+
+	dir, err := WriteBundle(BundleOptions{
+		Dir: t.TempDir(), Node: "edge-1", Reason: "watchdog",
+		Trips: trips, Recorder: rec, SkipPprof: true,
+		Traces: tracesStub(`{"traceId":"t1","topic":"a","outcome":"lost"}
+{"traceId":"t2","topic":"a","outcome":"read"}
+{"traceId":"t3","topic":"b","outcome":"wasted"}
+`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := Diagnose([]*Bundle{b})
+	if len(ds) != 1 {
+		t.Fatalf("got %d diagnoses, want 1: %+v", len(ds), ds)
+	}
+	d := ds[0]
+	if d.Component != "spool" || d.Node != "edge-1" {
+		t.Fatalf("diagnosis names %s/%s, want edge-1/spool", d.Node, d.Component)
+	}
+	if d.WindowFrom.IsZero() || !d.WindowFrom.Before(d.WindowTo) {
+		t.Errorf("evidence window not anchored: from=%v to=%v", d.WindowFrom, d.WindowTo)
+	}
+	if d.Lost != 1 || d.Wasted != 1 {
+		t.Errorf("correlated outcomes lost=%d wasted=%d, want 1/1", d.Lost, d.Wasted)
+	}
+
+	var tbl strings.Builder
+	WriteDiagnosisTable(&tbl, ds)
+	if !strings.Contains(tbl.String(), "spool") || !strings.Contains(tbl.String(), "edge-1") {
+		t.Errorf("diagnosis table missing the component:\n%s", tbl.String())
+	}
+}
+
+func TestDiagnoseCollapsesRepeatTrips(t *testing.T) {
+	early := time.Now().Add(-time.Minute)
+	late := time.Now()
+	dir, err := WriteBundle(BundleOptions{
+		Dir: t.TempDir(), Node: "n", Reason: "watchdog", SkipPprof: true,
+		Trips: []Trip{
+			{Probe: "p", Component: "flush", Error: "late", At: late},
+			{Probe: "p", Component: "flush", Error: "early", At: early},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := Diagnose([]*Bundle{b})
+	if len(ds) != 1 {
+		t.Fatalf("repeat trips not collapsed: %+v", ds)
+	}
+	if !ds[0].WindowTo.Equal(early.UTC()) && !ds[0].WindowTo.Equal(early) {
+		t.Errorf("collapsed diagnosis kept %v, want earliest %v", ds[0].WindowTo, early)
+	}
+}

@@ -1,0 +1,334 @@
+// Package flight is the node's black box: an always-on flight recorder
+// of compact structured events from every latency-critical subsystem —
+// worker loop progress, wheel cascades, spool append/fsync/compaction
+// latencies, mux subscribe/drain transitions, egress-ring flushes, pool
+// outstanding drift, hibernate/rehydrate transitions, quiet-window
+// releases — held in fixed-size per-subsystem ring buffers so the last
+// few seconds before an anomaly are always reconstructible.
+//
+// Recording is lock-free and allocation-free: a writer claims a slot
+// with one atomic add and fills it with a handful of atomic stores
+// bracketed by a per-slot sequence number (a seqlock), so readers decode
+// concurrently without ever blocking a writer and detect torn slots
+// instead of trusting them. The recorder is enabled at init and costs
+// nothing while the node is idle — no goroutines, no timers, events are
+// only written when the instrumented code paths run.
+//
+// On top of the recorder sit the stall watchdog (watchdog.go), the
+// post-mortem dump bundle (bundle.go), and the lasthop-doctor diagnosis
+// engine (doctor.go).
+package flight
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Subsystem partitions the recorder into independent rings, so a chatty
+// subsystem (flushes under load) cannot evict another's history (a
+// worker's last loop iterations — exactly what a stall post-mortem
+// needs).
+type Subsystem uint8
+
+const (
+	// SubWorker: event-loop worker progress (KindLoop).
+	SubWorker Subsystem = iota
+	// SubWheel: timing-wheel cascades (KindCascade).
+	SubWheel
+	// SubSpool: spool append/fsync/compact latencies.
+	SubSpool
+	// SubMux: upstream subscription multiplexer transitions.
+	SubMux
+	// SubFlush: egress-ring flushes and stalls.
+	SubFlush
+	// SubPool: burst pool outstanding samples.
+	SubPool
+	// SubLifecycle: session hibernate/rehydrate transitions.
+	SubLifecycle
+	// SubCore: per-session proxy volume-limit machinery (quiet-window
+	// releases).
+	SubCore
+
+	// NumSubsystems sizes per-subsystem arrays.
+	NumSubsystems
+)
+
+var subsystemNames = [NumSubsystems]string{
+	SubWorker:    "worker",
+	SubWheel:     "wheel",
+	SubSpool:     "spool",
+	SubMux:       "mux",
+	SubFlush:     "flush",
+	SubPool:      "pool",
+	SubLifecycle: "lifecycle",
+	SubCore:      "core",
+}
+
+func (s Subsystem) String() string {
+	if int(s) < len(subsystemNames) {
+		return subsystemNames[s]
+	}
+	return "unknown"
+}
+
+// SubsystemByName resolves a subsystem label back to its code (doctor
+// side). ok is false for labels this build does not know.
+func SubsystemByName(name string) (Subsystem, bool) {
+	for i, n := range subsystemNames {
+		if n == name {
+			return Subsystem(i), true
+		}
+	}
+	return 0, false
+}
+
+// Kind says what happened; A and B are kind-specific payloads documented
+// per constant (durations are nanoseconds).
+type Kind uint8
+
+const (
+	// KindNone is the zero kind (an empty slot decodes to it).
+	KindNone Kind = iota
+	// KindLoop: one live wheel advance batch. A=busy ns, B=ticks run.
+	KindLoop
+	// KindCascade: higher wheel levels drained down. A=timers moved.
+	KindCascade
+	// KindAppend: spool record appended. A=latency ns, B=bytes.
+	KindAppend
+	// KindFsync: spool fsync. A=latency ns, B=pending commit callbacks.
+	KindFsync
+	// KindCompact: spool compaction pass. A=latency ns, B=segments after.
+	KindCompact
+	// KindSubscribe: upstream mux took a topic reference. A=topic hash,
+	// B=refs after.
+	KindSubscribe
+	// KindUnsubscribe: upstream mux dropped a reference. A=topic hash,
+	// B=refs after.
+	KindUnsubscribe
+	// KindDrain: last reference gone, upstream unsubscribe resolved.
+	// A=topic hash.
+	KindDrain
+	// KindFlush: one vectored egress flush. A=frames, B=bytes.
+	KindFlush
+	// KindStall: a watchdog probe fired. A=probe age ns.
+	KindStall
+	// KindOutstanding: pool outstanding sample. A=outstanding, B=delta
+	// since previous sample.
+	KindOutstanding
+	// KindHibernate: one session completed hibernation. A=hibernations
+	// so far.
+	KindHibernate
+	// KindRehydrate: one session rebuilt from its spool chain.
+	// A=latency ns.
+	KindRehydrate
+	// KindQuietRelease: a quiet-window hold released. A=topic hash,
+	// B=1 if forwarded, 0 if staged against the daily cap.
+	KindQuietRelease
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindNone:         "none",
+	KindLoop:         "loop",
+	KindCascade:      "cascade",
+	KindAppend:       "append",
+	KindFsync:        "fsync",
+	KindCompact:      "compact",
+	KindSubscribe:    "subscribe",
+	KindUnsubscribe:  "unsubscribe",
+	KindDrain:        "drain",
+	KindFlush:        "flush",
+	KindStall:        "stall",
+	KindOutstanding:  "outstanding",
+	KindHibernate:    "hibernate",
+	KindRehydrate:    "rehydrate",
+	KindQuietRelease: "quiet-release",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// KindByName resolves a kind label back to its code (doctor side).
+func KindByName(name string) (Kind, bool) {
+	for i, n := range kindNames {
+		if n == name {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one decoded flight record. Worker is the worker/shard the
+// event belongs to, or -1 when the subsystem is not sharded.
+type Event struct {
+	At     int64 // unix nanoseconds
+	Sub    Subsystem
+	Kind   Kind
+	Worker int32
+	A, B   int64
+}
+
+// Time converts the event timestamp.
+func (e Event) Time() time.Time { return time.Unix(0, e.At) }
+
+// slot is one seqlock-guarded ring entry. seq is 2*pos+1 while the
+// claiming writer is mid-store and 2*pos+2 once the slot is complete, so
+// a reader can tell a torn slot (odd), a recycled slot (different
+// generation), and a never-written slot (zero) apart from a valid one.
+type slot struct {
+	seq  atomic.Uint64
+	at   atomic.Int64
+	a    atomic.Int64
+	b    atomic.Int64
+	meta atomic.Uint64 // sub<<40 | kind<<32 | uint32(worker)
+}
+
+type ring struct {
+	cursor atomic.Uint64
+	mask   uint64
+	slots  []slot
+}
+
+func (r *ring) record(at int64, meta uint64, a, b int64) {
+	pos := r.cursor.Add(1) - 1
+	s := &r.slots[pos&r.mask]
+	s.seq.Store(2*pos + 1)
+	s.at.Store(at)
+	s.a.Store(a)
+	s.b.Store(b)
+	s.meta.Store(meta)
+	s.seq.Store(2*pos + 2)
+}
+
+// snapshot appends every decodable event, oldest first, skipping slots a
+// concurrent writer holds mid-store (torn) or has lapped (stale
+// generation).
+func (r *ring) snapshot(buf []Event) []Event {
+	end := r.cursor.Load()
+	n := uint64(len(r.slots))
+	if n == 0 || end == 0 {
+		return buf
+	}
+	start := uint64(0)
+	if end > n {
+		start = end - n
+	}
+	for pos := start; pos < end; pos++ {
+		s := &r.slots[pos&r.mask]
+		want := 2*pos + 2
+		if s.seq.Load() != want {
+			continue
+		}
+		at, a, b, meta := s.at.Load(), s.a.Load(), s.b.Load(), s.meta.Load()
+		if s.seq.Load() != want {
+			continue
+		}
+		buf = append(buf, Event{
+			At:     at,
+			Sub:    Subsystem(meta >> 40),
+			Kind:   Kind(meta >> 32 & 0xff),
+			Worker: int32(uint32(meta)),
+			A:      a,
+			B:      b,
+		})
+	}
+	return buf
+}
+
+// Recorder holds one ring per subsystem.
+type Recorder struct {
+	rings [NumSubsystems]ring
+}
+
+// DefaultRingEvents is the per-subsystem ring capacity the process-wide
+// recorder starts with: at typical event rates (commit ticks every tens
+// of milliseconds, flushes under load) it covers the last several
+// seconds — the window a stall post-mortem needs.
+const DefaultRingEvents = 4096
+
+// NewRecorder returns a recorder with the given per-subsystem capacity,
+// rounded up to a power of two (minimum 16).
+func NewRecorder(perSubsystem int) *Recorder {
+	size := 16
+	for size < perSubsystem {
+		size <<= 1
+	}
+	r := &Recorder{}
+	for i := range r.rings {
+		r.rings[i].slots = make([]slot, size)
+		r.rings[i].mask = uint64(size - 1)
+	}
+	return r
+}
+
+// Record writes one event: one atomic add to claim the slot plus five
+// atomic stores to fill it. Zero heap.
+func (r *Recorder) Record(sub Subsystem, kind Kind, worker int32, a, b int64) {
+	meta := uint64(sub)<<40 | uint64(kind)<<32 | uint64(uint32(worker))
+	r.rings[sub].record(time.Now().UnixNano(), meta, a, b)
+}
+
+// Snapshot decodes every ring into one timeline, sorted by timestamp.
+// Safe to call while writers are recording.
+func (r *Recorder) Snapshot() []Event {
+	var out []Event
+	for i := range r.rings {
+		out = r.rings[i].snapshot(out)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// current is the process-wide recorder. Always on from init; Enable
+// resizes it and Disable (tests) turns recording into a single
+// nil-check branch.
+var current atomic.Pointer[Recorder]
+
+func init() { Enable(DefaultRingEvents) }
+
+// Enable installs a fresh process-wide recorder with the given
+// per-subsystem ring capacity and returns it. size <= 0 disables
+// recording.
+func Enable(size int) *Recorder {
+	if size <= 0 {
+		current.Store(nil)
+		return nil
+	}
+	r := NewRecorder(size)
+	current.Store(r)
+	return r
+}
+
+// Active returns the process-wide recorder, nil when disabled.
+func Active() *Recorder { return current.Load() }
+
+// Record writes one event to the process-wide recorder; a disabled
+// recorder makes this a load and a branch.
+func Record(sub Subsystem, kind Kind, worker int32, a, b int64) {
+	if r := current.Load(); r != nil {
+		r.Record(sub, kind, worker, a, b)
+	}
+}
+
+// TopicHash folds a topic name to a stable 32-bit tag (FNV-1a) so events
+// can reference topics without retaining or allocating strings. The
+// doctor reports the tag; correlating it back to a name uses the trace
+// side of the bundle.
+func TopicHash(topic string) int64 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(topic); i++ {
+		h ^= uint32(topic[i])
+		h *= prime32
+	}
+	return int64(h)
+}

@@ -1,0 +1,268 @@
+package flight
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRecorderRoundTrip(t *testing.T) {
+	r := NewRecorder(64)
+	r.Record(SubSpool, KindFsync, 3, 1500, 7)
+	r.Record(SubWorker, KindLoop, 0, 250_000, 4)
+	r.Record(SubFlush, KindFlush, -1, 16, 4096)
+
+	events := r.Snapshot()
+	if len(events) != 3 {
+		t.Fatalf("snapshot has %d events, want 3", len(events))
+	}
+	byKind := map[Kind]Event{}
+	for _, e := range events {
+		byKind[e.Kind] = e
+		if e.At == 0 {
+			t.Errorf("%v event has zero timestamp", e.Kind)
+		}
+	}
+	if e := byKind[KindFsync]; e.Sub != SubSpool || e.Worker != 3 || e.A != 1500 || e.B != 7 {
+		t.Errorf("fsync event mangled: %+v", e)
+	}
+	if e := byKind[KindFlush]; e.Worker != -1 {
+		t.Errorf("unsharded worker tag not preserved: %+v", e)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatal("snapshot not sorted by timestamp")
+		}
+	}
+}
+
+func TestRecorderWrapKeepsNewest(t *testing.T) {
+	r := NewRecorder(16)
+	for i := 0; i < 50; i++ {
+		r.Record(SubSpool, KindAppend, 0, int64(i), 0)
+	}
+	events := r.Snapshot()
+	if len(events) != 16 {
+		t.Fatalf("wrapped ring snapshot has %d events, want 16", len(events))
+	}
+	seen := map[int64]bool{}
+	for _, e := range events {
+		seen[e.A] = true
+	}
+	for i := int64(34); i < 50; i++ {
+		if !seen[i] {
+			t.Errorf("newest event %d evicted by wrap", i)
+		}
+	}
+}
+
+func TestSubsystemRingsAreIndependent(t *testing.T) {
+	r := NewRecorder(16)
+	// Flood one subsystem far past its capacity; another's single event
+	// must survive.
+	r.Record(SubWorker, KindLoop, 0, 42, 0)
+	for i := 0; i < 1000; i++ {
+		r.Record(SubFlush, KindFlush, -1, int64(i), 0)
+	}
+	found := false
+	for _, e := range r.Snapshot() {
+		if e.Sub == SubWorker && e.A == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("a chatty subsystem evicted another subsystem's history")
+	}
+}
+
+func TestRecordZeroAllocs(t *testing.T) {
+	r := NewRecorder(1024)
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Record(SubFlush, KindFlush, 2, 8, 2048)
+	}); n != 0 {
+		t.Fatalf("Recorder.Record allocates %.1f per op, want 0", n)
+	}
+	// The package-level path (the one on the datapath) must stay
+	// alloc-free too, enabled or disabled.
+	prev := Active()
+	defer current.Store(prev)
+	Enable(1024)
+	if n := testing.AllocsPerRun(1000, func() {
+		Record(SubSpool, KindAppend, 0, 100, 64)
+	}); n != 0 {
+		t.Fatalf("flight.Record (enabled) allocates %.1f per op, want 0", n)
+	}
+	Enable(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		Record(SubSpool, KindAppend, 0, 100, 64)
+	}); n != 0 {
+		t.Fatalf("flight.Record (disabled) allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Record(Subsystem(i%int(NumSubsystems)), KindAppend, int32(w), int64(i), 0)
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		for _, e := range r.Snapshot() {
+			if e.Kind != KindAppend || e.At == 0 {
+				t.Errorf("torn slot leaked into snapshot: %+v", e)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestNameRoundTrips(t *testing.T) {
+	for s := Subsystem(0); s < NumSubsystems; s++ {
+		got, ok := SubsystemByName(s.String())
+		if !ok || got != s {
+			t.Errorf("subsystem %d label %q does not round-trip", s, s.String())
+		}
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		got, ok := KindByName(k.String())
+		if !ok || got != k {
+			t.Errorf("kind %d label %q does not round-trip", k, k.String())
+		}
+	}
+}
+
+func TestTopicHashStableAndAllocFree(t *testing.T) {
+	if TopicHash("sc/burst/t001") != TopicHash("sc/burst/t001") {
+		t.Fatal("TopicHash not deterministic")
+	}
+	if TopicHash("a") == TopicHash("b") {
+		t.Fatal("trivially distinct topics collide")
+	}
+	topic := "sc/quiet-window/t042"
+	if n := testing.AllocsPerRun(1000, func() { TopicHash(topic) }); n != 0 {
+		t.Fatalf("TopicHash allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestHeartbeatProbe(t *testing.T) {
+	var hb atomic.Int64
+	p := HeartbeatProbe("w", "worker", &hb, 10*time.Millisecond)
+	if err := p.Check(); err != nil {
+		t.Fatalf("unstarted heartbeat tripped: %v", err)
+	}
+	hb.Store(time.Now().UnixNano())
+	if err := p.Check(); err != nil {
+		t.Fatalf("fresh heartbeat tripped: %v", err)
+	}
+	hb.Store(time.Now().Add(-time.Second).UnixNano())
+	if err := p.Check(); err == nil {
+		t.Fatal("stale heartbeat did not trip")
+	}
+}
+
+func TestAgeProbe(t *testing.T) {
+	var oldest atomic.Int64
+	p := AgeProbe("pend", "spool", oldest.Load, 10*time.Millisecond)
+	if err := p.Check(); err != nil {
+		t.Fatalf("nothing outstanding tripped: %v", err)
+	}
+	oldest.Store(time.Now().Add(-time.Second).UnixNano())
+	if err := p.Check(); err == nil {
+		t.Fatal("old outstanding work did not trip")
+	}
+}
+
+func TestGrowthProbeTripsOnMonotonicLeak(t *testing.T) {
+	var val atomic.Int64
+	p := GrowthProbe("leak", "pool", val.Load, 3, 30)
+	// Oscillation is load, not a leak: never trips.
+	for _, v := range []int64{10, 50, 20, 60, 10} {
+		val.Store(v)
+		if err := p.Check(); err != nil {
+			t.Fatalf("oscillating value tripped: %v", err)
+		}
+	}
+	// Ratcheting growth past the window and floor trips.
+	var tripped error
+	for _, v := range []int64{20, 40, 60, 80} {
+		val.Store(v)
+		tripped = p.Check()
+	}
+	if tripped == nil {
+		t.Fatal("monotonic growth did not trip")
+	}
+}
+
+func TestWatchdogRunOnceAndRateLimit(t *testing.T) {
+	w := NewWatchdog(time.Hour) // loop never fires; RunOnce drives it
+	defer w.Close()
+	fail := atomic.Bool{}
+	w.Register(Probe{Name: "p", Component: "spool", Check: func() error {
+		if fail.Load() {
+			return fmt.Errorf("wedged")
+		}
+		return nil
+	}})
+	var dumps atomic.Int64
+	w.OnTrip(func(trips []Trip) {
+		dumps.Add(1)
+		if len(trips) != 1 || trips[0].Component != "spool" {
+			t.Errorf("unexpected trips: %+v", trips)
+		}
+	})
+
+	if trips := w.RunOnce(); trips != nil {
+		t.Fatalf("healthy probes tripped: %+v", trips)
+	}
+	fail.Store(true)
+	if trips := w.RunOnce(); len(trips) != 1 {
+		t.Fatalf("wedged probe produced %d trips, want 1", len(trips))
+	}
+	// A persistent stall keeps returning trips but the dump handler is
+	// rate-limited to one bundle per gap.
+	if trips := w.RunOnce(); len(trips) != 1 {
+		t.Fatalf("persistent stall stopped reporting: %+v", trips)
+	}
+	if got := dumps.Load(); got != 1 {
+		t.Fatalf("dump handler fired %d times inside the gap, want 1", got)
+	}
+	w.SetDumpGap(0)
+	w.RunOnce()
+	if got := dumps.Load(); got != 2 {
+		t.Fatalf("gapless dump handler fired %d times, want 2", got)
+	}
+	if w.Trips() != 3 {
+		t.Fatalf("trip counter %d, want 3", w.Trips())
+	}
+}
+
+func TestWatchdogPeriodicLoop(t *testing.T) {
+	w := NewWatchdog(5 * time.Millisecond)
+	w.Register(Probe{Name: "always", Component: "flush", Check: func() error {
+		return fmt.Errorf("down")
+	}})
+	w.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for w.Trips() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	w.Close()
+	if w.Trips() == 0 {
+		t.Fatal("periodic loop never ran the probes")
+	}
+}

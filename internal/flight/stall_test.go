@@ -1,0 +1,122 @@
+package flight_test
+
+// The acceptance path for the whole observability stack, end to end: a
+// real component is wedged, the watchdog trips on its lock-free
+// telemetry, the trip dumps a bundle, and the doctor loads the bundle
+// and names the stalled component. Lives in an external test package so
+// it can import the instrumented components (spool, wire) — they import
+// flight, not the other way around.
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"lasthop/internal/flight"
+	"lasthop/internal/spool"
+	"lasthop/internal/wire"
+)
+
+func TestSpoolStallTripsWatchdogAndDoctorNamesIt(t *testing.T) {
+	rec := flight.Enable(256)
+	defer flight.Enable(flight.DefaultRingEvents)
+
+	w, err := spool.Open(spool.Options{Dir: t.TempDir(), Fsync: spool.FsyncCommit, Tag: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	// The injected stall: records are appended with commit callbacks but
+	// the group commit never runs — exactly what a wedged fsync or a
+	// dead commit tick looks like from outside.
+	for i := 0; i < 4; i++ {
+		if _, err := w.Append(spool.Record{Kind: spool.KindDelta, Name: "sess", Payload: []byte("x")}, func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(30 * time.Millisecond)
+
+	dog := flight.NewWatchdog(time.Hour)
+	defer dog.Close()
+	dog.Register(w.StallProbe("worker-0-spool", 10*time.Millisecond, 0))
+
+	var bundlePath string
+	dog.OnTrip(func(trips []flight.Trip) {
+		dir, err := flight.WriteBundle(flight.BundleOptions{
+			Dir: t.TempDir(), Node: "stall-test", Reason: "watchdog",
+			Trips: trips, Recorder: rec, SkipPprof: true,
+		})
+		if err != nil {
+			t.Errorf("bundle dump: %v", err)
+			return
+		}
+		bundlePath = dir
+	})
+
+	trips := dog.RunOnce()
+	if len(trips) != 1 {
+		t.Fatalf("stalled spool produced %d trips, want 1: %+v", len(trips), trips)
+	}
+	if trips[0].Component != flight.SubSpool.String() {
+		t.Fatalf("trip blames %q, want spool", trips[0].Component)
+	}
+	if !strings.Contains(trips[0].Error, "pending") {
+		t.Errorf("trip evidence %q does not mention the pending commit", trips[0].Error)
+	}
+	if bundlePath == "" {
+		t.Fatal("watchdog trip did not produce a bundle")
+	}
+
+	// The doctor, pointed at the bundle, must name the component.
+	b, err := flight.LoadBundle(bundlePath)
+	if err != nil {
+		t.Fatalf("doctor cannot load the trip bundle: %v", err)
+	}
+	ds := flight.Diagnose([]*flight.Bundle{b})
+	if len(ds) != 1 || ds[0].Component != "spool" {
+		t.Fatalf("doctor diagnosis %+v, want one naming spool", ds)
+	}
+	if ds[0].Events == 0 {
+		t.Error("diagnosis found no spool flight events despite the appends")
+	}
+	if ds[0].WindowFrom.IsZero() {
+		t.Error("evidence window missing the spool's last activity")
+	}
+
+	// Recovery: once the group commit runs, the probe goes quiet.
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if trips := dog.RunOnce(); trips != nil {
+		t.Fatalf("probe still tripping after commit: %+v", trips)
+	}
+}
+
+func TestParkedFlusherTripsProbe(t *testing.T) {
+	// A connection whose flusher is wedged mid-write: net.Pipe's peer
+	// never reads, so the flush blocks and the buffered bytes age. The
+	// raw client side closes first on cleanup to unblock the flusher
+	// before Conn.Close takes the write lock it is holding.
+	client, server := net.Pipe()
+	c := wire.NewConn(client)
+	defer func() { _ = c.Close() }()
+	defer server.Close()
+	defer client.Close()
+
+	if err := c.Send(&wire.Frame{Type: wire.TypePublish, Topic: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+
+	probe := wire.FlusherStallProbe(10*time.Millisecond, 1)
+	if err := probe.Check(); err == nil {
+		t.Fatal("parked flusher with pending bytes did not trip")
+	} else if !strings.Contains(err.Error(), "unflushed") {
+		t.Errorf("trip evidence %q does not mention unflushed bytes", err)
+	}
+	if probe.Component != flight.SubFlush.String() {
+		t.Errorf("probe component %q, want flush", probe.Component)
+	}
+}

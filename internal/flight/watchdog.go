@@ -1,0 +1,232 @@
+package flight
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Probe is one periodic health check. Check returns nil while healthy
+// and a descriptive error once the component looks stalled; the error
+// becomes the evidence line in the dump bundle. Component is the
+// doctor-facing label ("worker", "spool", "flusher", "pool", …) —
+// conventionally a Subsystem name, which lets the doctor anchor the
+// evidence window in that subsystem's flight ring.
+//
+// Checks run on the watchdog goroutine while the probed component may be
+// wedged holding its own locks, so a Check must only read atomics or
+// otherwise lock-free state — never take the component's mutex.
+type Probe struct {
+	Name      string
+	Component string
+	Check     func() error
+}
+
+// Trip records one probe failure.
+type Trip struct {
+	Probe     string    `json:"probe"`
+	Component string    `json:"component"`
+	Error     string    `json:"error"`
+	At        time.Time `json:"at"`
+}
+
+func (t Trip) String() string {
+	return fmt.Sprintf("probe %s (%s): %s", t.Probe, t.Component, t.Error)
+}
+
+// Watchdog periodically runs registered probes and reports trips. The
+// OnTrip callback (typically a bundle dump) is rate-limited: once fired
+// it stays quiet for a full dump gap even if probes keep failing, so a
+// persistent stall produces one bundle, not one per interval.
+type Watchdog struct {
+	interval time.Duration
+	dumpGap  time.Duration
+
+	mu       sync.Mutex
+	probes   []Probe
+	onTrip   func([]Trip)
+	lastDump time.Time
+
+	tripped atomic.Int64
+
+	startOnce sync.Once
+	closeOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// DefaultDumpGap is the minimum spacing between OnTrip callbacks.
+const DefaultDumpGap = 30 * time.Second
+
+// NewWatchdog returns a stopped watchdog checking at the given interval
+// once started. Interval <= 0 defaults to 2s.
+func NewWatchdog(interval time.Duration) *Watchdog {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	return &Watchdog{interval: interval, dumpGap: DefaultDumpGap, done: make(chan struct{})}
+}
+
+// SetDumpGap tunes the OnTrip rate limit (tests shrink it). Zero or
+// negative disables the limit.
+func (w *Watchdog) SetDumpGap(d time.Duration) {
+	w.mu.Lock()
+	w.dumpGap = d
+	w.mu.Unlock()
+}
+
+// Register adds probes; safe while the watchdog runs.
+func (w *Watchdog) Register(probes ...Probe) {
+	w.mu.Lock()
+	w.probes = append(w.probes, probes...)
+	w.mu.Unlock()
+}
+
+// OnTrip installs the trip handler (typically WriteBundle + a log line).
+// The handler runs on the watchdog goroutine.
+func (w *Watchdog) OnTrip(fn func([]Trip)) {
+	w.mu.Lock()
+	w.onTrip = fn
+	w.mu.Unlock()
+}
+
+// Trips returns how many probe failures have been observed in total.
+func (w *Watchdog) Trips() int64 { return w.tripped.Load() }
+
+// RunOnce checks every probe immediately, returning the trips (nil when
+// healthy) and firing the rate-limited OnTrip handler on failures. The
+// periodic loop calls this; tests and SIGQUIT-style handlers may too.
+func (w *Watchdog) RunOnce() []Trip {
+	w.mu.Lock()
+	probes := append([]Probe(nil), w.probes...)
+	w.mu.Unlock()
+
+	var trips []Trip
+	now := time.Now()
+	for _, p := range probes {
+		if p.Check == nil {
+			continue
+		}
+		if err := p.Check(); err != nil {
+			trips = append(trips, Trip{Probe: p.Name, Component: p.Component, Error: err.Error(), At: now})
+			if sub, ok := SubsystemByName(p.Component); ok {
+				Record(sub, KindStall, -1, 0, 0)
+			}
+		}
+	}
+	if len(trips) == 0 {
+		return nil
+	}
+	w.tripped.Add(int64(len(trips)))
+
+	w.mu.Lock()
+	fn := w.onTrip
+	fire := fn != nil && (w.dumpGap <= 0 || w.lastDump.IsZero() || now.Sub(w.lastDump) >= w.dumpGap)
+	if fire {
+		w.lastDump = now
+	}
+	w.mu.Unlock()
+	if fire {
+		fn(trips)
+	}
+	return trips
+}
+
+// Start launches the periodic check loop. Idempotent.
+func (w *Watchdog) Start() {
+	w.startOnce.Do(func() {
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			t := time.NewTicker(w.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-w.done:
+					return
+				case <-t.C:
+					w.RunOnce()
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the loop and waits for it. Idempotent; safe without Start.
+func (w *Watchdog) Close() {
+	w.closeOnce.Do(func() { close(w.done) })
+	w.wg.Wait()
+}
+
+// HeartbeatProbe trips when an atomically-stamped unix-nanosecond
+// heartbeat is older than max. A zero heartbeat (never stamped) is
+// healthy — the component has not started yet.
+func HeartbeatProbe(name, component string, last *atomic.Int64, max time.Duration) Probe {
+	return Probe{Name: name, Component: component, Check: func() error {
+		at := last.Load()
+		if at == 0 {
+			return nil
+		}
+		if age := time.Since(time.Unix(0, at)); age > max {
+			return fmt.Errorf("heartbeat %v old (max %v)", age.Round(time.Millisecond), max)
+		}
+		return nil
+	}}
+}
+
+// AgeProbe trips when the instant returned by oldest (unix nanoseconds;
+// 0 = nothing outstanding) has been outstanding longer than max. Used
+// for "work accepted but never completed" stalls: a spool append whose
+// group commit never ran, an egress ring whose flusher never drained.
+func AgeProbe(name, component string, oldest func() int64, max time.Duration) Probe {
+	return Probe{Name: name, Component: component, Check: func() error {
+		at := oldest()
+		if at == 0 {
+			return nil
+		}
+		if age := time.Since(time.Unix(0, at)); age > max {
+			return fmt.Errorf("outstanding for %v (max %v)", age.Round(time.Millisecond), max)
+		}
+		return nil
+	}}
+}
+
+// GrowthProbe samples a value each check and trips once it has grown on
+// window consecutive checks with total growth of at least minGrowth —
+// the signature of a leak (pool outstanding ratcheting up), as opposed
+// to load (which plateaus or oscillates). Each sample is also recorded
+// as a KindOutstanding flight event for the post-mortem.
+func GrowthProbe(name, component string, sample func() int64, window int, minGrowth int64) Probe {
+	if window < 2 {
+		window = 2
+	}
+	var prev, base int64
+	var streak int
+	var started bool
+	sub, subOK := SubsystemByName(component)
+	return Probe{Name: name, Component: component, Check: func() error {
+		cur := sample()
+		if subOK {
+			Record(sub, KindOutstanding, -1, cur, cur-prev)
+		}
+		if !started {
+			started = true
+			prev, base = cur, cur
+			return nil
+		}
+		if cur > prev {
+			if streak == 0 {
+				base = prev
+			}
+			streak++
+		} else {
+			streak = 0
+		}
+		prev = cur
+		if streak >= window && cur-base >= minGrowth {
+			return fmt.Errorf("grew %d over %d consecutive checks (now %d)", cur-base, streak, cur)
+		}
+		return nil
+	}}
+}

@@ -27,6 +27,7 @@ import (
 
 	"lasthop/internal/burst"
 	"lasthop/internal/core"
+	"lasthop/internal/flight"
 	"lasthop/internal/msg"
 	"lasthop/internal/obs"
 	"lasthop/internal/simtime"
@@ -138,6 +139,10 @@ type worker struct {
 	// compaction; compaction is skipped while it hasn't advanced.
 	// Wheel-serialized.
 	lastCompactAppends int64
+	// heartbeat is the unix-nanosecond stamp of the wheel's last live
+	// advance (set by the tick hook); the watchdog's worker probe reads
+	// it. A wedged session callback stops the stamps.
+	heartbeat atomic.Int64
 }
 
 // topicSub is the ref-counted state of one multiplexed upstream
@@ -212,7 +217,19 @@ func New(opts Options) (*Host, error) {
 	}
 	h.workers = make([]*worker, opts.Workers)
 	for i := range h.workers {
-		h.workers[i] = &worker{id: i, wheel: simtime.NewWallWheel(opts.WheelTick)}
+		w := &worker{id: i, wheel: simtime.NewWallWheel(opts.WheelTick)}
+		w.heartbeat.Store(time.Now().UnixNano())
+		wid := int32(i)
+		w.wheel.SetTickHook(func(ticks, cascaded, busyNs int64) {
+			w.heartbeat.Store(time.Now().UnixNano())
+			if ticks > 0 {
+				flight.Record(flight.SubWorker, flight.KindLoop, wid, busyNs, ticks)
+			}
+			if cascaded > 0 {
+				flight.Record(flight.SubWheel, flight.KindCascade, wid, cascaded, 0)
+			}
+		})
+		h.workers[i] = w
 	}
 	fail := func(err error) (*Host, error) {
 		for _, w := range h.workers {
@@ -234,6 +251,7 @@ func New(opts Options) (*Host, error) {
 				MaxRecordBytes: opts.SpoolMaxRecordBytes,
 				Fsync:          opts.SpoolFsync,
 				Logf:           opts.Logf,
+				Tag:            int32(w.id),
 			})
 			if err != nil {
 				return fail(err)
@@ -625,8 +643,10 @@ func (h *Host) subscribe(sess *Session, f *wire.Frame) error {
 		h.topics[f.Topic] = ts
 	}
 	ts.refs++
+	refs := ts.refs
 	ts.sessions[sess] = struct{}{}
 	h.mu.Unlock()
+	flight.Record(flight.SubMux, flight.KindSubscribe, -1, flight.TopicHash(f.Topic), int64(refs))
 
 	if first {
 		// The host subscribes with no volume options: every per-session
@@ -711,6 +731,7 @@ func (h *Host) unsubscribe(sess *Session, topic string) error {
 	if ts != nil {
 		if _, held := ts.sessions[sess]; held {
 			ts.refs--
+			flight.Record(flight.SubMux, flight.KindUnsubscribe, -1, flight.TopicHash(topic), int64(ts.refs))
 			delete(ts.sessions, sess)
 			if ts.refs <= 0 {
 				// Last reference: keep the entry in h.topics, marked
@@ -736,6 +757,7 @@ func (h *Host) unsubscribe(sess *Session, topic string) error {
 	}
 	h.mu.Unlock()
 	close(drained)
+	flight.Record(flight.SubMux, flight.KindDrain, -1, flight.TopicHash(topic), 0)
 	return err
 }
 
@@ -898,3 +920,24 @@ func (h *Host) Lifecycle() LifecycleStats {
 // Workers reports the worker count (for tooling and the load generator's
 // run metadata).
 func (h *Host) Workers() int { return len(h.workers) }
+
+// Probes returns the host's stall-watchdog probes: one heartbeat probe
+// per worker wheel (stale stamp = a wedged session callback or a dead
+// tick loop) and, when hibernation is on, one group-commit stall probe
+// per worker spool. heartbeatMax bounds heartbeat age — keep it well
+// above the wheel tick (the hook only stamps on live advances);
+// spoolPendingMax bounds how long a hibernate/delta append may wait for
+// its group commit. Register alongside wire.FlusherStallProbe and
+// burst.DriftProbes for full coverage.
+func (h *Host) Probes(heartbeatMax, spoolPendingMax time.Duration) []flight.Probe {
+	var probes []flight.Probe
+	for _, w := range h.workers {
+		probes = append(probes, flight.HeartbeatProbe(
+			fmt.Sprintf("worker-%d-heartbeat", w.id), flight.SubWorker.String(), &w.heartbeat, heartbeatMax))
+		if w.spool != nil {
+			probes = append(probes, w.spool.StallProbe(
+				fmt.Sprintf("worker-%d-spool", w.id), spoolPendingMax, 0))
+		}
+	}
+	return probes
+}

@@ -10,6 +10,7 @@ import (
 
 	"lasthop/internal/burst"
 	"lasthop/internal/core"
+	"lasthop/internal/flight"
 	"lasthop/internal/msg"
 	"lasthop/internal/spool"
 )
@@ -208,7 +209,7 @@ func (s *Session) completeHibernate() {
 	s.mu.Unlock()
 	s.proxy.Shutdown() // the wheel must not keep firing a dropped proxy's timers
 	s.proxy = nil
-	s.host.hibernations.Add(1)
+	flight.Record(flight.SubLifecycle, flight.KindHibernate, int32(s.w.id), s.host.hibernations.Add(1), 0)
 }
 
 // ensureResident brings the session back to memory if it isn't. Runs on
@@ -322,7 +323,9 @@ func (s *Session) rehydrate() {
 	s.mu.Lock()
 	s.state = stateResident
 	s.mu.Unlock()
-	s.host.observeRehydrate(time.Since(start))
+	d := time.Since(start)
+	flight.Record(flight.SubLifecycle, flight.KindRehydrate, int32(s.w.id), int64(d), 0)
+	s.host.observeRehydrate(d)
 }
 
 // observeRehydrate counts one completed rehydration and, once metrics are

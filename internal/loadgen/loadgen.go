@@ -102,6 +102,10 @@ type Config struct {
 	Timeout time.Duration `json:"-"`
 	// Logf receives progress diagnostics; nil silences them.
 	Logf func(string, ...any) `json:"-"`
+	// BundleDir, when set, receives a post-mortem flight bundle if the
+	// run fails or a stall watchdog trips (the CLI wires it from
+	// LASTHOP_BUNDLE_DIR). Empty disables bundle dumps.
+	BundleDir string `json:"-"`
 	// Registry receives every layer's metric families; nil creates a
 	// private one. Tests pass their own to assert on the scrape.
 	Registry *obs.Registry `json:"-"`

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"lasthop/internal/flight"
 	"lasthop/internal/host"
 	"lasthop/internal/metrics"
 	"lasthop/internal/msg"
@@ -328,6 +329,23 @@ func RunRecovery(cfg Config) (*Report, error) {
 		rep.DeliverPerSec = float64(rep.Delivered) / s
 	}
 	finishTraces(rep, collector)
+	if cfg.BundleDir != "" && (drainErr != nil || rep.Lost > 0 || rep.Recovered != cfg.Devices) {
+		o := flight.BundleOptions{
+			Dir:      cfg.BundleDir,
+			Node:     "recovery-drill",
+			Reason:   "recovery-failure",
+			Recorder: flight.Active(),
+			Metrics:  reg,
+		}
+		if collector != nil {
+			o.Traces = collector
+		}
+		if p, berr := flight.WriteBundle(o); berr != nil {
+			cfg.Logf("loadgen: flight bundle failed: %v", berr)
+		} else {
+			cfg.Logf("loadgen: recovery drill failed, flight bundle at %s", p)
+		}
+	}
 	if drainErr == nil && cfg.Linger > 0 {
 		cfg.Logf("loadgen: drill complete, lingering %v for scrapers", cfg.Linger)
 		time.Sleep(cfg.Linger)

@@ -20,6 +20,7 @@ import (
 	"lasthop/internal/burst"
 	"lasthop/internal/dist"
 	"lasthop/internal/faultnet"
+	"lasthop/internal/flight"
 	"lasthop/internal/host"
 	"lasthop/internal/metrics"
 	"lasthop/internal/msg"
@@ -136,6 +137,11 @@ type ScenarioOptions struct {
 	// Registry receives every layer's metric families; nil creates a
 	// private one.
 	Registry *obs.Registry
+	// BundleDir, when set, receives a post-mortem flight bundle on a
+	// stall-watchdog trip or a failed verdict (the CLI wires it from
+	// LASTHOP_BUNDLE_DIR). A trip also fails the verdict with the
+	// bundle path attached. Empty disables bundle dumps.
+	BundleDir string
 }
 
 // scenarioDevice is one device leg's state across the whole scenario,
@@ -206,11 +212,24 @@ type scenarioRun struct {
 	published    []int // distinct IDs published per topic, cumulative
 	disconnected int
 
+	failMu   sync.Mutex
 	failures []string // runner-side budget violations
 }
 
+// failf records a runner-side budget violation. The mutex admits the
+// stall watchdog, whose OnTrip fires from its own goroutine.
 func (r *scenarioRun) failf(format string, args ...any) {
+	r.failMu.Lock()
 	r.failures = append(r.failures, fmt.Sprintf(format, args...))
+	r.failMu.Unlock()
+}
+
+// takeFailures snapshots the accumulated failures; call only after the
+// watchdog is closed so the list is complete.
+func (r *scenarioRun) takeFailures() []string {
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
+	return append([]string(nil), r.failures...)
 }
 
 // RunScenario executes one atlas entry and returns its report with the
@@ -329,6 +348,44 @@ func RunScenario(sc Scenario, opts ScenarioOptions) (*Report, error) {
 	}
 	r.policy = r.resolvePolicy()
 
+	// The stall watchdog mirrors production wiring: a wedged worker
+	// loop, spool group commit, or egress flusher during the run dumps a
+	// post-mortem bundle and fails the verdict with the bundle path
+	// attached. Bounds are generous — CI machines stutter — so only a
+	// genuine stall, not load, can trip. The watchdog closes before the
+	// host tears down so shutdown never masquerades as a stall.
+	watchdog := flight.NewWatchdog(250 * time.Millisecond)
+	watchdog.OnTrip(func(trips []flight.Trip) {
+		path := ""
+		if opts.BundleDir != "" {
+			o := flight.BundleOptions{
+				Dir:      opts.BundleDir,
+				Node:     "sc-" + sc.Name,
+				Reason:   "watchdog",
+				Trips:    trips,
+				Recorder: flight.Active(),
+				Metrics:  reg,
+				Traces:   collector,
+			}
+			if p, err := flight.WriteBundle(o); err != nil {
+				logf("scenario %s: flight bundle failed: %v", sc.Name, err)
+			} else {
+				path = p
+			}
+		}
+		for _, tr := range trips {
+			if path != "" {
+				r.failf("watchdog: %s (bundle: %s)", tr, path)
+			} else {
+				r.failf("watchdog: %s", tr)
+			}
+		}
+	})
+	watchdog.Register(h.Probes(10*time.Second, 10*time.Second)...)
+	watchdog.Register(wire.FlusherStallProbe(10*time.Second, 1))
+	watchdog.Start()
+	defer watchdog.Close()
+
 	defer func() {
 		for _, d := range r.devices {
 			d.close()
@@ -392,9 +449,25 @@ func RunScenario(sc Scenario, opts ScenarioOptions) (*Report, error) {
 		LatencyP99Ms:   latency.Quantile(0.99) * 1000,
 	}
 	finishTraces(rep, collector)
-	v := sc.Budget.Evaluate(sc.Name, rep, r.failures)
+	watchdog.Close()
+	v := sc.Budget.Evaluate(sc.Name, rep, r.takeFailures())
 	v.ElapsedSeconds = elapsed.Seconds()
 	rep.Verdict = &v
+	if !v.Pass && opts.BundleDir != "" {
+		o := flight.BundleOptions{
+			Dir:      opts.BundleDir,
+			Node:     "sc-" + sc.Name,
+			Reason:   "scenario-failure",
+			Recorder: flight.Active(),
+			Metrics:  reg,
+			Traces:   collector,
+		}
+		if p, err := flight.WriteBundle(o); err != nil {
+			logf("scenario %s: flight bundle failed: %v", sc.Name, err)
+		} else {
+			logf("scenario %s failed: flight bundle at %s", sc.Name, p)
+		}
+	}
 	logf("scenario %s: %s (%d published, %d delivered, outcomes %v)",
 		sc.Name, passWord(v.Pass), total, delivered, rep.TraceOutcomes)
 	return rep, nil

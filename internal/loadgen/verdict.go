@@ -52,14 +52,19 @@ type Verdict struct {
 	// Failures lists every budget violation; empty when Pass.
 	Failures []string `json:"failures,omitempty"`
 
-	Sampled        uint64            `json:"sampled"`
-	Outcomes       map[string]uint64 `json:"outcomes"`
-	Lost           uint64            `json:"lost"`
-	WastePct       float64           `json:"wastePct"`
-	Duplicates     int               `json:"duplicates"`
-	Delivered      int               `json:"delivered"`
-	HopP99Ms       map[string]float64 `json:"hopP99Ms,omitempty"`
-	ElapsedSeconds float64           `json:"elapsedSeconds"`
+	Sampled    uint64             `json:"sampled"`
+	Outcomes   map[string]uint64  `json:"outcomes"`
+	Lost       uint64             `json:"lost"`
+	WastePct   float64            `json:"wastePct"`
+	Duplicates int                `json:"duplicates"`
+	Delivered  int                `json:"delivered"`
+	HopP99Ms   map[string]float64 `json:"hopP99Ms,omitempty"`
+	// Hops carries the measured per-hop latency quantiles for every
+	// observed segment — the actuals behind the pass/fail, present even
+	// when the budget names no hop, so a regression that stays inside
+	// the envelope is still visible in the archived verdict.
+	Hops           map[string]HopQuantiles `json:"hops,omitempty"`
+	ElapsedSeconds float64                 `json:"elapsedSeconds"`
 }
 
 // Evaluate compares a finished report against the budget. extra carries
@@ -75,6 +80,12 @@ func (b Budget) Evaluate(scenario string, rep *Report, extra []string) Verdict {
 		Duplicates: rep.Duplicates,
 		Delivered:  rep.Delivered,
 		Failures:   append([]string(nil), extra...),
+	}
+	if len(rep.HopLatencyMs) > 0 {
+		v.Hops = make(map[string]HopQuantiles, len(rep.HopLatencyMs))
+		for hop, q := range rep.HopLatencyMs {
+			v.Hops[hop] = q
+		}
 	}
 	fail := func(format string, args ...any) {
 		v.Failures = append(v.Failures, fmt.Sprintf(format, args...))

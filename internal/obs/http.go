@@ -45,6 +45,9 @@ func Serve(addr string, reg *Registry, extras ...Route) (*Server, error) {
 
 	mux := http.NewServeMux()
 	if reg != nil {
+		// Every served registry exports Go runtime telemetry: goroutine
+		// count, heap, RSS, and GC pauses refresh per scrape.
+		RegisterRuntimeMetrics(reg)
 		mux.Handle("/metrics", Handler(reg))
 	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -250,6 +250,22 @@ type family struct {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+
+	// onScrape hooks run at the top of WriteText, before any family
+	// lock is taken, so they may freely update metrics (runtime gauges
+	// pumped from runtime.ReadMemStats live here).
+	scrapeMu sync.Mutex
+	onScrape []func()
+}
+
+// OnScrape registers a hook that runs at the start of every WriteText
+// (i.e. every /metrics scrape), before rendering. Hooks refresh gauges
+// whose source is pull-based — runtime stats, /proc readings — without
+// a background goroutine.
+func (r *Registry) OnScrape(fn func()) {
+	r.scrapeMu.Lock()
+	r.onScrape = append(r.onScrape, fn)
+	r.scrapeMu.Unlock()
 }
 
 // NewRegistry returns an empty registry.
@@ -391,6 +407,12 @@ func (r *Registry) sample(name, help, typ string, labelNames []string, fn func()
 // WriteText renders every family in the Prometheus text exposition
 // format, sorted by family name.
 func (r *Registry) WriteText(w io.Writer) error {
+	r.scrapeMu.Lock()
+	hooks := append([]func(){}, r.onScrape...)
+	r.scrapeMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for name := range r.families {

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeMetricsExported(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	runtime.GC() // guarantee at least one pause for the histogram pump
+	out := scrape(t, reg)
+
+	for _, name := range []string{
+		"lasthop_go_goroutines",
+		"lasthop_go_heap_alloc_bytes",
+		"lasthop_go_heap_sys_bytes",
+		"lasthop_process_resident_bytes",
+		"lasthop_go_gc_pause_seconds_count",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("scrape missing %s", name)
+		}
+	}
+	// The gauges must carry live values, not zeros from registration time.
+	var goroutines float64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "lasthop_go_goroutines ") {
+			fmt.Sscanf(line, "lasthop_go_goroutines %g", &goroutines)
+		}
+	}
+	if goroutines < 1 {
+		t.Errorf("goroutine gauge %v, want >= 1", goroutines)
+	}
+	if strings.Contains(out, "lasthop_go_gc_pause_seconds_count 0\n") {
+		t.Error("GC pause histogram never pumped despite a forced GC")
+	}
+}
+
+func TestRuntimeMetricsIdempotentPerRegistry(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	RegisterRuntimeMetrics(reg) // second call must not double-register
+	out := scrape(t, reg)
+	if n := strings.Count(out, "# HELP lasthop_go_goroutines"); n != 1 {
+		t.Errorf("goroutine gauge registered %d times, want 1", n)
+	}
+}
+
+func TestServeExportsRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "lasthop_go_goroutines") {
+		t.Error("served /metrics missing runtime telemetry")
+	}
+}

@@ -74,6 +74,14 @@ type Wheel struct {
 	live   bool
 	ticker *time.Ticker
 	done   chan struct{}
+
+	// tickHook, when set, runs at the end of every live advance (under
+	// cbMu, after mu is released) with the ticks processed, timers
+	// cascaded, and wall time spent. The host uses it as the worker
+	// heartbeat: an idle wheel still advances, so a fresh stamp means
+	// the loop is alive, while a wedged callback holds cbMu and lets the
+	// stamp age — exactly the stall the watchdog looks for.
+	tickHook atomic.Pointer[func(ticks, cascaded, busyNs int64)]
 }
 
 var _ Scheduler = (*Wheel)(nil)
@@ -358,6 +366,12 @@ func (w *Wheel) tickLoop() {
 func (w *Wheel) advanceLive() {
 	w.cbMu.Lock()
 	defer w.cbMu.Unlock()
+	hook := w.tickHook.Load()
+	var begin time.Time
+	if hook != nil {
+		begin = time.Now()
+	}
+	var ticks, cascaded int64
 	w.mu.lock()
 	target := int64(time.Since(w.start)) / w.tickNs
 	var batch []*wheelTimer
@@ -369,7 +383,8 @@ func (w *Wheel) advanceLive() {
 		// 64^L) would be re-placed into the level it was just drained from
 		// and miss its deadline by a full higher-level wrap.
 		w.cur = k
-		w.cascade(k)
+		cascaded += w.cascade(k)
+		ticks++
 		batch = w.takeSlot(&w.buckets[0][k&wheelMask], batch[:0])
 		if len(batch) > 0 {
 			sortWheelBatch(batch)
@@ -379,14 +394,30 @@ func (w *Wheel) advanceLive() {
 		}
 	}
 	w.mu.unlock()
+	if hook != nil {
+		(*hook)(ticks, cascaded, int64(time.Since(begin)))
+	}
 }
 
-// cascade moves entries whose horizon has arrived down one or more levels.
-// At tick k, level L's slot holds exactly the entries with tickN in
-// [k, k+64^L) when k is a multiple of 64^L; re-placing them lands them in
-// a lower level (or level 0's due slot). Callers hold mu and must have
-// advanced w.cur to k already so place() sees deltas < 64^L.
-func (w *Wheel) cascade(k int64) {
+// SetTickHook installs (or, with nil, clears) the live-advance hook. The
+// hook runs under the callback mutex, so it must be fast and must not
+// schedule or cancel wheel timers.
+func (w *Wheel) SetTickHook(fn func(ticks, cascaded, busyNs int64)) {
+	if fn == nil {
+		w.tickHook.Store(nil)
+		return
+	}
+	w.tickHook.Store(&fn)
+}
+
+// cascade moves entries whose horizon has arrived down one or more levels,
+// returning how many it moved. At tick k, level L's slot holds exactly the
+// entries with tickN in [k, k+64^L) when k is a multiple of 64^L;
+// re-placing them lands them in a lower level (or level 0's due slot).
+// Callers hold mu and must have advanced w.cur to k already so place()
+// sees deltas < 64^L.
+func (w *Wheel) cascade(k int64) int64 {
+	var moved int64
 	for level := wheelLevels - 1; level >= 1; level-- {
 		span := int64(1) << (wheelBits * uint(level))
 		if k%span != 0 {
@@ -398,9 +429,11 @@ func (w *Wheel) cascade(k int64) {
 			next := t.next
 			l.remove(t)
 			w.place(t)
+			moved++
 			t = next
 		}
 	}
+	return moved
 }
 
 // takeSlot unlinks and stages every entry in the bucket. Callers hold mu.

@@ -26,7 +26,10 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"lasthop/internal/flight"
 )
 
 // Kind tags what a record holds.
@@ -245,6 +248,9 @@ type Options struct {
 	// Logf receives warnings (torn tails, skipped segments). Nil
 	// discards.
 	Logf func(format string, args ...any)
+	// Tag labels this writer's flight events (the host passes the
+	// worker id); writers outside a sharded owner leave it zero.
+	Tag int32
 }
 
 func (o Options) withDefaults() Options {
@@ -283,6 +289,14 @@ type Writer struct {
 	sealedCount int
 	appends     int64
 	closed      bool
+
+	// Stall telemetry, read by the watchdog probe while mu may be held
+	// by a wedged fsync — atomics only, never mu. oldestPendingNs is
+	// when the oldest uncommitted onCommit callback was appended (0 =
+	// none pending); syncLat is a ring of recent fsync latencies.
+	oldestPendingNs atomic.Int64
+	syncIdx         atomic.Uint64
+	syncLat         [64]atomic.Int64
 }
 
 // SegmentPath names segment i in dir.
@@ -405,19 +419,24 @@ func (w *Writer) Append(r Record, onCommit func()) (Loc, error) {
 		return Loc{}, fmt.Errorf("%w: %d bytes (max %d)", ErrTooLarge, len(buf), w.opts.MaxRecordBytes)
 	}
 	loc := Loc{Path: w.path, Offset: w.offset}
+	start := time.Now()
 	if _, err := w.f.Write(buf); err != nil {
 		return Loc{}, fmt.Errorf("spool: append: %w", err)
 	}
 	w.offset += int64(len(buf))
 	w.appends++
 	if onCommit != nil {
+		if len(w.pending) == 0 {
+			w.oldestPendingNs.Store(time.Now().UnixNano())
+		}
 		w.pending = append(w.pending, onCommit)
 	}
 	if w.opts.Fsync == FsyncAlways {
-		if err := w.f.Sync(); err != nil {
+		if err := w.timedSync(); err != nil {
 			return Loc{}, fmt.Errorf("spool: sync: %w", err)
 		}
 	}
+	flight.Record(flight.SubSpool, flight.KindAppend, w.opts.Tag, int64(time.Since(start)), int64(len(buf)))
 	if w.offset >= w.opts.SegmentBytes {
 		if err := w.rollLocked(); err != nil {
 			return loc, err
@@ -452,10 +471,11 @@ func (w *Writer) Commit() error {
 	}
 	var err error
 	if w.opts.Fsync == FsyncCommit {
-		err = w.f.Sync()
+		err = w.timedSync()
 	}
 	pending := w.pending
 	w.pending = nil
+	w.oldestPendingNs.Store(0)
 	w.mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("spool: commit: %w", err)
@@ -495,7 +515,65 @@ func (w *Writer) Abort() {
 	}
 	w.closed = true
 	w.pending = nil
+	w.oldestPendingNs.Store(0)
 	w.f.Close()
+}
+
+// timedSync fsyncs the active segment, recording the latency into the
+// stall-telemetry ring and the flight recorder. Callers hold mu.
+func (w *Writer) timedSync() error {
+	start := time.Now()
+	err := w.f.Sync()
+	lat := int64(time.Since(start))
+	i := w.syncIdx.Add(1) - 1
+	w.syncLat[i%uint64(len(w.syncLat))].Store(lat)
+	flight.Record(flight.SubSpool, flight.KindFsync, w.opts.Tag, lat, int64(len(w.pending)))
+	return err
+}
+
+// FsyncP99 returns the 99th percentile of the writer's recent fsync
+// latencies (up to the last 64), or zero before the first sync.
+func (w *Writer) FsyncP99() time.Duration {
+	n := w.syncIdx.Load()
+	if n > uint64(len(w.syncLat)) {
+		n = uint64(len(w.syncLat))
+	}
+	if n == 0 {
+		return 0
+	}
+	lats := make([]int64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if v := w.syncLat[i].Load(); v > 0 {
+			lats = append(lats, v)
+		}
+	}
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return time.Duration(lats[len(lats)*99/100])
+}
+
+// StallProbe returns a watchdog probe over this writer. It trips when a
+// deferred onCommit callback has been waiting longer than maxPending —
+// the group commit stopped draining, by wedged fsync or dead commit
+// tick — or, when maxFsyncP99 > 0, when recent fsync latency p99 drifts
+// past it. The probe reads only atomics, so it stays responsive while
+// the writer itself is stuck inside a syscall holding its lock.
+func (w *Writer) StallProbe(name string, maxPending, maxFsyncP99 time.Duration) flight.Probe {
+	return flight.Probe{Name: name, Component: flight.SubSpool.String(), Check: func() error {
+		if at := w.oldestPendingNs.Load(); at != 0 {
+			if age := time.Since(time.Unix(0, at)); age > maxPending {
+				return fmt.Errorf("group commit pending for %v (max %v)", age.Round(time.Millisecond), maxPending)
+			}
+		}
+		if maxFsyncP99 > 0 {
+			if p99 := w.FsyncP99(); p99 > maxFsyncP99 {
+				return fmt.Errorf("fsync p99 %v (max %v)", p99.Round(time.Microsecond), maxFsyncP99)
+			}
+		}
+		return nil
+	}}
 }
 
 // WriterStats is a point-in-time size report for metrics.
@@ -631,6 +709,7 @@ func ScanDir(dir string, maxRecord int, logf func(string, ...any), fn func(Loc, 
 // do not own — e.g. sessions sharded onto a different worker after a
 // restart whose records landed in this directory.
 func (w *Writer) Compact(emit func(append func(Record) (Loc, error)) error, retain func(path string) bool) error {
+	compactStart := time.Now()
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
@@ -687,6 +766,9 @@ func (w *Writer) Compact(emit func(append func(Record) (Loc, error)) error, reta
 	if w.sealedCount < 0 {
 		w.sealedCount = 0
 	}
+	segments := w.sealedCount + 1
 	w.mu.Unlock()
+	flight.Record(flight.SubSpool, flight.KindCompact, w.opts.Tag,
+		int64(time.Since(compactStart)), int64(segments))
 	return nil
 }

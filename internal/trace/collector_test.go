@@ -2,8 +2,10 @@ package trace
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -378,5 +380,64 @@ func TestDisabledTracingIsAllocationFree(t *testing.T) {
 		Record(tr, e)
 	}); avg != 0 {
 		t.Errorf("typed-nil Collector via Record allocates %.1f per run", avg)
+	}
+}
+
+// TestLateEventRacesEviction hammers the late-event append path (an
+// event arriving for an already-completed trace) against concurrent
+// completions churning the ring — the eviction in pushLocked deletes
+// done-table entries while laggards are still appending to them. Run
+// under -race this guards the collector against that interleaving
+// regressing into a data race or a map corruption.
+func TestLateEventRacesEviction(t *testing.T) {
+	c := NewCollector("n1", nil, 4)
+	const (
+		workers   = 4
+		perWorker = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := msg.ID(fmt.Sprintf("w%d-n%d", w, i))
+				at := tc0.Add(time.Duration(i) * time.Millisecond)
+				c.Record(Event{At: at, Kind: KindPublish, ID: id, TraceID: string(id)})
+				c.Record(Event{At: at.Add(time.Millisecond), Kind: KindRead, ID: id, TraceID: string(id)})
+				// A late event for our own just-completed trace, plus one
+				// aimed at a sibling's ID that may be completed, already
+				// evicted, or not yet seen.
+				c.Record(Event{At: at.Add(2 * time.Millisecond), Kind: KindRead, ID: id, TraceID: string(id)})
+				other := msg.ID(fmt.Sprintf("w%d-n%d", (w+1)%workers, i))
+				c.Record(Event{At: at.Add(2 * time.Millisecond), Kind: KindRead, ID: other, TraceID: string(other)})
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			for _, nt := range c.Completed() {
+				for _, e := range nt.Events {
+					_ = e.Kind
+				}
+			}
+			_ = c.Stats()
+		}
+	}()
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Ring > 4 {
+		t.Fatalf("ring grew to %d, capacity 4", st.Ring)
+	}
+	if st.Completed < workers*perWorker {
+		t.Fatalf("completed %d traces, want at least %d", st.Completed, workers*perWorker)
+	}
+	for _, nt := range c.Completed() {
+		if nt.Outcome == "" {
+			t.Fatalf("completed trace %s lost its outcome", nt.ID)
+		}
 	}
 }

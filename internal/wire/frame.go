@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"lasthop/internal/burst"
+	"lasthop/internal/flight"
 	"lasthop/internal/msg"
 )
 
@@ -242,6 +243,14 @@ type Conn struct {
 	firstBuffered time.Time
 	flushes       atomic.Uint64 // socket flushes performed (tests: idle ⇒ no flushes)
 
+	// Stall telemetry for the flusher watchdog probe, maintained
+	// unconditionally (unlike firstBuffered, which needs metrics):
+	// pendBytes is what the ring holds, pendSinceNs when it started
+	// holding it. Written under wmu, read lock-free by the probe while
+	// the flusher may be wedged inside WriteTo holding wmu.
+	pendBytes   atomic.Int64
+	pendSinceNs atomic.Int64
+
 	// Receive-side options; single reader goroutine, no locking.
 	recvPooled bool   // decode notifications out of burst.Notes
 	recvReuse  bool   // reuse one Frame across Recv calls
@@ -284,6 +293,10 @@ func SetRingLimits(frames, bytes int) {
 	}
 }
 
+// conns registers every live connection for the flusher stall probe;
+// entries leave on Close.
+var conns sync.Map // *Conn → struct{}
+
 // NewConn wraps an established network connection.
 func NewConn(c net.Conn) *Conn {
 	conn := &Conn{
@@ -292,8 +305,37 @@ func NewConn(c net.Conn) *Conn {
 		flushC: make(chan struct{}, 1),
 		done:   make(chan struct{}),
 	}
+	conns.Store(conn, struct{}{})
 	go conn.flushLoop()
 	return conn
+}
+
+// FlusherStallProbe returns a watchdog probe that trips when any live
+// connection has held at least minBytes in its egress ring for longer
+// than maxAge without a flush completing — the signature of a flusher
+// wedged in a blocked writev (peer stopped draining, missing write
+// deadline) or of a parked flusher that lost its kick. The probe reads
+// only per-connection atomics; it never takes wmu.
+func FlusherStallProbe(maxAge time.Duration, minBytes int64) flight.Probe {
+	return flight.Probe{Name: "flusher-pending", Component: flight.SubFlush.String(), Check: func() error {
+		var stalled error
+		conns.Range(func(k, _ any) bool {
+			c := k.(*Conn)
+			since := c.pendSinceNs.Load()
+			bytes := c.pendBytes.Load()
+			if since == 0 || bytes < minBytes {
+				return true
+			}
+			if age := time.Since(time.Unix(0, since)); age > maxAge {
+				stalled = fmt.Errorf("conn %s: %d bytes unflushed for %v (max %v)",
+					c.RemoteAddr(), bytes, age.Round(time.Millisecond), maxAge)
+				flight.Record(flight.SubFlush, flight.KindStall, -1, int64(age), bytes)
+				return false
+			}
+			return true
+		})
+		return stalled
+	}}
 }
 
 // flushLoop is the connection's flusher goroutine: it parks until a Send
@@ -349,6 +391,7 @@ func (c *Conn) flushRingLocked() {
 			c.werr = err
 		}
 		c.flushes.Add(1)
+		flight.Record(flight.SubFlush, flight.KindFlush, -1, int64(len(c.ring)), int64(c.ringBytes))
 	}
 	for i, b := range c.ring {
 		burst.Bufs.Put(b)
@@ -357,6 +400,8 @@ func (c *Conn) flushRingLocked() {
 	c.ring = c.ring[:0]
 	c.ringBytes = 0
 	c.vecs = c.vecs[:0]
+	c.pendBytes.Store(0)
+	c.pendSinceNs.Store(0)
 }
 
 // Flushes returns the number of socket flushes this connection performed.
@@ -436,6 +481,7 @@ const closeFlushTimeout = 100 * time.Millisecond
 // loses them, which the session-resume protocol already tolerates).
 func (c *Conn) Close() error {
 	c.closeOnce.Do(func() {
+		conns.Delete(c)
 		close(c.done)
 		c.wmu.Lock()
 		if len(c.ring) > 0 {
@@ -534,6 +580,9 @@ func (c *Conn) writeLocked(f *Frame) error {
 	}
 	c.ring = append(c.ring, buf)
 	c.ringBytes += len(b)
+	if c.pendBytes.Add(int64(len(b))) == int64(len(b)) {
+		c.pendSinceNs.Store(time.Now().UnixNano())
+	}
 	if len(c.ring) >= maxRingFrames || c.ringBytes >= maxRingBytes {
 		c.flushLocked()
 		return c.werr
