@@ -55,6 +55,8 @@ func run() error {
 		topics     = flag.Int("topics", 0, "distinct topics (0 = one per device)")
 		count      = flag.Int("n", 10000, "total notifications to publish")
 		pubBatch   = flag.Int("publish-batch", 0, "notifications each publisher pipelines per batched round trip (0 = default 16, 1 = unbatched)")
+		pubWindow  = flag.Int("publish-window", 0, "batched round trips each publisher keeps in flight concurrently (0 = default 4, 1 = ack-serialized)")
+		histLimit  = flag.Int("history-limit", 0, "per-subscription retained history bound; delivered notifications stay pooled until evicted (0 = core default 131072, negative = unbounded)")
 		payload    = flag.Int("payload", 128, "payload bytes per notification")
 		onDemand   = flag.Bool("on-demand", false, "consume with READ requests instead of on-line pushes")
 		multi      = flag.Bool("multi-tenant", false, "run every device against one shared host instead of one proxy per device")
@@ -99,6 +101,8 @@ func run() error {
 		Topics:           *topics,
 		Notifications:    *count,
 		PublishBatch:     *pubBatch,
+		PublishWindow:    *pubWindow,
+		HistoryLimit:     *histLimit,
 		PayloadBytes:     *payload,
 		OnDemand:         *onDemand,
 		MultiTenant:      *multi,

@@ -17,9 +17,15 @@
 //     object was born.
 //   - Put on an already-free object is a counted no-op too (a double-Put
 //     is a lifecycle bug; tests assert the counter stays zero).
+//   - Fan-out paths share one object across many holders instead of
+//     copying per target: Buf.Ref adds holders to an encoded frame
+//     buffer, and NotePool.Broadcast splits one notification into
+//     copy-on-write envelope members aliasing the owner's payload. Every
+//     holder still Puts exactly once; the object recycles on the last
+//     release, and only that final release counts as a put.
 //
-// Outstanding() = gets − puts-of-checked-out-objects is the pool's leak
-// account; tests assert it returns to zero after every run.
+// Outstanding() = gets − final-releases is the pool's leak account;
+// tests assert it returns to zero after every run.
 package burst
 
 import (
@@ -67,10 +73,17 @@ func (p *NotePool) Get() *msg.Notification {
 // Put releases a notification. Checked-out notifications are reset and
 // recycled; foreign and already-free notifications are counted no-ops, so
 // every release site can Put unconditionally. Put(nil) is a no-op.
+//
+// A copy-on-write broadcast member (see Broadcast) recycles only its
+// envelope — the aliased payload bytes belong to the group's owner and
+// never ride back into the pool on a member. The member's release also
+// drops one group reference; the last release recycles the owner itself,
+// payload capacity and all.
 func (p *NotePool) Put(n *msg.Notification) {
 	if n == nil {
 		return
 	}
+	g := n.ShareGroup()
 	switch n.PoolProvenance() {
 	case msg.PoolCheckedOut:
 	case msg.PoolFree:
@@ -78,9 +91,23 @@ func (p *NotePool) Put(n *msg.Notification) {
 		return
 	default:
 		p.foreignPuts.Add(1)
+		if g != nil && g.Release() {
+			p.Put(g.Owner())
+		}
 		return
 	}
 	p.puts.Add(1)
+	if g != nil {
+		// Shared member: the payload and trace alias the owner; drop them
+		// rather than retaining foreign bytes in the pool.
+		*n = msg.Notification{}
+		n.SetPoolProvenance(msg.PoolFree)
+		p.pool.Put(n)
+		if g.Release() {
+			p.Put(g.Owner())
+		}
+		return
+	}
 	payload := n.Payload
 	if cap(payload) > maxRetainedPayload {
 		payload = nil // don't pin huge payloads in the pool
@@ -101,6 +128,33 @@ func (p *NotePool) CloneInto(src *msg.Notification) *msg.Notification {
 	dst := p.Get()
 	dst.CopyFrom(src)
 	return dst
+}
+
+// Broadcast splits src into count copy-on-write members for a one-to-many
+// fan-out: each member is a freshly checked-out envelope whose Payload
+// aliases src's bytes and whose Trace shares src's pointer — no payload
+// copy, no payload allocation, regardless of fan-out width. Ownership of
+// src transfers to the group: the caller must NOT hand src itself to any
+// branch or Put it directly; each member is released with Put exactly
+// once, and the last release recycles src. Members' envelope fields
+// (Rank, Trace) may be rewritten per branch; the aliased payload bytes
+// are immutable for the group's lifetime.
+//
+// count must be at least 2 (a single-target delivery should hand src over
+// directly); Broadcast panics otherwise, since silently aliasing without
+// a group would corrupt the leak account.
+func (p *NotePool) Broadcast(src *msg.Notification, count int) []*msg.Notification {
+	if count < 2 {
+		panic("burst: Broadcast needs at least 2 members")
+	}
+	g := msg.NewShareGroup(src, int32(count))
+	out := make([]*msg.Notification, count)
+	for i := range out {
+		m := p.Get()
+		m.ShareFrom(src, g)
+		out[i] = m
+	}
+	return out
 }
 
 // Outstanding returns the pool's leak account: checked-out objects not
@@ -131,6 +185,10 @@ type PoolStats struct {
 	Misses      int64 `json:"misses"`
 	DoublePuts  int64 `json:"doublePuts"`
 	ForeignPuts int64 `json:"foreignPuts"`
+	// SharedPuts counts non-final releases of ref-counted shared buffers
+	// (BufPool only); they are bookkeeping, not returns, so Outstanding
+	// ignores them.
+	SharedPuts int64 `json:"sharedPuts,omitempty"`
 }
 
 // Outstanding returns gets − puts.
@@ -146,7 +204,12 @@ func (s PoolStats) HitRate() float64 {
 }
 
 // Buf is one pooled byte buffer, used for encoded frames queued on a
-// connection's egress ring.
+// connection's egress ring. A buffer starts life with one reference;
+// fan-out paths that enqueue the same encoded frame on many connections
+// take one extra reference per extra holder with Ref, and every holder
+// releases with Put — the buffer recycles on the last release, so the
+// existing release sites (vectored flush, latched-error drop, close-time
+// drain) need no sharing awareness at all.
 type Buf struct {
 	B []byte
 
@@ -154,7 +217,23 @@ type Buf struct {
 	// free. Bufs are only ever born from the pool, so there is no
 	// foreign state.
 	state uint8
+
+	// refs counts the holders; Get starts it at 1, Ref adds holders, Put
+	// drops one and recycles at zero.
+	refs atomic.Int32
 }
+
+// Ref adds one holder to a checked-out buffer and returns it. Callers
+// must already hold a reference; Ref on a free buffer is a lifecycle bug
+// (it is counted by the owning pool's double-Put account on the eventual
+// unbalanced Put rather than checked here, keeping Ref a single atomic).
+func (b *Buf) Ref() *Buf {
+	b.refs.Add(1)
+	return b
+}
+
+// Refs returns the current holder count (diagnostic; racy by nature).
+func (b *Buf) Refs() int32 { return b.refs.Load() }
 
 // BufPool is a leak-accounted free pool of byte buffers.
 // The zero value is ready to use.
@@ -165,6 +244,7 @@ type BufPool struct {
 	puts       atomic.Int64
 	misses     atomic.Int64
 	doublePuts atomic.Int64
+	sharedPuts atomic.Int64
 }
 
 // Bufs is the process-wide frame/encode buffer pool.
@@ -176,26 +256,42 @@ const initialBufCap = 512
 // maxRetainedBufCap bounds the capacity a pooled buffer keeps.
 const maxRetainedBufCap = 256 << 10
 
-// Get returns a checked-out buffer with length zero.
+// Get returns a checked-out buffer with length zero and one reference.
 func (p *BufPool) Get() *Buf {
 	p.gets.Add(1)
 	if v := p.pool.Get(); v != nil {
 		b := v.(*Buf)
 		b.state = 1
+		b.refs.Store(1)
 		b.B = b.B[:0]
 		return b
 	}
 	p.misses.Add(1)
-	return &Buf{B: make([]byte, 0, initialBufCap), state: 1}
+	b := &Buf{B: make([]byte, 0, initialBufCap), state: 1}
+	b.refs.Store(1)
+	return b
 }
 
-// Put releases a buffer back to the pool. Double-Puts are counted no-ops;
-// Put(nil) is a no-op.
+// Put drops one reference; the buffer returns to the pool when the last
+// holder releases, so Outstanding keeps meaning "buffers whose content is
+// still referenced somewhere". A non-final release is counted (SharedPuts)
+// but is otherwise a no-op; double-Puts — on an already-free buffer, or
+// more Puts than references were ever taken — are counted no-ops; Put(nil)
+// is a no-op.
 func (p *BufPool) Put(b *Buf) {
 	if b == nil {
 		return
 	}
 	if b.state != 1 {
+		p.doublePuts.Add(1)
+		return
+	}
+	switch n := b.refs.Add(-1); {
+	case n > 0:
+		p.sharedPuts.Add(1)
+		return
+	case n < 0:
+		// Unbalanced release racing the final one; never recycle twice.
 		p.doublePuts.Add(1)
 		return
 	}
@@ -207,11 +303,14 @@ func (p *BufPool) Put(b *Buf) {
 	p.pool.Put(b)
 }
 
-// Outstanding returns checked-out buffers not yet returned.
+// Outstanding returns checked-out buffers not yet finally released.
 func (p *BufPool) Outstanding() int64 { return p.gets.Load() - p.puts.Load() }
 
 // DoublePuts returns the number of Put calls on already-free buffers.
 func (p *BufPool) DoublePuts() int64 { return p.doublePuts.Load() }
+
+// SharedPuts returns the number of non-final releases of shared buffers.
+func (p *BufPool) SharedPuts() int64 { return p.sharedPuts.Load() }
 
 // Stats returns the pool's cumulative counters.
 func (p *BufPool) Stats() PoolStats {
@@ -220,6 +319,7 @@ func (p *BufPool) Stats() PoolStats {
 		Puts:       p.puts.Load(),
 		Misses:     p.misses.Load(),
 		DoublePuts: p.doublePuts.Load(),
+		SharedPuts: p.sharedPuts.Load(),
 	}
 }
 
@@ -231,7 +331,7 @@ func RegisterMetrics(reg *obs.Registry) {
 		return
 	}
 	reg.SampleCounters("lasthop_burst_pool_ops_total",
-		"Cumulative pool operations by pool and op (get, put, miss, double_put, foreign_put).",
+		"Cumulative pool operations by pool and op (get, put, miss, double_put, foreign_put, shared_put).",
 		[]string{"pool", "op"}, func() []obs.Sample {
 			ns, bs := Notes.Stats(), Bufs.Stats()
 			return []obs.Sample{
@@ -244,6 +344,7 @@ func RegisterMetrics(reg *obs.Registry) {
 				{Labels: []string{"bufs", "put"}, Value: float64(bs.Puts)},
 				{Labels: []string{"bufs", "miss"}, Value: float64(bs.Misses)},
 				{Labels: []string{"bufs", "double_put"}, Value: float64(bs.DoublePuts)},
+				{Labels: []string{"bufs", "shared_put"}, Value: float64(bs.SharedPuts)},
 			}
 		})
 	reg.SampleGauges("lasthop_burst_pool_outstanding",

@@ -1,0 +1,212 @@
+package burst
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"lasthop/internal/msg"
+)
+
+// TestBufSharedRelease exercises the ref-counted buffer lifecycle under
+// concurrency (run with -race): one Get plus W-1 Refs, W concurrent Puts,
+// exactly one recycle.
+func TestBufSharedRelease(t *testing.T) {
+	p := &BufPool{}
+	const holders = 8
+	b := p.Get()
+	b.B = append(b.B, []byte("shared frame")...)
+	for i := 1; i < holders; i++ {
+		b.Ref()
+	}
+	if got := b.Refs(); got != holders {
+		t.Fatalf("Refs = %d, want %d", got, holders)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < holders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Put(b)
+		}()
+	}
+	wg.Wait()
+	s := p.Stats()
+	if s.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d after all holders released", s.Outstanding())
+	}
+	if s.Puts != 1 {
+		t.Fatalf("final releases = %d, want exactly 1 recycle", s.Puts)
+	}
+	if s.SharedPuts != holders-1 {
+		t.Fatalf("SharedPuts = %d, want %d", s.SharedPuts, holders-1)
+	}
+	if s.DoublePuts != 0 {
+		t.Fatalf("DoublePuts = %d on a balanced release", s.DoublePuts)
+	}
+}
+
+// TestBufSharedDoubleRelease over-releases a shared buffer: the extra Put
+// must be a counted no-op, never a second recycle.
+func TestBufSharedDoubleRelease(t *testing.T) {
+	p := &BufPool{}
+	b := p.Get()
+	b.Ref() // 2 holders
+	p.Put(b)
+	p.Put(b) // final release
+	p.Put(b) // bug: one more Put than references taken
+	if p.DoublePuts() != 1 {
+		t.Fatalf("DoublePuts = %d, want 1", p.DoublePuts())
+	}
+	if p.Outstanding() != 0 {
+		t.Fatalf("over-release corrupted the leak account: %d", p.Outstanding())
+	}
+}
+
+// TestBroadcastLifecycle splits one pooled notification into copy-on-write
+// members, releases them concurrently (run with -race), and checks the
+// owner recycles exactly once on the last release.
+func TestBroadcastLifecycle(t *testing.T) {
+	p := &NotePool{}
+	const width = 16
+	src := p.Get()
+	src.ID = "b1"
+	src.Topic = "t"
+	src.Rank = 3
+	src.Payload = append(src.Payload[:0], []byte("broadcast payload")...)
+	src.Trace = &msg.TraceContext{TraceID: "b1"}
+
+	members := p.Broadcast(src, width)
+	if len(members) != width {
+		t.Fatalf("Broadcast returned %d members, want %d", len(members), width)
+	}
+	for i, m := range members {
+		if m.PoolProvenance() != msg.PoolCheckedOut {
+			t.Fatalf("member %d provenance = %v", i, m.PoolProvenance())
+		}
+		if m.ID != src.ID || m.Topic != src.Topic || m.Rank != src.Rank {
+			t.Fatalf("member %d envelope mismatch: %+v", i, m)
+		}
+		if &m.Payload[0] != &src.Payload[0] {
+			t.Fatalf("member %d copied the payload instead of aliasing it", i)
+		}
+		if m.Trace != src.Trace {
+			t.Fatalf("member %d lost the trace pointer", i)
+		}
+		if m.ShareGroup() == nil || m.ShareGroup().Owner() != src {
+			t.Fatalf("member %d not bound to the owner's group", i)
+		}
+	}
+
+	// Per-branch envelope rewrites must not race each other or the shared
+	// payload reads on sibling branches.
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *msg.Notification) {
+			defer wg.Done()
+			m.Rank = float64(i)
+			if i > 0 {
+				m.Trace = nil
+			}
+			_ = len(m.Payload)
+			p.Put(m)
+		}(i, m)
+	}
+	wg.Wait()
+
+	// width member releases + 1 owner recycle on the last one.
+	s := p.Stats()
+	if s.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d after group drained", s.Outstanding())
+	}
+	if s.DoublePuts != 0 {
+		t.Fatalf("DoublePuts = %d", s.DoublePuts)
+	}
+	if src.PoolProvenance() != msg.PoolFree {
+		t.Fatalf("owner provenance = %v after last release, want free", src.PoolProvenance())
+	}
+}
+
+// TestBroadcastForeignOwnerRelease shares a heap-allocated (pool-foreign)
+// owner: member releases still drop group references, and the owner's own
+// release is the usual counted no-op.
+func TestBroadcastForeignOwnerRelease(t *testing.T) {
+	p := &NotePool{}
+	src := &msg.Notification{ID: "x", Payload: []byte("heap")}
+	members := p.Broadcast(src, 2)
+	p.Put(members[0])
+	p.Put(members[1])
+	if p.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d", p.Outstanding())
+	}
+	if p.ForeignPuts() != 1 {
+		t.Fatalf("ForeignPuts = %d, want 1 for the foreign owner", p.ForeignPuts())
+	}
+	if string(src.Payload) != "heap" {
+		t.Fatalf("foreign owner mutated on release: %+v", src)
+	}
+}
+
+// TestBroadcastCloneDetaches deep-copies a shared member: the clone owns
+// its bytes and carries no group, so it outlives the group safely.
+func TestBroadcastCloneDetaches(t *testing.T) {
+	p := &NotePool{}
+	src := p.Get()
+	src.ID = "c1"
+	src.Payload = append(src.Payload[:0], []byte("shared")...)
+	members := p.Broadcast(src, 2)
+	c := p.CloneInto(members[0])
+	if c.ShareGroup() != nil {
+		t.Fatal("clone kept the share group")
+	}
+	if len(members[0].Payload) > 0 && &c.Payload[0] == &members[0].Payload[0] {
+		t.Fatal("clone aliases the shared payload")
+	}
+	p.Put(members[0])
+	p.Put(members[1])
+	if string(c.Payload) != "shared" {
+		t.Fatalf("clone lost its bytes after the group drained: %q", c.Payload)
+	}
+	p.Put(c)
+	if p.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d", p.Outstanding())
+	}
+}
+
+// TestDriftProbesIgnoreSharedChurn drives steady ref-counted fan-out
+// traffic through the process-wide buffer pool between probe checks: the
+// non-final releases churn SharedPuts, but Outstanding stays flat, so the
+// leak watchdog must not trip.
+func TestDriftProbesIgnoreSharedChurn(t *testing.T) {
+	probes := DriftProbes(2, 1)
+	for round := 0; round < 6; round++ {
+		// One "fan-out": a shared buffer with 4 holders, fully released.
+		b := Bufs.Get()
+		b.Ref()
+		b.Ref()
+		b.Ref()
+		for i := 0; i < 4; i++ {
+			Bufs.Put(b)
+		}
+		for _, p := range probes {
+			if err := p.Check(); err != nil {
+				t.Fatalf("probe %s tripped on balanced shared churn: %v", p.Name, err)
+			}
+		}
+	}
+}
+
+// TestVerifyNoLeaksSettles checks VerifyNoLeaks tolerates a release that
+// lands after the call starts — the asynchronous-teardown case.
+func TestVerifyNoLeaksSettles(t *testing.T) {
+	// Uses the process-wide pool on purpose; balanced by the deferred Put.
+	n := Notes.Get()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		Notes.Put(n)
+	}()
+	if err := VerifyNoLeaks(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

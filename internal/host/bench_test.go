@@ -183,3 +183,127 @@ func BenchmarkHostForwardPath(b *testing.B) {
 	wg.Wait()
 	b.StopTimer()
 }
+
+// BenchmarkHostBroadcast measures the one-to-many host path: every device
+// session subscribes to the SAME topic, so each published notification
+// fans out to all of them through dispatchPush's copy-on-write broadcast
+// split (shared payload bytes, per-session envelopes) and the downstream
+// shared-frame egress. Each op is one published notification = broadcastDevices
+// deliveries; ns/delivery divides accordingly.
+func BenchmarkHostBroadcast(b *testing.B) {
+	const broadcastDevices = 64
+	const topic = "bench/broadcast"
+
+	bl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bs := wire.NewBrokerServer(pubsub.NewBroker("bench-broker"), nil)
+	go func() { _ = bs.Serve(bl) }()
+	defer bs.Close()
+
+	h, err := New(Options{BrokerAddr: bl.Addr().String(), Name: "bench-host"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	hl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = h.Serve(hl) }()
+
+	devs := make([]*wire.DeviceClient, broadcastDevices)
+	for i := range devs {
+		dev, err := wire.DialProxy(hl.Addr().String(), fmt.Sprintf("bench-bdev-%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() { _ = dev.Close() }()
+		if err := dev.Subscribe(topic, wire.TopicPolicy{Mode: "on-line"}); err != nil {
+			b.Fatal(err)
+		}
+		devs[i] = dev
+	}
+
+	pub, err := wire.DialBroker(bl.Addr().String(), "bench-pub")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = pub.Close() }()
+	if err := pub.Advertise(topic, "bench-pub"); err != nil {
+		b.Fatal(err)
+	}
+
+	base := time.Unix(1700000000, 0).UTC()
+	ids := make([]msg.ID, b.N)
+	for i := range ids {
+		ids[i] = msg.ID("bc-" + strconv.FormatInt(int64(i), 10))
+	}
+	notes := make([]*msg.Notification, hostBenchBatch)
+	for i := range notes {
+		notes[i] = &msg.Notification{Topic: topic, Rank: 3, Published: base, Payload: make([]byte, 256)}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := make(chan error, 1)
+	go func() {
+		for sent := 0; sent < b.N; {
+			k := hostBenchBatch
+			if left := b.N - sent; k > left {
+				k = left
+			}
+			for j := 0; j < k; j++ {
+				notes[j].ID = ids[sent+j]
+			}
+			for _, err := range pub.PublishBatch(notes[:k]) {
+				if err != nil {
+					done <- err
+					return
+				}
+			}
+			sent += k
+		}
+		done <- nil
+	}()
+	deadline := time.Now().Add(60 * time.Second)
+	lastDrain := make([]int, broadcastDevices)
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				b.Fatal(err)
+			}
+			done = nil // publisher finished; keep waiting for deliveries
+		default:
+		}
+		all := true
+		for i, dev := range devs {
+			received, _, _ := dev.Stats()
+			if received-lastDrain[i] >= hostBenchDrainEvery {
+				lastDrain[i] = received
+				if _, err := dev.Read(topic, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if received < b.N {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			for i, dev := range devs {
+				received, _, _ := dev.Stats()
+				if received < b.N {
+					b.Fatalf("device %d received %d of %d", i, received, b.N)
+				}
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*broadcastDevices), "ns/delivery")
+}

@@ -291,9 +291,14 @@ func (h *Host) workerFor(name string) *worker {
 }
 
 // dispatchPush fans one upstream notification out to every session
-// subscribed to its topic. Sessions beyond the first receive clones:
-// core.Proxy takes ownership of the pointer it is notified with (queues it,
-// revises its rank in place), so concurrent sessions must not share one.
+// subscribed to its topic. core.Proxy takes ownership of the pointer it
+// is notified with (queues it, revises its rank in place), so concurrent
+// sessions must not share one Notification — but they CAN share its
+// payload bytes: a multi-target fan-out hands each session a
+// copy-on-write envelope member from burst.Notes.Broadcast, aliasing the
+// upstream note's payload instead of deep-copying it per session. The
+// proxy only ever rewrites envelope fields (Rank), never Payload, and the
+// group's last release recycles the upstream note itself.
 func (h *Host) dispatchPush(n *msg.Notification) {
 	h.mu.Lock()
 	ts := h.topics[n.Topic]
@@ -310,18 +315,15 @@ func (h *Host) dispatchPush(n *msg.Notification) {
 		return
 	}
 	h.opts.Trace.Hop(trace.KindProxyRecv, h.name, n, time.Now())
-	// Every clone must be taken before the first delivery: Wheel.Run
+	// All members must be split off before the first delivery: Wheel.Run
 	// executes the delivery inline, and a hibernated session recycles its
-	// copy immediately — cloning afterwards would read a reset note.
+	// member immediately — splitting afterwards would read a reset note.
 	one := [1]*msg.Notification{n}
 	copies := one[:]
 	if len(targets) > 1 {
-		copies = make([]*msg.Notification, len(targets))
-		copies[0] = n
-		for i := 1; i < len(targets); i++ {
-			c := burst.Notes.CloneInto(n)
-			c.Trace = nil // the trace timeline follows the first leg
-			copies[i] = c
+		copies = burst.Notes.Broadcast(n, len(targets))
+		for i := 1; i < len(copies); i++ {
+			copies[i].Trace = nil // the trace timeline follows the first leg
 		}
 	}
 	for i, s := range targets {

@@ -47,6 +47,23 @@ type Config struct {
 	// chunk rides one vectored flush and the acknowledgements coalesce
 	// symmetrically. 1 publishes one-at-a-time; zero means 16.
 	PublishBatch int `json:"publishBatch"`
+	// PublishWindow is how many batches each publisher connection keeps in
+	// flight at once. With a window of 1 every PublishBatch round trip
+	// serializes behind its acknowledgement, capping each connection near
+	// batch/RTT regardless of how fast the broker routes; a wider window
+	// pipelines the acks away (wire.BrokerClient calls are
+	// concurrency-safe, so the window is just W goroutines sharing one
+	// connection). Zero means 4.
+	PublishWindow int `json:"publishWindow"`
+	// HistoryLimit bounds each subscription's retained proxy-side history
+	// (wire.TopicPolicy.HistoryLimit). Every delivered notification stays
+	// checked out of the burst pool until its history entry is evicted, so
+	// the core default (131072 per topic) means a throughput run recycles
+	// nothing and the reported PoolHitRate collapses to the publisher-side
+	// cycle. Bounding it to a few times the in-flight depth is the
+	// steady-state regime the pool is designed for. Zero keeps the core
+	// default; negative means unbounded.
+	HistoryLimit int `json:"historyLimit,omitempty"`
 	// PayloadBytes is the payload size of every notification.
 	PayloadBytes int `json:"payloadBytes"`
 	// OnDemand switches the devices to on-demand topics consumed with
@@ -127,6 +144,9 @@ func (c Config) withDefaults() Config {
 	if c.PublishBatch <= 0 {
 		c.PublishBatch = 16
 	}
+	if c.PublishWindow <= 0 {
+		c.PublishWindow = 4
+	}
 	if c.PayloadBytes < 0 {
 		c.PayloadBytes = 0
 	}
@@ -184,9 +204,12 @@ type Report struct {
 	NumGC          uint32  `json:"numGC"`
 	GCPauseTotalMs float64 `json:"gcPauseTotalMs"`
 	// PoolHitRate is the fraction of notification-pool Gets served from
-	// the free pool; PoolOutstanding is the net checked-out count at
-	// report time (non-zero means references still in flight — the run's
-	// own topology is torn down after the report is built).
+	// the free pool over the measured window. PoolOutstanding is the net
+	// checked-out count sampled AFTER the run's topology is torn down and
+	// its in-flight references have drained; a clean run reports ~0, and
+	// any residue is a real leak rather than frames still sitting in
+	// egress rings. (Earlier revisions sampled before teardown and could
+	// report the whole run's transient footprint.)
 	PoolHitRate     float64 `json:"poolHitRate"`
 	PoolOutstanding int64   `json:"poolOutstanding"`
 
@@ -335,6 +358,23 @@ func Run(cfg Config) (*Report, error) {
 		cfg.Logf("loadgen: observability on http://%s/metrics", srv.Addr())
 	}
 
+	// Teardown is explicit (and idempotent) rather than pure defers: the
+	// clean path tears the topology down BEFORE sampling pool residency,
+	// so PoolOutstanding reflects what actually leaked instead of frames
+	// still queued in egress rings. Error paths fall back to the defer.
+	var (
+		closers      []func()
+		teardownOnce sync.Once
+	)
+	teardown := func() {
+		teardownOnce.Do(func() {
+			for i := len(closers) - 1; i >= 0; i-- {
+				closers[i]()
+			}
+		})
+	}
+	defer teardown()
+
 	blis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -346,7 +386,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 	bs := wire.NewBrokerServerOpts(broker, wire.ServerOptions{Metrics: wm})
 	go func() { _ = bs.Serve(blis) }()
-	defer bs.Close()
+	closers = append(closers, func() { bs.Close() })
 	brokerAddr := blis.Addr().String()
 
 	topics := make([]string, cfg.Topics)
@@ -355,7 +395,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	nodes := make([]*node, cfg.Devices)
-	defer func() {
+	closers = append(closers, func() {
 		for _, nd := range nodes {
 			if nd == nil {
 				continue
@@ -367,11 +407,15 @@ func Run(cfg Config) (*Report, error) {
 				nd.proxy.Close()
 			}
 		}
-	}()
+	})
 	mode := "on-line"
 	if cfg.OnDemand {
 		mode = "on-demand"
 	}
+	// Bounding the retained history (when configured) is what lets the
+	// proxy-side pool references recycle at steady state instead of
+	// accumulating for the whole run; see Config.HistoryLimit.
+	pol := wire.TopicPolicy{Mode: mode, HistoryLimit: cfg.HistoryLimit}
 	var hostAddr string
 	if cfg.MultiTenant {
 		hostOpts, err := cfg.hostOptions(brokerAddr, wm, collector)
@@ -382,7 +426,7 @@ func Run(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("host: %w", err)
 		}
-		defer h.Close()
+		closers = append(closers, h.Close)
 		h.RegisterMetrics(reg, "lg-host")
 		hlis, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -394,9 +438,9 @@ func Run(cfg Config) (*Report, error) {
 	for i := range nodes {
 		var nd *node
 		if cfg.MultiTenant {
-			nd, err = newHostNode(hostAddr, i, topics[i%cfg.Topics], mode, reg, wm, collector)
+			nd, err = newHostNode(hostAddr, i, topics[i%cfg.Topics], pol, reg, wm, collector)
 		} else {
-			nd, err = newNode(brokerAddr, i, topics[i%cfg.Topics], mode, reg, wm, collector)
+			nd, err = newNode(brokerAddr, i, topics[i%cfg.Topics], pol, reg, wm, collector)
 		}
 		if err != nil {
 			return nil, err
@@ -417,13 +461,13 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	pubs := make([]*wire.BrokerClient, cfg.Publishers)
-	defer func() {
+	closers = append(closers, func() {
 		for _, p := range pubs {
 			if p != nil {
 				_ = p.Close()
 			}
 		}
-	}()
+	})
 	for i := range pubs {
 		pub, err := wire.DialBrokerOpts(brokerAddr, fmt.Sprintf("lg-pub-%d", i), wire.ClientOptions{Metrics: wm})
 		if err != nil {
@@ -455,8 +499,8 @@ func Run(cfg Config) (*Report, error) {
 		payload[i] = byte('a' + i%26)
 	}
 
-	cfg.Logf("loadgen: publishing %d notifications from %d publishers (batch %d)",
-		cfg.Notifications, cfg.Publishers, cfg.PublishBatch)
+	cfg.Logf("loadgen: publishing %d notifications from %d publishers (batch %d, window %d)",
+		cfg.Notifications, cfg.Publishers, cfg.PublishBatch, cfg.PublishWindow)
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
 	poolBefore := burst.Notes.Stats()
@@ -465,7 +509,7 @@ func Run(cfg Config) (*Report, error) {
 		wg       sync.WaitGroup
 		pubMu    sync.Mutex
 		pubErr   error
-		next     = make(chan int, cfg.Publishers*cfg.PublishBatch)
+		next     = make(chan int, cfg.Publishers*cfg.PublishWindow*cfg.PublishBatch)
 		pubStats = make([]PublisherStats, cfg.Publishers)
 	)
 	go func() {
@@ -475,64 +519,75 @@ func Run(cfg Config) (*Report, error) {
 		close(next)
 	}()
 	for w := 0; w < cfg.Publishers; w++ {
-		wg.Add(1)
-		go func(w int, pub *wire.BrokerClient) {
-			defer wg.Done()
-			st := &pubStats[w]
-			st.Publisher = fmt.Sprintf("lg-pub-%d", w)
-			// Each chunk is built from pooled notifications, pipelined as
-			// one PublishBatch round trip (single vectored flush on the
-			// wire), and recycled once the broker has acknowledged it.
-			batch := make([]*msg.Notification, 0, cfg.PublishBatch)
-			for {
-				batch = batch[:0]
-				for i := range next {
-					n := burst.Notes.Get()
-					n.ID = msg.ID(fmt.Sprintf("lg-%d", i))
-					n.Topic = topics[i%cfg.Topics]
-					n.Publisher = "loadgen"
-					n.Rank = float64(1 + i%5)
-					n.Published = time.Now()
-					n.Payload = append(n.Payload[:0], payload...)
-					batch = append(batch, n)
-					if len(batch) == cfg.PublishBatch {
+		pubStats[w].Publisher = fmt.Sprintf("lg-pub-%d", w)
+		// Each connection runs PublishWindow batch loops concurrently, so
+		// up to that many PublishBatch round trips are in flight per
+		// publisher and no ack serializes the next chunk.
+		for slot := 0; slot < cfg.PublishWindow; slot++ {
+			wg.Add(1)
+			go func(w int, pub *wire.BrokerClient) {
+				defer wg.Done()
+				published, batches := 0, 0
+				// Each chunk is built from pooled notifications, pipelined as
+				// one PublishBatch round trip (single vectored flush on the
+				// wire), and recycled once the broker has acknowledged it.
+				batch := make([]*msg.Notification, 0, cfg.PublishBatch)
+				for {
+					batch = batch[:0]
+					for i := range next {
+						n := burst.Notes.Get()
+						n.ID = msg.ID(fmt.Sprintf("lg-%d", i))
+						n.Topic = topics[i%cfg.Topics]
+						n.Publisher = "loadgen"
+						n.Rank = float64(1 + i%5)
+						n.Published = time.Now()
+						n.Payload = append(n.Payload[:0], payload...)
+						batch = append(batch, n)
+						if len(batch) == cfg.PublishBatch {
+							break
+						}
+					}
+					if len(batch) == 0 {
+						break
+					}
+					errs := pub.PublishBatch(batch)
+					failed := false
+					for k, err := range errs {
+						if err != nil {
+							failed = true
+							pubMu.Lock()
+							if pubErr == nil {
+								pubErr = fmt.Errorf("publish %s: %w", batch[k].ID, err)
+							}
+							pubMu.Unlock()
+						}
+					}
+					published += len(batch)
+					batches++
+					for _, n := range batch {
+						burst.Notes.Put(n)
+					}
+					if failed {
 						break
 					}
 				}
-				if len(batch) == 0 {
-					break
-				}
-				errs := pub.PublishBatch(batch)
-				failed := false
-				for k, err := range errs {
-					if err != nil {
-						failed = true
-						pubMu.Lock()
-						if pubErr == nil {
-							pubErr = fmt.Errorf("publish %s: %w", batch[k].ID, err)
-						}
-						pubMu.Unlock()
-					}
-				}
-				st.Published += len(batch)
-				st.Batches++
-				for _, n := range batch {
-					burst.Notes.Put(n)
-				}
-				if failed {
-					return
-				}
-			}
-			if s := time.Since(start).Seconds(); s > 0 {
-				st.PerSec = float64(st.Published) / s
-			}
-		}(w, pubs[w])
+				pubMu.Lock()
+				pubStats[w].Published += published
+				pubStats[w].Batches += batches
+				pubMu.Unlock()
+			}(w, pubs[w])
+		}
 	}
 	wg.Wait()
 	if pubErr != nil {
 		return nil, pubErr
 	}
 	publishElapsed := time.Since(start)
+	if s := publishElapsed.Seconds(); s > 0 {
+		for w := range pubStats {
+			pubStats[w].PerSec = float64(pubStats[w].Published) / s
+		}
+	}
 
 	delivered, err := awaitDeliveries(nodes, cfg, deadline, latency)
 	deliverElapsed := time.Since(start)
@@ -584,16 +639,36 @@ func Run(cfg Config) (*Report, error) {
 		Misses: poolAfter.Misses - poolBefore.Misses,
 	}
 	rep.PoolHitRate = window.HitRate()
-	rep.PoolOutstanding = poolAfter.Outstanding()
 	finishTraces(rep, collector)
 	if err == nil && cfg.Linger > 0 {
 		cfg.Logf("loadgen: run complete, lingering %v for scrapers", cfg.Linger)
 		time.Sleep(cfg.Linger)
 	}
+	// Sample pool residency only after the topology is down: teardown is
+	// asynchronous at the edges (egress rings flush their last shared
+	// frames on Close, wheel callbacks drain), so an immediate sample
+	// races the final releases and would count the run's transient
+	// footprint as leakage.
+	teardown()
+	rep.PoolOutstanding = drainedOutstanding(2 * time.Second)
 	return rep, err
 }
 
-func newNode(brokerAddr string, i int, topic, mode string, reg *obs.Registry, wm *wire.Metrics, collector *trace.Collector) (*node, error) {
+// drainedOutstanding polls the notification pool's net checked-out count
+// until it reaches zero or the grace period expires, returning the final
+// sample. A non-zero return after the grace period is a genuine leak.
+func drainedOutstanding(grace time.Duration) int64 {
+	deadline := time.Now().Add(grace)
+	for {
+		out := burst.Notes.Stats().Outstanding()
+		if out == 0 || time.Now().After(deadline) {
+			return out
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func newNode(brokerAddr string, i int, topic string, pol wire.TopicPolicy, reg *obs.Registry, wm *wire.Metrics, collector *trace.Collector) (*node, error) {
 	name := fmt.Sprintf("lg-proxy-%d", i)
 	ps, err := wire.NewProxyServerOpts(wire.ProxyOptions{
 		BrokerAddr: brokerAddr,
@@ -621,7 +696,7 @@ func newNode(brokerAddr string, i int, topic, mode string, reg *obs.Registry, wm
 	}
 	dev.RegisterMetrics(reg, devName)
 	nd.dev = dev
-	if err := dev.Subscribe(topic, wire.TopicPolicy{Mode: mode}); err != nil {
+	if err := dev.Subscribe(topic, pol); err != nil {
 		_ = dev.Close()
 		ps.Close()
 		return nil, fmt.Errorf("subscribe %d: %w", i, err)
@@ -631,7 +706,7 @@ func newNode(brokerAddr string, i int, topic, mode string, reg *obs.Registry, wm
 
 // newHostNode attaches one device session to the shared multi-tenant
 // host instead of spinning up a dedicated proxy.
-func newHostNode(hostAddr string, i int, topic, mode string, reg *obs.Registry, wm *wire.Metrics, collector *trace.Collector) (*node, error) {
+func newHostNode(hostAddr string, i int, topic string, pol wire.TopicPolicy, reg *obs.Registry, wm *wire.Metrics, collector *trace.Collector) (*node, error) {
 	devName := fmt.Sprintf("lg-dev-%d", i)
 	dev, err := wire.DialProxyOpts(hostAddr, devName, wire.ClientOptions{Metrics: wm, Trace: collector})
 	if err != nil {
@@ -639,7 +714,7 @@ func newHostNode(hostAddr string, i int, topic, mode string, reg *obs.Registry, 
 	}
 	dev.RegisterMetrics(reg, devName)
 	nd := &node{dev: dev, topic: topic}
-	if err := dev.Subscribe(topic, wire.TopicPolicy{Mode: mode}); err != nil {
+	if err := dev.Subscribe(topic, pol); err != nil {
 		_ = dev.Close()
 		return nil, fmt.Errorf("subscribe %d: %w", i, err)
 	}

@@ -39,6 +39,14 @@ func TestRunOnline(t *testing.T) {
 		t.Fatalf("latency quantiles not computed: p50=%v p95=%v p99=%v",
 			rep.LatencyP50Ms, rep.LatencyP95Ms, rep.LatencyP99Ms)
 	}
+	// The report samples pool residency after teardown drains, so a clean
+	// run must account for every checked-out notification.
+	if rep.PoolOutstanding != 0 {
+		t.Fatalf("post-drain pool outstanding %d, want 0", rep.PoolOutstanding)
+	}
+	if rep.Config.PublishWindow < 1 {
+		t.Fatalf("publish window %d not resolved in report config", rep.Config.PublishWindow)
+	}
 }
 
 // TestRunObsEndpoint drives a run with the observability endpoint enabled
@@ -256,6 +264,54 @@ func TestRunMultiTenant(t *testing.T) {
 	}
 	if rep.LatencyP50Ms <= 0 {
 		t.Fatalf("latency quantiles not computed: %+v", rep)
+	}
+	// The host fan-out splits copy-on-write broadcast groups; teardown
+	// must release every member and the shared owner notes alike.
+	if rep.PoolOutstanding != 0 {
+		t.Fatalf("post-drain pool outstanding %d, want 0", rep.PoolOutstanding)
+	}
+}
+
+// TestRunBoundedHistory runs the multi-tenant fan-out with a small
+// per-subscription history bound: steady-state eviction must recycle
+// delivered notifications back through the burst pool WITHOUT losing or
+// duplicating anything — eviction only ever touches notes that already
+// made it onto the wire (on-line forwarding encodes into the egress ring
+// synchronously at arrival), so delivery conservation is the gate.
+func TestRunBoundedHistory(t *testing.T) {
+	rep, err := Run(Config{
+		Publishers:    2,
+		Devices:       8,
+		Topics:        2,
+		Notifications: 600,
+		PayloadBytes:  64,
+		MultiTenant:   true,
+		HostWorkers:   4,
+		HistoryLimit:  8,
+		Timeout:       30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 600 notifications over 2 topics = 300 each; 8 devices, 4 per topic:
+	// 2400 deliveries.
+	if rep.Delivered != 2400 {
+		t.Fatalf("delivered %d, want 2400", rep.Delivered)
+	}
+	if rep.Duplicates != 0 {
+		t.Fatalf("%d duplicate deliveries with bounded history", rep.Duplicates)
+	}
+	if rep.PoolOutstanding != 0 {
+		t.Fatalf("post-drain pool outstanding %d, want 0", rep.PoolOutstanding)
+	}
+	// With eviction recycling mid-run, the pool must serve at least SOME
+	// gets from the free list (the exact rate is volume- and GC-dependent;
+	// bench_pr10.sh gates the >=0.9 steady-state floor at full volume).
+	if rep.PoolHitRate <= 0 || rep.PoolHitRate > 1 {
+		t.Fatalf("pool hit rate %v outside (0, 1]", rep.PoolHitRate)
+	}
+	if rep.Config.HistoryLimit != 8 {
+		t.Fatalf("history limit %d not carried into the report config", rep.Config.HistoryLimit)
 	}
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package loadgen
+
+const raceEnabled = false

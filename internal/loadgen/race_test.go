@@ -1,0 +1,7 @@
+//go:build race
+
+package loadgen
+
+// raceEnabled marks builds instrumented by the race detector, whose
+// ~10x slowdown turns wall-clock throughput floors into false alarms.
+const raceEnabled = true

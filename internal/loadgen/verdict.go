@@ -35,6 +35,11 @@ type Budget struct {
 	// named segments of the delivery path ("broker", "proxyQueue",
 	// "lastHop"). A listed segment with no observations fails the budget.
 	HopP99Ms map[string]float64 `json:"hopP99Ms,omitempty"`
+	// MinDeliverPerSec, when positive, is a throughput floor on the run's
+	// end-to-end delivery rate (distinct deliveries / elapsed seconds).
+	// The flash-crowd scenario pins it so a datapath regression that
+	// serializes the burst — even one that loses nothing — fails loudly.
+	MinDeliverPerSec float64 `json:"minDeliverPerSec,omitempty"`
 	// CapPerDevice, when positive, is the scenario's daily on-line cap:
 	// after the quiet-window release the runner asserts, from the trace
 	// timelines, that each session charged exactly
@@ -58,7 +63,11 @@ type Verdict struct {
 	WastePct   float64            `json:"wastePct"`
 	Duplicates int                `json:"duplicates"`
 	Delivered  int                `json:"delivered"`
-	HopP99Ms   map[string]float64 `json:"hopP99Ms,omitempty"`
+	// DeliverPerSec is the measured end-to-end delivery rate, recorded
+	// whenever the report carries one so throughput trends survive in the
+	// archived verdicts even without a MinDeliverPerSec floor.
+	DeliverPerSec float64            `json:"deliverPerSec,omitempty"`
+	HopP99Ms      map[string]float64 `json:"hopP99Ms,omitempty"`
 	// Hops carries the measured per-hop latency quantiles for every
 	// observed segment — the actuals behind the pass/fail, present even
 	// when the budget names no hop, so a regression that stays inside
@@ -81,6 +90,7 @@ func (b Budget) Evaluate(scenario string, rep *Report, extra []string) Verdict {
 		Delivered:  rep.Delivered,
 		Failures:   append([]string(nil), extra...),
 	}
+	v.DeliverPerSec = rep.DeliverPerSec
 	if len(rep.HopLatencyMs) > 0 {
 		v.Hops = make(map[string]HopQuantiles, len(rep.HopLatencyMs))
 		for hop, q := range rep.HopLatencyMs {
@@ -111,6 +121,9 @@ func (b Budget) Evaluate(scenario string, rep *Report, extra []string) Verdict {
 		if b.MinExpiredPct > 0 && expPct < b.MinExpiredPct {
 			fail("only %.1f%% of traces expired pre-transfer, floor %.1f%%", expPct, b.MinExpiredPct)
 		}
+	}
+	if b.MinDeliverPerSec > 0 && rep.DeliverPerSec < b.MinDeliverPerSec {
+		fail("delivered %.0f/s end to end, floor %.0f/s", rep.DeliverPerSec, b.MinDeliverPerSec)
 	}
 	if len(b.HopP99Ms) > 0 {
 		v.HopP99Ms = make(map[string]float64, len(b.HopP99Ms))

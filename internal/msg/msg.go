@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -102,6 +103,60 @@ type Notification struct {
 	// copy site that creates an independently owned notification must
 	// clear it back to PoolForeign.
 	poolMark PoolMark
+
+	// share, when non-nil, marks this notification as a copy-on-write
+	// broadcast member: Payload (and Trace, unless a branch replaced it)
+	// alias the group owner's allocations and must never be mutated or
+	// retained past release. The burst pool's Put interprets the group;
+	// everything that creates an independently owned copy (Clone,
+	// CopyFrom) leaves the copy group-free.
+	share *ShareGroup
+}
+
+// ShareGroup is the reference count behind one copy-on-write broadcast:
+// a fan-out of envelope clones that alias the owner notification's payload
+// bytes. The group holds the owner until the last member releases; the
+// release driver (internal/burst) then recycles the owner itself. It lives
+// in msg, next to the field it governs, so the pool layer can stay free of
+// Notification internals.
+type ShareGroup struct {
+	refs  atomic.Int32
+	owner *Notification
+}
+
+// NewShareGroup builds a group of size members around the owner. The
+// caller transfers ownership of owner to the group: nothing may release
+// owner directly once the group exists.
+func NewShareGroup(owner *Notification, members int32) *ShareGroup {
+	g := &ShareGroup{owner: owner}
+	g.refs.Store(members)
+	return g
+}
+
+// Owner returns the notification whose allocations the members alias.
+func (g *ShareGroup) Owner() *Notification { return g.owner }
+
+// Refs returns the members not yet released.
+func (g *ShareGroup) Refs() int32 { return g.refs.Load() }
+
+// Release drops one membership and reports whether this was the last —
+// the caller then owns (and must release) the group's owner.
+func (g *ShareGroup) Release() bool { return g.refs.Add(-1) == 0 }
+
+// ShareGroup returns the copy-on-write group this notification belongs
+// to, or nil for an independently owned notification.
+func (n *Notification) ShareGroup() *ShareGroup { return n.share }
+
+// ShareFrom turns n into an envelope member of group g: every field is
+// copied from src, but Payload aliases src's bytes and Trace shares src's
+// pointer instead of being deep-copied. n's own pool provenance is
+// preserved; n's previous payload capacity is abandoned (a shared member
+// must never return aliased bytes to a pool as its own).
+func (n *Notification) ShareFrom(src *Notification, g *ShareGroup) {
+	mark := n.poolMark
+	*n = *src
+	n.poolMark = mark
+	n.share = g
 }
 
 // PoolMark is the tri-state provenance of a notification with respect to
@@ -199,11 +254,12 @@ func (n *Notification) RemainingLife(now time.Time) time.Duration {
 const maxDuration = time.Duration(1<<63 - 1)
 
 // Clone returns a deep copy of the notification. The copy is always
-// pool-foreign: cloning a pooled notification yields an ordinary heap
-// object with its own lifetime.
+// pool-foreign and group-free: cloning a pooled or shared notification
+// yields an ordinary heap object with its own lifetime.
 func (n *Notification) Clone() *Notification {
 	c := *n
 	c.poolMark = PoolForeign
+	c.share = nil
 	if n.Payload != nil {
 		c.Payload = make([]byte, len(n.Payload))
 		copy(c.Payload, n.Payload)
@@ -213,13 +269,15 @@ func (n *Notification) Clone() *Notification {
 
 // CopyFrom deep-copies src's content into n, reusing n's payload
 // capacity and preserving n's own pool provenance. The trace context
-// pointer is shared (the pointed-to context is immutable by contract).
+// pointer is shared (the pointed-to context is immutable by contract);
+// any share group on src stays behind — the copy owns its bytes.
 func (n *Notification) CopyFrom(src *Notification) {
 	mark := n.poolMark
 	payload := append(n.Payload[:0], src.Payload...)
 	*n = *src
 	n.Payload = payload
 	n.poolMark = mark
+	n.share = nil
 }
 
 // Validate checks structural invariants that the pubsub substrate enforces

@@ -44,6 +44,8 @@ var (
 // Subscriber receives notifications and rank updates for its subscriptions.
 // Implementations must not call back into the broker from inside the
 // callback; the proxy's handlers satisfy this by scheduling follow-up work.
+// Implementations that additionally satisfy SharedDeliverer opt into the
+// encode-once fan-out path and receive DeliverShared instead of Deliver.
 type Subscriber interface {
 	// Deliver hands over a notification on a subscribed topic. The
 	// notification is the subscriber's to keep: it is an isolated clone
@@ -580,14 +582,29 @@ func (b *Broker) fanOut(n *msg.Notification, from Peer, subs []*subscription, pe
 			})
 		}
 	}
+	// Shared-capable subscribers (wire connections) receive the
+	// caller-owned original plus a fan-out-scoped SharedEncoding: the
+	// push frame is encoded once per capability class and the same
+	// ref-counted buffer rides every egress ring. Everything else gets
+	// the classic isolated pooled clone (payload bytes copied into the
+	// clone's retained buffer, zero steady-state allocations), ownership
+	// transferring with Deliver. Peers below keep receiving the
+	// caller-owned original: wire federation encodes it synchronously
+	// and in-process brokers run their routing synchronously, so no peer
+	// retains it past this call.
+	var enc *SharedEncoding
 	for _, s := range subs {
-		// Each subscriber owns an isolated pooled clone (payload bytes
-		// copied into the clone's retained buffer, zero steady-state
-		// allocations); ownership transfers with Deliver. Peers below
-		// keep receiving the caller-owned original: wire federation
-		// encodes it synchronously and in-process brokers run their
-		// routing synchronously, so no peer retains it past this call.
+		if sd, ok := s.sub.(SharedDeliverer); ok {
+			if enc == nil {
+				enc = getSharedEncoding()
+			}
+			sd.DeliverShared(n, enc)
+			continue
+		}
 		s.sub.Deliver(burst.Notes.CloneInto(n))
+	}
+	if enc != nil {
+		putSharedEncoding(enc)
 	}
 	for _, p := range peers {
 		if p != from {

@@ -134,7 +134,10 @@ type connSubscriber struct {
 	trace bool
 }
 
-var _ pubsub.Subscriber = connSubscriber{}
+var (
+	_ pubsub.Subscriber      = connSubscriber{}
+	_ pubsub.SharedDeliverer = connSubscriber{}
+)
 
 func (cs connSubscriber) Deliver(n *msg.Notification) {
 	f := getPushFrame()
@@ -148,6 +151,39 @@ func (cs connSubscriber) Deliver(n *msg.Notification) {
 	// Send encoded the notification into the egress ring synchronously;
 	// this subscriber owns the pooled clone and is done with it.
 	burst.Notes.Put(n)
+}
+
+// DeliverShared is the encode-once fan-out path: the push frame is
+// encoded at most once per capability class for the whole fan-out, and
+// this connection's egress ring enqueues the shared ref-counted buffer.
+// The notification stays owned by the broker — no clone, no Put.
+func (cs connSubscriber) DeliverShared(n *msg.Notification, enc *pubsub.SharedEncoding) {
+	class := pubsub.EncodePlain
+	if cs.trace && n.Trace != nil {
+		class = pubsub.EncodeTrace
+	}
+	buf, err := enc.Buf(class, func(dst []byte) ([]byte, error) {
+		f := getPushFrame()
+		f.Type = TypePush
+		f.Notification = n
+		if class == pubsub.EncodeTrace {
+			f.Trace = n.Trace
+		}
+		b, err := appendFrame(dst, f)
+		putPushFrame(f)
+		if err == nil && len(b)-1 > maxFrameBytes {
+			err = fmt.Errorf("frame exceeds %d bytes", maxFrameBytes)
+		}
+		return b, err
+	})
+	if err != nil {
+		// Per-target fallback: an unencodable notification (or one whose
+		// frame overflows the bound) takes the classic clone-and-Send
+		// path, which reports the same failure per connection.
+		cs.Deliver(burst.Notes.CloneInto(n))
+		return
+	}
+	_ = cs.conn.SendShared(buf)
 }
 
 func (cs connSubscriber) DeliverRankUpdate(u msg.RankUpdate) {

@@ -10,7 +10,7 @@ import (
 )
 
 // connPair returns two wire Conns over a real TCP loopback socket.
-func connPair(t *testing.T) (*Conn, *Conn) {
+func connPair(t testing.TB) (*Conn, *Conn) {
 	t.Helper()
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -188,6 +188,12 @@ type TopicPolicy struct {
 	InterruptRank float64 `json:"interruptRank,omitempty"`
 	// DailyOnlineCap bounds on-line pushes per day; zero means no cap.
 	DailyOnlineCap int `json:"dailyOnlineCap,omitempty"`
+	// HistoryLimit bounds the proxy's per-topic retained history (the
+	// dedup/rank-revision window); zero keeps the core default, negative
+	// means unbounded. Sessions that deliver at high volume retain one
+	// pooled notification per history entry, so a bounded history is what
+	// lets the notification pool recycle at steady state.
+	HistoryLimit int `json:"historyLimit,omitempty"`
 	// QuietWindows silence on-line delivery during daily windows,
 	// expressed as minutes from midnight.
 	QuietWindows []QuietWindowSpec `json:"quietWindows,omitempty"`
@@ -511,6 +517,43 @@ func (c *Conn) Send(f *Frame) error {
 	if err != nil {
 		return err
 	}
+	c.kickFlush()
+	return nil
+}
+
+// SendShared enqueues an already-encoded, newline-terminated frame buffer
+// on the egress ring, consuming exactly one of the caller's references: on
+// success the ring's flush releases it (the pool recycles it on the last
+// reference), and on a latched write error it is released here. The same
+// buffer may be queued on many connections at once — encode once, Ref per
+// extra connection — which is the broadcast fan-out fast path.
+func (c *Conn) SendShared(b *burst.Buf) error {
+	c.wmu.Lock()
+	if c.werr != nil {
+		err := c.werr
+		c.wmu.Unlock()
+		burst.Bufs.Put(b)
+		return err
+	}
+	if c.m != nil {
+		c.m.FramesOut.Inc()
+		c.m.BytesOut.Add(int64(len(b.B)))
+		if len(c.ring) == 0 {
+			c.firstBuffered = time.Now()
+		}
+	}
+	c.ring = append(c.ring, b)
+	c.ringBytes += len(b.B)
+	if c.pendBytes.Add(int64(len(b.B))) == int64(len(b.B)) {
+		c.pendSinceNs.Store(time.Now().UnixNano())
+	}
+	if len(c.ring) >= maxRingFrames || c.ringBytes >= maxRingBytes {
+		c.flushLocked()
+		err := c.werr
+		c.wmu.Unlock()
+		return err
+	}
+	c.wmu.Unlock()
 	c.kickFlush()
 	return nil
 }

@@ -794,6 +794,7 @@ func (tp TopicPolicy) ToConfig(topic string) (core.TopicConfig, error) {
 	}
 	cfg.InterruptRank = tp.InterruptRank
 	cfg.DailyOnlineCap = tp.DailyOnlineCap
+	cfg.HistoryLimit = tp.HistoryLimit
 	for _, w := range tp.QuietWindows {
 		cfg.Quiet = append(cfg.Quiet, core.QuietWindow{
 			Start: time.Duration(w.StartMinutes) * time.Minute,

@@ -661,4 +661,19 @@ func TestTopicPolicyToConfig(t *testing.T) {
 	if _, err := (TopicPolicy{QuietWindows: []QuietWindowSpec{{StartMinutes: 600, EndMinutes: 600}}}).ToConfig("t"); err == nil {
 		t.Error("empty quiet window accepted")
 	}
+	// History bounds pass through: an explicit limit is honored, zero
+	// keeps the core default, and negative means unbounded (core maps it
+	// at withDefaults time, so it must survive ToConfig untouched).
+	cfg, err = TopicPolicy{HistoryLimit: 4}.ToConfig("t")
+	if err != nil || cfg.HistoryLimit != 4 {
+		t.Errorf("HistoryLimit mapping: %+v, %v", cfg, err)
+	}
+	cfg, err = TopicPolicy{}.ToConfig("t")
+	if err != nil || cfg.HistoryLimit != 0 {
+		t.Errorf("default HistoryLimit mapping: %+v, %v", cfg, err)
+	}
+	cfg, err = TopicPolicy{HistoryLimit: -1}.ToConfig("t")
+	if err != nil || cfg.HistoryLimit != -1 {
+		t.Errorf("unbounded HistoryLimit mapping: %+v, %v", cfg, err)
+	}
 }

@@ -38,7 +38,7 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
 echo ">> broker fan-out" >&2
-go test ./internal/pubsub/ -run '^$' -bench BenchmarkBrokerFanout \
+go test ./internal/pubsub/ -run '^$' -bench '^BenchmarkBrokerFanout$' \
   -benchmem -cpu "$CPU" -benchtime "$FANOUT_TIME" -count "$COUNT" | tee -a "$tmp/bench.txt" >&2
 echo ">> wire push + proxy forward path" >&2
 go test ./internal/wire/ -run '^$' -bench 'BenchmarkWireThroughput|BenchmarkProxyForwardPath' \
